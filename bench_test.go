@@ -1,0 +1,293 @@
+package ulixes_test
+
+// One benchmark per reproduced experiment (see DESIGN.md's index and
+// EXPERIMENTS.md for paper-vs-measured numbers). The benchmarks report the
+// experiment's headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every table's key numbers alongside the usual ns/op.
+
+import (
+	"testing"
+
+	"ulixes"
+	"ulixes/internal/exp"
+	"ulixes/internal/site"
+	"ulixes/internal/sitegen"
+	"ulixes/internal/stats"
+	"ulixes/internal/view"
+)
+
+// benchBib is a reduced bibliography that keeps the orders-of-magnitude gap
+// of E1 while staying fast enough to iterate.
+var benchBib = sitegen.BibliographyParams{
+	Authors: 500, Confs: 15, DBConfs: 4, Years: 6, PapersPerEdition: 10, AuthorsPerPaper: 2, Seed: 1998,
+}
+
+// BenchmarkE1IntroAccessPaths regenerates the Introduction's four-path
+// comparison. Metric pages_path4/pages_path1 is the orders-of-magnitude gap.
+func BenchmarkE1IntroAccessPaths(b *testing.B) {
+	var t *exp.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = exp.E1(benchBib)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	p1 := atoiCell(b, t.Rows[0][1])
+	p4 := atoiCell(b, t.Rows[3][1])
+	b.ReportMetric(float64(p1), "pages_path1")
+	b.ReportMetric(float64(p4), "pages_path4")
+	b.ReportMetric(float64(p4)/float64(p1), "path4/path1")
+}
+
+// BenchmarkE2PointerJoin regenerates Example 7.1: C(1d) ≤ C(2d).
+func BenchmarkE2PointerJoin(b *testing.B) {
+	var t *exp.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = exp.E2(sitegen.PaperUniversityParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(atofCell(b, t.Rows[0][1]), "C_join")
+	b.ReportMetric(atofCell(b, t.Rows[1][1]), "C_chase")
+}
+
+// BenchmarkE3PointerChase regenerates Example 7.2 at the paper's sizes:
+// chase ≈ 25, join well over 50.
+func BenchmarkE3PointerChase(b *testing.B) {
+	var t *exp.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = exp.E3(sitegen.PaperUniversityParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(atofCell(b, t.Rows[0][1]), "C_join")
+	b.ReportMetric(atofCell(b, t.Rows[1][1]), "C_chase")
+}
+
+// BenchmarkE4PlanSelection regenerates the plan-selection check over the
+// query suite; the metric counts suboptimal choices (should be 0).
+func BenchmarkE4PlanSelection(b *testing.B) {
+	var t *exp.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = exp.E4(sitegen.PaperUniversityParams(), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	bad := 0
+	for _, row := range t.Rows {
+		if row[len(row)-1] != "yes" {
+			bad++
+		}
+	}
+	b.ReportMetric(float64(bad), "suboptimal_choices")
+}
+
+// BenchmarkE5MatView regenerates §8's maintenance-cost table; the metric is
+// downloads at a 0% update rate (should be 0).
+func BenchmarkE5MatView(b *testing.B) {
+	var t *exp.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = exp.E5(sitegen.PaperUniversityParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(atoiCell(b, t.Rows[0][2])), "downloads_at_0pct")
+	b.ReportMetric(float64(atoiCell(b, t.Rows[0][1])), "light_connections")
+}
+
+// BenchmarkA1NoPushing regenerates the Rule 6 ablation on Example 7.1.
+func BenchmarkA1NoPushing(b *testing.B) {
+	var t *exp.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = exp.A1(sitegen.PaperUniversityParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(atofCell(b, t.Rows[0][1]), "C_all_rules")
+	b.ReportMetric(atofCell(b, t.Rows[1][1]), "C_no_rule6")
+}
+
+// BenchmarkA2NoChase regenerates the Rule 9 ablation on Example 7.2.
+func BenchmarkA2NoChase(b *testing.B) {
+	var t *exp.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = exp.A2(sitegen.PaperUniversityParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(atofCell(b, t.Rows[0][1]), "C_all_rules")
+	b.ReportMetric(atofCell(b, t.Rows[4][1]), "C_no_rule9")
+}
+
+// BenchmarkA3CostModel regenerates the estimate-vs-measured accuracy table;
+// the metric is the worst estimate/measured ratio deviation from 1.
+func BenchmarkA3CostModel(b *testing.B) {
+	var t *exp.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		t, err = exp.A3(sitegen.PaperUniversityParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worst := 0.0
+	for _, row := range t.Rows {
+		r := atofCell(b, row[3])
+		dev := r - 1
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > worst {
+			worst = dev
+		}
+	}
+	b.ReportMetric(worst, "worst_ratio_dev")
+}
+
+// BenchmarkOptimizeExample72 measures raw optimizer latency on the paper's
+// hardest query (4 atoms, 2×2 default-navigation combinations).
+func BenchmarkOptimizeExample72(b *testing.B) {
+	u, err := sitegen.GenerateUniversity(sitegen.PaperUniversityParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms, err := site.NewMemSite(u.Instance, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := ulixes.OpenWithStats(ms, u.Scheme, view.UniversityView(u.Scheme), stats.CollectInstance(u.Instance))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Plan(exp.Example72Query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVirtualQuery measures end-to-end latency of a mid-size virtual
+// query (optimize + navigate + wrap).
+func BenchmarkVirtualQuery(b *testing.B) {
+	u, err := sitegen.GenerateUniversity(sitegen.PaperUniversityParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms, err := site.NewMemSite(u.Instance, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := ulixes.OpenWithStats(ms, u.Scheme, view.UniversityView(u.Scheme), stats.CollectInstance(u.Instance))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Query("SELECT c.CName, c.Description FROM Course c WHERE c.Session = 'Fall'"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func atoiCell(b *testing.B, s string) int {
+	b.Helper()
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func atofCell(b *testing.B, s string) float64 {
+	b.Helper()
+	var v float64
+	var frac float64 = 0
+	div := 1.0
+	dot := false
+	for _, c := range s {
+		switch {
+		case c >= '0' && c <= '9':
+			if dot {
+				div *= 10
+				frac = frac + float64(c-'0')/div
+			} else {
+				v = v*10 + float64(c-'0')
+			}
+		case c == '.':
+			dot = true
+		default:
+			return v + frac
+		}
+	}
+	return v + frac
+}
+
+// BenchmarkLargeSiteQuery exercises the full stack at a larger scale: a
+// 1,300-page university (1,000 courses), optimizer + navigation + wrapping.
+func BenchmarkLargeSiteQuery(b *testing.B) {
+	u, err := sitegen.GenerateUniversity(sitegen.UniversityParams{
+		Depts: 10, Profs: 300, Courses: 1000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms, err := site.NewMemSite(u.Instance, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := ulixes.OpenWithStats(ms, u.Scheme, view.UniversityView(u.Scheme), stats.CollectInstance(u.Instance))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ans, err := sys.Query(`SELECT p.PName, p.Email
+			FROM Professor p, ProfDept pd
+			WHERE p.PName = pd.PName AND pd.DName = 'Computer Science'`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(ans.PagesFetched), "pages")
+		}
+	}
+}
+
+// BenchmarkMaterializedQuery measures a warm materialized-view query (only
+// light connections).
+func BenchmarkMaterializedQuery(b *testing.B) {
+	u, err := sitegen.GenerateUniversity(sitegen.PaperUniversityParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms, err := site.NewMemSite(u.Instance, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := ulixes.OpenWithStats(ms, u.Scheme, view.UniversityView(u.Scheme), stats.CollectInstance(u.Instance))
+	mv, err := sys.Materialize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ans, err := mv.Query("SELECT p.PName, p.Email FROM Professor p WHERE p.Rank = 'Full'")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ans.Downloads != 0 {
+			b.Fatal("unexpected downloads on a quiet site")
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Command bench reproduces every experiment of the paper "Efficient
+// Queries over Web Views" (see DESIGN.md for the index) and prints the
+// resulting tables. With -markdown it emits the tables in the format used
+// by EXPERIMENTS.md.
+//
+// Usage:
+//
+//	bench [-markdown] [-quick] [-only E1,E3,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ulixes/internal/exp"
+	"ulixes/internal/sitegen"
+)
+
+func main() {
+	markdown := flag.Bool("markdown", false, "emit markdown tables (for EXPERIMENTS.md)")
+	quick := flag.Bool("quick", false, "use smaller sites for a fast run")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default all)")
+	flag.Parse()
+
+	univ := sitegen.PaperUniversityParams()
+	bib := sitegen.DefaultBibliographyParams()
+	if *quick {
+		bib.Authors = 300
+		bib.Confs = 10
+		bib.DBConfs = 3
+		bib.Years = 5
+		bib.PapersPerEdition = 8
+	}
+
+	type runner struct {
+		id  string
+		run func() (*exp.Table, error)
+	}
+	runners := []runner{
+		{"E1", func() (*exp.Table, error) { return exp.E1(bib) }},
+		{"E2", func() (*exp.Table, error) { return exp.E2(univ) }},
+		{"E2s", exp.E2Sweep},
+		{"E3", func() (*exp.Table, error) { return exp.E3(univ) }},
+		{"E3s", exp.E3Sweep},
+		{"E4", func() (*exp.Table, error) { return exp.E4(univ, 8) }},
+		{"E5", func() (*exp.Table, error) { return exp.E5(univ) }},
+		{"A1", func() (*exp.Table, error) { return exp.A1(univ) }},
+		{"A2", func() (*exp.Table, error) { return exp.A2(univ) }},
+		{"A3", func() (*exp.Table, error) { return exp.A3(univ) }},
+		{"X1", func() (*exp.Table, error) { return exp.X1(univ) }},
+	}
+
+	selected := make(map[string]bool)
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(id)] = true
+		}
+	}
+	for _, r := range runners {
+		if len(selected) > 0 && !selected[r.id] {
+			continue
+		}
+		t, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		if *markdown {
+			fmt.Print(t.Markdown())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+}

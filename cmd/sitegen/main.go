@@ -1,0 +1,104 @@
+// Command sitegen generates a synthetic web site conforming to one of the
+// ADM schemes studied in the paper and either serves it over real HTTP or
+// dumps its HTML pages to a directory.
+//
+// Usage:
+//
+//	sitegen -site university -serve :8098     # serve over HTTP
+//	sitegen -site bibliography -dump ./out    # write HTML files
+//	sitegen -site university -scheme          # print the web scheme
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/site"
+	"ulixes/internal/sitegen"
+)
+
+func main() {
+	siteName := flag.String("site", "university", "site to generate: university or bibliography")
+	courses := flag.Int("courses", 50, "university: number of courses")
+	profs := flag.Int("profs", 20, "university: number of professors")
+	depts := flag.Int("depts", 3, "university: number of departments")
+	authors := flag.Int("authors", 500, "bibliography: number of authors")
+	serve := flag.String("serve", "", "address to serve the site on (e.g. :8098)")
+	dump := flag.String("dump", "", "directory to write the HTML pages to")
+	scheme := flag.Bool("scheme", false, "print the ADM web scheme and exit")
+	flag.Parse()
+
+	ws, ms, err := build(*siteName, *courses, *profs, *depts, *authors)
+	if err != nil {
+		fail(err)
+	}
+	if *scheme {
+		fmt.Print(ws.Format())
+		return
+	}
+	if *dump != "" {
+		if err := dumpSite(ms, *dump); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d pages to %s\n", ms.Len(), *dump)
+		return
+	}
+	if *serve != "" {
+		fmt.Printf("serving %d pages on %s (GET /?u=<page-url>)\n", ms.Len(), *serve)
+		fail(http.ListenAndServe(*serve, site.Handler(ms)))
+	}
+	fmt.Printf("generated %d pages; pass -serve, -dump or -scheme to do something with them\n", ms.Len())
+}
+
+func build(name string, courses, profs, depts, authors int) (*adm.Scheme, *site.MemSite, error) {
+	switch name {
+	case "university":
+		u, err := sitegen.GenerateUniversity(sitegen.UniversityParams{
+			Courses: courses, Profs: profs, Depts: depts,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		ms, err := site.NewMemSite(u.Instance, nil)
+		return u.Scheme, ms, err
+	case "bibliography":
+		b, err := sitegen.GenerateBibliography(sitegen.BibliographyParams{Authors: authors})
+		if err != nil {
+			return nil, nil, err
+		}
+		ms, err := site.NewMemSite(b.Instance, nil)
+		return b.Scheme, ms, err
+	default:
+		return nil, nil, fmt.Errorf("unknown site %q", name)
+	}
+}
+
+// dumpSite writes each page's HTML under dir, mapping URLs to file paths.
+func dumpSite(ms *site.MemSite, dir string) error {
+	for _, u := range ms.URLs() {
+		p, err := ms.Get(u)
+		if err != nil {
+			return err
+		}
+		rel := strings.TrimPrefix(u, "http://")
+		rel = strings.ReplaceAll(rel, "/", string(filepath.Separator))
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, []byte(p.HTML), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sitegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,200 @@
+// Command webq runs conjunctive queries against a generated web site
+// through the ulixes query system, printing the chosen navigation plan, its
+// estimated cost, the measured page accesses and the answer.
+//
+// Usage:
+//
+//	webq [-site university|bibliography] [-explain] [-candidates] [-mat] 'SELECT …'
+//	webq -site university -relations        # list the external view
+//	webq -url http://host:8098 -scheme-file site.adm -views-file site.views 'SELECT …'
+//
+// With -mat the query runs against a materialized view (§8 of the paper),
+// reporting light connections and downloads instead of page fetches. With
+// -url the queries run against a real HTTP endpoint (for example one
+// started with `sitegen -serve`), using scheme and view definitions loaded
+// from the given files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ulixes"
+	"ulixes/internal/adm"
+	"ulixes/internal/nalg"
+	"ulixes/internal/site"
+	"ulixes/internal/sitegen"
+	"ulixes/internal/view"
+)
+
+func main() {
+	siteName := flag.String("site", "university", "site to query: university or bibliography")
+	courses := flag.Int("courses", 50, "university: number of courses")
+	profs := flag.Int("profs", 20, "university: number of professors")
+	depts := flag.Int("depts", 3, "university: number of departments")
+	authors := flag.Int("authors", 500, "bibliography: number of authors")
+	explain := flag.Bool("explain", false, "print the chosen plan as a tree")
+	candidates := flag.Bool("candidates", false, "print all candidate plans with costs")
+	mat := flag.Bool("mat", false, "query a materialized view instead of the live site")
+	nav := flag.Bool("nav", false, "treat the argument as a Ulixes navigation expression, not a query")
+	relations := flag.Bool("relations", false, "list the external relations and exit")
+	baseURL := flag.String("url", "", "query a real HTTP endpoint instead of an in-memory site")
+	schemeFile := flag.String("scheme-file", "", "ADM scheme file (required with -url)")
+	viewsFile := flag.String("views-file", "", "view definition file (required with -url)")
+	flag.Parse()
+
+	var sys *ulixes.System
+	var views *ulixes.Views
+	var err error
+	if *baseURL != "" {
+		sys, views, err = openRemote(*baseURL, *schemeFile, *viewsFile)
+	} else {
+		sys, views, err = open(*siteName, *courses, *profs, *depts, *authors)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if *relations {
+		for _, name := range views.Names() {
+			rel := views.Relation(name)
+			fmt.Printf("%s(%s) — %d default navigation(s)\n", name, strings.Join(rel.Attrs, ", "), len(rel.Navs))
+		}
+		return
+	}
+	query := strings.TrimSpace(strings.Join(flag.Args(), " "))
+	if query == "" {
+		fail(fmt.Errorf("no query given; try:\n  webq \"SELECT p.PName FROM Professor p WHERE p.Rank = 'Full'\"\n  webq -nav \"ProfListPage / ProfList -> ToProf [Rank='Full']\""))
+	}
+
+	if *nav {
+		expr, err := nalg.ParseNav(views.Scheme, query)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(nalg.Explain(expr))
+		rel, pages, err := sys.Execute(expr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("-- %d page accesses\n", pages)
+		printRelation(rel)
+		return
+	}
+
+	if *explain || *candidates {
+		out, err := sys.Explain(query)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(out)
+		if !*candidates {
+			return
+		}
+	}
+
+	if *mat {
+		mv, err := sys.Materialize()
+		if err != nil {
+			fail(err)
+		}
+		ans, err := mv.Query(query)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("-- materialized view: %d light connections, %d downloads, %d updates applied\n",
+			ans.LightConnections, ans.Downloads, ans.UpdatesApplied)
+		printRelation(ans.Result)
+		return
+	}
+
+	ans, err := sys.Query(query)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("-- plan cost: estimated %.1f, measured %d page accesses\n", ans.Plan.Cost, ans.PagesFetched)
+	printRelation(ans.Result)
+}
+
+// openRemote loads the scheme and views from files and targets a real HTTP
+// endpoint serving the site (e.g. `sitegen -serve :8098`).
+func openRemote(base, schemeFile, viewsFile string) (*ulixes.System, *ulixes.Views, error) {
+	if schemeFile == "" || viewsFile == "" {
+		return nil, nil, fmt.Errorf("-url requires -scheme-file and -views-file")
+	}
+	schemeSrc, err := os.ReadFile(schemeFile)
+	if err != nil {
+		return nil, nil, err
+	}
+	ws, err := adm.ParseScheme(string(schemeSrc))
+	if err != nil {
+		return nil, nil, err
+	}
+	viewSrc, err := os.ReadFile(viewsFile)
+	if err != nil {
+		return nil, nil, err
+	}
+	views, err := view.ParseViews(ws, string(viewSrc))
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := ulixes.Open(&site.HTTPServer{Base: base}, ws, views)
+	return sys, views, err
+}
+
+func open(name string, courses, profs, depts, authors int) (*ulixes.System, *ulixes.Views, error) {
+	switch name {
+	case "university":
+		u, err := sitegen.GenerateUniversity(sitegen.UniversityParams{
+			Courses: courses, Profs: profs, Depts: depts,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		ms, err := site.NewMemSite(u.Instance, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		views := view.UniversityView(u.Scheme)
+		sys, err := ulixes.Open(ms, u.Scheme, views)
+		return sys, views, err
+	case "bibliography":
+		b, err := sitegen.GenerateBibliography(sitegen.BibliographyParams{Authors: authors})
+		if err != nil {
+			return nil, nil, err
+		}
+		ms, err := site.NewMemSite(b.Instance, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		views := view.BibliographyView(b.Scheme)
+		sys, err := ulixes.Open(ms, b.Scheme, views)
+		return sys, views, err
+	default:
+		return nil, nil, fmt.Errorf("unknown site %q (university or bibliography)", name)
+	}
+}
+
+func printRelation(rel *ulixes.Relation) {
+	tuples := rel.Sorted()
+	if len(tuples) == 0 {
+		fmt.Println("(empty result)")
+		return
+	}
+	names := tuples[0].Names()
+	fmt.Println(strings.Join(names, " | "))
+	for _, t := range tuples {
+		cells := make([]string, len(names))
+		for i, n := range names {
+			cells[i] = t.MustGet(n).String()
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	fmt.Printf("(%d tuples)\n", len(tuples))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "webq:", err)
+	os.Exit(1)
+}

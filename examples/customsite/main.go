@@ -1,0 +1,155 @@
+// Customsite: define your own web site and relational view entirely in the
+// textual languages — the ADM scheme language, page data, and the view
+// definition language — then serve it over real HTTP and query it.
+//
+//	go run ./examples/customsite
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"ulixes"
+	"ulixes/internal/adm"
+	"ulixes/internal/nested"
+	"ulixes/internal/site"
+	"ulixes/internal/view"
+)
+
+// The site scheme, in the language `sitegen -scheme` prints and
+// adm.ParseScheme reads: a small bookstore.
+const schemeText = `
+page ShopPage {
+  Name: text
+  Genres: list of {
+    Genre: text
+    ToGenre: link GenrePage
+  }
+}
+
+page GenrePage {
+  Genre: text
+  Books: list of {
+    Title: text
+    ToBook: link BookPage
+  }
+}
+
+page BookPage {
+  Title: text
+  Author: text
+  Genre: text
+  Price: text
+}
+
+entry ShopPage "http://books.example/index.html"
+
+# The genre name is repeated on every book page: a link constraint the
+# optimizer can push selections through.
+link-constraint via GenrePage.Books.ToBook: Genre = Genre
+link-constraint via GenrePage.Books.ToBook: Books.Title = Title
+link-constraint via ShopPage.Genres.ToGenre: Genres.Genre = Genre
+`
+
+// The relational view, in the view-definition language.
+const viewText = `
+relation Book(Title, Author, Genre, Price) {
+  nav ShopPage / Genres -> ToGenre / Books -> ToBook
+    map Title = BookPage.Title, Author = BookPage.Author, Genre = BookPage.Genre, Price = BookPage.Price
+}
+`
+
+func main() {
+	ws, err := adm.ParseScheme(schemeText)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Populate the instance programmatically (a real deployment would crawl
+	// an existing site instead).
+	inst := adm.NewInstance(ws)
+	genres := map[string][]struct{ title, author, price string }{
+		"databases": {
+			{"A Relational Model", "E. Codd", "30"},
+			{"Efficient Queries over Web Views", "Mecca, Mendelzon & Merialdo", "12"},
+			{"Transaction Processing", "J. Gray", "55"},
+		},
+		"networking": {
+			{"TCP Illustrated", "W. R. Stevens", "45"},
+			{"Weaving the Web", "T. Berners-Lee", "20"},
+		},
+	}
+	var genreEntries nested.ListValue
+	bookID := 0
+	for genre, books := range genres {
+		genreURL := "http://books.example/genre/" + genre
+		genreEntries = append(genreEntries,
+			nested.T("Genre", nested.TextValue(genre), "ToGenre", nested.LinkValue(genreURL)))
+		var bookEntries nested.ListValue
+		for _, b := range books {
+			bookURL := fmt.Sprintf("http://books.example/book/%d", bookID)
+			bookID++
+			bookEntries = append(bookEntries,
+				nested.T("Title", nested.TextValue(b.title), "ToBook", nested.LinkValue(bookURL)))
+			if err := inst.AddPage("BookPage", nested.T(
+				adm.URLAttr, nested.LinkValue(bookURL),
+				"Title", nested.TextValue(b.title),
+				"Author", nested.TextValue(b.author),
+				"Genre", nested.TextValue(genre),
+				"Price", nested.TextValue(b.price),
+			)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := inst.AddPage("GenrePage", nested.T(
+			adm.URLAttr, nested.LinkValue(genreURL),
+			"Genre", nested.TextValue(genre),
+			"Books", bookEntries,
+		)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := inst.AddPage("ShopPage", nested.T(
+		adm.URLAttr, nested.LinkValue("http://books.example/index.html"),
+		"Name", nested.TextValue("The Paper Bookstore"),
+		"Genres", genreEntries,
+	)); err != nil {
+		log.Fatal(err)
+	}
+	if err := inst.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve the rendered HTML over a real HTTP socket and query through it.
+	ms, err := site.NewMemSite(inst, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := httptest.NewServer(site.Handler(ms))
+	defer httpSrv.Close()
+	fmt.Printf("serving %d pages at %s\n\n", ms.Len(), httpSrv.URL)
+
+	views, err := view.ParseViews(ws, viewText)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := ulixes.Open(&site.HTTPServer{Base: httpSrv.URL}, ws, views)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ans, err := sys.Query("SELECT b.Title, b.Author FROM Book b WHERE b.Genre = 'databases'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("database books:")
+	for _, t := range ans.Result.Sorted() {
+		fmt.Printf("  %-36s %s\n", t.MustGet("Title"), t.MustGet("Author"))
+	}
+	// The genre selection was pushed to the shop page's anchors via the
+	// link constraints, so only the databases genre and its books were
+	// downloaded.
+	fmt.Printf("\npages fetched: %d (estimate %.1f) — the networking genre was never visited\n",
+		ans.PagesFetched, ans.Plan.Cost)
+}

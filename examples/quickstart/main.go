@@ -1,0 +1,62 @@
+// Quickstart: generate the paper's university web site (Figure 1), open a
+// query system over it, and run a conjunctive query on the relational view.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ulixes"
+	"ulixes/internal/site"
+	"ulixes/internal/sitegen"
+	"ulixes/internal/view"
+)
+
+func main() {
+	// 1. Generate the hypothetical university site of the paper's Figure 1
+	//    at the sizes Example 7.2 quotes (50 courses, 20 professors,
+	//    3 departments) and serve it from memory as HTML pages.
+	u, err := sitegen.GenerateUniversity(sitegen.PaperUniversityParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, err := site.NewMemSite(u.Instance, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Open the query system: the relational external view of §5
+	//    (Dept, Professor, Course, CourseInstructor, ProfDept) over the
+	//    site, with statistics gathered by a one-off crawl.
+	sys, err := ulixes.Open(server, u.Scheme, view.UniversityView(u.Scheme))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Ask a question in the conjunctive-query language. The optimizer
+	//    picks a navigation plan; the engine walks the site and wraps the
+	//    pages it downloads.
+	const query = `SELECT p.PName, p.Email
+		FROM Professor p, ProfDept pd
+		WHERE p.PName = pd.PName AND pd.DName = 'Computer Science'`
+	ans, err := sys.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Professors of the Computer Science department:")
+	for _, t := range ans.Result.Sorted() {
+		fmt.Printf("  %-12s %s\n", t.MustGet("PName"), t.MustGet("Email"))
+	}
+	fmt.Printf("\nplan cost: estimated %.1f page accesses, measured %d\n",
+		ans.Plan.Cost, ans.PagesFetched)
+
+	// 4. Show what the optimizer did.
+	explain, err := sys.Explain(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n" + explain)
+}

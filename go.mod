@@ -1,0 +1,3 @@
+module ulixes
+
+go 1.22

@@ -1,0 +1,28 @@
+package adm
+
+import "testing"
+
+// FuzzParseScheme checks the scheme parser never panics and that accepted
+// schemes survive a Format/Parse round trip.
+func FuzzParseScheme(f *testing.F) {
+	f.Add(sampleSchemeText)
+	f.Add(`page P { A: text }`)
+	f.Add(`page P { L: list of { X: text } } entry P "u"`)
+	f.Add(`link-constraint via A.B: C = D`)
+	f.Add(`inclusion A.B <= C.D`)
+	f.Add(`page P { A?: image } # comment`)
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		ws, err := ParseScheme(src)
+		if err != nil {
+			return
+		}
+		back, err := ParseScheme(ws.Format())
+		if err != nil {
+			t.Fatalf("formatted scheme does not re-parse: %v\n%s", err, ws.Format())
+		}
+		if !ws.Equal(back) {
+			t.Fatalf("round trip changed the scheme:\n%s", ws.Format())
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package adm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ulixes/internal/nested"
+)
+
+// randScheme generates a random web scheme: a chain of page-schemes where
+// each level's list links to the next, plus random scalar attributes. The
+// shape guarantees reachability from the single entry point.
+func randScheme(rng *rand.Rand) *Scheme {
+	ws := NewScheme()
+	depth := 2 + rng.Intn(3)
+	names := make([]string, depth)
+	for i := range names {
+		names[i] = fmt.Sprintf("P%d", i)
+	}
+	for i := 0; i < depth; i++ {
+		var attrs []nested.Field
+		nScalar := 1 + rng.Intn(3)
+		for a := 0; a < nScalar; a++ {
+			f := nested.Field{Name: fmt.Sprintf("A%d", a), Type: nested.Text(), Optional: rng.Intn(3) == 0}
+			if rng.Intn(4) == 0 {
+				f.Type = nested.Image()
+			}
+			attrs = append(attrs, f)
+		}
+		if i < depth-1 {
+			elem := []nested.Field{
+				{Name: "Anchor", Type: nested.Text()},
+				{Name: "Next", Type: nested.Link(names[i+1])},
+			}
+			if rng.Intn(2) == 0 {
+				elem = append(elem, nested.Field{Name: "Note", Type: nested.Text(), Optional: true})
+			}
+			attrs = append(attrs, nested.Field{Name: "Kids", Type: nested.List(elem...)})
+		}
+		if err := ws.AddPage(&PageScheme{Name: names[i], Attrs: attrs}); err != nil {
+			panic(err)
+		}
+	}
+	ws.AddEntryPoint(names[0], "http://rand.example/p0")
+	return ws
+}
+
+// randInstance populates a random scheme with random pages, wiring every
+// Kids list to all pages of the next level (so constraints trivially hold).
+func randInstance(rng *rand.Rand, ws *Scheme) *Instance {
+	in := NewInstance(ws)
+	names := ws.PageNames()
+	counts := make([]int, len(names))
+	counts[0] = 1
+	for i := 1; i < len(names); i++ {
+		counts[i] = 1 + rng.Intn(4)
+	}
+	urls := make([][]string, len(names))
+	for i, n := range counts {
+		urls[i] = make([]string, n)
+		for j := 0; j < n; j++ {
+			if i == 0 {
+				urls[i][j] = "http://rand.example/p0"
+			} else {
+				urls[i][j] = fmt.Sprintf("http://rand.example/p%d/%d", i, j)
+			}
+		}
+	}
+	randText := func() nested.Value {
+		if rng.Intn(8) == 0 {
+			return nested.TextValue("")
+		}
+		b := make([]byte, 1+rng.Intn(6))
+		for k := range b {
+			b[k] = byte('a' + rng.Intn(26))
+		}
+		return nested.TextValue(string(b))
+	}
+	for i, name := range names {
+		ps := ws.Page(name)
+		for j := 0; j < counts[i]; j++ {
+			t := nested.T(URLAttr, nested.LinkValue(urls[i][j]))
+			for _, f := range ps.Attrs {
+				switch f.Type.Kind {
+				case nested.KindText:
+					if f.Optional && rng.Intn(3) == 0 {
+						t = t.With(f.Name, nested.Null)
+					} else {
+						t = t.With(f.Name, randText())
+					}
+				case nested.KindImage:
+					t = t.With(f.Name, nested.ImageValue(fmt.Sprintf("img%d.gif", rng.Intn(9))))
+				case nested.KindList:
+					var lv nested.ListValue
+					for _, u := range urls[i+1] {
+						elem := nested.T("Anchor", randText(), "Next", nested.LinkValue(u))
+						if _, hasNote := (&nested.TupleType{Fields: f.Type.Elem}).Field("Note"); hasNote {
+							if rng.Intn(2) == 0 {
+								elem = elem.With("Note", nested.Null)
+							} else {
+								elem = elem.With("Note", randText())
+							}
+						}
+						lv = append(lv, elem)
+					}
+					t = t.With(f.Name, lv)
+				}
+			}
+			if err := in.AddPage(name, t); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return in
+}
+
+// TestRandomSchemesFormatRoundTrip fuzzes the scheme text format.
+func TestRandomSchemesFormatRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 50; i++ {
+		ws := randScheme(rng)
+		back, err := ParseScheme(ws.Format())
+		if err != nil {
+			t.Fatalf("iteration %d: %v\n%s", i, err, ws.Format())
+		}
+		if !ws.Equal(back) {
+			t.Fatalf("iteration %d: round trip changed scheme:\n%s", i, ws.Format())
+		}
+	}
+}
+
+// TestRandomInstancesValidate fuzzes instance validation on well-formed
+// random instances.
+func TestRandomInstancesValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 30; i++ {
+		ws := randScheme(rng)
+		in := randInstance(rng, ws)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("iteration %d: valid random instance rejected: %v", i, err)
+		}
+	}
+}

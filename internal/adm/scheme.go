@@ -1,0 +1,441 @@
+// Package adm implements the subset of the Araneus Data Model used by
+// "Efficient Queries over Web Views" (Mecca, Mendelzon, Merialdo, 1998):
+// page-schemes with nested web types, entry points, and the two families of
+// integrity constraints — link constraints and inclusion constraints — that
+// document the redundancy of a web site and drive query optimization.
+package adm
+
+import (
+	"fmt"
+	"strings"
+
+	"ulixes/internal/nested"
+)
+
+// URLAttr is the name of the implicit URL attribute every page-scheme has;
+// it forms a key for the page-relation (§3.1).
+const URLAttr = "URL"
+
+// PageScheme describes a set of structurally similar pages. Its instance is
+// a page-relation: a set of nested tuples, one per page, each with a URL and
+// a value for every attribute.
+type PageScheme struct {
+	// Name is the page-scheme name, unique within a Scheme.
+	Name string
+	// Attrs are the page attributes in display order. The URL attribute is
+	// implicit and must not appear here.
+	Attrs []nested.Field
+}
+
+// TupleType returns the nested tuple type of the page-relation: the implicit
+// URL attribute followed by the declared attributes.
+func (p *PageScheme) TupleType() *nested.TupleType {
+	fields := make([]nested.Field, 0, len(p.Attrs)+1)
+	fields = append(fields, nested.Field{Name: URLAttr, Type: nested.Link(p.Name)})
+	fields = append(fields, p.Attrs...)
+	return nested.MustTupleType(fields...)
+}
+
+// Path identifies a (possibly nested) attribute of a page-scheme, e.g.
+// {"ProfList", "ToProf"} for the link inside the ProfList collection.
+type Path []string
+
+// ParsePath splits a dotted attribute path.
+func ParsePath(s string) Path {
+	if s == "" {
+		return nil
+	}
+	return Path(strings.Split(s, "."))
+}
+
+// String renders the path in dotted form.
+func (p Path) String() string { return strings.Join(p, ".") }
+
+// Equal reports element-wise equality.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasPrefix reports whether q is a prefix of p.
+func (p Path) HasPrefix(q Path) bool {
+	if len(q) > len(p) {
+		return false
+	}
+	return p[:len(q)].Equal(q)
+}
+
+// Parent returns the path without its last step, or nil for a top-level
+// attribute.
+func (p Path) Parent() Path {
+	if len(p) <= 1 {
+		return nil
+	}
+	return p[:len(p)-1]
+}
+
+// Leaf returns the last step of the path.
+func (p Path) Leaf() string { return p[len(p)-1] }
+
+// AttrRef names an attribute of a page-scheme: Scheme.Path, e.g.
+// "DeptPage.ProfList.ToProf".
+type AttrRef struct {
+	Scheme string
+	Path   Path
+}
+
+// ParseAttrRef parses "Scheme.A.B" into an AttrRef.
+func ParseAttrRef(s string) (AttrRef, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) < 2 {
+		return AttrRef{}, fmt.Errorf("adm: attribute reference %q must be Scheme.Attr", s)
+	}
+	return AttrRef{Scheme: parts[0], Path: Path(parts[1:])}, nil
+}
+
+// String renders the reference in the paper's dotted notation.
+func (r AttrRef) String() string { return r.Scheme + "." + r.Path.String() }
+
+// LinkConstraint documents a redundancy attached to a link (§3.2): for a
+// link attribute Link from scheme S to scheme T, the value of attribute
+// SrcAttr of S (typically an anchor next to the link) always equals the
+// value of attribute TgtAttr of the linked page of T. Formally, the link
+// attribute of t1 equals the URL of t2 if and only if SrcAttr(t1) =
+// TgtAttr(t2).
+type LinkConstraint struct {
+	// Link is the link attribute the constraint is associated with.
+	Link AttrRef
+	// SrcAttr is the attribute of the source scheme; if the link lives
+	// inside a list, SrcAttr may live in the same list (an anchor).
+	SrcAttr Path
+	// TgtAttr is a mono-valued attribute of the target scheme.
+	TgtAttr string
+}
+
+// String renders the constraint as "S.A = T.B (via S.L)".
+func (c LinkConstraint) String() string {
+	return fmt.Sprintf("%s.%s = %s (via %s)", c.Link.Scheme, c.SrcAttr, c.TgtAttr, c.Link)
+}
+
+// InclusionConstraint documents containment between two navigation paths
+// (§3.2): every URL appearing in link attribute Sub also appears in link
+// attribute Super. Both must be links to the same page-scheme.
+type InclusionConstraint struct {
+	Sub   AttrRef
+	Super AttrRef
+}
+
+// String renders the constraint as "P1.L1 ⊆ P2.L2".
+func (c InclusionConstraint) String() string {
+	return c.Sub.String() + " ⊆ " + c.Super.String()
+}
+
+// EntryPoint designates a page-scheme whose instance contains exactly one
+// page, with a known URL (§3.1). Entry points are the only pages directly
+// accessible; everything else must be reached by navigation.
+type EntryPoint struct {
+	Scheme string
+	URL    string
+}
+
+// Scheme is a web scheme (§3.3): page-schemes connected by links, entry
+// points, and the link and inclusion constraints.
+type Scheme struct {
+	pages  map[string]*PageScheme
+	order  []string
+	Entry  []EntryPoint
+	LinkCs []LinkConstraint
+	InclCs []InclusionConstraint
+}
+
+// NewScheme creates an empty web scheme.
+func NewScheme() *Scheme {
+	return &Scheme{pages: make(map[string]*PageScheme)}
+}
+
+// AddPage registers a page-scheme, validating its attribute names: unique
+// and non-empty at every nesting level, with the implicit URL attribute
+// reserved at the top level.
+func (s *Scheme) AddPage(p *PageScheme) error {
+	if p.Name == "" {
+		return fmt.Errorf("adm: page-scheme with empty name")
+	}
+	if _, dup := s.pages[p.Name]; dup {
+		return fmt.Errorf("adm: duplicate page-scheme %q", p.Name)
+	}
+	for _, f := range p.Attrs {
+		if f.Name == URLAttr {
+			return fmt.Errorf("adm: page-scheme %q declares reserved attribute %q", p.Name, URLAttr)
+		}
+	}
+	if err := checkFieldNames(p.Name, p.Attrs); err != nil {
+		return err
+	}
+	s.pages[p.Name] = p
+	s.order = append(s.order, p.Name)
+	return nil
+}
+
+func checkFieldNames(scheme string, fields []nested.Field) error {
+	seen := make(map[string]bool, len(fields))
+	for _, f := range fields {
+		if f.Name == "" {
+			return fmt.Errorf("adm: page-scheme %q declares an attribute with an empty name", scheme)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("adm: page-scheme %q declares attribute %q twice", scheme, f.Name)
+		}
+		seen[f.Name] = true
+		if f.Type.Kind == nested.KindList {
+			if err := checkFieldNames(scheme, f.Type.Elem); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Page returns the named page-scheme, or nil.
+func (s *Scheme) Page(name string) *PageScheme { return s.pages[name] }
+
+// PageNames returns the page-scheme names in registration order.
+func (s *Scheme) PageNames() []string { return s.order }
+
+// AddEntryPoint registers an entry point.
+func (s *Scheme) AddEntryPoint(scheme, url string) {
+	s.Entry = append(s.Entry, EntryPoint{scheme, url})
+}
+
+// EntryPoint returns the entry point for a page-scheme, if any.
+func (s *Scheme) EntryPoint(scheme string) (EntryPoint, bool) {
+	for _, ep := range s.Entry {
+		if ep.Scheme == scheme {
+			return ep, true
+		}
+	}
+	return EntryPoint{}, false
+}
+
+// AddLinkConstraint registers a link constraint.
+func (s *Scheme) AddLinkConstraint(c LinkConstraint) { s.LinkCs = append(s.LinkCs, c) }
+
+// AddInclusion registers an inclusion constraint.
+func (s *Scheme) AddInclusion(c InclusionConstraint) { s.InclCs = append(s.InclCs, c) }
+
+// AddEquivalence registers P1.L1 ≡ P2.L2 as two inclusion constraints.
+func (s *Scheme) AddEquivalence(a, b AttrRef) {
+	s.AddInclusion(InclusionConstraint{Sub: a, Super: b})
+	s.AddInclusion(InclusionConstraint{Sub: b, Super: a})
+}
+
+// ResolvePath returns the type of the attribute at the given path of a
+// page-scheme, descending through list types.
+func (s *Scheme) ResolvePath(scheme string, path Path) (nested.Type, error) {
+	p := s.Page(scheme)
+	if p == nil {
+		return nested.Type{}, fmt.Errorf("adm: unknown page-scheme %q", scheme)
+	}
+	if len(path) == 0 {
+		return nested.Type{}, fmt.Errorf("adm: empty attribute path on %q", scheme)
+	}
+	if len(path) == 1 && path[0] == URLAttr {
+		return nested.Link(scheme), nil
+	}
+	fields := p.Attrs
+	var cur nested.Type
+	for i, step := range path {
+		found := false
+		for _, f := range fields {
+			if f.Name == step {
+				cur = f.Type
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nested.Type{}, fmt.Errorf("adm: %s.%s: no attribute %q", scheme, path, step)
+		}
+		if i < len(path)-1 {
+			if cur.Kind != nested.KindList {
+				return nested.Type{}, fmt.Errorf("adm: %s.%s: %q is not a list", scheme, path, step)
+			}
+			fields = cur.Elem
+		}
+	}
+	return cur, nil
+}
+
+// LinkTarget returns the target page-scheme of the link attribute at the
+// given reference.
+func (s *Scheme) LinkTarget(ref AttrRef) (string, error) {
+	t, err := s.ResolvePath(ref.Scheme, ref.Path)
+	if err != nil {
+		return "", err
+	}
+	if t.Kind != nested.KindLink {
+		return "", fmt.Errorf("adm: %s is not a link attribute (type %s)", ref, t)
+	}
+	return t.Target, nil
+}
+
+// LinkConstraintFor returns the link constraint attached to the given link
+// attribute, if one is declared.
+func (s *Scheme) LinkConstraintFor(ref AttrRef) (LinkConstraint, bool) {
+	for _, c := range s.LinkCs {
+		if c.Link.Scheme == ref.Scheme && c.Link.Path.Equal(ref.Path) {
+			return c, true
+		}
+	}
+	return LinkConstraint{}, false
+}
+
+// Inclusions returns all inclusion constraints whose Sub is the given link
+// reference, including those implied by reflexivity (L ⊆ L).
+func (s *Scheme) Inclusions(sub AttrRef) []InclusionConstraint {
+	var out []InclusionConstraint
+	for _, c := range s.InclCs {
+		if c.Sub.Scheme == sub.Scheme && c.Sub.Path.Equal(sub.Path) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// IncludedIn reports whether sub ⊆ super holds, either trivially (same
+// reference) or via the declared constraints (transitive closure).
+func (s *Scheme) IncludedIn(sub, super AttrRef) bool {
+	if sub.Scheme == super.Scheme && sub.Path.Equal(super.Path) {
+		return true
+	}
+	seen := map[string]bool{sub.String(): true}
+	frontier := []AttrRef{sub}
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		for _, c := range s.Inclusions(cur) {
+			if c.Super.Scheme == super.Scheme && c.Super.Path.Equal(super.Path) {
+				return true
+			}
+			k := c.Super.String()
+			if !seen[k] {
+				seen[k] = true
+				frontier = append(frontier, c.Super)
+			}
+		}
+	}
+	return false
+}
+
+// Links returns the references of every link attribute declared in the
+// scheme, in deterministic order.
+func (s *Scheme) Links() []AttrRef {
+	var out []AttrRef
+	for _, name := range s.order {
+		p := s.pages[name]
+		var walk func(prefix Path, fields []nested.Field)
+		walk = func(prefix Path, fields []nested.Field) {
+			for _, f := range fields {
+				path := append(append(Path(nil), prefix...), f.Name)
+				switch f.Type.Kind {
+				case nested.KindLink:
+					out = append(out, AttrRef{Scheme: name, Path: path})
+				case nested.KindList:
+					walk(path, f.Type.Elem)
+				}
+			}
+		}
+		walk(nil, p.Attrs)
+	}
+	return out
+}
+
+// Validate checks the internal consistency of the scheme: entry points name
+// known page-schemes; link and inclusion constraints reference existing
+// attributes of the right types; inclusion constraints relate links with the
+// same target.
+func (s *Scheme) Validate() error {
+	for _, ep := range s.Entry {
+		if s.Page(ep.Scheme) == nil {
+			return fmt.Errorf("adm: entry point for unknown page-scheme %q", ep.Scheme)
+		}
+		if ep.URL == "" {
+			return fmt.Errorf("adm: entry point for %q has empty URL", ep.Scheme)
+		}
+	}
+	// Every link target must be a known page-scheme.
+	for _, ref := range s.Links() {
+		tgt, err := s.LinkTarget(ref)
+		if err != nil {
+			return err
+		}
+		if s.Page(tgt) == nil {
+			return fmt.Errorf("adm: link %s targets unknown page-scheme %q", ref, tgt)
+		}
+	}
+	for _, c := range s.LinkCs {
+		tgt, err := s.LinkTarget(c.Link)
+		if err != nil {
+			return fmt.Errorf("adm: link constraint %s: %v", c, err)
+		}
+		st, err := s.ResolvePath(c.Link.Scheme, c.SrcAttr)
+		if err != nil {
+			return fmt.Errorf("adm: link constraint %s: %v", c, err)
+		}
+		if !st.Mono() {
+			return fmt.Errorf("adm: link constraint %s: source attribute is not mono-valued", c)
+		}
+		tt, err := s.ResolvePath(tgt, Path{c.TgtAttr})
+		if err != nil {
+			return fmt.Errorf("adm: link constraint %s: %v", c, err)
+		}
+		if !tt.Mono() {
+			return fmt.Errorf("adm: link constraint %s: target attribute is not mono-valued", c)
+		}
+		// The anchor must be visible at the link's nesting level: its path
+		// must live in the same list as the link (share the parent prefix)
+		// or at an ancestor level.
+		if !c.Link.Path.Parent().HasPrefix(c.SrcAttr.Parent()) {
+			return fmt.Errorf("adm: link constraint %s: source attribute not in scope of the link", c)
+		}
+	}
+	for _, c := range s.InclCs {
+		t1, err := s.LinkTarget(c.Sub)
+		if err != nil {
+			return fmt.Errorf("adm: inclusion %s: %v", c, err)
+		}
+		t2, err := s.LinkTarget(c.Super)
+		if err != nil {
+			return fmt.Errorf("adm: inclusion %s: %v", c, err)
+		}
+		if t1 != t2 {
+			return fmt.Errorf("adm: inclusion %s relates links with different targets (%s vs %s)", c, t1, t2)
+		}
+	}
+	return nil
+}
+
+// String renders a human-readable summary of the scheme.
+func (s *Scheme) String() string {
+	var sb strings.Builder
+	for _, name := range s.order {
+		p := s.pages[name]
+		fmt.Fprintf(&sb, "page-scheme %s%s\n", name, p.TupleType())
+	}
+	for _, ep := range s.Entry {
+		fmt.Fprintf(&sb, "entry-point %s @ %s\n", ep.Scheme, ep.URL)
+	}
+	for _, c := range s.LinkCs {
+		fmt.Fprintf(&sb, "link-constraint %s\n", c)
+	}
+	for _, c := range s.InclCs {
+		fmt.Fprintf(&sb, "inclusion %s\n", c)
+	}
+	return sb.String()
+}

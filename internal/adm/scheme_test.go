@@ -1,0 +1,382 @@
+package adm
+
+import (
+	"strings"
+	"testing"
+
+	"ulixes/internal/nested"
+)
+
+// miniScheme builds a two-page scheme: a list page with links to item pages,
+// with one link constraint and one (trivially true) inclusion constraint.
+func miniScheme(t *testing.T) *Scheme {
+	t.Helper()
+	s := NewScheme()
+	if err := s.AddPage(&PageScheme{Name: "ListPage", Attrs: []nested.Field{
+		{Name: "Title", Type: nested.Text()},
+		{Name: "Items", Type: nested.List(
+			nested.Field{Name: "Name", Type: nested.Text()},
+			nested.Field{Name: "ToItem", Type: nested.Link("ItemPage")},
+		)},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPage(&PageScheme{Name: "ItemPage", Attrs: []nested.Field{
+		{Name: "Name", Type: nested.Text()},
+		{Name: "Desc", Type: nested.Text(), Optional: true},
+		{Name: "ToNext", Type: nested.Link("ItemPage"), Optional: true},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	s.AddEntryPoint("ListPage", "http://x/list.html")
+	s.AddLinkConstraint(LinkConstraint{
+		Link:    AttrRef{Scheme: "ListPage", Path: ParsePath("Items.ToItem")},
+		SrcAttr: ParsePath("Items.Name"),
+		TgtAttr: "Name",
+	})
+	s.AddInclusion(InclusionConstraint{
+		Sub:   AttrRef{Scheme: "ItemPage", Path: ParsePath("ToNext")},
+		Super: AttrRef{Scheme: "ListPage", Path: ParsePath("Items.ToItem")},
+	})
+	return s
+}
+
+func TestPageSchemeTupleType(t *testing.T) {
+	p := &PageScheme{Name: "P", Attrs: []nested.Field{{Name: "A", Type: nested.Text()}}}
+	tt := p.TupleType()
+	if tt.Index(URLAttr) != 0 {
+		t.Error("URL must be the first, implicit attribute")
+	}
+	f, _ := tt.Field(URLAttr)
+	if f.Type.Kind != nested.KindLink || f.Type.Target != "P" {
+		t.Errorf("URL attr type = %s", f.Type)
+	}
+}
+
+func TestParsePathAndHelpers(t *testing.T) {
+	p := ParsePath("A.B.C")
+	if len(p) != 3 || p.String() != "A.B.C" {
+		t.Errorf("ParsePath = %v", p)
+	}
+	if ParsePath("") != nil {
+		t.Error("empty string should parse to nil path")
+	}
+	if !p.HasPrefix(ParsePath("A.B")) || p.HasPrefix(ParsePath("A.X")) || p.HasPrefix(ParsePath("A.B.C.D")) {
+		t.Error("HasPrefix wrong")
+	}
+	if p.Parent().String() != "A.B" || p.Leaf() != "C" {
+		t.Error("Parent/Leaf wrong")
+	}
+	if ParsePath("A").Parent() != nil {
+		t.Error("top-level parent should be nil")
+	}
+	if !p.Equal(ParsePath("A.B.C")) || p.Equal(ParsePath("A.B")) || p.Equal(ParsePath("A.B.X")) {
+		t.Error("Equal wrong")
+	}
+}
+
+func TestParseAttrRef(t *testing.T) {
+	r, err := ParseAttrRef("DeptPage.ProfList.ToProf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scheme != "DeptPage" || r.Path.String() != "ProfList.ToProf" {
+		t.Errorf("ref = %v", r)
+	}
+	if r.String() != "DeptPage.ProfList.ToProf" {
+		t.Errorf("String = %q", r.String())
+	}
+	if _, err := ParseAttrRef("NoDot"); err == nil {
+		t.Error("reference without path should error")
+	}
+}
+
+func TestAddPageValidation(t *testing.T) {
+	s := NewScheme()
+	if err := s.AddPage(&PageScheme{Name: ""}); err == nil {
+		t.Error("empty name should be rejected")
+	}
+	if err := s.AddPage(&PageScheme{Name: "P"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPage(&PageScheme{Name: "P"}); err == nil {
+		t.Error("duplicate page-scheme should be rejected")
+	}
+	if err := s.AddPage(&PageScheme{Name: "Q", Attrs: []nested.Field{{Name: URLAttr, Type: nested.Text()}}}); err == nil {
+		t.Error("reserved URL attribute should be rejected")
+	}
+}
+
+func TestResolvePath(t *testing.T) {
+	s := miniScheme(t)
+	ty, err := s.ResolvePath("ListPage", ParsePath("Items.ToItem"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ty.Kind != nested.KindLink || ty.Target != "ItemPage" {
+		t.Errorf("resolved type = %s", ty)
+	}
+	ty, err = s.ResolvePath("ListPage", ParsePath("Items"))
+	if err != nil || ty.Kind != nested.KindList {
+		t.Errorf("list resolution: %s, %v", ty, err)
+	}
+	ty, err = s.ResolvePath("ItemPage", ParsePath(URLAttr))
+	if err != nil || ty.Kind != nested.KindLink || ty.Target != "ItemPage" {
+		t.Errorf("URL resolution: %s, %v", ty, err)
+	}
+	for _, bad := range []struct {
+		scheme, path string
+	}{
+		{"Nope", "A"},
+		{"ListPage", ""},
+		{"ListPage", "Missing"},
+		{"ListPage", "Title.Sub"},
+		{"ListPage", "Items.Missing"},
+	} {
+		if _, err := s.ResolvePath(bad.scheme, ParsePath(bad.path)); err == nil {
+			t.Errorf("ResolvePath(%s, %s) should error", bad.scheme, bad.path)
+		}
+	}
+}
+
+func TestLinkTarget(t *testing.T) {
+	s := miniScheme(t)
+	tgt, err := s.LinkTarget(AttrRef{Scheme: "ListPage", Path: ParsePath("Items.ToItem")})
+	if err != nil || tgt != "ItemPage" {
+		t.Errorf("LinkTarget = %q, %v", tgt, err)
+	}
+	if _, err := s.LinkTarget(AttrRef{Scheme: "ListPage", Path: ParsePath("Title")}); err == nil {
+		t.Error("non-link attribute should error")
+	}
+}
+
+func TestLinkConstraintFor(t *testing.T) {
+	s := miniScheme(t)
+	c, ok := s.LinkConstraintFor(AttrRef{Scheme: "ListPage", Path: ParsePath("Items.ToItem")})
+	if !ok || c.TgtAttr != "Name" {
+		t.Errorf("constraint lookup: %v %v", c, ok)
+	}
+	if _, ok := s.LinkConstraintFor(AttrRef{Scheme: "ItemPage", Path: ParsePath("ToNext")}); ok {
+		t.Error("no constraint should be found for ToNext")
+	}
+}
+
+func TestIncludedIn(t *testing.T) {
+	s := miniScheme(t)
+	next := AttrRef{Scheme: "ItemPage", Path: ParsePath("ToNext")}
+	items := AttrRef{Scheme: "ListPage", Path: ParsePath("Items.ToItem")}
+	if !s.IncludedIn(next, items) {
+		t.Error("declared inclusion should hold")
+	}
+	if s.IncludedIn(items, next) {
+		t.Error("inverse inclusion should not hold")
+	}
+	if !s.IncludedIn(items, items) {
+		t.Error("reflexive inclusion should hold")
+	}
+}
+
+func TestIncludedInTransitive(t *testing.T) {
+	s := NewScheme()
+	for _, name := range []string{"A", "B", "C", "T"} {
+		if err := s.AddPage(&PageScheme{Name: name, Attrs: []nested.Field{
+			{Name: "L", Type: nested.Link("T")},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref := func(sch string) AttrRef { return AttrRef{Scheme: sch, Path: ParsePath("L")} }
+	s.AddInclusion(InclusionConstraint{Sub: ref("A"), Super: ref("B")})
+	s.AddInclusion(InclusionConstraint{Sub: ref("B"), Super: ref("C")})
+	if !s.IncludedIn(ref("A"), ref("C")) {
+		t.Error("transitive inclusion should hold")
+	}
+	if s.IncludedIn(ref("C"), ref("A")) {
+		t.Error("reverse should not hold")
+	}
+	// Cycle safety.
+	s.AddInclusion(InclusionConstraint{Sub: ref("C"), Super: ref("A")})
+	if !s.IncludedIn(ref("C"), ref("B")) {
+		t.Error("inclusion through cycle should hold and terminate")
+	}
+}
+
+func TestAddEquivalence(t *testing.T) {
+	s := NewScheme()
+	for _, name := range []string{"A", "B", "T"} {
+		if err := s.AddPage(&PageScheme{Name: name, Attrs: []nested.Field{
+			{Name: "L", Type: nested.Link("T")},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := AttrRef{Scheme: "A", Path: ParsePath("L")}
+	b := AttrRef{Scheme: "B", Path: ParsePath("L")}
+	s.AddEquivalence(a, b)
+	if !s.IncludedIn(a, b) || !s.IncludedIn(b, a) {
+		t.Error("equivalence should yield both inclusions")
+	}
+}
+
+func TestLinks(t *testing.T) {
+	s := miniScheme(t)
+	links := s.Links()
+	want := map[string]bool{
+		"ListPage.Items.ToItem": true,
+		"ItemPage.ToNext":       true,
+	}
+	if len(links) != len(want) {
+		t.Fatalf("links = %v", links)
+	}
+	for _, l := range links {
+		if !want[l.String()] {
+			t.Errorf("unexpected link %s", l)
+		}
+	}
+}
+
+func TestEntryPointLookup(t *testing.T) {
+	s := miniScheme(t)
+	ep, ok := s.EntryPoint("ListPage")
+	if !ok || ep.URL != "http://x/list.html" {
+		t.Errorf("entry point = %v %v", ep, ok)
+	}
+	if _, ok := s.EntryPoint("ItemPage"); ok {
+		t.Error("ItemPage is not an entry point")
+	}
+}
+
+func TestSchemeValidate(t *testing.T) {
+	if err := miniScheme(t).Validate(); err != nil {
+		t.Errorf("valid scheme rejected: %v", err)
+	}
+}
+
+func TestSchemeValidateRejects(t *testing.T) {
+	// Entry point to unknown scheme.
+	s := NewScheme()
+	s.AddEntryPoint("Nope", "u")
+	if err := s.Validate(); err == nil {
+		t.Error("unknown entry-point scheme should be rejected")
+	}
+	// Entry point with empty URL.
+	s2 := NewScheme()
+	if err := s2.AddPage(&PageScheme{Name: "P"}); err != nil {
+		t.Fatal(err)
+	}
+	s2.AddEntryPoint("P", "")
+	if err := s2.Validate(); err == nil {
+		t.Error("empty entry-point URL should be rejected")
+	}
+	// Link to unknown scheme.
+	s3 := NewScheme()
+	if err := s3.AddPage(&PageScheme{Name: "P", Attrs: []nested.Field{
+		{Name: "L", Type: nested.Link("Ghost")},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s3.Validate(); err == nil {
+		t.Error("link to unknown page-scheme should be rejected")
+	}
+	// Link constraint with bad source attr.
+	s4 := miniScheme(t)
+	s4.AddLinkConstraint(LinkConstraint{
+		Link:    AttrRef{Scheme: "ListPage", Path: ParsePath("Items.ToItem")},
+		SrcAttr: ParsePath("Ghost"),
+		TgtAttr: "Name",
+	})
+	if err := s4.Validate(); err == nil {
+		t.Error("constraint with missing source attribute should be rejected")
+	}
+	// Link constraint on non-link attr.
+	s5 := miniScheme(t)
+	s5.AddLinkConstraint(LinkConstraint{
+		Link:    AttrRef{Scheme: "ListPage", Path: ParsePath("Title")},
+		SrcAttr: ParsePath("Title"),
+		TgtAttr: "Name",
+	})
+	if err := s5.Validate(); err == nil {
+		t.Error("constraint on non-link should be rejected")
+	}
+	// Link constraint with bad target attribute.
+	s6 := miniScheme(t)
+	s6.AddLinkConstraint(LinkConstraint{
+		Link:    AttrRef{Scheme: "ListPage", Path: ParsePath("Items.ToItem")},
+		SrcAttr: ParsePath("Items.Name"),
+		TgtAttr: "Ghost",
+	})
+	if err := s6.Validate(); err == nil {
+		t.Error("constraint with missing target attribute should be rejected")
+	}
+	// Link constraint with multi-valued source.
+	s7 := miniScheme(t)
+	s7.AddLinkConstraint(LinkConstraint{
+		Link:    AttrRef{Scheme: "ListPage", Path: ParsePath("Items.ToItem")},
+		SrcAttr: ParsePath("Items"),
+		TgtAttr: "Name",
+	})
+	if err := s7.Validate(); err == nil {
+		t.Error("multi-valued source attribute should be rejected")
+	}
+	// Inclusion between links with different targets.
+	s8 := NewScheme()
+	if err := s8.AddPage(&PageScheme{Name: "P", Attrs: []nested.Field{
+		{Name: "L1", Type: nested.Link("P")},
+		{Name: "L2", Type: nested.Link("Q")},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s8.AddPage(&PageScheme{Name: "Q"}); err != nil {
+		t.Fatal(err)
+	}
+	s8.AddInclusion(InclusionConstraint{
+		Sub:   AttrRef{Scheme: "P", Path: ParsePath("L1")},
+		Super: AttrRef{Scheme: "P", Path: ParsePath("L2")},
+	})
+	if err := s8.Validate(); err == nil {
+		t.Error("inclusion across different targets should be rejected")
+	}
+	// Anchor out of the link's scope (deeper sibling list).
+	s9 := NewScheme()
+	if err := s9.AddPage(&PageScheme{Name: "P", Attrs: []nested.Field{
+		{Name: "L", Type: nested.Link("P")},
+		{Name: "Deep", Type: nested.List(nested.Field{Name: "X", Type: nested.Text()})},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	s9.AddLinkConstraint(LinkConstraint{
+		Link:    AttrRef{Scheme: "P", Path: ParsePath("L")},
+		SrcAttr: ParsePath("Deep.X"),
+		TgtAttr: "L",
+	})
+	if err := s9.Validate(); err == nil {
+		t.Error("anchor below the link's nesting level should be rejected")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	out := miniScheme(t).String()
+	for _, want := range []string{"page-scheme ListPage", "entry-point ListPage", "link-constraint", "inclusion", "⊆"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scheme string missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConstraintStrings(t *testing.T) {
+	c := LinkConstraint{
+		Link:    AttrRef{Scheme: "ProfPage", Path: ParsePath("ToDept")},
+		SrcAttr: ParsePath("DName"),
+		TgtAttr: "DName",
+	}
+	if got := c.String(); got != "ProfPage.DName = DName (via ProfPage.ToDept)" {
+		t.Errorf("link constraint string = %q", got)
+	}
+	ic := InclusionConstraint{
+		Sub:   AttrRef{Scheme: "CoursePage", Path: ParsePath("ToProf")},
+		Super: AttrRef{Scheme: "ProfListPage", Path: ParsePath("ProfList.ToProf")},
+	}
+	if got := ic.String(); got != "CoursePage.ToProf ⊆ ProfListPage.ProfList.ToProf" {
+		t.Errorf("inclusion string = %q", got)
+	}
+}

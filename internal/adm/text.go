@@ -1,0 +1,419 @@
+package adm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode"
+
+	"ulixes/internal/nested"
+)
+
+// Format renders the scheme in the textual scheme language that
+// ParseScheme accepts:
+//
+//	page ProfPage {
+//	  Name: text
+//	  Photo?: image
+//	  ToDept: link DeptPage
+//	  CourseList: list of {
+//	    CName: text
+//	    ToCourse: link CoursePage
+//	  }
+//	}
+//
+//	entry ProfListPage "http://univ.example.edu/profs.html"
+//	link-constraint via ProfPage.ToDept: DName = DName
+//	inclusion CoursePage.ToProf <= ProfListPage.ProfList.ToProf
+func (s *Scheme) Format() string {
+	var sb strings.Builder
+	for _, name := range s.order {
+		p := s.pages[name]
+		fmt.Fprintf(&sb, "page %s {\n", name)
+		formatFields(&sb, p.Attrs, 1)
+		sb.WriteString("}\n\n")
+	}
+	for _, ep := range s.Entry {
+		fmt.Fprintf(&sb, "entry %s %q\n", ep.Scheme, ep.URL)
+	}
+	if len(s.Entry) > 0 {
+		sb.WriteByte('\n')
+	}
+	for _, c := range s.LinkCs {
+		fmt.Fprintf(&sb, "link-constraint via %s: %s = %s\n", c.Link, c.SrcAttr, c.TgtAttr)
+	}
+	if len(s.LinkCs) > 0 {
+		sb.WriteByte('\n')
+	}
+	for _, c := range s.InclCs {
+		fmt.Fprintf(&sb, "inclusion %s <= %s\n", c.Sub, c.Super)
+	}
+	return sb.String()
+}
+
+func formatFields(sb *strings.Builder, fields []nested.Field, depth int) {
+	indent := strings.Repeat("  ", depth)
+	for _, f := range fields {
+		opt := ""
+		if f.Optional {
+			opt = "?"
+		}
+		switch f.Type.Kind {
+		case nested.KindText:
+			fmt.Fprintf(sb, "%s%s%s: text\n", indent, f.Name, opt)
+		case nested.KindImage:
+			fmt.Fprintf(sb, "%s%s%s: image\n", indent, f.Name, opt)
+		case nested.KindLink:
+			fmt.Fprintf(sb, "%s%s%s: link %s\n", indent, f.Name, opt, f.Type.Target)
+		case nested.KindList:
+			fmt.Fprintf(sb, "%s%s%s: list of {\n", indent, f.Name, opt)
+			formatFields(sb, f.Type.Elem, depth+1)
+			fmt.Fprintf(sb, "%s}\n", indent)
+		}
+	}
+}
+
+// ParseScheme parses the textual scheme language produced by Format. Line
+// comments start with '#'. The parsed scheme is validated before being
+// returned.
+func ParseScheme(src string) (*Scheme, error) {
+	toks, err := lexScheme(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &schemeParser{toks: toks}
+	ws, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	if err := ws.Validate(); err != nil {
+		return nil, err
+	}
+	return ws, nil
+}
+
+type schemeTokKind int
+
+const (
+	sTokIdent schemeTokKind = iota
+	sTokString
+	sTokPunct // { } : ? . = <= ==
+	sTokEOF
+)
+
+type schemeToken struct {
+	kind schemeTokKind
+	text string
+	line int
+}
+
+func lexScheme(src string) ([]schemeToken, error) {
+	var toks []schemeToken
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '<' && i+1 < len(src) && src[i+1] == '=':
+			toks = append(toks, schemeToken{kind: sTokPunct, text: "<=", line: line})
+			i += 2
+		case strings.HasPrefix(src[i:], "⊆"):
+			toks = append(toks, schemeToken{kind: sTokPunct, text: "<=", line: line})
+			i += len("⊆")
+		case c == '{' || c == '}' || c == ':' || c == '?' || c == '.' || c == '=':
+			toks = append(toks, schemeToken{kind: sTokPunct, text: string(c), line: line})
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' && src[j] != '\n' {
+				j++
+			}
+			if j >= len(src) || src[j] != '"' {
+				return nil, fmt.Errorf("adm: line %d: unterminated string", line)
+			}
+			toks = append(toks, schemeToken{kind: sTokString, text: src[i+1 : j], line: line})
+			i = j + 1
+		case isSchemeIdentByte(c):
+			j := i
+			for j < len(src) && (isSchemeIdentByte(src[j]) || src[j] == '-') {
+				j++
+			}
+			toks = append(toks, schemeToken{kind: sTokIdent, text: src[i:j], line: line})
+			i = j
+		default:
+			return nil, fmt.Errorf("adm: line %d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, schemeToken{kind: sTokEOF, line: line})
+	return toks, nil
+}
+
+func isSchemeIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+type schemeParser struct {
+	toks []schemeToken
+	i    int
+}
+
+func (p *schemeParser) cur() schemeToken { return p.toks[p.i] }
+func (p *schemeParser) advance()         { p.i++ }
+
+func (p *schemeParser) errf(format string, args ...any) error {
+	return fmt.Errorf("adm: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *schemeParser) ident() (string, error) {
+	if p.cur().kind != sTokIdent {
+		return "", p.errf("expected identifier, found %q", p.cur().text)
+	}
+	t := p.cur().text
+	p.advance()
+	return t, nil
+}
+
+func (p *schemeParser) punct(s string) bool {
+	if p.cur().kind == sTokPunct && p.cur().text == s {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *schemeParser) expectPunct(s string) error {
+	if !p.punct(s) {
+		return p.errf("expected %q, found %q", s, p.cur().text)
+	}
+	return nil
+}
+
+// dottedPath parses IDENT ('.' IDENT)*.
+func (p *schemeParser) dottedPath() (Path, error) {
+	head, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	path := Path{head}
+	for p.punct(".") {
+		next, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, next)
+	}
+	return path, nil
+}
+
+func (p *schemeParser) parse() (*Scheme, error) {
+	ws := NewScheme()
+	for p.cur().kind != sTokEOF {
+		kw, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "page":
+			if err := p.parsePage(ws); err != nil {
+				return nil, err
+			}
+		case "entry":
+			scheme, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if p.cur().kind != sTokString {
+				return nil, p.errf("expected quoted URL after entry %s", scheme)
+			}
+			ws.AddEntryPoint(scheme, p.cur().text)
+			p.advance()
+		case "link-constraint":
+			if err := p.parseLinkConstraint(ws); err != nil {
+				return nil, err
+			}
+		case "inclusion":
+			sub, err := p.dottedPath()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("<="); err != nil {
+				return nil, err
+			}
+			super, err := p.dottedPath()
+			if err != nil {
+				return nil, err
+			}
+			subRef, err := pathToRef(sub)
+			if err != nil {
+				return nil, err
+			}
+			superRef, err := pathToRef(super)
+			if err != nil {
+				return nil, err
+			}
+			ws.AddInclusion(InclusionConstraint{Sub: subRef, Super: superRef})
+		default:
+			return nil, p.errf("unexpected keyword %q (want page, entry, link-constraint or inclusion)", kw)
+		}
+	}
+	return ws, nil
+}
+
+func pathToRef(path Path) (AttrRef, error) {
+	if len(path) < 2 {
+		return AttrRef{}, fmt.Errorf("adm: attribute reference %q must be Scheme.Attr", path)
+	}
+	return AttrRef{Scheme: path[0], Path: path[1:]}, nil
+}
+
+func (p *schemeParser) parsePage(ws *Scheme) error {
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	attrs, err := p.parseFields()
+	if err != nil {
+		return err
+	}
+	return ws.AddPage(&PageScheme{Name: name, Attrs: attrs})
+}
+
+// parseFields parses "Name[?]: type" lines until the closing brace.
+func (p *schemeParser) parseFields() ([]nested.Field, error) {
+	var fields []nested.Field
+	for {
+		if p.punct("}") {
+			return fields, nil
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		optional := p.punct("?")
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, nested.Field{Name: name, Type: ty, Optional: optional})
+	}
+}
+
+func (p *schemeParser) parseType() (nested.Type, error) {
+	kw, err := p.ident()
+	if err != nil {
+		return nested.Type{}, err
+	}
+	switch kw {
+	case "text":
+		return nested.Text(), nil
+	case "image":
+		return nested.Image(), nil
+	case "link":
+		target, err := p.ident()
+		if err != nil {
+			return nested.Type{}, err
+		}
+		return nested.Link(target), nil
+	case "list":
+		// "list of { ... }"
+		of, err := p.ident()
+		if err != nil || of != "of" {
+			return nested.Type{}, p.errf("expected 'of' after 'list'")
+		}
+		if err := p.expectPunct("{"); err != nil {
+			return nested.Type{}, err
+		}
+		elem, err := p.parseFields()
+		if err != nil {
+			return nested.Type{}, err
+		}
+		return nested.List(elem...), nil
+	default:
+		return nested.Type{}, p.errf("unknown type %q (want text, image, link or list)", kw)
+	}
+}
+
+func (p *schemeParser) parseLinkConstraint(ws *Scheme) error {
+	// "via Scheme.Path.ToX: SrcAttr.Path = TgtAttr"
+	via, err := p.ident()
+	if err != nil || via != "via" {
+		return p.errf("expected 'via' after link-constraint")
+	}
+	linkPath, err := p.dottedPath()
+	if err != nil {
+		return err
+	}
+	linkRef, err := pathToRef(linkPath)
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return err
+	}
+	src, err := p.dottedPath()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	tgt, err := p.ident()
+	if err != nil {
+		return err
+	}
+	ws.AddLinkConstraint(LinkConstraint{Link: linkRef, SrcAttr: src, TgtAttr: tgt})
+	return nil
+}
+
+// Equal reports whether two schemes declare the same pages, entry points
+// and constraints (constraint order-insensitive).
+func (s *Scheme) Equal(o *Scheme) bool {
+	if len(s.order) != len(o.order) || len(s.Entry) != len(o.Entry) ||
+		len(s.LinkCs) != len(o.LinkCs) || len(s.InclCs) != len(o.InclCs) {
+		return false
+	}
+	for _, name := range s.order {
+		a, b := s.pages[name], o.pages[name]
+		if b == nil || !a.TupleType().Equal(b.TupleType()) {
+			return false
+		}
+	}
+	key := func(items []string) string { sort.Strings(items); return strings.Join(items, "\n") }
+	eps := func(ws *Scheme) []string {
+		out := make([]string, len(ws.Entry))
+		for i, e := range ws.Entry {
+			out[i] = e.Scheme + "@" + e.URL
+		}
+		return out
+	}
+	lcs := func(ws *Scheme) []string {
+		out := make([]string, len(ws.LinkCs))
+		for i, c := range ws.LinkCs {
+			out[i] = c.String()
+		}
+		return out
+	}
+	ics := func(ws *Scheme) []string {
+		out := make([]string, len(ws.InclCs))
+		for i, c := range ws.InclCs {
+			out[i] = c.String()
+		}
+		return out
+	}
+	return key(eps(s)) == key(eps(o)) && key(lcs(s)) == key(lcs(o)) && key(ics(s)) == key(ics(o))
+}

@@ -1,0 +1,173 @@
+package adm
+
+import (
+	"strings"
+	"testing"
+
+	"ulixes/internal/nested"
+)
+
+const sampleSchemeText = `
+# A miniature site scheme.
+page ListPage {
+  Title: text
+  Logo?: image
+  Items: list of {
+    Name: text
+    ToItem: link ItemPage
+  }
+}
+
+page ItemPage {
+  Name: text
+  Desc?: text
+  ToNext?: link ItemPage
+  Tags: list of {
+    Tag: text
+    Subtags: list of {
+      Sub: text
+    }
+  }
+}
+
+entry ListPage "http://x/list.html"
+
+link-constraint via ListPage.Items.ToItem: Items.Name = Name
+
+inclusion ItemPage.ToNext <= ListPage.Items.ToItem
+`
+
+func TestParseSchemeBasics(t *testing.T) {
+	ws, err := ParseScheme(sampleSchemeText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws.PageNames()) != 2 {
+		t.Fatalf("pages = %v", ws.PageNames())
+	}
+	item := ws.Page("ItemPage")
+	tt := item.TupleType()
+	f, ok := tt.Field("Desc")
+	if !ok || !f.Optional {
+		t.Error("Desc should be optional text")
+	}
+	f, ok = tt.Field("ToNext")
+	if !ok || f.Type.Kind != nested.KindLink || f.Type.Target != "ItemPage" || !f.Optional {
+		t.Errorf("ToNext = %+v", f)
+	}
+	// Nested list of list.
+	ty, err := ws.ResolvePath("ItemPage", ParsePath("Tags.Subtags.Sub"))
+	if err != nil || ty.Kind != nested.KindText {
+		t.Errorf("nested path resolution: %v %v", ty, err)
+	}
+	if _, ok := ws.EntryPoint("ListPage"); !ok {
+		t.Error("entry point missing")
+	}
+	if len(ws.LinkCs) != 1 || len(ws.InclCs) != 1 {
+		t.Errorf("constraints = %d link, %d inclusion", len(ws.LinkCs), len(ws.InclCs))
+	}
+	if ws.LinkCs[0].Link.String() != "ListPage.Items.ToItem" || ws.LinkCs[0].TgtAttr != "Name" {
+		t.Errorf("link constraint = %+v", ws.LinkCs[0])
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	ws, err := ParseScheme(sampleSchemeText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := ws.Format()
+	back, err := ParseScheme(text)
+	if err != nil {
+		t.Fatalf("re-parse of formatted scheme: %v\n%s", err, text)
+	}
+	if !ws.Equal(back) {
+		t.Errorf("round trip changed the scheme:\n%s\nvs\n%s", text, back.Format())
+	}
+}
+
+func TestParseSchemeUnicodeInclusion(t *testing.T) {
+	src := strings.Replace(sampleSchemeText, "<=", "⊆", 1)
+	ws, err := ParseScheme(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws.InclCs) != 1 {
+		t.Error("⊆ should parse as inclusion")
+	}
+}
+
+func TestParseSchemeValidates(t *testing.T) {
+	// Link to unknown page-scheme: structurally parseable, semantically
+	// rejected by Validate.
+	src := `page P { L: link Ghost }`
+	if _, err := ParseScheme(src); err == nil {
+		t.Error("dangling link target should be rejected")
+	}
+}
+
+func TestParseSchemeErrors(t *testing.T) {
+	cases := []string{
+		`page`,
+		`page P`,
+		`page P {`,
+		`page P { A }`,
+		`page P { A: }`,
+		`page P { A: banana }`,
+		`page P { A: link }`,
+		`page P { A: list {} }`,
+		`page P { A: list of`,
+		`entry`,
+		`entry P`,
+		`entry P 42`,
+		`link-constraint P.L: A = B`,
+		`link-constraint via L: A = B`,
+		`link-constraint via P.L A = B`,
+		`link-constraint via P.L: A B`,
+		`inclusion A.L`,
+		`inclusion A.L <= B`,
+		`inclusion L <= B.M`,
+		`banana P {}`,
+		`page P { A: text } "stray`,
+		`page P { A: text } @`,
+	}
+	for _, src := range cases {
+		if _, err := ParseScheme(src); err == nil {
+			t.Errorf("ParseScheme(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseSchemeComments(t *testing.T) {
+	src := "# leading comment\npage P { # inline\n A: text\n}\n# trailing"
+	ws, err := ParseScheme(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Page("P") == nil {
+		t.Error("page not parsed")
+	}
+}
+
+func TestSchemeEqual(t *testing.T) {
+	a, err := ParseScheme(sampleSchemeText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseScheme(sampleSchemeText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("identical schemes unequal")
+	}
+	b.AddEntryPoint("ItemPage", "http://x/i/1")
+	if a.Equal(b) {
+		t.Error("extra entry point should differ")
+	}
+	c, _ := ParseScheme(sampleSchemeText)
+	c.AddLinkConstraint(c.LinkCs[0])
+	if a.Equal(c) {
+		t.Error("extra constraint should differ")
+	}
+}

@@ -1,0 +1,418 @@
+// Package cost implements the cost function of §6.2 of the paper. Since
+// data resides at a remote site, the model charges only for network
+// accesses: an entry-point scan costs 1 page download, a follow-link
+// R →L P costs the number of distinct outgoing links |π_L(R)|, and every
+// local operator (selection, projection, join, unnest) costs 0.
+//
+// Step 1 estimates the cardinality of intermediate results from the site
+// statistics; Step 2 sums the navigation costs over the plan. The estimator
+// additionally tracks per-column distinct counts so |π_L(R)| can be
+// computed for links deep in a plan, after selections and joins have
+// reduced the input.
+package cost
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/nalg"
+	"ulixes/internal/nested"
+	"ulixes/internal/stats"
+)
+
+// Estimate is the estimated property set of an expression: its output
+// cardinality, its per-column distinct counts, and the accumulated network
+// cost of computing it.
+type Estimate struct {
+	// Card is the estimated number of output tuples.
+	Card float64
+	// Cost is the estimated number of page downloads (C(E) in the paper).
+	Cost float64
+	// Distinct maps column names to estimated distinct-value counts.
+	Distinct map[string]float64
+}
+
+func (e Estimate) clone() Estimate {
+	d := make(map[string]float64, len(e.Distinct))
+	for k, v := range e.Distinct {
+		d[k] = v
+	}
+	return Estimate{Card: e.Card, Cost: e.Cost, Distinct: d}
+}
+
+// capDistinct clamps every distinct count to the current cardinality (a
+// column cannot have more distinct values than there are tuples).
+func (e *Estimate) capDistinct() {
+	for k, v := range e.Distinct {
+		if v > e.Card {
+			e.Distinct[k] = e.Card
+		}
+	}
+}
+
+// distinctOf returns the tracked distinct count of a column, defaulting to
+// the cardinality.
+func (e Estimate) distinctOf(col string) float64 {
+	if v, ok := e.Distinct[col]; ok {
+		return v
+	}
+	return e.Card
+}
+
+// Unit selects what a network access costs: a page download counts 1 under
+// Pages (the paper's model), or its average HTML size under Bytes (the
+// refinement §6.2's footnote suggests: "the cost model can be made more
+// accurate by taking into account also other parameters such as the size
+// of pages").
+type Unit int
+
+// Cost units.
+const (
+	// Pages charges 1 per page download (§6.2).
+	Pages Unit = iota
+	// Bytes charges the page-scheme's average HTML size per download.
+	Bytes
+)
+
+// Model estimates plan properties against a web scheme and its statistics.
+// It memoizes schemas and estimates by node identity (plans produced by the
+// rewrite engine share subtrees), and is safe for concurrent use.
+type Model struct {
+	Scheme *adm.Scheme
+	Stats  *stats.Stats
+	// Unit selects page counting (default) or byte weighting.
+	Unit Unit
+
+	mu      sync.Mutex
+	schemas map[nalg.Expr]*nalg.Schema
+	ests    map[nalg.Expr]*Estimate
+}
+
+// accessCost returns the cost of downloading one page of the scheme under
+// the model's unit.
+func (m *Model) accessCost(scheme string) float64 {
+	if m.Unit == Bytes {
+		return m.Stats.AvgPageBytes(scheme)
+	}
+	return 1
+}
+
+// schemaOf is memoized schema inference (see rewrite.Rewriter.schema).
+func (m *Model) schemaOf(e nalg.Expr) (*nalg.Schema, error) {
+	if s, ok := m.schemas[e]; ok {
+		if s == nil {
+			return nil, fmt.Errorf("cost: expression does not type-check: %s", e)
+		}
+		return s, nil
+	}
+	kids := e.Children()
+	schemas := make([]*nalg.Schema, len(kids))
+	for i, k := range kids {
+		var err error
+		if schemas[i], err = m.schemaOf(k); err != nil {
+			m.schemas[e] = nil
+			return nil, err
+		}
+	}
+	s, err := nalg.InferNode(e, m.Scheme, schemas)
+	if err != nil {
+		m.schemas[e] = nil
+		return nil, err
+	}
+	m.schemas[e] = s
+	return s, nil
+}
+
+// Cost returns C(E): the estimated number of network accesses of the plan.
+func (m *Model) Cost(e nalg.Expr) (float64, error) {
+	est, err := m.Estimate(e)
+	if err != nil {
+		return 0, err
+	}
+	return est.Cost, nil
+}
+
+// Estimate computes the full property set of an expression.
+func (m *Model) Estimate(e nalg.Expr) (Estimate, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.schemas == nil {
+		m.schemas = make(map[nalg.Expr]*nalg.Schema)
+		m.ests = make(map[nalg.Expr]*Estimate)
+	}
+	return m.estimate(e)
+}
+
+func (m *Model) estimate(e nalg.Expr) (Estimate, error) {
+	if est, ok := m.ests[e]; ok {
+		if est == nil {
+			return Estimate{}, fmt.Errorf("cost: expression is not costable: %s", e)
+		}
+		return *est, nil
+	}
+	est, err := m.estimateNode(e)
+	if err != nil {
+		m.ests[e] = nil
+		return Estimate{}, err
+	}
+	m.ests[e] = &est
+	return est, nil
+}
+
+func (m *Model) estimateNode(e nalg.Expr) (Estimate, error) {
+	switch x := e.(type) {
+	case *nalg.ExtScan:
+		return Estimate{}, fmt.Errorf("cost: external relation %q is not costable (apply Rule 1 first)", x.Relation)
+
+	case *nalg.EntryScan:
+		sch, err := m.schemaOf(x)
+		if err != nil {
+			return Estimate{}, err
+		}
+		est := Estimate{Card: 1, Cost: m.accessCost(x.Scheme), Distinct: make(map[string]float64)}
+		for _, c := range sch.Cols {
+			est.Distinct[c.Name] = 1
+		}
+		return est, nil
+
+	case *nalg.Unnest:
+		in, err := m.estimate(x.In)
+		if err != nil {
+			return Estimate{}, err
+		}
+		sch, err := m.schemaOf(x.In)
+		if err != nil {
+			return Estimate{}, err
+		}
+		col, ok := sch.Col(x.Attr)
+		if !ok {
+			return Estimate{}, fmt.Errorf("cost: unnest: no column %q", x.Attr)
+		}
+		est := in.clone()
+		delete(est.Distinct, x.Attr)
+		// |R ◦ L| = |R| × |L| (§6.2 Step 1), with the fan-out measured per
+		// occurrence of the list's parent.
+		fan := m.Stats.FanoutOf(col.Ref())
+		est.Card = in.Card * fan
+		for _, f := range col.Type.Elem {
+			name := x.Attr + "." + f.Name
+			ref := adm.AttrRef{Scheme: col.Scheme, Path: append(append(adm.Path(nil), col.Path...), f.Name)}
+			est.Distinct[name] = m.Stats.DistinctOf(ref)
+		}
+		est.capDistinct()
+		return est, nil
+
+	case *nalg.Follow:
+		in, err := m.estimate(x.In)
+		if err != nil {
+			return Estimate{}, err
+		}
+		sch, err := m.schemaOf(x.In)
+		if err != nil {
+			return Estimate{}, err
+		}
+		col, ok := sch.Col(x.Link)
+		if !ok {
+			return Estimate{}, fmt.Errorf("cost: follow: no column %q", x.Link)
+		}
+		est := in.clone()
+		// C(R →L P) = |π_L(R)|: the number of distinct outgoing links,
+		// each weighted by the target's page size under the Bytes unit.
+		est.Cost += in.distinctOf(x.Link) * m.accessCost(x.Target)
+		// Each non-null link matches exactly one page (URL is a key); with
+		// an optional link some tuples navigate to nothing.
+		if col.Optional {
+			est.Card = in.Card * 0.5
+		}
+		alias := x.EffAlias()
+		ps := m.Scheme.Page(x.Target)
+		est.Distinct[alias+"."+adm.URLAttr] = in.distinctOf(x.Link)
+		for _, f := range ps.Attrs {
+			ref := adm.AttrRef{Scheme: x.Target, Path: adm.Path{f.Name}}
+			est.Distinct[alias+"."+f.Name] = m.Stats.DistinctOf(ref)
+		}
+		est.capDistinct()
+		return est, nil
+
+	case *nalg.Select:
+		in, err := m.estimate(x.In)
+		if err != nil {
+			return Estimate{}, err
+		}
+		est := in.clone()
+		sel := 1.0
+		for _, p := range flattenPreds(x.Pred) {
+			switch q := p.(type) {
+			case nested.ConstPred:
+				if q.Op == nested.OpEq {
+					d := in.distinctOf(q.Attr)
+					if d > 0 {
+						sel *= 1 / d // s_A = 1/c_A
+					}
+					est.Distinct[q.Attr] = 1
+				} else {
+					sel *= 0.5
+				}
+			case nested.AttrPred:
+				if q.Op == nested.OpEq {
+					d := math.Max(in.distinctOf(q.Left), in.distinctOf(q.Right))
+					if d > 0 {
+						sel *= 1 / d
+					}
+				} else {
+					sel *= 0.5
+				}
+			default:
+				sel *= 0.5
+			}
+		}
+		est.Card = in.Card * sel
+		est.capDistinct()
+		return est, nil
+
+	case *nalg.Project:
+		in, err := m.estimate(x.In)
+		if err != nil {
+			return Estimate{}, err
+		}
+		est := Estimate{Cost: in.Cost, Distinct: make(map[string]float64)}
+		// |π_X(R)| ≤ min(|R|, Π c_x): projection removes duplicates
+		// (§6.2: |π_A(P)| = |P| / r_A, i.e. the distinct count).
+		card := 1.0
+		for _, colName := range x.Cols {
+			d := in.distinctOf(colName)
+			est.Distinct[colName] = d
+			card *= d
+		}
+		est.Card = math.Min(in.Card, card)
+		est.capDistinct()
+		return est, nil
+
+	case *nalg.Join:
+		l, err := m.estimate(x.L)
+		if err != nil {
+			return Estimate{}, err
+		}
+		r, err := m.estimate(x.R)
+		if err != nil {
+			return Estimate{}, err
+		}
+		est := Estimate{Cost: l.Cost + r.Cost, Distinct: make(map[string]float64)}
+		sel := 1.0
+		if len(x.Conds) == 0 {
+			sel = 1 // cartesian product
+		}
+		for _, c := range x.Conds {
+			if override, ok := m.joinSelOverride(x, c); ok {
+				sel *= override
+				continue
+			}
+			// A join of two link (pointer) sets targeting the same
+			// page-scheme is an intersection of two subsets of that
+			// scheme's URL domain (§7, Example 7.1: "the join is an
+			// intersection of two link sets"); under the paper's uniform
+			// assumption its selectivity is 1/|P| for target scheme P.
+			if tgt, ok := m.pointerJoinTarget(x, c); ok {
+				if card := m.Stats.SchemeCard(tgt); card > 0 {
+					sel *= 1 / card
+					continue
+				}
+			}
+			d := math.Max(l.distinctOf(c.Left), r.distinctOf(c.Right))
+			if d > 0 {
+				sel *= 1 / d
+			}
+		}
+		est.Card = l.Card * r.Card * sel
+		for k, v := range l.Distinct {
+			est.Distinct[k] = v
+		}
+		for k, v := range r.Distinct {
+			est.Distinct[k] = v
+		}
+		// Join columns agree: their distinct counts collapse to the
+		// smaller side.
+		for _, c := range x.Conds {
+			d := math.Min(l.distinctOf(c.Left), r.distinctOf(c.Right))
+			est.Distinct[c.Left] = d
+			est.Distinct[c.Right] = d
+		}
+		est.capDistinct()
+		return est, nil
+
+	case *nalg.Rename:
+		in, err := m.estimate(x.In)
+		if err != nil {
+			return Estimate{}, err
+		}
+		est := Estimate{Card: in.Card, Cost: in.Cost, Distinct: make(map[string]float64, len(in.Distinct))}
+		for k, v := range in.Distinct {
+			if nn, ok := x.Map[k]; ok {
+				est.Distinct[nn] = v
+			} else {
+				est.Distinct[k] = v
+			}
+		}
+		return est, nil
+
+	default:
+		return Estimate{}, fmt.Errorf("cost: unknown expression node %T", e)
+	}
+}
+
+// pointerJoinTarget reports whether a join condition equates two link
+// columns with the same target page-scheme, and if so which scheme.
+func (m *Model) pointerJoinTarget(j *nalg.Join, c nested.EqCond) (string, bool) {
+	ls, err := m.schemaOf(j.L)
+	if err != nil {
+		return "", false
+	}
+	rs, err := m.schemaOf(j.R)
+	if err != nil {
+		return "", false
+	}
+	lc, ok := ls.Col(c.Left)
+	if !ok || lc.Type.Kind != nested.KindLink {
+		return "", false
+	}
+	rc, ok := rs.Col(c.Right)
+	if !ok || rc.Type.Kind != nested.KindLink || rc.Type.Target != lc.Type.Target {
+		return "", false
+	}
+	return lc.Type.Target, true
+}
+
+// joinSelOverride consults the statistics for a declared join selectivity
+// between the provenance refs of the two join columns.
+func (m *Model) joinSelOverride(j *nalg.Join, c nested.EqCond) (float64, bool) {
+	ls, err := m.schemaOf(j.L)
+	if err != nil {
+		return 0, false
+	}
+	rs, err := m.schemaOf(j.R)
+	if err != nil {
+		return 0, false
+	}
+	lc, ok := ls.Col(c.Left)
+	if !ok || lc.Scheme == "" {
+		return 0, false
+	}
+	rc, ok := rs.Col(c.Right)
+	if !ok || rc.Scheme == "" {
+		return 0, false
+	}
+	return m.Stats.JoinSelectivity(lc.Ref(), rc.Ref())
+}
+
+func flattenPreds(p nested.Predicate) []nested.Predicate {
+	if and, ok := p.(nested.AndPred); ok {
+		var out []nested.Predicate
+		for _, sub := range and {
+			out = append(out, flattenPreds(sub)...)
+		}
+		return out
+	}
+	return []nested.Predicate{p}
+}

@@ -1,0 +1,33 @@
+package cq
+
+import "testing"
+
+// FuzzParse checks the query parser never panics and that accepted queries
+// re-parse to the same canonical form (print/parse fixpoint).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT p.Name FROM Professor p",
+		"SELECT a.B AS X, c.D FROM R a, S c WHERE a.B = c.D AND a.E = 'x''y'",
+		"SELECT * FROM R",
+		"select p.a from r p where p.b = ''",
+		"SELECT p.A FROM R p WHERE",
+		"SELECT 'junk",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		out := q.String()
+		q2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %q -> %q: %v", src, out, err)
+		}
+		if q2.String() != out {
+			t.Fatalf("print/parse not a fixpoint: %q vs %q", out, q2.String())
+		}
+	})
+}

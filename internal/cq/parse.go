@@ -1,0 +1,246 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the concrete syntax of a conjunctive query:
+//
+//	SELECT p.Name AS PName, c.CName
+//	FROM Professor p, CourseInstructor ci, Course c
+//	WHERE p.PName = ci.PName AND ci.CName = c.CName AND c.Session = 'Fall'
+//
+// Keywords are case-insensitive; identifiers are case-sensitive. String
+// constants use single quotes with ” as the escape for a literal quote.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokString
+	tokPunct // , . = ( ) *
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == ',' || c == '.' || c == '=' || c == '(' || c == ')' || c == '*':
+			toks = append(toks, token{kind: tokPunct, text: string(c), pos: i})
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(src) {
+					return nil, fmt.Errorf("cq: unterminated string at offset %d", i)
+				}
+				if src[j] == '\'' {
+					if j+1 < len(src) && src[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					j++
+					break
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentByte(src[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("cq: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(src)})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentByte(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+func (p *parser) advance()   { p.i++ }
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("cq: %s (at offset %d)", fmt.Sprintf(format, args...), p.cur().pos)
+}
+
+// keyword consumes the given case-insensitive keyword if present.
+func (p *parser) keyword(kw string) bool {
+	if p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errf("expected %s", strings.ToUpper(kw))
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier, found %q", t.text)
+	}
+	for _, kw := range []string{"select", "from", "where", "and", "as"} {
+		if strings.EqualFold(t.text, kw) {
+			return "", p.errf("unexpected keyword %q", t.text)
+		}
+	}
+	p.advance()
+	return t.text, nil
+}
+
+func (p *parser) punct(s string) bool {
+	if p.cur().kind == tokPunct && p.cur().text == s {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// attrUse parses alias.Attr.
+func (p *parser) attrUse() (AttrUse, error) {
+	atom, err := p.ident()
+	if err != nil {
+		return AttrUse{}, err
+	}
+	if !p.punct(".") {
+		return AttrUse{}, p.errf("expected '.' after %q (attributes are written alias.Attr)", atom)
+	}
+	attr, err := p.ident()
+	if err != nil {
+		return AttrUse{}, err
+	}
+	return AttrUse{Atom: atom, Attr: attr}, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	if p.punct("*") {
+		q.Star = true
+	}
+	for !q.Star {
+		u, err := p.attrUse()
+		if err != nil {
+			return nil, err
+		}
+		out := OutCol{Attr: u}
+		if p.keyword("as") {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			out.As = name
+		}
+		q.Select = append(q.Select, out)
+		if !p.punct(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		rel, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		atom := Atom{Relation: rel}
+		if p.cur().kind == tokIdent && !strings.EqualFold(p.cur().text, "where") {
+			alias, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			atom.Alias = alias
+		}
+		q.From = append(q.From, atom)
+		if !p.punct(",") {
+			break
+		}
+	}
+	if p.keyword("where") {
+		for {
+			left, err := p.attrUse()
+			if err != nil {
+				return nil, err
+			}
+			if !p.punct("=") {
+				return nil, p.errf("expected '=' (conjunctive queries support only equality)")
+			}
+			switch p.cur().kind {
+			case tokString:
+				q.Consts = append(q.Consts, ConstSel{Attr: left, Val: p.cur().text})
+				p.advance()
+			case tokIdent:
+				right, err := p.attrUse()
+				if err != nil {
+					return nil, err
+				}
+				q.Joins = append(q.Joins, EqJoin{Left: left, Right: right})
+			default:
+				return nil, p.errf("expected attribute or string constant after '='")
+			}
+			if !p.keyword("and") {
+				break
+			}
+		}
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %q", p.cur().text)
+	}
+	return q, nil
+}

@@ -1,0 +1,89 @@
+// Package engine is the virtual-view query engine (§5–§7 of the paper): it
+// accepts conjunctive queries over the external view, optimizes them with
+// Algorithm 1, executes the chosen plan by navigating the (simulated) web,
+// and reports both the answer and the measured number of page accesses.
+package engine
+
+import (
+	"fmt"
+
+	"ulixes/internal/cq"
+	"ulixes/internal/nalg"
+	"ulixes/internal/nested"
+	"ulixes/internal/optimizer"
+	"ulixes/internal/site"
+	"ulixes/internal/stats"
+	"ulixes/internal/view"
+)
+
+// Engine answers queries over a web site through a relational view.
+type Engine struct {
+	Views  *view.Registry
+	Server site.Server
+	Stats  *stats.Stats
+	Opt    *optimizer.Optimizer
+}
+
+// New creates an engine. Statistics may come from stats.CollectSite (a
+// crawl) or stats.CollectInstance (ground truth in tests).
+func New(views *view.Registry, server site.Server, st *stats.Stats) *Engine {
+	return &Engine{
+		Views:  views,
+		Server: server,
+		Stats:  st,
+		Opt:    optimizer.New(views, st),
+	}
+}
+
+// Answer is the result of a query: the relation, the plan that produced it,
+// all candidates considered, and the measured network cost.
+type Answer struct {
+	Result     *nested.Relation
+	Plan       optimizer.Plan
+	Candidates []optimizer.Plan
+	// PagesFetched is the measured number of distinct page downloads the
+	// execution performed — the quantity the paper's cost model estimates.
+	PagesFetched int
+}
+
+// Query parses, optimizes and executes a conjunctive query.
+func (e *Engine) Query(src string) (*Answer, error) {
+	q, err := cq.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.QueryCQ(q)
+}
+
+// QueryCQ optimizes and executes a parsed conjunctive query.
+func (e *Engine) QueryCQ(q *cq.Query) (*Answer, error) {
+	res, err := e.Opt.Optimize(q)
+	if err != nil {
+		return nil, err
+	}
+	rel, fetched, err := e.Execute(res.Best.Expr)
+	if err != nil {
+		return nil, err
+	}
+	return &Answer{
+		Result:       rel,
+		Plan:         res.Best,
+		Candidates:   res.Candidates,
+		PagesFetched: fetched,
+	}, nil
+}
+
+// Execute evaluates a computable plan against the site with a fresh
+// per-query page cache, returning the result and the number of distinct
+// pages downloaded.
+func (e *Engine) Execute(expr nalg.Expr) (*nested.Relation, int, error) {
+	if !nalg.Computable(expr) {
+		return nil, 0, fmt.Errorf("engine: plan is not computable: %s", expr)
+	}
+	f := site.NewFetcher(e.Server, e.Views.Scheme)
+	rel, err := nalg.Eval(expr, e.Views.Scheme, nalg.FetcherSource{F: f})
+	if err != nil {
+		return nil, 0, err
+	}
+	return rel, f.PagesFetched(), nil
+}

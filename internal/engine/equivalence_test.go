@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"testing"
+
+	"ulixes/internal/site"
+	"ulixes/internal/sitegen"
+	"ulixes/internal/stats"
+	"ulixes/internal/view"
+)
+
+// TestRewriteSoundnessAcrossSites is the rewrite-equivalence property test:
+// on several differently shaped and seeded sites, every candidate plan the
+// optimizer derives for every suite query must compute the same relation as
+// the chosen plan. This exercises Rules 3–9 (including the pointer-chase
+// soundness conditions) against live evaluation.
+func TestRewriteSoundnessAcrossSites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("site sweep")
+	}
+	paramSets := []sitegen.UniversityParams{
+		{Depts: 2, Profs: 5, Courses: 8, Seed: 1},
+		{Depts: 3, Profs: 20, Courses: 50, Seed: 2, NonTeachingFrac: 0.4},
+		{Depts: 5, Profs: 13, Courses: 29, Seed: 3, Sessions: []string{"Fall", "Winter"}},
+	}
+	queries := []string{
+		"SELECT p.PName, p.Email FROM Professor p WHERE p.Rank = 'Full'",
+		"SELECT c.CName FROM Course c WHERE c.Session = 'Fall'",
+		"SELECT ci.CName, ci.PName FROM CourseInstructor ci",
+		"SELECT pd.PName FROM ProfDept pd WHERE pd.DName = 'Computer Science'",
+		`SELECT p.PName, c.CName
+		 FROM Course c, CourseInstructor ci, Professor p
+		 WHERE c.CName = ci.CName AND ci.PName = p.PName AND c.Type = 'Graduate'`,
+		`SELECT p.PName, p.Email
+		 FROM Course c, CourseInstructor ci, Professor p, ProfDept pd
+		 WHERE c.CName = ci.CName AND ci.PName = p.PName AND p.PName = pd.PName
+		   AND pd.DName = 'Computer Science' AND c.Type = 'Graduate'`,
+	}
+	for _, params := range paramSets {
+		u, err := sitegen.GenerateUniversity(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := site.NewMemSite(u.Instance, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := New(view.UniversityView(u.Scheme), ms, stats.CollectInstance(u.Instance))
+		for _, q := range queries {
+			ans, err := eng.Query(q)
+			if err != nil {
+				t.Fatalf("params %+v, query %q: %v", params, q, err)
+			}
+			checked := 0
+			for _, cand := range ans.Candidates {
+				if checked >= 6 {
+					break
+				}
+				rel, _, err := eng.Execute(cand.Expr)
+				if err != nil {
+					t.Errorf("params %+v: candidate failed: %v\n%s", params, err, cand.Expr)
+					continue
+				}
+				if !rel.Equal(ans.Result) {
+					t.Errorf("params %+v, query %q: candidate disagrees (%d vs %d tuples):\n%s",
+						params, q, rel.Len(), ans.Result.Len(), cand.Expr)
+				}
+				checked++
+			}
+		}
+	}
+}

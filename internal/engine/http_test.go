@@ -1,0 +1,17 @@
+package engine
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"ulixes/internal/site"
+)
+
+// newHTTPServer wraps a MemSite in a real loopback HTTP server and returns
+// a Server that talks to it over sockets.
+func newHTTPServer(t *testing.T, ms *site.MemSite) site.Server {
+	t.Helper()
+	srv := httptest.NewServer(site.Handler(ms))
+	t.Cleanup(srv.Close)
+	return &site.HTTPServer{Base: srv.URL}
+}

@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"fmt"
+
+	"ulixes/internal/rewrite"
+	"ulixes/internal/sitegen"
+)
+
+// ablationCases names the rule subsets removed in the A1/A2 ablations.
+var ablationCases = []struct {
+	name    string
+	disable rewrite.Rule
+}{
+	{"all rules", 0},
+	{"no selection pushing (Rule 6)", rewrite.Rule6},
+	{"no projection rewriting (Rule 7)", rewrite.Rule7},
+	{"no pointer join (Rule 8)", rewrite.Rule8},
+	{"no pointer chase (Rule 9)", rewrite.Rule9},
+	{"no join pushdown", rewrite.RulePushJoin},
+	{"no nav elimination (Rules 3+5)", rewrite.Rule3 | rewrite.Rule5},
+}
+
+// Ablation runs a query under each rule ablation and reports the best
+// plan's estimated cost — how much each rule family contributes to the
+// final plan quality.
+func Ablation(id, title, query string, params sitegen.UniversityParams) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"rule set", "best C(E)", "plans", "strategy"},
+	}
+	for _, c := range ablationCases {
+		_, _, eng, err := univFixture(params)
+		if err != nil {
+			return nil, err
+		}
+		eng.Opt.Opts.DisableRules = c.disable
+		res, err := eng.Opt.Optimize(mustCQ(query))
+		if err != nil {
+			return nil, fmt.Errorf("%s under %q: %w", id, c.name, err)
+		}
+		t.AddRow(c.name, f1(res.Best.Cost), d(len(res.Candidates)), strategyOf(res.Best.Expr))
+	}
+	return t, nil
+}
+
+// A1 ablates the rewrite rules on Example 7.1's query.
+func A1(params sitegen.UniversityParams) (*Table, error) {
+	t, err := Ablation("A1", "Ablation on Example 7.1 (pointer-join query)", Example71Query, params)
+	if err != nil {
+		return nil, err
+	}
+	t.AddNote("disabling Rule 6 forces selections above the navigations, inflating every plan")
+	return t, nil
+}
+
+// A2 ablates the rewrite rules on Example 7.2's query.
+func A2(params sitegen.UniversityParams) (*Table, error) {
+	t, err := Ablation("A2", "Ablation on Example 7.2 (pointer-chase query)", Example72Query, params)
+	if err != nil {
+		return nil, err
+	}
+	t.AddNote("disabling Rule 9 removes the chase plan: the optimizer falls back to joining pointer sets, paying for every course page")
+	return t, nil
+}

@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"fmt"
+
+	"ulixes/internal/sitegen"
+)
+
+// QuerySuite is the set of conjunctive queries used by the plan-selection
+// and cost-model experiments, covering one to four atoms and both sites'
+// characteristic shapes.
+var QuerySuite = []struct {
+	Name  string
+	Query string
+}{
+	{"Q1 prof names (anchors only)", "SELECT p.PName FROM Professor p"},
+	{"Q2 full professors", "SELECT p.PName, p.Email FROM Professor p WHERE p.Rank = 'Full'"},
+	{"Q3 fall courses", "SELECT c.CName, c.Description FROM Course c WHERE c.Session = 'Fall'"},
+	{"Q4 departments", "SELECT d.DName, d.Address FROM Dept d"},
+	{"Q5 CS members", "SELECT pd.PName FROM ProfDept pd WHERE pd.DName = 'Computer Science'"},
+	{"Q6 instructors", "SELECT ci.CName, ci.PName FROM CourseInstructor ci"},
+	{"Q7 example 7.1", Example71Query},
+	{"Q8 example 7.2", Example72Query},
+	{"Q9 graduate instructors", `SELECT ci.PName, c.CName
+		FROM Course c, CourseInstructor ci
+		WHERE c.CName = ci.CName AND c.Type = 'Graduate'`},
+	{"Q10 prof of fall course", `SELECT p.PName, p.Rank
+		FROM Course c, CourseInstructor ci, Professor p
+		WHERE c.CName = ci.CName AND ci.PName = p.PName AND c.Session = 'Fall'`},
+}
+
+// E4 verifies Algorithm 1's plan selection: for every suite query, the
+// chosen plan's *measured* page count must be minimal (within a small
+// slack for estimation error) among the executed candidates.
+func E4(params sitegen.UniversityParams, candidatesPerQuery int) (*Table, error) {
+	_, _, eng, err := univFixture(params)
+	if err != nil {
+		return nil, err
+	}
+	if candidatesPerQuery <= 0 {
+		candidatesPerQuery = 8
+	}
+	t := &Table{
+		ID:     "E4",
+		Title:  "Algorithm 1 plan selection: chosen plan vs executed alternatives",
+		Header: []string{"query", "plans", "est C(E)", "measured", "best alt measured", "optimal?"},
+	}
+	for _, q := range QuerySuite {
+		res, err := eng.Opt.Optimize(mustCQ(q.Query))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", q.Name, err)
+		}
+		_, chosenPages, err := eng.Execute(res.Best.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", q.Name, err)
+		}
+		bestAlt := -1
+		for i, c := range res.Candidates {
+			if i >= candidatesPerQuery {
+				break
+			}
+			_, pages, err := eng.Execute(c.Expr)
+			if err != nil {
+				return nil, fmt.Errorf("%s candidate %d: %w", q.Name, i, err)
+			}
+			if bestAlt < 0 || pages < bestAlt {
+				bestAlt = pages
+			}
+		}
+		optimal := "yes"
+		if chosenPages > bestAlt {
+			optimal = fmt.Sprintf("no (+%d)", chosenPages-bestAlt)
+		}
+		t.AddRow(q.Name, d(len(res.Candidates)), f1(res.Best.Cost), d(chosenPages), d(bestAlt), optimal)
+	}
+	t.AddNote("the chosen plan should match the best measured alternative; small gaps reflect the uniform-distribution assumption of §6.2")
+	return t, nil
+}
+
+// A3 compares estimated against measured cost for the whole suite —
+// the accuracy of the §6.2 cost function on a concrete instance.
+func A3(params sitegen.UniversityParams) (*Table, error) {
+	_, _, eng, err := univFixture(params)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "A3",
+		Title:  "Cost model accuracy: estimated C(E) vs measured page accesses",
+		Header: []string{"query", "estimated", "measured", "ratio"},
+	}
+	for _, q := range QuerySuite {
+		ans, err := eng.Query(q.Query)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", q.Name, err)
+		}
+		ratio := ans.Plan.Cost / float64(max(ans.PagesFetched, 1))
+		t.AddRow(q.Name, f1(ans.Plan.Cost), d(ans.PagesFetched), fmt.Sprintf("%.2f", ratio))
+	}
+	t.AddNote("ratio 1.00 = exact; deviations come from the uniform-distribution assumption (the instance assigns instructors randomly)")
+	return t, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,153 @@
+package exp
+
+import (
+	"testing"
+
+	"ulixes/internal/nalg"
+	"ulixes/internal/nested"
+	"ulixes/internal/sitegen"
+)
+
+// TestFigure2PlanShape is the golden test for the paper's Figure 2: the
+// query plan for "Name and Description of all Courses held by members of
+// the Computer Science Department", drawn as the navigation
+// DeptListPage ◦ DeptList σ → DeptPage ◦ ProfList → ProfPage ◦ CourseList
+// → CoursePage with the projection on top.
+func TestFigure2PlanShape(t *testing.T) {
+	ws := sitegen.UniversityScheme()
+	plan := nalg.From(ws, sitegen.DeptListPage).
+		Unnest("DeptList").
+		Where(nested.Eq("DeptListPage.DeptList.DeptName", "Computer Science")).
+		Follow("ToDept").
+		Unnest("ProfList").
+		Follow("ToProf").
+		Unnest("CourseList").
+		Follow("ToCourse").
+		Project("CoursePage.CName", "CoursePage.Description").
+		MustBuild()
+	const want = `π CoursePage.CName, CoursePage.Description
+   └─ → ToCourse (CoursePage)
+      └─ ◦ CourseList
+         └─ → ToProf (ProfPage)
+            └─ ◦ ProfList
+               └─ → ToDept (DeptPage)
+                  └─ σ DeptListPage.DeptList.DeptName='Computer Science'
+                     └─ ◦ DeptList
+                        └─ entry DeptListPage @ http://univ.example.edu/depts.html
+`
+	if got := nalg.Explain(plan); got != want {
+		t.Errorf("Figure 2 plan shape changed:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestFigure3PlanShapes pins the shapes of Example 7.1's plans (1d) and
+// (2d) — the paper's Figure 3.
+func TestFigure3PlanShapes(t *testing.T) {
+	ws := sitegen.UniversityScheme()
+	const wantJoin = `π CoursePage.CName, CoursePage.Description
+   └─ → ToCourse (CoursePage)
+      └─ ⋈ ProfPage.CourseList.ToCourse=SessionPage.CourseList.ToCourse
+         ├─ ◦ CourseList
+         │  └─ σ ProfPage.Rank='Full'
+         │     └─ → ToProf (ProfPage)
+         │        └─ ◦ ProfList
+         │           └─ entry ProfListPage @ http://univ.example.edu/profs.html
+         └─ ◦ CourseList
+            └─ → ToSes (SessionPage)
+               └─ σ SessionListPage.SesList.Session='Fall'
+                  └─ ◦ SesList
+                     └─ entry SessionListPage @ http://univ.example.edu/sessions.html
+`
+	if got := nalg.Explain(Plan71PointerJoin(ws)); got != wantJoin {
+		t.Errorf("plan (1d) shape changed:\n got:\n%s\nwant:\n%s", got, wantJoin)
+	}
+	const wantChase = `π CoursePage.CName, CoursePage.Description
+   └─ σ CoursePage.Session='Fall'
+      └─ → ToCourse (CoursePage)
+         └─ ◦ CourseList
+            └─ σ ProfPage.Rank='Full'
+               └─ → ToProf (ProfPage)
+                  └─ ◦ ProfList
+                     └─ entry ProfListPage @ http://univ.example.edu/profs.html
+`
+	if got := nalg.Explain(Plan71PointerChase(ws)); got != wantChase {
+		t.Errorf("plan (2d) shape changed:\n got:\n%s\nwant:\n%s", got, wantChase)
+	}
+}
+
+// TestFigure4PlanShapes pins the shapes of Example 7.2's plans (1) and (2)
+// — the paper's Figure 4.
+func TestFigure4PlanShapes(t *testing.T) {
+	ws := sitegen.UniversityScheme()
+	const wantJoin = `π ProfPage.Name, ProfPage.Email
+   └─ → ToProf (ProfPage)
+      └─ ⋈ DeptPage.ProfList.ToProf=CoursePage.ToProf
+         ├─ ◦ ProfList
+         │  └─ → ToDept (DeptPage)
+         │     └─ σ DeptListPage.DeptList.DeptName='Computer Science'
+         │        └─ ◦ DeptList
+         │           └─ entry DeptListPage @ http://univ.example.edu/depts.html
+         └─ σ CoursePage.Type='Graduate'
+            └─ → ToCourse (CoursePage)
+               └─ ◦ CourseList
+                  └─ → ToSes (SessionPage)
+                     └─ ◦ SesList
+                        └─ entry SessionListPage @ http://univ.example.edu/sessions.html
+`
+	if got := nalg.Explain(Plan72PointerJoin(ws)); got != wantJoin {
+		t.Errorf("plan (1) shape changed:\n got:\n%s\nwant:\n%s", got, wantJoin)
+	}
+	const wantChase = `π ProfPage.Name, ProfPage.Email
+   └─ σ CoursePage.Type='Graduate'
+      └─ → ToCourse (CoursePage)
+         └─ ◦ CourseList
+            └─ → ToProf (ProfPage)
+               └─ ◦ ProfList
+                  └─ → ToDept (DeptPage)
+                     └─ σ DeptListPage.DeptList.DeptName='Computer Science'
+                        └─ ◦ DeptList
+                           └─ entry DeptListPage @ http://univ.example.edu/depts.html
+`
+	if got := nalg.Explain(Plan72PointerChase(ws)); got != wantChase {
+		t.Errorf("plan (2) shape changed:\n got:\n%s\nwant:\n%s", got, wantChase)
+	}
+}
+
+// TestOptimizerRederivesFigure4Chase checks end-to-end that Algorithm 1's
+// chosen plan for Example 7.2 navigates the same path as Figure 4's plan
+// (2): dept list → dept page → professors → courses.
+func TestOptimizerRederivesFigure4Chase(t *testing.T) {
+	_, _, eng, err := univFixture(sitegen.PaperUniversityParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Opt.Optimize(mustCQ(Example72Query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := nalg.Explain(res.Best.Expr)
+	for _, step := range []string{
+		"entry DeptListPage",
+		"σ pd$DeptListPage.DeptList.DeptName='Computer Science'",
+		"→ ToDept (DeptPage[pd$DeptPage])",
+		"◦ ProfList",
+		"→ ToProf (ProfPage[ci$ProfPage])",
+		"◦ CourseList",
+		"→ ToCourse (CoursePage[c$CoursePage])",
+	} {
+		if !containsLine(got, step) {
+			t.Errorf("chosen plan missing step %q:\n%s", step, got)
+		}
+	}
+}
+
+func containsLine(haystack, needle string) bool {
+	return len(haystack) > 0 && (func() bool {
+		for i := 0; i+len(needle) <= len(haystack); i++ {
+			if haystack[i:i+len(needle)] == needle {
+				return true
+			}
+		}
+		return false
+	})()
+}

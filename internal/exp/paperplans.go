@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"ulixes/internal/adm"
+	"ulixes/internal/nalg"
+	"ulixes/internal/nested"
+	"ulixes/internal/sitegen"
+)
+
+// The four plans discussed in §7 of the paper, constructed exactly as the
+// derivations (1d), (2d) of Example 7.1 and (1), (2) of Example 7.2 give
+// them. The experiments execute them verbatim so the reported costs
+// correspond to the paper's formulas.
+
+// Plan71PointerJoin is Example 7.1's plan (1d): join the two course
+// pointer sets (full professors' courses × fall courses), then navigate
+// the intersection once.
+func Plan71PointerJoin(ws *adm.Scheme) nalg.Expr {
+	left := nalg.From(ws, sitegen.ProfListPage).
+		Unnest("ProfList").
+		Follow("ToProf").
+		Where(nested.Eq("ProfPage.Rank", "Full")).
+		Unnest("CourseList").
+		MustBuild()
+	right := nalg.From(ws, sitegen.SessionListPage).
+		Unnest("SesList").
+		Where(nested.Eq("SessionListPage.SesList.Session", "Fall")).
+		Follow("ToSes").
+		Unnest("CourseList").
+		MustBuild()
+	join := &nalg.Join{L: left, R: right, Conds: []nested.EqCond{{
+		Left:  "ProfPage.CourseList.ToCourse",
+		Right: "SessionPage.CourseList.ToCourse",
+	}}}
+	return &nalg.Project{
+		In: &nalg.Follow{In: join, Link: "SessionPage.CourseList.ToCourse", Target: sitegen.CoursePage},
+		Cols: []string{
+			"CoursePage.CName", "CoursePage.Description",
+		},
+	}
+}
+
+// Plan71PointerChase is Example 7.1's plan (2d): navigate every course of
+// every full professor and select the fall ones afterwards.
+func Plan71PointerChase(ws *adm.Scheme) nalg.Expr {
+	return nalg.From(ws, sitegen.ProfListPage).
+		Unnest("ProfList").
+		Follow("ToProf").
+		Where(nested.Eq("ProfPage.Rank", "Full")).
+		Unnest("CourseList").
+		Follow("ToCourse").
+		Where(nested.Eq("CoursePage.Session", "Fall")).
+		Project("CoursePage.CName", "CoursePage.Description").
+		MustBuild()
+}
+
+// Plan72PointerJoin is Example 7.2's plan (1): intersect the CS
+// department's member pointers with the instructor pointers of graduate
+// courses (which requires downloading every session and course page), then
+// navigate the professors in the intersection.
+func Plan72PointerJoin(ws *adm.Scheme) nalg.Expr {
+	left := nalg.From(ws, sitegen.DeptListPage).
+		Unnest("DeptList").
+		Where(nested.Eq("DeptListPage.DeptList.DeptName", "Computer Science")).
+		Follow("ToDept").
+		Unnest("ProfList").
+		MustBuild()
+	right := nalg.From(ws, sitegen.SessionListPage).
+		Unnest("SesList").
+		Follow("ToSes").
+		Unnest("CourseList").
+		Follow("ToCourse").
+		Where(nested.Eq("CoursePage.Type", "Graduate")).
+		MustBuild()
+	join := &nalg.Join{L: left, R: right, Conds: []nested.EqCond{{
+		Left:  "DeptPage.ProfList.ToProf",
+		Right: "CoursePage.ToProf",
+	}}}
+	return &nalg.Project{
+		In:   &nalg.Follow{In: join, Link: "CoursePage.ToProf", Target: sitegen.ProfPage},
+		Cols: []string{"ProfPage.Name", "ProfPage.Email"},
+	}
+}
+
+// Plan72PointerChase is Example 7.2's plan (2): download the pages of the
+// CS department's professors and, from those, their courses; keep the
+// professors with at least one graduate course.
+func Plan72PointerChase(ws *adm.Scheme) nalg.Expr {
+	return nalg.From(ws, sitegen.DeptListPage).
+		Unnest("DeptList").
+		Where(nested.Eq("DeptListPage.DeptList.DeptName", "Computer Science")).
+		Follow("ToDept").
+		Unnest("ProfList").
+		Follow("ToProf").
+		Unnest("CourseList").
+		Follow("ToCourse").
+		Where(nested.Eq("CoursePage.Type", "Graduate")).
+		Project("ProfPage.Name", "ProfPage.Email").
+		MustBuild()
+}

@@ -1,0 +1,63 @@
+package hypertext
+
+import (
+	"testing"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/sitegen"
+)
+
+func benchPage(b *testing.B) (*adm.PageScheme, string, string) {
+	b.Helper()
+	u, err := sitegen.GenerateUniversity(sitegen.PaperUniversityParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps := u.Scheme.Page(sitegen.ProfListPage)
+	tup, _ := u.Instance.Page(sitegen.ProfListPage, sitegen.UnivProfListURL)
+	html, err := RenderPage(ps, tup)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ps, sitegen.UnivProfListURL, html
+}
+
+// BenchmarkRenderPage measures renderer throughput on a 20-entry list page.
+func BenchmarkRenderPage(b *testing.B) {
+	u, err := sitegen.GenerateUniversity(sitegen.PaperUniversityParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps := u.Scheme.Page(sitegen.ProfListPage)
+	tup, _ := u.Instance.Page(sitegen.ProfListPage, sitegen.UnivProfListURL)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RenderPage(ps, tup); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWrapPage measures the wrapper (tokenize + parse + extract).
+func BenchmarkWrapPage(b *testing.B) {
+	ps, url, html := benchPage(b)
+	b.SetBytes(int64(len(html)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := WrapPage(ps, url, html); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTokenize isolates the lexer.
+func BenchmarkTokenize(b *testing.B) {
+	_, _, html := benchPage(b)
+	b.SetBytes(int64(len(html)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Tokenize(html); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

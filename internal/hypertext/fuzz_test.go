@@ -1,0 +1,40 @@
+package hypertext
+
+import "testing"
+
+// FuzzTokenize checks the HTML tokenizer never panics on arbitrary input.
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		`<!DOCTYPE html><html><body class="x">a &amp; b<br><!-- c --></body></html>`,
+		`<ul data-attr="L"><li><span data-attr=A>x</span></li></ul>`,
+		`<div a='q' b=c d>`,
+		`<<>>&#x;&#99999999;`,
+		"plain text only",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Tokenize(src)
+		if err != nil {
+			return
+		}
+		// Parsing accepted token streams must not panic either.
+		_, _ = Parse(src)
+		_ = toks
+	})
+}
+
+// FuzzUnescape checks entity decoding never panics and is the inverse of
+// escaping on the escape image.
+func FuzzUnescape(f *testing.F) {
+	f.Add("a&amp;b")
+	f.Add("&#65;&#x41;&bogus;&")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		_ = UnescapeHTML(src)
+		if got := UnescapeHTML(EscapeHTML(src)); got != src {
+			t.Fatalf("escape/unescape not inverse for %q: %q", src, got)
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package hypertext
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is an element of the parsed HTML tree. Text content is collected in
+// Text (concatenated across text children); element children are in Kids.
+type Node struct {
+	Tag   string
+	Attrs []Attr
+	Kids  []*Node
+	Text  string
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(key string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// InnerText returns the node's own text joined with the text of all
+// descendants, in document order, whitespace-trimmed.
+func (n *Node) InnerText() string {
+	var sb strings.Builder
+	var walk func(m *Node)
+	walk = func(m *Node) {
+		sb.WriteString(m.Text)
+		for _, k := range m.Kids {
+			walk(k)
+		}
+	}
+	walk(n)
+	return strings.TrimSpace(sb.String())
+}
+
+// Parse builds an element tree from an HTML document. The returned node is
+// a synthetic root whose children are the document's top-level elements.
+// Mismatched end tags are tolerated by popping to the nearest matching open
+// element, the way browsers recover.
+func Parse(src string) (*Node, error) {
+	tokens, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	root := &Node{Tag: "#root"}
+	stack := []*Node{root}
+	top := func() *Node { return stack[len(stack)-1] }
+	for _, tok := range tokens {
+		switch tok.Kind {
+		case TokenDoctype, TokenComment:
+			// Structure-irrelevant.
+		case TokenText:
+			top().Text += tok.Text
+		case TokenSelfClosing:
+			top().Kids = append(top().Kids, &Node{Tag: tok.Tag, Attrs: tok.Attrs})
+		case TokenStartTag:
+			n := &Node{Tag: tok.Tag, Attrs: tok.Attrs}
+			top().Kids = append(top().Kids, n)
+			stack = append(stack, n)
+		case TokenEndTag:
+			// Pop to the nearest matching open tag; ignore stray end tags.
+			for k := len(stack) - 1; k >= 1; k-- {
+				if stack[k].Tag == tok.Tag {
+					stack = stack[:k]
+					break
+				}
+			}
+		}
+	}
+	if len(stack) != 1 {
+		open := make([]string, 0, len(stack)-1)
+		for _, n := range stack[1:] {
+			open = append(open, n.Tag)
+		}
+		return nil, fmt.Errorf("hypertext: unclosed elements: %s", strings.Join(open, ", "))
+	}
+	return root, nil
+}
+
+// Find returns the first descendant (depth-first, document order) for which
+// pred is true, or nil.
+func (n *Node) Find(pred func(*Node) bool) *Node {
+	for _, k := range n.Kids {
+		if pred(k) {
+			return k
+		}
+		if m := k.Find(pred); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// FindAll appends every descendant for which pred is true, in document
+// order.
+func (n *Node) FindAll(pred func(*Node) bool, dst []*Node) []*Node {
+	for _, k := range n.Kids {
+		if pred(k) {
+			dst = append(dst, k)
+		}
+		dst = k.FindAll(pred, dst)
+	}
+	return dst
+}
+
+// findDataAttr locates the first descendant carrying data-attr=name without
+// descending into other data-attr-marked list containers (<ul data-attr=…>),
+// so attributes of nested collections are not confused with attributes of
+// the enclosing level.
+func findDataAttr(n *Node, name string) *Node {
+	for _, k := range n.Kids {
+		if v, ok := k.Attr("data-attr"); ok && v == name {
+			return k
+		}
+		if k.Tag == "ul" {
+			if _, marked := k.Attr("data-attr"); marked {
+				continue
+			}
+		}
+		if m := findDataAttr(k, name); m != nil {
+			return m
+		}
+	}
+	return nil
+}

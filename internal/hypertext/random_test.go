@@ -1,0 +1,96 @@
+package hypertext
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/nested"
+)
+
+// randPageScheme builds a random page-scheme with scalar attributes, links,
+// and lists nested up to two levels, exercising every wrapper code path.
+func randPageScheme(rng *rand.Rand) *adm.PageScheme {
+	var mk func(depth int, prefix string) []nested.Field
+	mk = func(depth int, prefix string) []nested.Field {
+		var fields []nested.Field
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("%sF%d", prefix, i)
+			switch rng.Intn(5) {
+			case 0:
+				fields = append(fields, nested.Field{Name: name, Type: nested.Image(), Optional: rng.Intn(2) == 0})
+			case 1:
+				fields = append(fields, nested.Field{Name: name, Type: nested.Link("RandPage"), Optional: rng.Intn(2) == 0})
+			case 2:
+				if depth < 2 {
+					fields = append(fields, nested.Field{Name: name, Type: nested.List(mk(depth+1, name+"_")...)})
+					continue
+				}
+				fallthrough
+			default:
+				fields = append(fields, nested.Field{Name: name, Type: nested.Text(), Optional: rng.Intn(3) == 0})
+			}
+		}
+		return fields
+	}
+	return &adm.PageScheme{Name: "RandPage", Attrs: mk(0, "")}
+}
+
+// randValue builds a random value of the given type. Text payloads include
+// HTML-hostile characters to stress escaping.
+func randValue(rng *rand.Rand, ty nested.Type) nested.Value {
+	hostile := []string{"", "plain", `<b>&'"`, "a&amp;b", "x<y>z", "tab\tchar", "multi word value"}
+	switch ty.Kind {
+	case nested.KindText:
+		return nested.TextValue(hostile[rng.Intn(len(hostile))])
+	case nested.KindImage:
+		return nested.ImageValue(fmt.Sprintf("img-%d.png", rng.Intn(100)))
+	case nested.KindLink:
+		return nested.LinkValue(fmt.Sprintf("http://r/%d", rng.Intn(100)))
+	case nested.KindList:
+		n := rng.Intn(4)
+		lv := make(nested.ListValue, 0, n)
+		for i := 0; i < n; i++ {
+			lv = append(lv, randTuple(rng, ty.Elem))
+		}
+		return lv
+	default:
+		return nested.Null
+	}
+}
+
+func randTuple(rng *rand.Rand, fields []nested.Field) nested.Tuple {
+	t := nested.Tuple{}
+	for _, f := range fields {
+		if f.Optional && rng.Intn(3) == 0 {
+			t = t.With(f.Name, nested.Null)
+			continue
+		}
+		t = t.With(f.Name, randValue(rng, f.Type))
+	}
+	return t
+}
+
+// TestRandomRenderWrapRoundTrip fuzzes the render→wrap pipeline over
+// hundreds of random page-schemes and page instances, including empty
+// strings, HTML metacharacters, nulls and doubly nested lists.
+func TestRandomRenderWrapRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		ps := randPageScheme(rng)
+		page := randTuple(rng, ps.Attrs).With(adm.URLAttr, nested.LinkValue("http://r/self"))
+		html, err := RenderPage(ps, page)
+		if err != nil {
+			t.Fatalf("iteration %d: render: %v", i, err)
+		}
+		back, err := WrapPage(ps, "http://r/self", html)
+		if err != nil {
+			t.Fatalf("iteration %d: wrap: %v\n%s", i, err, html)
+		}
+		if !back.Equal(page) {
+			t.Fatalf("iteration %d: round trip mismatch:\n got %v\nwant %v\nhtml:\n%s", i, back, page, html)
+		}
+	}
+}

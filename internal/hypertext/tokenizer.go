@@ -1,0 +1,251 @@
+package hypertext
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokenKind discriminates HTML tokens.
+type TokenKind int
+
+// Token kinds produced by the tokenizer.
+const (
+	TokenText TokenKind = iota
+	TokenStartTag
+	TokenEndTag
+	TokenSelfClosing
+	TokenDoctype
+	TokenComment
+)
+
+// Token is one lexical HTML token.
+type Token struct {
+	Kind TokenKind
+	// Tag is the lower-cased tag name for tag tokens.
+	Tag string
+	// Attrs are the tag attributes in document order.
+	Attrs []Attr
+	// Text is the raw text for text, doctype and comment tokens
+	// (entity-decoded for text tokens).
+	Text string
+}
+
+// Attr is one HTML attribute.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// Get returns the value of the named attribute and whether it is present.
+func (t Token) Get(key string) (string, bool) {
+	for _, a := range t.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// voidElements are HTML elements with no closing tag.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// UnescapeHTML decodes the five named entities the renderer produces plus
+// decimal numeric references.
+func UnescapeHTML(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] != '&' {
+			sb.WriteByte(s[i])
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i:], ';')
+		if semi < 0 || semi > 10 {
+			sb.WriteByte(s[i])
+			i++
+			continue
+		}
+		ent := s[i+1 : i+semi]
+		switch ent {
+		case "amp":
+			sb.WriteByte('&')
+		case "lt":
+			sb.WriteByte('<')
+		case "gt":
+			sb.WriteByte('>')
+		case "quot":
+			sb.WriteByte('"')
+		case "apos":
+			sb.WriteByte('\'')
+		default:
+			if strings.HasPrefix(ent, "#") {
+				n := 0
+				valid := len(ent) > 1
+				for _, c := range ent[1:] {
+					if c < '0' || c > '9' {
+						valid = false
+						break
+					}
+					n = n*10 + int(c-'0')
+				}
+				if valid && n > 0 && n < 0x110000 {
+					sb.WriteRune(rune(n))
+					i += semi + 1
+					continue
+				}
+			}
+			sb.WriteByte(s[i])
+			i++
+			continue
+		}
+		i += semi + 1
+	}
+	return sb.String()
+}
+
+// Tokenize lexes an HTML document into tokens. It handles doctype
+// declarations, comments, quoted and unquoted attribute values, boolean
+// attributes, self-closing syntax and void elements. It is not a full HTML5
+// tokenizer (no script/style raw-text states), which is sufficient for the
+// data-carrying pages a wrappable site serves.
+func Tokenize(src string) ([]Token, error) {
+	var tokens []Token
+	i := 0
+	n := len(src)
+	for i < n {
+		if src[i] != '<' {
+			j := strings.IndexByte(src[i:], '<')
+			if j < 0 {
+				j = n - i
+			}
+			text := src[i : i+j]
+			if strings.TrimSpace(text) != "" {
+				tokens = append(tokens, Token{Kind: TokenText, Text: UnescapeHTML(text)})
+			}
+			i += j
+			continue
+		}
+		// '<' seen.
+		if strings.HasPrefix(src[i:], "<!--") {
+			end := strings.Index(src[i+4:], "-->")
+			if end < 0 {
+				return nil, fmt.Errorf("hypertext: unterminated comment at offset %d", i)
+			}
+			tokens = append(tokens, Token{Kind: TokenComment, Text: src[i+4 : i+4+end]})
+			i += 4 + end + 3
+			continue
+		}
+		if strings.HasPrefix(src[i:], "<!") {
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				return nil, fmt.Errorf("hypertext: unterminated declaration at offset %d", i)
+			}
+			tokens = append(tokens, Token{Kind: TokenDoctype, Text: src[i+2 : i+end]})
+			i += end + 1
+			continue
+		}
+		closing := false
+		j := i + 1
+		if j < n && src[j] == '/' {
+			closing = true
+			j++
+		}
+		// Tag name.
+		start := j
+		for j < n && isNameByte(src[j]) {
+			j++
+		}
+		if j == start {
+			return nil, fmt.Errorf("hypertext: malformed tag at offset %d", i)
+		}
+		tag := strings.ToLower(src[start:j])
+		tok := Token{Tag: tag}
+		// Attributes.
+		for {
+			for j < n && isSpace(src[j]) {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("hypertext: unterminated tag %q at offset %d", tag, i)
+			}
+			if src[j] == '>' {
+				j++
+				break
+			}
+			if src[j] == '/' && j+1 < n && src[j+1] == '>' {
+				tok.Kind = TokenSelfClosing
+				j += 2
+				break
+			}
+			// Attribute name.
+			as := j
+			for j < n && src[j] != '=' && src[j] != '>' && src[j] != '/' && !isSpace(src[j]) {
+				j++
+			}
+			key := strings.ToLower(src[as:j])
+			if key == "" {
+				return nil, fmt.Errorf("hypertext: malformed attribute in tag %q at offset %d", tag, i)
+			}
+			val := ""
+			for j < n && isSpace(src[j]) {
+				j++
+			}
+			if j < n && src[j] == '=' {
+				j++
+				for j < n && isSpace(src[j]) {
+					j++
+				}
+				if j >= n {
+					return nil, fmt.Errorf("hypertext: unterminated attribute %q at offset %d", key, i)
+				}
+				if src[j] == '"' || src[j] == '\'' {
+					q := src[j]
+					j++
+					vs := j
+					for j < n && src[j] != q {
+						j++
+					}
+					if j >= n {
+						return nil, fmt.Errorf("hypertext: unterminated quoted value for %q at offset %d", key, i)
+					}
+					val = UnescapeHTML(src[vs:j])
+					j++
+				} else {
+					vs := j
+					for j < n && !isSpace(src[j]) && src[j] != '>' {
+						j++
+					}
+					val = UnescapeHTML(src[vs:j])
+				}
+			}
+			tok.Attrs = append(tok.Attrs, Attr{Key: key, Val: val})
+		}
+		switch {
+		case closing:
+			tok.Kind = TokenEndTag
+			tok.Attrs = nil
+		case tok.Kind == TokenSelfClosing || voidElements[tag]:
+			tok.Kind = TokenSelfClosing
+		default:
+			tok.Kind = TokenStartTag
+		}
+		tokens = append(tokens, tok)
+		i = j
+	}
+	return tokens, nil
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_' || c == ':'
+}

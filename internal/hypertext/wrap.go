@@ -1,0 +1,91 @@
+package hypertext
+
+import (
+	"fmt"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/nested"
+)
+
+// WrapPage parses an HTML page and extracts the nested tuple it represents
+// under the given page-scheme. url becomes the implicit URL attribute.
+// Missing optional attributes wrap to Null; a missing mandatory attribute is
+// an error (the page does not match the scheme).
+func WrapPage(scheme *adm.PageScheme, url, html string) (nested.Tuple, error) {
+	root, err := Parse(html)
+	if err != nil {
+		return nested.Tuple{}, fmt.Errorf("hypertext: wrap %s: %v", scheme.Name, err)
+	}
+	// Sanity-check the page-scheme marker when present; real wrappers key
+	// extraction rules to the page class they were written for.
+	if meta := root.Find(func(n *Node) bool {
+		name, _ := n.Attr("name")
+		return n.Tag == "meta" && name == SchemeMeta
+	}); meta != nil {
+		if content, _ := meta.Attr("content"); content != scheme.Name {
+			return nested.Tuple{}, fmt.Errorf("hypertext: page declares scheme %q, wrapper expects %q", content, scheme.Name)
+		}
+	}
+	body := root.Find(func(n *Node) bool { return n.Tag == "body" })
+	if body == nil {
+		body = root
+	}
+	t := nested.T(adm.URLAttr, nested.LinkValue(url))
+	return wrapFields(body, scheme.Attrs, t, scheme.Name)
+}
+
+func wrapFields(container *Node, fields []nested.Field, base nested.Tuple, schemeName string) (nested.Tuple, error) {
+	t := base
+	for _, f := range fields {
+		v, err := wrapField(container, f, schemeName)
+		if err != nil {
+			return nested.Tuple{}, err
+		}
+		t = t.With(f.Name, v)
+	}
+	return t, nil
+}
+
+func wrapField(container *Node, f nested.Field, schemeName string) (nested.Value, error) {
+	node := findDataAttr(container, f.Name)
+	if node == nil {
+		if f.Optional {
+			return nested.Null, nil
+		}
+		return nil, fmt.Errorf("hypertext: %s: mandatory attribute %q not found in page", schemeName, f.Name)
+	}
+	switch f.Type.Kind {
+	case nested.KindText:
+		return nested.TextValue(node.InnerText()), nil
+	case nested.KindImage:
+		src, ok := node.Attr("src")
+		if !ok {
+			return nil, fmt.Errorf("hypertext: %s: image attribute %q has no src", schemeName, f.Name)
+		}
+		return nested.ImageValue(src), nil
+	case nested.KindLink:
+		href, ok := node.Attr("href")
+		if !ok {
+			return nil, fmt.Errorf("hypertext: %s: link attribute %q has no href", schemeName, f.Name)
+		}
+		return nested.LinkValue(href), nil
+	case nested.KindList:
+		if node.Tag != "ul" {
+			return nil, fmt.Errorf("hypertext: %s: list attribute %q marked on <%s>, expected <ul>", schemeName, f.Name, node.Tag)
+		}
+		var list nested.ListValue
+		for _, li := range node.Kids {
+			if li.Tag != "li" {
+				continue
+			}
+			elem, err := wrapFields(li, f.Type.Elem, nested.Tuple{}, schemeName)
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, elem)
+		}
+		return list, nil
+	default:
+		return nil, fmt.Errorf("hypertext: %s: attribute %q has unknown kind", schemeName, f.Name)
+	}
+}

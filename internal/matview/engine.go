@@ -1,0 +1,89 @@
+package matview
+
+import (
+	"ulixes/internal/cq"
+	"ulixes/internal/nalg"
+	"ulixes/internal/nested"
+	"ulixes/internal/optimizer"
+	"ulixes/internal/stats"
+	"ulixes/internal/view"
+)
+
+// Engine answers queries over a materialized view (Algorithm 3): plans are
+// selected with Algorithm 1 exactly as for virtual views, then evaluated on
+// the local store, verifying each involved page with a light connection and
+// downloading only pages that actually changed.
+type Engine struct {
+	Views *view.Registry
+	Store *Store
+	Opt   *optimizer.Optimizer
+}
+
+// New creates a materialized-view engine over a store.
+func New(views *view.Registry, store *Store, st *stats.Stats) *Engine {
+	return &Engine{Views: views, Store: store, Opt: optimizer.New(views, st)}
+}
+
+// Answer is the result of a materialized query, with the maintenance
+// traffic it generated.
+type Answer struct {
+	Result *nested.Relation
+	Plan   optimizer.Plan
+	// LightConnections and Downloads are the network accesses this query
+	// performed: §8 predicts C(E) light connections plus one download per
+	// page updated since the last access.
+	LightConnections int
+	Downloads        int
+	// UpdatesApplied and DeletionsApplied report the maintenance performed
+	// as a side effect of the query.
+	UpdatesApplied   int
+	DeletionsApplied int
+}
+
+// Query parses, optimizes and evaluates a conjunctive query on the
+// materialized view.
+func (e *Engine) Query(src string) (*Answer, error) {
+	q, err := cq.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.QueryCQ(q)
+}
+
+// QueryCQ optimizes and evaluates a parsed query on the materialized view.
+func (e *Engine) QueryCQ(q *cq.Query) (*Answer, error) {
+	res, err := e.Opt.Optimize(q)
+	if err != nil {
+		return nil, err
+	}
+	rel, ctr, err := e.Execute(res.Best.Expr)
+	if err != nil {
+		return nil, err
+	}
+	return &Answer{
+		Result:           rel,
+		Plan:             res.Best,
+		LightConnections: ctr.LightConnections,
+		Downloads:        ctr.Downloads,
+		UpdatesApplied:   ctr.UpdatesApplied,
+		DeletionsApplied: ctr.DeletionsApplied,
+	}, nil
+}
+
+// Execute evaluates a computable plan against the store per Algorithm 3 and
+// returns the answer along with the maintenance counters for this query.
+func (e *Engine) Execute(expr nalg.Expr) (*nested.Relation, Counters, error) {
+	e.Store.BeginEvaluation()
+	before := e.Store.Counters()
+	rel, err := nalg.Eval(expr, e.Views.Scheme, e.Store)
+	if err != nil {
+		return nil, Counters{}, err
+	}
+	after := e.Store.Counters()
+	return rel, Counters{
+		LightConnections: after.LightConnections - before.LightConnections,
+		Downloads:        after.Downloads - before.Downloads,
+		UpdatesApplied:   after.UpdatesApplied - before.UpdatesApplied,
+		DeletionsApplied: after.DeletionsApplied - before.DeletionsApplied,
+	}, nil
+}

@@ -1,0 +1,438 @@
+package matview
+
+import (
+	"testing"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/nested"
+	"ulixes/internal/site"
+	"ulixes/internal/sitegen"
+	"ulixes/internal/stats"
+	"ulixes/internal/view"
+)
+
+// fixtureParts builds the paper-sized university site without materializing.
+func fixtureParts(t *testing.T) (*sitegen.University, *site.MemSite, *Store, *Engine) {
+	t.Helper()
+	u, err := sitegen.GenerateUniversity(sitegen.PaperUniversityParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := site.NewMemSite(u.Instance, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, ms, nil, nil
+}
+
+// fixture materializes the paper-sized university site and returns all the
+// pieces experiments need.
+func fixture(t *testing.T) (*sitegen.University, *site.MemSite, *Store, *Engine) {
+	t.Helper()
+	u, err := sitegen.GenerateUniversity(sitegen.PaperUniversityParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := site.NewMemSite(u.Instance, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := Materialize(ms, u.Scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(view.UniversityView(u.Scheme), store, stats.CollectInstance(u.Instance))
+	return u, ms, store, eng
+}
+
+func TestMaterializeStoresWholesite(t *testing.T) {
+	u, _, store, _ := fixture(t)
+	if store.Len() != u.Instance.TotalPages() {
+		t.Errorf("store holds %d pages, want %d", store.Len(), u.Instance.TotalPages())
+	}
+	c := store.Counters()
+	if c.Downloads != u.Instance.TotalPages() {
+		t.Errorf("initial downloads = %d", c.Downloads)
+	}
+	p, ok := store.Page(sitegen.UnivProfListURL)
+	if !ok || p.Scheme != sitegen.ProfListPage || p.AccessDate.IsZero() {
+		t.Errorf("stored page = %+v %v", p, ok)
+	}
+}
+
+func TestQueryOnFreshViewUsesOnlyLightConnections(t *testing.T) {
+	_, ms, store, eng := fixture(t)
+	store.ResetCounters()
+	ms.Counters().Reset()
+	ans, err := eng.Query("SELECT p.PName, p.Email FROM Professor p WHERE p.Rank = 'Full'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Downloads != 0 {
+		t.Errorf("no page changed, downloads = %d", ans.Downloads)
+	}
+	if ans.LightConnections == 0 {
+		t.Error("evaluation should verify pages with light connections")
+	}
+	// §8: the number of light connections is ≈ C(E), the plan's estimated
+	// page-access cost.
+	if float64(ans.LightConnections) > ans.Plan.Cost+1 {
+		t.Errorf("light connections = %d exceed C(E) = %v", ans.LightConnections, ans.Plan.Cost)
+	}
+	// The site itself saw only HEADs, no GETs.
+	if ms.Counters().Gets() != 0 {
+		t.Errorf("site saw %d downloads", ms.Counters().Gets())
+	}
+	if ms.Counters().Heads() != ans.LightConnections {
+		t.Errorf("site heads = %d, engine counted %d", ms.Counters().Heads(), ans.LightConnections)
+	}
+}
+
+func TestQueryAnswerMatchesVirtual(t *testing.T) {
+	u, _, _, eng := fixture(t)
+	ans, err := eng.Query("SELECT p.PName, p.Rank FROM Professor p WHERE p.Rank = 'Full'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, r := range u.RankOf {
+		if r == "Full" {
+			want++
+		}
+	}
+	if ans.Result.Len() != want {
+		t.Errorf("answer size = %d, want %d", ans.Result.Len(), want)
+	}
+}
+
+func TestUpdateDetectedAndApplied(t *testing.T) {
+	u, ms, store, eng := fixture(t)
+	// Change a professor's rank on the site.
+	url := profPageURL(t, u, 0)
+	tup, _ := u.Instance.Page(sitegen.ProfPage, url)
+	tup = tup.With("Rank", nested.TextValue("Emeritus"))
+	if err := ms.UpdatePage(sitegen.ProfPage, tup); err != nil {
+		t.Fatal(err)
+	}
+	store.ResetCounters()
+	ans, err := eng.Query("SELECT p.PName, p.Rank FROM Professor p WHERE p.Rank = 'Emeritus'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Result.Len() != 1 {
+		t.Errorf("updated professor not found: %d tuples", ans.Result.Len())
+	}
+	if ans.Downloads != 1 {
+		t.Errorf("downloads = %d, want 1 (only the changed page)", ans.Downloads)
+	}
+	if ans.UpdatesApplied != 1 {
+		t.Errorf("updates applied = %d", ans.UpdatesApplied)
+	}
+	// Second query: view is fresh again — zero downloads.
+	ans2, err := eng.Query("SELECT p.PName, p.Rank FROM Professor p WHERE p.Rank = 'Emeritus'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans2.Downloads != 0 {
+		t.Errorf("second query downloads = %d, want 0", ans2.Downloads)
+	}
+}
+
+func profPageURL(t *testing.T, u *sitegen.University, i int) string {
+	t.Helper()
+	for _, tup := range u.Instance.Relation(sitegen.ProfPage).Tuples() {
+		if tup.MustGet("Name").String() == sitegen.ProfName(i) {
+			v, _ := tup.Get(adm.URLAttr)
+			return v.String()
+		}
+	}
+	t.Fatalf("prof %d not found", i)
+	return ""
+}
+
+func TestInsertedPageDiscoveredViaNewLink(t *testing.T) {
+	u, ms, store, eng := fixture(t)
+	// Insert a new professor page and link it from the professor list:
+	// the next query navigating the list must pick both up.
+	newURL := "http://univ.example.edu/prof/999.html"
+	newProf := nested.T(
+		adm.URLAttr, nested.LinkValue(newURL),
+		"Name", nested.TextValue("Prof. 999"),
+		"Rank", nested.TextValue("Full"),
+		"Email", nested.TextValue("p999@univ.example.edu"),
+		"DName", nested.TextValue(sitegen.DeptName(0)),
+		"ToDept", nested.LinkValue("http://univ.example.edu/dept/0.html"),
+		"CourseList", nested.ListValue{},
+	)
+	if err := ms.UpdatePage(sitegen.ProfPage, newProf); err != nil {
+		t.Fatal(err)
+	}
+	listTup, _ := u.Instance.Page(sitegen.ProfListPage, sitegen.UnivProfListURL)
+	lv, _ := listTup.Get("ProfList")
+	newList := append(append(nested.ListValue{}, lv.(nested.ListValue)...),
+		nested.T("ProfName", nested.TextValue("Prof. 999"), "ToProf", nested.LinkValue(newURL)))
+	if err := ms.UpdatePage(sitegen.ProfListPage, listTup.With("ProfList", newList)); err != nil {
+		t.Fatal(err)
+	}
+	store.ResetCounters()
+	ans, err := eng.Query("SELECT p.PName, p.Email FROM Professor p WHERE p.PName = 'Prof. 999'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Result.Len() != 1 {
+		t.Fatalf("new professor not found (%d tuples)", ans.Result.Len())
+	}
+	// Two downloads: the updated list page and the brand-new prof page.
+	if ans.Downloads != 2 {
+		t.Errorf("downloads = %d, want 2", ans.Downloads)
+	}
+	if _, ok := store.Page(newURL); !ok {
+		t.Error("new page should now be materialized")
+	}
+}
+
+func TestDeletedPageQueuedAndProcessed(t *testing.T) {
+	u, ms, store, eng := fixture(t)
+	// Remove a professor page AND its list entry: the updated list page
+	// marks the old link missing; the page is not consulted during the
+	// query; ProcessMissing later removes it from the view.
+	victim := profPageURL(t, u, 1)
+	ms.RemovePage(victim)
+	listTup, _ := u.Instance.Page(sitegen.ProfListPage, sitegen.UnivProfListURL)
+	lv, _ := listTup.Get("ProfList")
+	var newList nested.ListValue
+	for _, e := range lv.(nested.ListValue) {
+		if e.MustGet("ToProf").String() != victim {
+			newList = append(newList, e)
+		}
+	}
+	if err := ms.UpdatePage(sitegen.ProfListPage, listTup.With("ProfList", newList)); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := eng.Query("SELECT p.PName, p.Email FROM Professor p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Result.Len() != u.Params.Profs-1 {
+		t.Errorf("answer size = %d, want %d", ans.Result.Len(), u.Params.Profs-1)
+	}
+	// The stale URL sits in CheckMissing until the off-line pass.
+	if got := store.MissingQueue(); len(got) != 1 || got[0] != victim {
+		t.Errorf("missing queue = %v", got)
+	}
+	if _, ok := store.Page(victim); !ok {
+		t.Error("victim should still be materialized before ProcessMissing")
+	}
+	deleted, err := store.ProcessMissing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != 1 {
+		t.Errorf("ProcessMissing deleted %d, want 1", deleted)
+	}
+	if _, ok := store.Page(victim); ok {
+		t.Error("victim should be gone after ProcessMissing")
+	}
+	if len(store.MissingQueue()) != 0 {
+		t.Error("queue should be drained")
+	}
+}
+
+func TestProcessMissingKeepsLivePages(t *testing.T) {
+	u, _, store, _ := fixture(t)
+	// Queue a URL whose page still exists (e.g. linked from elsewhere).
+	store.mu.Lock()
+	store.missing[profPageURL(t, u, 2)] = true
+	store.mu.Unlock()
+	deleted, err := store.ProcessMissing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != 0 {
+		t.Error("live page must not be deleted")
+	}
+}
+
+func TestEntryPointDeletedFails(t *testing.T) {
+	_, ms, _, eng := fixture(t)
+	ms.RemovePage(sitegen.UnivProfListURL)
+	if _, err := eng.Query("SELECT p.PName FROM Professor p WHERE p.Rank = 'Full'"); err == nil {
+		t.Error("query via deleted entry point should fail")
+	}
+}
+
+func TestStatusLifecycle(t *testing.T) {
+	u, _, store, eng := fixture(t)
+	if store.StatusOf(sitegen.UnivProfListURL) != StatusNone {
+		t.Error("initial status should be none")
+	}
+	if _, err := eng.Query("SELECT p.PName, p.Email FROM Professor p WHERE p.Rank = 'Full'"); err != nil {
+		t.Fatal(err)
+	}
+	if store.StatusOf(sitegen.UnivProfListURL) != StatusChecked {
+		t.Error("entry point should be checked after the query")
+	}
+	_ = u
+	// A new evaluation resets the flags.
+	store.BeginEvaluation()
+	if store.StatusOf(sitegen.UnivProfListURL) != StatusNone {
+		t.Error("BeginEvaluation should reset flags")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	cases := map[Status]string{
+		StatusNone: "none", StatusChecked: "checked", StatusNew: "new",
+		StatusMissing: "missing", Status(9): "Status(9)",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+	}
+}
+
+func TestCheckedPagesNotRecheckedWithinQuery(t *testing.T) {
+	_, ms, store, eng := fixture(t)
+	store.ResetCounters()
+	ms.Counters().Reset()
+	// A query whose plan visits professor pages twice would re-check; the
+	// status flags prevent duplicate light connections within one query.
+	if _, err := eng.Query("SELECT p.PName, p.Email FROM Professor p WHERE p.Rank = 'Full'"); err != nil {
+		t.Fatal(err)
+	}
+	heads := ms.Counters().Heads()
+	// Each involved page checked at most once.
+	if heads > store.Len() {
+		t.Errorf("heads = %d exceed page count", heads)
+	}
+}
+
+func TestRefreshFullView(t *testing.T) {
+	u, ms, store, _ := fixture(t)
+	// Update two pages and delete one (removing its list entry so the
+	// instance stays consistent is unnecessary for Refresh).
+	url0 := profPageURL(t, u, 0)
+	tup, _ := u.Instance.Page(sitegen.ProfPage, url0)
+	ms.UpdatePage(sitegen.ProfPage, tup.With("Email", nested.TextValue("changed@univ.example.edu")))
+	ms.Touch(sitegen.UnivHomeURL)
+	victim := profPageURL(t, u, 3)
+	ms.RemovePage(victim)
+
+	updated, deleted, err := store.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updated != 2 {
+		t.Errorf("refresh updated = %d, want 2", updated)
+	}
+	if deleted != 1 {
+		t.Errorf("refresh deleted = %d, want 1", deleted)
+	}
+	if _, ok := store.Page(victim); ok {
+		t.Error("refresh should remove deleted pages")
+	}
+}
+
+func TestLazyMaintenanceCostScalesWithUpdates(t *testing.T) {
+	u, ms, store, eng := fixture(t)
+	query := "SELECT p.PName, p.Email FROM Professor p WHERE p.Rank = 'Full'"
+	// Touch an increasing number of professor pages; downloads per query
+	// must track the number of touched pages involved in the plan.
+	prev := -1
+	for _, n := range []int{0, 3, 7} {
+		for i := 0; i < n; i++ {
+			tup, _ := u.Instance.Page(sitegen.ProfPage, profPageURL(t, u, i))
+			ms.UpdatePage(sitegen.ProfPage, tup) // re-render bumps Last-Modified
+		}
+		store.ResetCounters()
+		ans, err := eng.Query(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans.Downloads < prev {
+			t.Errorf("downloads should grow with update count: %d after %d updates", ans.Downloads, n)
+		}
+		if n == 0 && ans.Downloads != 0 {
+			t.Errorf("no updates but %d downloads", ans.Downloads)
+		}
+		if n > 0 && ans.Downloads != n {
+			t.Errorf("downloads = %d, want %d (one per updated page)", ans.Downloads, n)
+		}
+		prev = ans.Downloads
+	}
+}
+
+func TestConcurrentMaterializedQueries(t *testing.T) {
+	_, _, _, eng := fixture(t)
+	// Algorithm 3 evaluations share the store; concurrent queries must not
+	// race (run with -race in CI).
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, err := eng.Query("SELECT p.PName, p.Email FROM Professor p WHERE p.Rank = 'Full'")
+			done <- err
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFollowPagesSkipsCheckedButGone(t *testing.T) {
+	u, ms, store, _ := fixture(t)
+	// Mark a URL checked, then remove it from the store: FollowPages must
+	// skip it without re-checking.
+	victim := profPageURL(t, u, 5)
+	store.BeginEvaluation()
+	if _, _, err := store.URLCheck(victim, sitegen.ProfPage); err != nil {
+		t.Fatal(err)
+	}
+	store.mu.Lock()
+	delete(store.pages, victim)
+	store.mu.Unlock()
+	heads := ms.Counters().Heads()
+	tuples, err := store.FollowPages(sitegen.ProfPage, []string{victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 0 {
+		t.Errorf("checked-but-gone page should be skipped: %v", tuples)
+	}
+	if ms.Counters().Heads() != heads {
+		t.Error("checked page must not be re-checked")
+	}
+}
+
+func TestURLCheckNewStatusDownloadsDirectly(t *testing.T) {
+	u, ms, store, _ := fixture(t)
+	url := profPageURL(t, u, 6)
+	store.BeginEvaluation()
+	store.mu.Lock()
+	store.status[url] = StatusNew
+	delete(store.pages, url)
+	store.mu.Unlock()
+	heads := ms.Counters().Heads()
+	tup, exists, err := store.URLCheck(url, sitegen.ProfPage)
+	if err != nil || !exists {
+		t.Fatalf("URLCheck: %v %v", exists, err)
+	}
+	if _, ok := tup.Get("Name"); !ok {
+		t.Error("downloaded tuple malformed")
+	}
+	// Function 2 line 1–2: status new skips the light connection.
+	if ms.Counters().Heads() != heads {
+		t.Error("new pages are downloaded without a light connection")
+	}
+	// The page that appeared-and-vanished path.
+	ghost := "http://univ.example.edu/prof/404.html"
+	store.mu.Lock()
+	store.status[ghost] = StatusNew
+	store.mu.Unlock()
+	_, exists, err = store.URLCheck(ghost, sitegen.ProfPage)
+	if err != nil || exists {
+		t.Errorf("vanished new page: exists=%v err=%v", exists, err)
+	}
+}

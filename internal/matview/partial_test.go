@@ -1,0 +1,131 @@
+package matview
+
+import (
+	"testing"
+
+	"ulixes/internal/sitegen"
+	"ulixes/internal/stats"
+	"ulixes/internal/view"
+)
+
+// partialFixture materializes only the professor portion of the site.
+func partialFixture(t *testing.T) (*sitegen.University, *Store, *Engine) {
+	t.Helper()
+	u, ms, _, _ := fixtureParts(t)
+	store, err := MaterializeSchemes(ms, u.Scheme, []string{
+		sitegen.ProfListPage, sitegen.ProfPage,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(view.UniversityView(u.Scheme), store, stats.CollectInstance(u.Instance))
+	return u, store, eng
+}
+
+func TestPartialMaterializationScope(t *testing.T) {
+	u, store, _ := partialFixture(t)
+	// Only the professor pages and the professor list are stored.
+	if store.Len() != u.Params.Profs+1 {
+		t.Errorf("stored pages = %d, want %d", store.Len(), u.Params.Profs+1)
+	}
+	if !store.Materialized(sitegen.ProfPage) || store.Materialized(sitegen.CoursePage) {
+		t.Error("scope flags wrong")
+	}
+	if _, ok := store.Page(sitegen.UnivProfListURL); !ok {
+		t.Error("professor list should be stored")
+	}
+	if _, ok := store.Page(sitegen.UnivSessionListURL); ok {
+		t.Error("session list should not be stored")
+	}
+}
+
+func TestPartialQueryInPortionUsesLightConnections(t *testing.T) {
+	_, store, eng := partialFixture(t)
+	store.ResetCounters()
+	ans, err := eng.Query("SELECT p.PName, p.Email FROM Professor p WHERE p.Rank = 'Full'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Downloads != 0 {
+		t.Errorf("query inside the portion should not download: %d", ans.Downloads)
+	}
+	if ans.LightConnections == 0 {
+		t.Error("pages in the portion are verified with light connections")
+	}
+}
+
+func TestPartialQueryOutsidePortionFetchesLive(t *testing.T) {
+	u, store, eng := partialFixture(t)
+	store.ResetCounters()
+	ans, err := eng.Query("SELECT c.CName FROM Course c WHERE c.Session = 'Fall'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fall := 0
+	for _, s := range u.SessionOf {
+		if u.Params.Sessions[s] == "Fall" {
+			fall++
+		}
+	}
+	if ans.Result.Len() != fall {
+		t.Errorf("fall courses = %d, want %d", ans.Result.Len(), fall)
+	}
+	if ans.Downloads == 0 {
+		t.Error("pages outside the portion must be downloaded live")
+	}
+	// Live pages are never stored.
+	if _, ok := store.Page(sitegen.UnivSessionListURL); ok {
+		t.Error("live pages must not enter the store")
+	}
+	// Running the same query again costs the same downloads: the portion
+	// does not grow (no maintenance obligation outside it).
+	store.ResetCounters()
+	ans2, err := eng.Query("SELECT c.CName FROM Course c WHERE c.Session = 'Fall'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans2.Downloads != ans.Downloads {
+		t.Errorf("live downloads should repeat: %d vs %d", ans2.Downloads, ans.Downloads)
+	}
+}
+
+func TestPartialMixedQuery(t *testing.T) {
+	_, store, eng := partialFixture(t)
+	store.ResetCounters()
+	// Professors (materialized) joined with courses (live).
+	ans, err := eng.Query(`SELECT p.PName, c.CName
+		FROM Course c, CourseInstructor ci, Professor p
+		WHERE c.CName = ci.CName AND ci.PName = p.PName AND c.Type = 'Graduate'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Result.Len() == 0 {
+		t.Error("mixed query should produce results")
+	}
+}
+
+func TestPartialDeletedLivePage(t *testing.T) {
+	u, ms, _, _ := fixtureParts(t)
+	store, err := MaterializeSchemes(ms, u.Scheme, []string{sitegen.ProfListPage, sitegen.ProfPage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(view.UniversityView(u.Scheme), store, stats.CollectInstance(u.Instance))
+	// Delete a course page: live fetches simply skip it (the link dangles).
+	for _, url := range ms.URLs() {
+		if scheme, _ := ms.SchemeOf(url); scheme == sitegen.CoursePage {
+			ms.RemovePage(url)
+			break
+		}
+	}
+	if _, err := eng.Query("SELECT c.CName FROM Course c"); err != nil {
+		t.Fatalf("dangling live page should be skipped, not fail: %v", err)
+	}
+}
+
+func TestMaterializeSchemesUnknownScheme(t *testing.T) {
+	u, ms, _, _ := fixtureParts(t)
+	if _, err := MaterializeSchemes(ms, u.Scheme, []string{"Ghost"}); err == nil {
+		t.Error("unknown scheme should fail")
+	}
+}

@@ -1,0 +1,514 @@
+// Package matview implements §8 of the paper: materialized views over web
+// sites with lazy incremental maintenance. The ADM representation of the
+// site is materialized locally (one nested page-relation per page-scheme,
+// each tuple carrying its access date); queries run on the local relations,
+// but before a page's tuple is used, a "light connection" (HTTP HEAD)
+// checks whether the page changed on the site — only changed pages are
+// re-downloaded. Queries therefore cost C(E) light connections plus one
+// download per actually-updated page, and answering queries maintains the
+// view as a side effect.
+package matview
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/hypertext"
+	"ulixes/internal/nested"
+	"ulixes/internal/site"
+)
+
+// Status is the per-evaluation flag attached to URLs by Algorithm 3:
+// none (unvisited), checked (verified this evaluation), new (link appeared
+// in a freshly downloaded page), missing (link disappeared from its page).
+type Status int
+
+// Status values (Function 2 / Algorithm 3).
+const (
+	StatusNone Status = iota
+	StatusChecked
+	StatusNew
+	StatusMissing
+)
+
+// String renders the status name.
+func (s Status) String() string {
+	switch s {
+	case StatusNone:
+		return "none"
+	case StatusChecked:
+		return "checked"
+	case StatusNew:
+		return "new"
+	case StatusMissing:
+		return "missing"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// StoredPage is one materialized page: its scheme, wrapped tuple and the
+// access date — the Last-Modified timestamp the site reported when the page
+// was downloaded, so a light connection can compare server time against
+// server time (If-Modified-Since semantics).
+type StoredPage struct {
+	Scheme     string
+	Tuple      nested.Tuple
+	AccessDate time.Time
+}
+
+// Counters tallies the maintenance traffic of the store.
+type Counters struct {
+	// LightConnections is the number of HEAD checks issued.
+	LightConnections int
+	// Downloads is the number of full page downloads.
+	Downloads int
+	// UpdatesApplied counts pages found changed and re-wrapped.
+	UpdatesApplied int
+	// DeletionsApplied counts pages found removed from the site.
+	DeletionsApplied int
+}
+
+// Store is the local materialization of a site's ADM representation.
+type Store struct {
+	ws     *adm.Scheme
+	server site.Server
+
+	mu       sync.Mutex
+	pages    map[string]*StoredPage
+	status   map[string]Status
+	missing  map[string]bool // CheckMissing: deferred deletion queue
+	counters Counters
+	// scoped is non-nil when only a subset of the page-schemes is
+	// materialized (§8: "materialize views over portions of the Web");
+	// pages of other schemes are fetched live on every use.
+	scoped map[string]bool
+}
+
+// Materialized reports whether pages of the scheme are held locally.
+func (s *Store) Materialized(scheme string) bool {
+	return s.scoped == nil || s.scoped[scheme]
+}
+
+// Materialize navigates the whole site once (a breadth-first crawl from
+// the entry points), wraps every page and stores it locally with its
+// Last-Modified date — the initial materialization step of §8. The returned
+// store is ready to answer queries.
+func Materialize(server site.Server, ws *adm.Scheme) (*Store, error) {
+	return MaterializeSchemes(server, ws, nil)
+}
+
+// MaterializeSchemes materializes only the given page-schemes (§8 speaks of
+// materializing "views over portions of the Web"); pages of other schemes
+// are downloaded live whenever a query touches them, with no maintenance
+// cost. A nil or empty scheme list materializes the whole site. The initial
+// crawl still traverses every page (links must be followed to reach the
+// portion of interest), but only the selected schemes are stored.
+func MaterializeSchemes(server site.Server, ws *adm.Scheme, schemes []string) (*Store, error) {
+	s := &Store{
+		ws:      ws,
+		server:  server,
+		pages:   make(map[string]*StoredPage),
+		status:  make(map[string]Status),
+		missing: make(map[string]bool),
+	}
+	if len(schemes) > 0 {
+		s.scoped = make(map[string]bool, len(schemes))
+		for _, name := range schemes {
+			if ws.Page(name) == nil {
+				return nil, fmt.Errorf("matview: unknown page-scheme %q", name)
+			}
+			s.scoped[name] = true
+		}
+	}
+	type item struct{ scheme, url string }
+	var queue []item
+	seen := make(map[string]bool)
+	for _, ep := range ws.Entry {
+		queue = append(queue, item{ep.Scheme, ep.URL})
+		seen[ep.URL] = true
+	}
+	links := ws.Links()
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		var t nested.Tuple
+		var err error
+		if s.Materialized(cur.scheme) {
+			t, err = s.download(cur.url, cur.scheme)
+		} else {
+			t, _, err = s.liveFetch(cur.url, cur.scheme)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("matview: initial materialization of %s: %w", cur.url, err)
+		}
+		for _, ref := range links {
+			if ref.Scheme != cur.scheme {
+				continue
+			}
+			tgt, err := ws.LinkTarget(ref)
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range adm.PathValues(t, ref.Path) {
+				if u := v.String(); !seen[u] {
+					seen[u] = true
+					queue = append(queue, item{tgt, u})
+				}
+			}
+		}
+	}
+	// The initial crawl is not an update pass.
+	s.counters.UpdatesApplied = 0
+	s.status = make(map[string]Status)
+	return s, nil
+}
+
+// Len returns the number of materialized pages.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pages)
+}
+
+// Page returns the stored page for a URL.
+func (s *Store) Page(url string) (*StoredPage, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pages[url]
+	return p, ok
+}
+
+// Counters returns a snapshot of the maintenance counters.
+func (s *Store) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters
+}
+
+// ResetCounters zeroes the counters (between experiments).
+func (s *Store) ResetCounters() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters = Counters{}
+}
+
+// BeginEvaluation resets all URL status flags to none, as Algorithm 3
+// requires at the start of each query.
+func (s *Store) BeginEvaluation() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.status = make(map[string]Status)
+}
+
+// StatusOf returns the current evaluation status of a URL.
+func (s *Store) StatusOf(url string) Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.status[url]
+}
+
+// MissingQueue returns the URLs queued in CheckMissing.
+func (s *Store) MissingQueue() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.missing))
+	for u := range s.missing {
+		out = append(out, u)
+	}
+	return out
+}
+
+// outlinks returns the set of link values of a tuple under the scheme's
+// link attributes, with their target schemes.
+func (s *Store) outlinks(scheme string, t nested.Tuple) map[string]string {
+	out := make(map[string]string)
+	for _, ref := range s.ws.Links() {
+		if ref.Scheme != scheme {
+			continue
+		}
+		tgt, err := s.ws.LinkTarget(ref)
+		if err != nil {
+			continue
+		}
+		for _, v := range adm.PathValues(t, ref.Path) {
+			out[v.String()] = tgt
+		}
+	}
+	return out
+}
+
+// download fetches and wraps the page, updating the store and diffing
+// outlinks against the previous version (Function 2 lines 6–10): links that
+// appear are marked new, links that disappear are marked missing.
+// The caller holds s.mu.
+func (s *Store) download(url, scheme string) (nested.Tuple, error) {
+	p, err := s.server.Get(url)
+	if err != nil {
+		return nested.Tuple{}, err
+	}
+	s.counters.Downloads++
+	ps := s.ws.Page(scheme)
+	if ps == nil {
+		return nested.Tuple{}, fmt.Errorf("matview: unknown page-scheme %q", scheme)
+	}
+	t, err := hypertext.WrapPage(ps, url, p.HTML)
+	if err != nil {
+		return nested.Tuple{}, err
+	}
+	newLinks := s.outlinks(scheme, t)
+	if prev, ok := s.pages[url]; ok {
+
+		oldLinks := s.outlinks(scheme, prev.Tuple)
+		for u := range newLinks {
+			if _, had := oldLinks[u]; !had {
+				s.status[u] = StatusNew
+			}
+		}
+		for u := range oldLinks {
+			if _, has := newLinks[u]; !has {
+				// The link disappeared: the page may have been deleted.
+				// It is excluded from this evaluation and queued for the
+				// deferred off-line check (§8: CheckMissing).
+				s.status[u] = StatusMissing
+				s.missing[u] = true
+			}
+		}
+		s.counters.UpdatesApplied++
+	} else {
+		// Every link of a brand-new page is new to the view.
+		for u := range newLinks {
+			if s.status[u] == StatusNone {
+				if _, stored := s.pages[u]; !stored {
+					s.status[u] = StatusNew
+				}
+			}
+		}
+	}
+	s.pages[url] = &StoredPage{Scheme: scheme, Tuple: t, AccessDate: p.LastModified}
+	return t, nil
+}
+
+// liveFetch downloads and wraps a page without storing it, for schemes
+// outside the materialized portion.
+func (s *Store) liveFetch(url, scheme string) (nested.Tuple, bool, error) {
+	p, err := s.server.Get(url)
+	if err != nil {
+		if isNotFound(err) {
+			return nested.Tuple{}, false, nil
+		}
+		return nested.Tuple{}, false, err
+	}
+	s.mu.Lock()
+	s.counters.Downloads++
+	s.mu.Unlock()
+	ps := s.ws.Page(scheme)
+	if ps == nil {
+		return nested.Tuple{}, false, fmt.Errorf("matview: unknown page-scheme %q", scheme)
+	}
+	t, err := hypertext.WrapPage(ps, url, p.HTML)
+	if err != nil {
+		return nested.Tuple{}, false, err
+	}
+	return t, true, nil
+}
+
+// URLCheck is Function 2 of the paper: it verifies whether the page at U
+// has been updated on the site, refreshing the local copy if so, and
+// returns the current tuple. exists=false reports that the page is gone
+// from the site (the local copy is dropped and the deletion counted).
+func (s *Store) URLCheck(url, scheme string) (t nested.Tuple, exists bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.urlCheckLocked(url, scheme)
+}
+
+func (s *Store) urlCheckLocked(url, scheme string) (nested.Tuple, bool, error) {
+	if s.status[url] == StatusNew {
+		// A link we have never materialized: download directly (Function 2
+		// line 1–2); no light connection is needed.
+		t, err := s.download(url, scheme)
+		if err != nil {
+			if isNotFound(err) {
+				// Appeared and disappeared between checks.
+				s.counters.DeletionsApplied++
+				s.status[url] = StatusChecked
+				return nested.Tuple{}, false, nil
+			}
+			return nested.Tuple{}, false, err
+		}
+		s.status[url] = StatusChecked
+		return t, true, nil
+	}
+	stored, have := s.pages[url]
+	// Light connection: an error flag and the modification date (§8).
+	meta, err := s.server.Head(url)
+	s.counters.LightConnections++
+	if err != nil {
+		if isNotFound(err) {
+			if have {
+				delete(s.pages, url)
+				s.counters.DeletionsApplied++
+			}
+			s.status[url] = StatusChecked
+			return nested.Tuple{}, false, nil
+		}
+		return nested.Tuple{}, false, err
+	}
+	if !have || stored.AccessDate.Before(meta.LastModified) {
+		t, err := s.download(url, scheme)
+		if err != nil {
+			return nested.Tuple{}, false, err
+		}
+		s.status[url] = StatusChecked
+		return t, true, nil
+	}
+	s.status[url] = StatusChecked
+	return stored.Tuple, true, nil
+}
+
+func isNotFound(err error) bool {
+	for e := err; e != nil; {
+		if e == site.ErrNotFound {
+			return true
+		}
+		type unwrapper interface{ Unwrap() error }
+		u, ok := e.(unwrapper)
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// EntryPage implements nalg.Source for Algorithm 3: entry points are
+// URL-checked before use (Algorithm 3 lines 3–5).
+func (s *Store) EntryPage(scheme, url string) (nested.Tuple, error) {
+	if !s.Materialized(scheme) {
+		t, exists, err := s.liveFetch(url, scheme)
+		if err != nil {
+			return nested.Tuple{}, err
+		}
+		if !exists {
+			return nested.Tuple{}, fmt.Errorf("matview: entry point %s no longer exists at %s", scheme, url)
+		}
+		return t, nil
+	}
+	t, exists, err := s.URLCheck(url, scheme)
+	if err != nil {
+		return nested.Tuple{}, err
+	}
+	if !exists {
+		return nested.Tuple{}, fmt.Errorf("matview: entry point %s no longer exists at %s", scheme, url)
+	}
+	return t, nil
+}
+
+// FollowPages implements nalg.Source for Algorithm 3 (lines 6–12): each
+// outgoing URL with status new or none is URL-checked; URLs flagged missing
+// are queued in CheckMissing and excluded from the evaluation; deleted
+// pages are dropped.
+func (s *Store) FollowPages(scheme string, urls []string) ([]nested.Tuple, error) {
+	var out []nested.Tuple
+	if !s.Materialized(scheme) {
+		for _, u := range urls {
+			t, exists, err := s.liveFetch(u, scheme)
+			if err != nil {
+				return nil, err
+			}
+			if exists {
+				out = append(out, t)
+			}
+		}
+		return out, nil
+	}
+	for _, u := range urls {
+		s.mu.Lock()
+		st := s.status[u]
+		if st == StatusMissing {
+			// Deferred: checked periodically off-line, not during queries.
+			s.missing[u] = true
+			s.mu.Unlock()
+			continue
+		}
+		if st == StatusChecked {
+			p, ok := s.pages[u]
+			s.mu.Unlock()
+			if ok {
+				out = append(out, p.Tuple)
+			}
+			continue
+		}
+		t, exists, err := s.urlCheckLocked(u, scheme)
+		s.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		if exists {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// ProcessMissing performs the deferred off-line check of CheckMissing URLs
+// (§8): each queued URL is probed; pages that are indeed gone are removed
+// from the view. It returns the number of deletions applied.
+func (s *Store) ProcessMissing() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	deleted := 0
+	for u := range s.missing {
+		_, err := s.server.Head(u)
+		s.counters.LightConnections++
+		if err == nil {
+			continue // still alive: some other page may still link to it
+		}
+		if !isNotFound(err) {
+			return deleted, err
+		}
+		if _, ok := s.pages[u]; ok {
+			delete(s.pages, u)
+			s.counters.DeletionsApplied++
+			deleted++
+		}
+	}
+	s.missing = make(map[string]bool)
+	return deleted, nil
+}
+
+// Refresh re-checks every materialized page (the periodic full-view
+// consistency pass the paper mentions at the end of §8). It returns how
+// many pages were updated or deleted.
+func (s *Store) Refresh() (updated, deleted int, err error) {
+	s.mu.Lock()
+	urls := make([]string, 0, len(s.pages))
+	schemes := make(map[string]string, len(s.pages))
+	for u, p := range s.pages {
+		urls = append(urls, u)
+		schemes[u] = p.Scheme
+	}
+	s.mu.Unlock()
+	s.BeginEvaluation()
+	for _, u := range urls {
+		s.mu.Lock()
+		before := s.counters
+		_, exists, cerr := s.urlCheckLocked(u, schemes[u])
+		after := s.counters
+		s.mu.Unlock()
+		if cerr != nil {
+			return updated, deleted, cerr
+		}
+		if !exists {
+			deleted++
+			continue
+		}
+		if after.UpdatesApplied > before.UpdatesApplied {
+			updated++
+		}
+	}
+	return updated, deleted, nil
+}

@@ -1,0 +1,147 @@
+package nalg
+
+import (
+	"fmt"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/nested"
+)
+
+// Builder constructs the linear navigations the paper writes as
+//
+//	ProfListPage ◦ ProfList →ToProf ProfPage ◦ CourseList →ToCourse CoursePage
+//
+// tracking the current qualification prefix so attribute names can be given
+// relative to the navigation position, exactly as in the paper's notation.
+type Builder struct {
+	ws     *adm.Scheme
+	e      Expr
+	prefix string
+	err    error
+}
+
+// From starts a navigation at an entry point. The entry page's columns are
+// qualified by the page-scheme name.
+func From(ws *adm.Scheme, scheme string) *Builder {
+	ep, ok := ws.EntryPoint(scheme)
+	if !ok {
+		return &Builder{ws: ws, err: fmt.Errorf("nalg: %q is not an entry point", scheme)}
+	}
+	return &Builder{
+		ws:     ws,
+		e:      &EntryScan{Scheme: scheme, URL: ep.URL},
+		prefix: scheme,
+	}
+}
+
+// FromAlias starts a navigation at an entry point under an explicit alias.
+func FromAlias(ws *adm.Scheme, scheme, alias string) *Builder {
+	ep, ok := ws.EntryPoint(scheme)
+	if !ok {
+		return &Builder{ws: ws, err: fmt.Errorf("nalg: %q is not an entry point", scheme)}
+	}
+	return &Builder{
+		ws:     ws,
+		e:      &EntryScan{Scheme: scheme, URL: ep.URL, Alias: alias},
+		prefix: alias,
+	}
+}
+
+// Unnest applies ◦ to the list attribute named relative to the current
+// position (e.g. "ProfList" right after From, or a nested list after a
+// previous Unnest).
+func (b *Builder) Unnest(attr string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	col := b.prefix + "." + attr
+	b.e = &Unnest{In: b.e, Attr: col}
+	b.prefix = col
+	return b
+}
+
+// Follow applies → to the link attribute named relative to the current
+// position. The target's columns are qualified by the target scheme name.
+func (b *Builder) Follow(link string) *Builder { return b.FollowAs(link, "") }
+
+// FollowAs is Follow with an explicit alias for the target page's columns,
+// needed when the same page-scheme occurs twice in a plan.
+func (b *Builder) FollowAs(link, alias string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	col := b.prefix + "." + link
+	sch, err := InferSchema(b.e, b.ws)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	c, ok := sch.Col(col)
+	if !ok {
+		b.err = fmt.Errorf("nalg: no link attribute %q at the current position", col)
+		return b
+	}
+	if c.Type.Kind != nested.KindLink {
+		b.err = fmt.Errorf("nalg: attribute %q is not a link", col)
+		return b
+	}
+	f := &Follow{In: b.e, Link: col, Target: c.Type.Target, Alias: alias}
+	b.e = f
+	b.prefix = f.EffAlias()
+	return b
+}
+
+// Where applies a selection with a predicate over fully qualified column
+// names.
+func (b *Builder) Where(pred nested.Predicate) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.e = &Select{In: b.e, Pred: pred}
+	return b
+}
+
+// WhereEq applies σ[attr = 'val'] with attr named relative to the current
+// position.
+func (b *Builder) WhereEq(attr, val string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.e = &Select{In: b.e, Pred: nested.Eq(b.prefix+"."+attr, val)}
+	return b
+}
+
+// Project applies a projection on fully qualified column names.
+func (b *Builder) Project(cols ...string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.e = &Project{In: b.e, Cols: cols}
+	return b
+}
+
+// Prefix returns the current qualification prefix (the alias of the page
+// the navigation currently sits on, or the list path inside it).
+func (b *Builder) Prefix() string { return b.prefix }
+
+// Build returns the constructed expression, type-checked against the
+// scheme.
+func (b *Builder) Build() (Expr, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if _, err := InferSchema(b.e, b.ws); err != nil {
+		return nil, err
+	}
+	return b.e, nil
+}
+
+// MustBuild is Build that panics on error, for statically known
+// navigations in views, tests and examples.
+func (b *Builder) MustBuild() Expr {
+	e, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return e
+}

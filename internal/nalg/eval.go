@@ -1,0 +1,169 @@
+package nalg
+
+import (
+	"fmt"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/nested"
+	"ulixes/internal/site"
+)
+
+// Source supplies pages during evaluation. The virtual-view engine backs it
+// with a network fetcher; the materialized-view engine backs it with the
+// local store plus the URLCheck protocol of §8.
+type Source interface {
+	// EntryPage returns the single page of an entry point.
+	EntryPage(scheme, url string) (nested.Tuple, error)
+	// FollowPages returns the pages of the named scheme at the given URLs.
+	// A URL whose page no longer exists may be silently omitted (the link
+	// dangles and the navigation join simply produces nothing for it).
+	FollowPages(scheme string, urls []string) ([]nested.Tuple, error)
+}
+
+// FetcherSource adapts a site.Fetcher to the Source interface, downloading
+// and wrapping pages over the (simulated) network.
+type FetcherSource struct {
+	F *site.Fetcher
+}
+
+// EntryPage implements Source.
+func (s FetcherSource) EntryPage(scheme, url string) (nested.Tuple, error) {
+	return s.F.Fetch(scheme, url)
+}
+
+// FollowPages implements Source.
+func (s FetcherSource) FollowPages(scheme string, urls []string) ([]nested.Tuple, error) {
+	return s.F.FetchAll(scheme, urls)
+}
+
+// qualifyPage renames a page tuple's attributes to alias-qualified column
+// names.
+func qualifyPage(t nested.Tuple, alias string) nested.Tuple {
+	m := make(map[string]string, t.Arity())
+	for _, n := range t.Names() {
+		m[n] = alias + "." + n
+	}
+	return t.Rename(m)
+}
+
+// Eval evaluates a computable expression against a page source. The
+// expression must type-check against the web scheme; evaluation reports an
+// error otherwise.
+func Eval(e Expr, ws *adm.Scheme, src Source) (*nested.Relation, error) {
+	if _, err := InferSchema(e, ws); err != nil {
+		return nil, err
+	}
+	return eval(e, ws, src)
+}
+
+func eval(e Expr, ws *adm.Scheme, src Source) (*nested.Relation, error) {
+	switch x := e.(type) {
+	case *ExtScan:
+		return nil, fmt.Errorf("nalg: cannot evaluate external relation %q", x.Relation)
+
+	case *EntryScan:
+		t, err := src.EntryPage(x.Scheme, x.URL)
+		if err != nil {
+			return nil, fmt.Errorf("nalg: entry point %s: %w", x.Scheme, err)
+		}
+		rel := nested.NewRelation(nil)
+		rel.Insert(qualifyPage(t, x.EffAlias()))
+		return rel, nil
+
+	case *Unnest:
+		in, err := eval(x.In, ws, src)
+		if err != nil {
+			return nil, err
+		}
+		return in.Unnest(x.Attr)
+
+	case *Follow:
+		in, err := eval(x.In, ws, src)
+		if err != nil {
+			return nil, err
+		}
+		return evalFollow(x, in, src)
+
+	case *Select:
+		in, err := eval(x.In, ws, src)
+		if err != nil {
+			return nil, err
+		}
+		return in.Select(x.Pred)
+
+	case *Project:
+		in, err := eval(x.In, ws, src)
+		if err != nil {
+			return nil, err
+		}
+		return in.Project(x.Cols)
+
+	case *Join:
+		l, err := eval(x.L, ws, src)
+		if err != nil {
+			return nil, err
+		}
+		r, err := eval(x.R, ws, src)
+		if err != nil {
+			return nil, err
+		}
+		return l.Join(r, x.Conds)
+
+	case *Rename:
+		in, err := eval(x.In, ws, src)
+		if err != nil {
+			return nil, err
+		}
+		return in.Rename(x.Map)
+
+	default:
+		return nil, fmt.Errorf("nalg: unknown expression node %T", e)
+	}
+}
+
+// evalFollow expands each input tuple with the page its link column points
+// to: the distinct link URLs are fetched (this is where network cost is
+// paid), and the input is joined with the fetched pages on link = URL.
+func evalFollow(x *Follow, in *nested.Relation, src Source) (*nested.Relation, error) {
+	urlVals, err := in.DistinctValues(x.Link)
+	if err != nil {
+		return nil, err
+	}
+	urls := make([]string, len(urlVals))
+	for i, v := range urlVals {
+		urls[i] = v.String()
+	}
+	pages, err := src.FollowPages(x.Target, urls)
+	if err != nil {
+		return nil, fmt.Errorf("nalg: follow %s: %w", x.Link, err)
+	}
+	alias := x.EffAlias()
+	byURL := make(map[string]nested.Tuple, len(pages))
+	for _, p := range pages {
+		u, ok := p.Get(adm.URLAttr)
+		if !ok || u.IsNull() {
+			return nil, fmt.Errorf("nalg: follow %s: target page without URL", x.Link)
+		}
+		byURL[u.String()] = qualifyPage(p, alias)
+	}
+	out := nested.NewRelation(nil)
+	for _, t := range in.Tuples() {
+		lv, ok := t.Get(x.Link)
+		if !ok {
+			return nil, fmt.Errorf("nalg: follow: no column %q", x.Link)
+		}
+		if lv.IsNull() {
+			continue
+		}
+		page, ok := byURL[lv.String()]
+		if !ok {
+			continue // dangling link: navigation yields nothing for it
+		}
+		joined, err := t.Concat(page)
+		if err != nil {
+			return nil, err
+		}
+		out.Insert(joined)
+	}
+	return out, nil
+}

@@ -1,0 +1,299 @@
+// Package nalg implements the Navigational Algebra of §4 of "Efficient
+// Queries over Web Views": the classical selection / projection / join
+// operators plus two navigational primitives — unnest page (◦), which
+// navigates inside the nested structure of a page, and follow link (→),
+// which navigates between pages. Expressions are typed against an ADM web
+// scheme, printable as the paper's query plans, and evaluable against a page
+// source (a remote site or a materialized store).
+package nalg
+
+import (
+	"strings"
+	"sync/atomic"
+
+	"ulixes/internal/nested"
+)
+
+// strCache memoizes a node's rendering. Expressions are immutable and
+// rewrites share subtrees, so rendering each node once makes whole-plan
+// canonicalization cheap during enumeration.
+type strCache struct {
+	p atomic.Pointer[string]
+}
+
+func (c *strCache) get(build func() string) string {
+	if s := c.p.Load(); s != nil {
+		return *s
+	}
+	s := build()
+	c.p.Store(&s)
+	return s
+}
+
+// Expr is a navigational algebra expression. Implementations are immutable;
+// rewrites build new trees sharing subexpressions.
+type Expr interface {
+	// Children returns the operand expressions.
+	Children() []Expr
+	// String renders the expression in the paper's infix notation.
+	String() string
+}
+
+// ExtScan is a leaf standing for an external relation of the relational
+// view (§5). It is not computable: Rule 1 (default navigation) must replace
+// it with a navigational expression before evaluation.
+type ExtScan struct {
+	// Relation is the external relation name, e.g. "Professor".
+	Relation string
+}
+
+// Children implements Expr.
+func (e *ExtScan) Children() []Expr { return nil }
+
+// String implements Expr.
+func (e *ExtScan) String() string { return e.Relation }
+
+// EntryScan is a leaf reading the single page of an entry point (§3.1).
+// Its alias qualifies the column names of the page attributes.
+type EntryScan struct {
+	// Scheme is the entry point's page-scheme name.
+	Scheme string
+	// URL is the entry point's known URL.
+	URL string
+	// Alias qualifies output columns; defaults to Scheme when empty.
+	Alias string
+
+	str strCache
+}
+
+// EffAlias returns the alias, defaulting to the scheme name.
+func (e *EntryScan) EffAlias() string {
+	if e.Alias != "" {
+		return e.Alias
+	}
+	return e.Scheme
+}
+
+// Children implements Expr.
+func (e *EntryScan) Children() []Expr { return nil }
+
+// String implements Expr.
+func (e *EntryScan) String() string {
+	return e.str.get(func() string {
+		if e.Alias != "" && e.Alias != e.Scheme {
+			return e.Scheme + "[" + e.Alias + "]"
+		}
+		return e.Scheme
+	})
+}
+
+// Unnest is the unnest-page operator R ◦ A: it navigates inside a page by
+// flattening the list-valued column Attr, promoting element fields to
+// columns named Attr + "." + field.
+type Unnest struct {
+	In Expr
+	// Attr is the qualified list column, e.g. "ProfListPage.ProfList".
+	Attr string
+
+	str strCache
+}
+
+// Children implements Expr.
+func (e *Unnest) Children() []Expr { return []Expr{e.In} }
+
+// String implements Expr.
+func (e *Unnest) String() string {
+	return e.str.get(func() string {
+		return parenthesize(e.In) + "◦" + shortAttr(e.Attr)
+	})
+}
+
+// Follow is the follow-link operator R →L P: it expands each input tuple
+// with the target page its link column references, i.e. the join
+// R ⋈_{R.L = P.URL} P (§4).
+type Follow struct {
+	In Expr
+	// Link is the qualified link column, e.g. "ProfListPage.ProfList.ToProf".
+	Link string
+	// Target is the target page-scheme name.
+	Target string
+	// Alias qualifies the target page's columns; defaults to Target.
+	Alias string
+
+	str strCache
+}
+
+// EffAlias returns the target alias, defaulting to the target scheme name.
+func (e *Follow) EffAlias() string {
+	if e.Alias != "" {
+		return e.Alias
+	}
+	return e.Target
+}
+
+// Children implements Expr.
+func (e *Follow) Children() []Expr { return []Expr{e.In} }
+
+// String implements Expr.
+func (e *Follow) String() string {
+	return e.str.get(func() string {
+		tgt := e.Target
+		if e.Alias != "" && e.Alias != e.Target {
+			tgt = e.Target + "[" + e.Alias + "]"
+		}
+		return parenthesize(e.In) + "→[" + shortAttr(e.Link) + "]" + tgt
+	})
+}
+
+// Select is the selection operator σ_pred(R).
+type Select struct {
+	In   Expr
+	Pred nested.Predicate
+
+	str strCache
+}
+
+// Children implements Expr.
+func (e *Select) Children() []Expr { return []Expr{e.In} }
+
+// String implements Expr.
+func (e *Select) String() string {
+	return e.str.get(func() string {
+		return "σ[" + e.Pred.String() + "](" + e.In.String() + ")"
+	})
+}
+
+// Project is the projection operator π_cols(R), with set semantics.
+type Project struct {
+	In   Expr
+	Cols []string
+
+	str strCache
+}
+
+// Children implements Expr.
+func (e *Project) Children() []Expr { return []Expr{e.In} }
+
+// String implements Expr.
+func (e *Project) String() string {
+	return e.str.get(func() string {
+		return "π[" + strings.Join(e.Cols, ",") + "](" + e.In.String() + ")"
+	})
+}
+
+// Join is the equi-join L ⋈_conds R.
+type Join struct {
+	L, R  Expr
+	Conds []nested.EqCond
+
+	str strCache
+}
+
+// Children implements Expr.
+func (e *Join) Children() []Expr { return []Expr{e.L, e.R} }
+
+// String implements Expr.
+func (e *Join) String() string {
+	return e.str.get(func() string {
+		conds := make([]string, len(e.Conds))
+		for i, c := range e.Conds {
+			conds[i] = c.String()
+		}
+		return "(" + e.L.String() + " ⋈[" + strings.Join(conds, ",") + "] " + e.R.String() + ")"
+	})
+}
+
+// Rename renames output columns; it is used to map navigation columns to
+// the attribute names of external relations.
+type Rename struct {
+	In Expr
+	// Map is old column name → new name.
+	Map map[string]string
+
+	str strCache
+}
+
+// Children implements Expr.
+func (e *Rename) Children() []Expr { return []Expr{e.In} }
+
+// String implements Expr.
+func (e *Rename) String() string {
+	return e.str.get(func() string {
+		pairs := make([]string, 0, len(e.Map))
+		for _, old := range sortedKeys(e.Map) {
+			pairs = append(pairs, old+"→"+e.Map[old])
+		}
+		return "ρ[" + strings.Join(pairs, ",") + "](" + e.In.String() + ")"
+	})
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j-1] > keys[j]; j-- {
+			keys[j-1], keys[j] = keys[j], keys[j-1]
+		}
+	}
+	return keys
+}
+
+func parenthesize(e Expr) string {
+	switch e.(type) {
+	case *EntryScan, *ExtScan, *Unnest, *Follow:
+		return e.String()
+	default:
+		return "(" + e.String() + ")"
+	}
+}
+
+// shortAttr keeps only the final attribute name for display: the paper
+// writes R →ToCourse P, not R →R.CourseList.ToCourse P.
+func shortAttr(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+// Equal reports structural equality of two expressions via their canonical
+// rendering.
+func Equal(a, b Expr) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.String() == b.String()
+}
+
+// Walk visits the expression tree depth-first, parents after children.
+func Walk(e Expr, visit func(Expr)) {
+	for _, c := range e.Children() {
+		Walk(c, visit)
+	}
+	visit(e)
+}
+
+// Leaves returns the leaf nodes of the expression in left-to-right order.
+func Leaves(e Expr) []Expr {
+	var out []Expr
+	Walk(e, func(x Expr) {
+		if len(x.Children()) == 0 {
+			out = append(out, x)
+		}
+	})
+	return out
+}
+
+// Computable reports whether every leaf of the expression is an entry-point
+// scan (§4: "in order to be computable, all navigational paths involved in
+// a query must start from an entry point").
+func Computable(e Expr) bool {
+	for _, l := range Leaves(e) {
+		if _, ok := l.(*EntryScan); !ok {
+			return false
+		}
+	}
+	return true
+}

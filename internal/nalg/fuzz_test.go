@@ -1,0 +1,36 @@
+package nalg
+
+import (
+	"testing"
+
+	"ulixes/internal/sitegen"
+)
+
+// FuzzParseNav checks the navigation parser never panics and that accepted
+// navigations type-check against the scheme they were parsed with.
+func FuzzParseNav(f *testing.F) {
+	for _, seed := range []string{
+		"ProfListPage / ProfList -> ToProf",
+		"ProfListPage / ProfList -> ToProf as p2 [Rank='Full']",
+		"SessionListPage / SesList [Session='Fall'] -> ToSes / CourseList -> ToCourse",
+		"ProfListPage ◦ ProfList → ToProf",
+		"HomePage -> ToDeptList",
+		"Nope / X",
+		"",
+	} {
+		f.Add(seed)
+	}
+	ws := sitegen.UniversityScheme()
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseNav(ws, src)
+		if err != nil {
+			return
+		}
+		if _, err := InferSchema(e, ws); err != nil {
+			t.Fatalf("accepted navigation does not type-check: %q: %v", src, err)
+		}
+		if !Computable(e) {
+			t.Fatalf("accepted navigation not computable: %q", src)
+		}
+	})
+}

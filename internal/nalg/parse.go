@@ -1,0 +1,235 @@
+package nalg
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/nested"
+)
+
+// ParseNav parses the textual navigation language (an ASCII rendering of
+// the paper's Ulixes expressions) into a NALG expression:
+//
+//	ProfListPage / ProfList -> ToProf [Rank='Full'] / CourseList -> ToCourse
+//
+// Grammar:
+//
+//	nav    := ENTRY step*
+//	step   := '/' IDENT                 unnest the list attribute (◦)
+//	        | '->' IDENT ('as' IDENT)?  follow the link attribute (→)
+//	        | '[' attr '=' STRING ']'   selection σ
+//	attr   := IDENT ('.' IDENT)*        relative to the position, or fully
+//	                                    qualified ("Alias.Attr.Path")
+//
+// Selections resolve the attribute first relative to the current position
+// (the page the navigation sits on), then as a fully qualified column.
+func ParseNav(ws *adm.Scheme, src string) (Expr, error) {
+	toks, err := lexNav(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &navParser{toks: toks, ws: ws}
+	return p.parse()
+}
+
+type navTokKind int
+
+const (
+	navIdent navTokKind = iota
+	navString
+	navPunct // / -> [ ] = .
+	navEOF
+)
+
+type navToken struct {
+	kind navTokKind
+	text string
+	pos  int
+}
+
+func lexNav(src string) ([]navToken, error) {
+	var toks []navToken
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '>':
+			toks = append(toks, navToken{kind: navPunct, text: "->", pos: i})
+			i += 2
+		case strings.HasPrefix(src[i:], "→"):
+			toks = append(toks, navToken{kind: navPunct, text: "->", pos: i})
+			i += len("→")
+		case strings.HasPrefix(src[i:], "◦"):
+			toks = append(toks, navToken{kind: navPunct, text: "/", pos: i})
+			i += len("◦")
+		case c == '/' || c == '[' || c == ']' || c == '=' || c == '.':
+			toks = append(toks, navToken{kind: navPunct, text: string(c), pos: i})
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(src) {
+					return nil, fmt.Errorf("nalg: unterminated string at offset %d", i)
+				}
+				if src[j] == '\'' {
+					if j+1 < len(src) && src[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					j++
+					break
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			toks = append(toks, navToken{kind: navString, text: sb.String(), pos: i})
+			i = j
+		case isNavIdentByte(c):
+			j := i
+			for j < len(src) && isNavIdentByte(src[j]) {
+				j++
+			}
+			toks = append(toks, navToken{kind: navIdent, text: src[i:j], pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("nalg: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, navToken{kind: navEOF, pos: len(src)})
+	return toks, nil
+}
+
+func isNavIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '$'
+}
+
+type navParser struct {
+	toks []navToken
+	i    int
+	ws   *adm.Scheme
+}
+
+func (p *navParser) cur() navToken { return p.toks[p.i] }
+func (p *navParser) advance()      { p.i++ }
+
+func (p *navParser) errf(format string, args ...any) error {
+	return fmt.Errorf("nalg: %s (at offset %d)", fmt.Sprintf(format, args...), p.cur().pos)
+}
+
+func (p *navParser) ident() (string, error) {
+	if p.cur().kind != navIdent {
+		return "", p.errf("expected identifier, found %q", p.cur().text)
+	}
+	t := p.cur().text
+	p.advance()
+	return t, nil
+}
+
+func (p *navParser) punct(s string) bool {
+	if p.cur().kind == navPunct && p.cur().text == s {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// dottedName parses IDENT ('.' IDENT)*.
+func (p *navParser) dottedName() (string, error) {
+	head, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	parts := []string{head}
+	for p.punct(".") {
+		next, err := p.ident()
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, next)
+	}
+	return strings.Join(parts, "."), nil
+}
+
+func (p *navParser) parse() (Expr, error) {
+	entry, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	b := From(p.ws, entry)
+	for {
+		switch {
+		case p.punct("/"):
+			attr, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			b = b.Unnest(attr)
+		case p.punct("->"):
+			link, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			alias := ""
+			if p.cur().kind == navIdent && strings.EqualFold(p.cur().text, "as") {
+				p.advance()
+				alias, err = p.ident()
+				if err != nil {
+					return nil, err
+				}
+			}
+			b = b.FollowAs(link, alias)
+		case p.punct("["):
+			name, err := p.dottedName()
+			if err != nil {
+				return nil, err
+			}
+			if !p.punct("=") {
+				return nil, p.errf("expected '=' in selection")
+			}
+			if p.cur().kind != navString {
+				return nil, p.errf("expected quoted constant in selection")
+			}
+			val := p.cur().text
+			p.advance()
+			if !p.punct("]") {
+				return nil, p.errf("expected ']'")
+			}
+			col, err := p.resolveAttr(b, name)
+			if err != nil {
+				return nil, err
+			}
+			b = b.Where(nested.Eq(col, val))
+		default:
+			if p.cur().kind != navEOF {
+				return nil, p.errf("unexpected %q", p.cur().text)
+			}
+			return b.Build()
+		}
+	}
+}
+
+// resolveAttr resolves a selection attribute: first relative to the
+// navigation's current position, then as a fully qualified column.
+func (p *navParser) resolveAttr(b *Builder, name string) (string, error) {
+	expr, err := b.Build()
+	if err != nil {
+		return "", err
+	}
+	sch, err := InferSchema(expr, p.ws)
+	if err != nil {
+		return "", err
+	}
+	if rel := b.Prefix() + "." + name; sch.Has(rel) {
+		return rel, nil
+	}
+	if sch.Has(name) {
+		return name, nil
+	}
+	return "", fmt.Errorf("nalg: no attribute %q at the current position (columns: %s)", name, strings.Join(sch.Names(), ", "))
+}

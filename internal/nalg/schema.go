@@ -1,0 +1,265 @@
+package nalg
+
+import (
+	"fmt"
+	"strings"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/nested"
+)
+
+// Col describes one output column of an expression, with provenance back to
+// the ADM scheme. Provenance is what lets the rewrite rules look up link and
+// inclusion constraints for a column, and the cost model look up statistics.
+type Col struct {
+	// Name is the qualified column name, e.g. "ProfPage.Name" or
+	// "DeptPage.ProfList.ToProf".
+	Name string
+	// Type is the column's web type.
+	Type nested.Type
+	// Scheme is the page-scheme the column originates from; empty for
+	// columns with no page provenance.
+	Scheme string
+	// Path is the attribute path within the origin scheme.
+	Path adm.Path
+	// Alias is the scan/follow alias that produced the column.
+	Alias string
+	// Optional reports whether the column may hold nulls.
+	Optional bool
+}
+
+// Ref returns the ADM attribute reference of the column's origin.
+func (c Col) Ref() adm.AttrRef { return adm.AttrRef{Scheme: c.Scheme, Path: c.Path} }
+
+// Schema is the ordered output description of an expression.
+type Schema struct {
+	Cols []Col
+}
+
+// Col returns the named column and whether it exists.
+func (s *Schema) Col(name string) (Col, bool) {
+	for _, c := range s.Cols {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Col{}, false
+}
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Has reports whether the named column exists.
+func (s *Schema) Has(name string) bool {
+	_, ok := s.Col(name)
+	return ok
+}
+
+// String renders the schema as a column list.
+func (s *Schema) String() string {
+	parts := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		parts[i] = c.Name + ": " + c.Type.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// pageCols builds the columns of a page-scheme scanned under an alias.
+func pageCols(scheme *adm.PageScheme, alias string) []Col {
+	cols := make([]Col, 0, len(scheme.Attrs)+1)
+	cols = append(cols, Col{
+		Name:   alias + "." + adm.URLAttr,
+		Type:   nested.Link(scheme.Name),
+		Scheme: scheme.Name,
+		Path:   adm.Path{adm.URLAttr},
+		Alias:  alias,
+	})
+	for _, f := range scheme.Attrs {
+		cols = append(cols, Col{
+			Name:     alias + "." + f.Name,
+			Type:     f.Type,
+			Scheme:   scheme.Name,
+			Path:     adm.Path{f.Name},
+			Alias:    alias,
+			Optional: f.Optional,
+		})
+	}
+	return cols
+}
+
+// InferSchema computes the output schema of an expression against a web
+// scheme, validating operator applicability along the way (unknown columns,
+// unnest of non-lists, follow of non-links, join column collisions, …).
+// ExtScan leaves have no inferable schema and are rejected: the caller must
+// substitute default navigations first.
+func InferSchema(e Expr, ws *adm.Scheme) (*Schema, error) {
+	kids := e.Children()
+	schemas := make([]*Schema, len(kids))
+	for i, k := range kids {
+		s, err := InferSchema(k, ws)
+		if err != nil {
+			return nil, err
+		}
+		schemas[i] = s
+	}
+	return InferNode(e, ws, schemas)
+}
+
+// InferNode computes the output schema of a single node given the already
+// inferred schemas of its children (in Children() order). It lets callers
+// that enumerate many overlapping plans memoize inference per subtree.
+func InferNode(e Expr, ws *adm.Scheme, kids []*Schema) (*Schema, error) {
+	child := func(i int) *Schema { return kids[i] }
+	switch x := e.(type) {
+	case *ExtScan:
+		return nil, fmt.Errorf("nalg: external relation %q has no navigational schema (apply Rule 1 first)", x.Relation)
+
+	case *EntryScan:
+		ps := ws.Page(x.Scheme)
+		if ps == nil {
+			return nil, fmt.Errorf("nalg: unknown page-scheme %q", x.Scheme)
+		}
+		if _, ok := ws.EntryPoint(x.Scheme); !ok {
+			return nil, fmt.Errorf("nalg: page-scheme %q is not an entry point", x.Scheme)
+		}
+		return &Schema{Cols: pageCols(ps, x.EffAlias())}, nil
+
+	case *Unnest:
+		in := child(0)
+		col, ok := in.Col(x.Attr)
+		if !ok {
+			return nil, fmt.Errorf("nalg: unnest: no column %q in %s", x.Attr, in)
+		}
+		if col.Type.Kind != nested.KindList {
+			return nil, fmt.Errorf("nalg: unnest: column %q is not a list (type %s)", x.Attr, col.Type)
+		}
+		var cols []Col
+		for _, c := range in.Cols {
+			if c.Name != x.Attr {
+				cols = append(cols, c)
+			}
+		}
+		for _, f := range col.Type.Elem {
+			cols = append(cols, Col{
+				Name:     x.Attr + "." + f.Name,
+				Type:     f.Type,
+				Scheme:   col.Scheme,
+				Path:     append(append(adm.Path(nil), col.Path...), f.Name),
+				Alias:    col.Alias,
+				Optional: f.Optional,
+			})
+		}
+		return &Schema{Cols: cols}, nil
+
+	case *Follow:
+		in := child(0)
+		col, ok := in.Col(x.Link)
+		if !ok {
+			return nil, fmt.Errorf("nalg: follow: no column %q in %s", x.Link, in)
+		}
+		if col.Type.Kind != nested.KindLink {
+			return nil, fmt.Errorf("nalg: follow: column %q is not a link (type %s)", x.Link, col.Type)
+		}
+		if col.Type.Target != x.Target {
+			return nil, fmt.Errorf("nalg: follow: link %q targets %q, expression says %q", x.Link, col.Type.Target, x.Target)
+		}
+		ps := ws.Page(x.Target)
+		if ps == nil {
+			return nil, fmt.Errorf("nalg: follow: unknown target page-scheme %q", x.Target)
+		}
+		cols := append([]Col(nil), in.Cols...)
+		for _, c := range pageCols(ps, x.EffAlias()) {
+			for _, existing := range cols {
+				if existing.Name == c.Name {
+					return nil, fmt.Errorf("nalg: follow: column %q already present; use a distinct alias", c.Name)
+				}
+			}
+			cols = append(cols, c)
+		}
+		return &Schema{Cols: cols}, nil
+
+	case *Select:
+		in := child(0)
+		for _, a := range x.Pred.Attrs(nil) {
+			c, ok := in.Col(a)
+			if !ok {
+				return nil, fmt.Errorf("nalg: select: no column %q in %s", a, in)
+			}
+			if !c.Type.Mono() {
+				return nil, fmt.Errorf("nalg: select: column %q is not mono-valued", a)
+			}
+		}
+		return in, nil
+
+	case *Project:
+		in := child(0)
+		if len(x.Cols) == 0 {
+			return nil, fmt.Errorf("nalg: empty projection")
+		}
+		cols := make([]Col, len(x.Cols))
+		for i, name := range x.Cols {
+			c, ok := in.Col(name)
+			if !ok {
+				return nil, fmt.Errorf("nalg: project: no column %q in %s", name, in)
+			}
+			cols[i] = c
+		}
+		return &Schema{Cols: cols}, nil
+
+	case *Join:
+		l, r := child(0), child(1)
+		for _, c := range x.Conds {
+			lc, ok := l.Col(c.Left)
+			if !ok {
+				return nil, fmt.Errorf("nalg: join: no column %q on the left", c.Left)
+			}
+			rc, ok := r.Col(c.Right)
+			if !ok {
+				return nil, fmt.Errorf("nalg: join: no column %q on the right", c.Right)
+			}
+			if !lc.Type.Mono() || !rc.Type.Mono() {
+				return nil, fmt.Errorf("nalg: join: condition %s on multi-valued column", c)
+			}
+		}
+		cols := append([]Col(nil), l.Cols...)
+		for _, c := range r.Cols {
+			for _, existing := range cols {
+				if existing.Name == c.Name {
+					return nil, fmt.Errorf("nalg: join: column %q on both sides; use distinct aliases", c.Name)
+				}
+			}
+			cols = append(cols, c)
+		}
+		return &Schema{Cols: cols}, nil
+
+	case *Rename:
+		in := child(0)
+		cols := make([]Col, len(in.Cols))
+		seen := make(map[string]bool, len(in.Cols))
+		for i, c := range in.Cols {
+			if nn, ok := x.Map[c.Name]; ok {
+				c.Name = nn
+			}
+			if seen[c.Name] {
+				return nil, fmt.Errorf("nalg: rename: duplicate output column %q", c.Name)
+			}
+			seen[c.Name] = true
+			cols[i] = c
+		}
+		for old := range x.Map {
+			if !in.Has(old) {
+				return nil, fmt.Errorf("nalg: rename: no column %q in %s", old, in)
+			}
+		}
+		return &Schema{Cols: cols}, nil
+
+	default:
+		return nil, fmt.Errorf("nalg: unknown expression node %T", e)
+	}
+}

@@ -1,0 +1,83 @@
+package nested
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchRelation(n int) *Relation {
+	r := NewRelation(flatType("A", "B", "C"))
+	for i := 0; i < n; i++ {
+		r.Insert(textTuple(
+			"A", fmt.Sprintf("a%d", i%50),
+			"B", fmt.Sprintf("b%d", i),
+			"C", fmt.Sprintf("c%d", i%10),
+		))
+	}
+	return r
+}
+
+func BenchmarkSelect(b *testing.B) {
+	r := benchRelation(1000)
+	p := Eq("C", "c3")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Select(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProjectDistinct(b *testing.B) {
+	r := benchRelation(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Project([]string{"A", "C"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	l := benchRelation(1000)
+	r, _ := benchRelation(500).Rename(map[string]string{"A": "A2", "B": "B2", "C": "C2"})
+	conds := []EqCond{{Left: "A", Right: "A2"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Join(r, conds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnnest(b *testing.B) {
+	tt := MustTupleType(
+		Field{Name: "URL", Type: Link("P")},
+		Field{Name: "L", Type: List(
+			Field{Name: "A", Type: Text()},
+			Field{Name: "To", Type: Link("Q")},
+		)},
+	)
+	r := NewRelation(tt)
+	for i := 0; i < 100; i++ {
+		lv := make(ListValue, 20)
+		for j := range lv {
+			lv[j] = T("A", TextValue(fmt.Sprintf("a%d", j)), "To", LinkValue(fmt.Sprintf("u%d-%d", i, j)))
+		}
+		r.Insert(T("URL", LinkValue(fmt.Sprintf("p%d", i)), "L", lv))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Unnest("L"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTupleKey(b *testing.B) {
+	t := textTuple("A", "alpha", "B", "beta", "C", "gamma")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t.Key()
+	}
+}

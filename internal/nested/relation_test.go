@@ -1,0 +1,567 @@
+package nested
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func flatType(names ...string) *TupleType {
+	fields := make([]Field, len(names))
+	for i, n := range names {
+		fields[i] = Field{Name: n, Type: Text()}
+	}
+	return MustTupleType(fields...)
+}
+
+func textTuple(pairs ...string) Tuple {
+	if len(pairs)%2 != 0 {
+		panic("textTuple: odd pairs")
+	}
+	args := make([]any, 0, len(pairs))
+	for i := 0; i < len(pairs); i += 2 {
+		args = append(args, pairs[i], TextValue(pairs[i+1]))
+	}
+	return T(args...)
+}
+
+func TestRelationInsertSetSemantics(t *testing.T) {
+	r := NewRelation(flatType("A"))
+	if !r.Insert(textTuple("A", "x")) {
+		t.Error("first insert should succeed")
+	}
+	if r.Insert(textTuple("A", "x")) {
+		t.Error("duplicate insert should be rejected")
+	}
+	if r.Len() != 1 {
+		t.Errorf("len = %d", r.Len())
+	}
+	if !r.Contains(textTuple("A", "x")) {
+		t.Error("Contains failed")
+	}
+}
+
+func TestFromTuplesValidates(t *testing.T) {
+	tt := flatType("A")
+	if _, err := FromTuples(tt, T("A", LinkValue("u"))); err == nil {
+		t.Error("ill-typed tuple should be rejected")
+	}
+	r, err := FromTuples(tt, textTuple("A", "x"), textTuple("A", "y"), textTuple("A", "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Errorf("len = %d, want 2 (set semantics)", r.Len())
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r, _ := FromTuples(flatType("A", "B"),
+		textTuple("A", "x", "B", "1"),
+		textTuple("A", "y", "B", "2"),
+		textTuple("A", "x", "B", "3"),
+	)
+	s, err := r.Select(Eq("A", "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("select len = %d", s.Len())
+	}
+	if _, err := r.Select(Eq("Z", "x")); err == nil {
+		t.Error("selection on missing attribute should error")
+	}
+}
+
+func TestSelectNullSemantics(t *testing.T) {
+	tt := MustTupleType(Field{Name: "A", Type: Text(), Optional: true})
+	r, _ := FromTuples(tt, T("A", Null))
+	s, err := r.Select(Eq("A", "x"))
+	if err != nil || s.Len() != 0 {
+		t.Errorf("null should not satisfy equality: %v %v", s, err)
+	}
+	s2, err := r.Select(ConstPred{Attr: "A", Op: OpNe, Val: TextValue("x")})
+	if err != nil || s2.Len() != 0 {
+		t.Errorf("null should not satisfy ≠ either: %v %v", s2, err)
+	}
+}
+
+func TestProject(t *testing.T) {
+	r, _ := FromTuples(flatType("A", "B"),
+		textTuple("A", "x", "B", "1"),
+		textTuple("A", "x", "B", "2"),
+	)
+	p, err := r.Project([]string{"A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 {
+		t.Errorf("projection should deduplicate: len = %d", p.Len())
+	}
+	if p.Type() == nil || len(p.Type().Fields) != 1 {
+		t.Error("projection should narrow the type")
+	}
+	if _, err := r.Project([]string{"Z"}); err == nil {
+		t.Error("projection on missing attribute should error")
+	}
+}
+
+func TestRename(t *testing.T) {
+	r, _ := FromTuples(flatType("A"), textTuple("A", "x"))
+	rn, err := r.Rename(map[string]string{"A": "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn.Type().Index("B") != 0 {
+		t.Error("rename should rewrite the type")
+	}
+	if _, ok := rn.Tuples()[0].Get("B"); !ok {
+		t.Error("rename should rewrite tuples")
+	}
+}
+
+func TestJoinHash(t *testing.T) {
+	l, _ := FromTuples(flatType("A", "B"),
+		textTuple("A", "1", "B", "x"),
+		textTuple("A", "2", "B", "y"),
+	)
+	r, _ := FromTuples(flatType("C", "D"),
+		textTuple("C", "x", "D", "p"),
+		textTuple("C", "x", "D", "q"),
+		textTuple("C", "z", "D", "r"),
+	)
+	j, err := l.Join(r, []EqCond{{Left: "B", Right: "C"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 2 {
+		t.Errorf("join len = %d, want 2", j.Len())
+	}
+	for _, tup := range j.Tuples() {
+		if tup.MustGet("A").String() != "1" {
+			t.Errorf("unexpected join tuple %v", tup)
+		}
+		if tup.Arity() != 4 {
+			t.Errorf("join tuple arity = %d", tup.Arity())
+		}
+	}
+}
+
+func TestJoinSwappedBuildSide(t *testing.T) {
+	// Left smaller than right: exercises the build/probe swap path; the
+	// output attribute order must still be left-then-right.
+	l, _ := FromTuples(flatType("A"), textTuple("A", "x"))
+	r, _ := FromTuples(flatType("B", "C"),
+		textTuple("B", "x", "C", "1"),
+		textTuple("B", "x", "C", "2"),
+		textTuple("B", "y", "C", "3"),
+	)
+	j, err := l.Join(r, []EqCond{{Left: "A", Right: "B"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 2 {
+		t.Errorf("join len = %d, want 2", j.Len())
+	}
+	names := j.Tuples()[0].Names()
+	if names[0] != "A" || names[1] != "B" {
+		t.Errorf("attribute order not preserved under swap: %v", names)
+	}
+}
+
+func TestJoinCartesianAndNulls(t *testing.T) {
+	l, _ := FromTuples(flatType("A"), textTuple("A", "1"), textTuple("A", "2"))
+	r, _ := FromTuples(flatType("B"), textTuple("B", "x"))
+	j, err := l.Join(r, nil)
+	if err != nil || j.Len() != 2 {
+		t.Errorf("cartesian product len = %d, err = %v", j.Len(), err)
+	}
+	// Nulls never join.
+	tt := MustTupleType(Field{Name: "A", Type: Text(), Optional: true})
+	ln, _ := FromTuples(tt, T("A", Null))
+	rn, _ := FromTuples(MustTupleType(Field{Name: "B", Type: Text(), Optional: true}), T("B", Null))
+	jn, err := ln.Join(rn, []EqCond{{Left: "A", Right: "B"}})
+	if err != nil || jn.Len() != 0 {
+		t.Errorf("null join should be empty: %v %v", jn, err)
+	}
+	if _, err := l.Join(r, []EqCond{{Left: "Z", Right: "B"}}); err == nil {
+		t.Error("join on missing attribute should error")
+	}
+}
+
+func profListType() *TupleType {
+	return MustTupleType(
+		Field{Name: "URL", Type: Link("ProfListPage")},
+		Field{Name: "ProfList", Type: List(
+			Field{Name: "ProfName", Type: Text()},
+			Field{Name: "ToProf", Type: Link("ProfPage")},
+		)},
+	)
+}
+
+func TestUnnest(t *testing.T) {
+	tt := profListType()
+	r, err := FromTuples(tt, T(
+		"URL", LinkValue("plp"),
+		"ProfList", ListValue{
+			T("ProfName", TextValue("Ada"), "ToProf", LinkValue("p1")),
+			T("ProfName", TextValue("Bob"), "ToProf", LinkValue("p2")),
+		},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := r.Unnest("ProfList")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 2 {
+		t.Errorf("unnest len = %d", u.Len())
+	}
+	tup := u.Sorted()[0]
+	if _, ok := tup.Get("ProfList.ProfName"); !ok {
+		t.Errorf("promoted attribute missing: %v", tup.Names())
+	}
+	if _, ok := tup.Get("ProfList"); ok {
+		t.Error("list attribute should be removed after unnest")
+	}
+	if u.Type().Index("ProfList.ToProf") < 0 {
+		t.Error("unnest should compute the promoted type")
+	}
+}
+
+func TestUnnestEmptyAndNull(t *testing.T) {
+	tt := MustTupleType(
+		Field{Name: "URL", Type: Link("P")},
+		Field{Name: "L", Type: List(Field{Name: "A", Type: Text()}), Optional: true},
+	)
+	r, _ := FromTuples(tt,
+		T("URL", LinkValue("u1"), "L", ListValue{}),
+		T("URL", LinkValue("u2"), "L", Null),
+		T("URL", LinkValue("u3"), "L", ListValue{T("A", TextValue("x"))}),
+	)
+	u, err := r.Unnest("L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 1 {
+		t.Errorf("unnest of empty/null lists should drop tuples: len = %d", u.Len())
+	}
+}
+
+func TestUnnestErrors(t *testing.T) {
+	r, _ := FromTuples(flatType("A"), textTuple("A", "x"))
+	if _, err := r.Unnest("A"); err == nil {
+		t.Error("unnest of non-list attribute should error")
+	}
+	if _, err := r.Unnest("Z"); err == nil {
+		t.Error("unnest of missing attribute should error")
+	}
+}
+
+func TestNestInverseOfUnnest(t *testing.T) {
+	tt := profListType()
+	orig, _ := FromTuples(tt, T(
+		"URL", LinkValue("plp"),
+		"ProfList", ListValue{
+			T("ProfName", TextValue("Ada"), "ToProf", LinkValue("p1")),
+			T("ProfName", TextValue("Bob"), "ToProf", LinkValue("p2")),
+		},
+	))
+	u, err := orig.Unnest("ProfList")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := u.Nest("ProfList", []string{"ProfList.ProfName", "ProfList.ToProf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Len() != 1 {
+		t.Fatalf("nest len = %d", n.Len())
+	}
+	lv, _ := n.Tuples()[0].Get("ProfList")
+	if len(lv.(ListValue)) != 2 {
+		t.Errorf("nest should regroup both elements: %v", lv)
+	}
+}
+
+func TestUnionMinus(t *testing.T) {
+	a, _ := FromTuples(flatType("A"), textTuple("A", "1"), textTuple("A", "2"))
+	b, _ := FromTuples(flatType("A"), textTuple("A", "2"), textTuple("A", "3"))
+	u, err := a.Union(b)
+	if err != nil || u.Len() != 3 {
+		t.Errorf("union len = %d, err = %v", u.Len(), err)
+	}
+	m := a.Minus(b)
+	if m.Len() != 1 || !m.Contains(textTuple("A", "1")) {
+		t.Errorf("minus = %v", m)
+	}
+	c, _ := FromTuples(flatType("B"), textTuple("B", "1"))
+	if _, err := a.Union(c); err == nil {
+		t.Error("union of incompatible types should error")
+	}
+}
+
+func TestDistinctValues(t *testing.T) {
+	tt := MustTupleType(Field{Name: "A", Type: Text(), Optional: true})
+	r, _ := FromTuples(tt,
+		T("A", TextValue("x")),
+		T("A", TextValue("y")),
+		T("A", Null),
+	)
+	r.Insert(T("A", TextValue("x"))) // duplicate, rejected anyway
+	vals, err := r.DistinctValues("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 {
+		t.Errorf("distinct = %v", vals)
+	}
+	if _, err := r.DistinctValues("Z"); err == nil {
+		t.Error("missing attribute should error")
+	}
+}
+
+func TestRelationEqualAndString(t *testing.T) {
+	a, _ := FromTuples(flatType("A"), textTuple("A", "1"), textTuple("A", "2"))
+	b, _ := FromTuples(flatType("A"), textTuple("A", "2"), textTuple("A", "1"))
+	if !a.Equal(b) {
+		t.Error("relations equal as sets should be Equal")
+	}
+	c, _ := FromTuples(flatType("A"), textTuple("A", "1"))
+	if a.Equal(c) {
+		t.Error("different cardinality should differ")
+	}
+	d, _ := FromTuples(flatType("A"), textTuple("A", "1"), textTuple("A", "3"))
+	if a.Equal(d) {
+		t.Error("different tuples should differ")
+	}
+	if a.String() != "<A: 1>\n<A: 2>\n" {
+		t.Errorf("String() = %q", a.String())
+	}
+}
+
+func TestNamesFallback(t *testing.T) {
+	r := NewRelation(nil)
+	if r.Names() != nil {
+		t.Error("empty untyped relation should have nil names")
+	}
+	r.Insert(textTuple("A", "x"))
+	if got := r.Names(); len(got) != 1 || got[0] != "A" {
+		t.Errorf("Names() = %v", got)
+	}
+}
+
+// relGen generates small random flat relations over attributes A, B.
+type relGen struct{ R *Relation }
+
+// Generate implements quick.Generator.
+func (relGen) Generate(r *rand.Rand, _ int) reflect.Value {
+	rel := NewRelation(flatType("A", "B"))
+	n := r.Intn(12)
+	for i := 0; i < n; i++ {
+		rel.Insert(textTuple("A", randomString(r), "B", randomString(r)))
+	}
+	return reflect.ValueOf(relGen{R: rel})
+}
+
+// Property: σ distributes over ∪, and π(σ(R)) ⊆ π(R).
+func TestSelectUnionProperties(t *testing.T) {
+	prop := func(g1, g2 relGen) bool {
+		p := Eq("A", "abc")
+		u, err := g1.R.Union(g2.R)
+		if err != nil {
+			return false
+		}
+		su, err := u.Select(p)
+		if err != nil {
+			return false
+		}
+		s1, _ := g1.R.Select(p)
+		s2, _ := g2.R.Select(p)
+		us, err := s1.Union(s2)
+		if err != nil {
+			return false
+		}
+		if !su.Equal(us) {
+			return false
+		}
+		ps, _ := s1.Project([]string{"A"})
+		pr, _ := g1.R.Project([]string{"A"})
+		for _, tup := range ps.Tuples() {
+			if !pr.Contains(tup) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: join is commutative up to attribute order (same tuple count),
+// and joining with self on all attributes is identity (Rule 4's algebraic
+// basis: R ⋈ R = R).
+func TestJoinProperties(t *testing.T) {
+	prop := func(g relGen) bool {
+		// Self-join on both attributes after renaming one side.
+		ren, err := g.R.Rename(map[string]string{"A": "A2", "B": "B2"})
+		if err != nil {
+			return false
+		}
+		j, err := g.R.Join(ren, []EqCond{{Left: "A", Right: "A2"}, {Left: "B", Right: "B2"}})
+		if err != nil {
+			return false
+		}
+		// Every original tuple matches itself at least once.
+		if j.Len() < g.R.Len() {
+			return false
+		}
+		// Commutativity of cardinality.
+		j2, err := ren.Join(g.R, []EqCond{{Left: "A2", Right: "A"}, {Left: "B2", Right: "B"}})
+		if err != nil {
+			return false
+		}
+		return j.Len() == j2.Len()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Unnest(Nest(R)) = R for flat relations grouped on one attribute.
+func TestNestUnnestRoundTrip(t *testing.T) {
+	prop := func(g relGen) bool {
+		n, err := g.R.Nest("L", []string{"B"})
+		if err != nil {
+			return false
+		}
+		u, err := n.Unnest("L")
+		if err != nil {
+			return false
+		}
+		back, err := u.Rename(map[string]string{"L.B": "B"})
+		if err != nil {
+			return false
+		}
+		return back.Equal(g.R)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredicateStringsAndAttrs(t *testing.T) {
+	p := And(Eq("Session", "Fall"), ConstPred{Attr: "Rank", Op: OpEq, Val: TextValue("Full")})
+	if got := p.String(); got != "Session='Fall', Rank='Full'" {
+		t.Errorf("And string = %q", got)
+	}
+	attrs := p.Attrs(nil)
+	if len(attrs) != 2 || attrs[0] != "Session" || attrs[1] != "Rank" {
+		t.Errorf("attrs = %v", attrs)
+	}
+	ap := AttrPred{Left: "A", Op: OpLt, Right: "B"}
+	if ap.String() != "A<B" {
+		t.Errorf("AttrPred string = %q", ap.String())
+	}
+	if got := ap.Attrs(nil); len(got) != 2 {
+		t.Errorf("AttrPred attrs = %v", got)
+	}
+}
+
+func TestAttrPredEval(t *testing.T) {
+	tup := T("A", TextValue("1"), "B", TextValue("2"), "N", Null)
+	cases := []struct {
+		p    AttrPred
+		want bool
+	}{
+		{AttrPred{Left: "A", Op: OpLt, Right: "B"}, true},
+		{AttrPred{Left: "A", Op: OpEq, Right: "B"}, false},
+		{AttrPred{Left: "B", Op: OpGe, Right: "A"}, true},
+		{AttrPred{Left: "A", Op: OpNe, Right: "B"}, true},
+		{AttrPred{Left: "A", Op: OpEq, Right: "N"}, false},
+		{AttrPred{Left: "A", Op: OpLe, Right: "A"}, true},
+		{AttrPred{Left: "A", Op: OpGt, Right: "B"}, false},
+	}
+	for _, c := range cases {
+		got, err := c.p.Eval(tup)
+		if err != nil {
+			t.Fatalf("%s: %v", c.p, err)
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := (AttrPred{Left: "Z", Op: OpEq, Right: "A"}).Eval(tup); err == nil {
+		t.Error("missing left attr should error")
+	}
+	if _, err := (AttrPred{Left: "A", Op: OpEq, Right: "Z"}).Eval(tup); err == nil {
+		t.Error("missing right attr should error")
+	}
+}
+
+func TestAndFlattening(t *testing.T) {
+	inner := And(Eq("A", "1"), Eq("B", "2"))
+	outer := And(inner, Eq("C", "3"), nil)
+	ap, ok := outer.(AndPred)
+	if !ok || len(ap) != 3 {
+		t.Errorf("And should flatten: %#v", outer)
+	}
+	single := And(Eq("A", "1"))
+	if _, ok := single.(ConstPred); !ok {
+		t.Errorf("And of one predicate should unwrap: %#v", single)
+	}
+	empty := And()
+	ok2, err := empty.Eval(T("A", TextValue("x")))
+	if err != nil || !ok2 {
+		t.Error("empty conjunction should be true")
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	ops := map[CmpOp]string{OpEq: "=", OpNe: "≠", OpLt: "<", OpLe: "≤", OpGt: ">", OpGe: "≥", CmpOp(42): "CmpOp(42)"}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(op), op.String(), want)
+		}
+	}
+}
+
+func TestAndPredEvalErrorPropagation(t *testing.T) {
+	p := And(Eq("A", "x"), Eq("Missing", "y"))
+	tup := textTuple("A", "x")
+	if _, err := p.Eval(tup); err == nil {
+		t.Error("missing attribute inside conjunction should error")
+	}
+	// Short-circuit: first conjunct false, second would error — the
+	// conjunction reports false without error.
+	p2 := And(Eq("A", "not-x"), Eq("Missing", "y"))
+	ok, err := p2.Eval(tup)
+	if err != nil || ok {
+		t.Errorf("short-circuit failed: %v %v", ok, err)
+	}
+}
+
+func TestConstPredCmpOps(t *testing.T) {
+	tup := textTuple("A", "m")
+	cases := []struct {
+		op   CmpOp
+		val  string
+		want bool
+	}{
+		{OpEq, "m", true}, {OpNe, "m", false}, {OpNe, "z", true},
+		{OpLt, "z", true}, {OpLe, "m", true}, {OpGt, "a", true},
+		{OpGe, "m", true}, {OpGe, "z", false},
+	}
+	for _, c := range cases {
+		got, err := (ConstPred{Attr: "A", Op: c.op, Val: TextValue(c.val)}).Eval(tup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("A %s %q = %v, want %v", c.op, c.val, got, c.want)
+		}
+	}
+}

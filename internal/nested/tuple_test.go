@@ -1,0 +1,219 @@
+package nested
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTupleValidation(t *testing.T) {
+	if _, err := NewTuple([]string{"A"}, nil); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, err := NewTuple([]string{"A", "A"}, []Value{TextValue("x"), TextValue("y")}); err == nil {
+		t.Error("duplicate attribute should error")
+	}
+	if _, err := NewTuple([]string{""}, []Value{TextValue("x")}); err == nil {
+		t.Error("empty attribute name should error")
+	}
+	if _, err := NewTuple([]string{"A"}, []Value{nil}); err == nil {
+		t.Error("nil value should error")
+	}
+}
+
+func TestTHelperPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"odd args":   func() { T("A") },
+		"non-string": func() { T(3, TextValue("x")) },
+		"non-value":  func() { T("A", "raw string") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTupleAccessors(t *testing.T) {
+	tup := T("A", TextValue("x"), "B", LinkValue("u"))
+	if tup.Arity() != 2 {
+		t.Errorf("arity = %d", tup.Arity())
+	}
+	v, ok := tup.Get("B")
+	if !ok || v.String() != "u" {
+		t.Errorf("Get(B) = %v, %v", v, ok)
+	}
+	if _, ok := tup.Get("C"); ok {
+		t.Error("Get on missing should report false")
+	}
+	if tup.At(0).String() != "x" {
+		t.Error("At(0) wrong")
+	}
+	if tup.MustGet("A").String() != "x" {
+		t.Error("MustGet wrong")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustGet on missing attr should panic")
+			}
+		}()
+		tup.MustGet("missing")
+	}()
+}
+
+func TestTupleWithWithout(t *testing.T) {
+	tup := T("A", TextValue("x"))
+	t2 := tup.With("B", TextValue("y"))
+	if t2.Arity() != 2 || tup.Arity() != 1 {
+		t.Error("With should not mutate the receiver")
+	}
+	t3 := t2.With("A", TextValue("z"))
+	if t3.MustGet("A").String() != "z" || t2.MustGet("A").String() != "x" {
+		t.Error("With override wrong or mutated receiver")
+	}
+	t4 := t2.Without("A")
+	if t4.Arity() != 1 || t2.Arity() != 2 {
+		t.Error("Without wrong or mutated receiver")
+	}
+	if t5 := t2.Without("missing"); t5.Arity() != 2 {
+		t.Error("Without on missing attribute should be identity")
+	}
+}
+
+func TestTupleProjectRenameConcat(t *testing.T) {
+	tup := T("A", TextValue("x"), "B", TextValue("y"), "C", TextValue("z"))
+	p, err := tup.Project([]string{"C", "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String(); got != "<C: z, A: x>" {
+		t.Errorf("project = %q", got)
+	}
+	if _, err := tup.Project([]string{"Z"}); err == nil {
+		t.Error("project on missing attribute should error")
+	}
+	r := tup.Rename(map[string]string{"A": "AA"})
+	if _, ok := r.Get("AA"); !ok {
+		t.Error("rename failed")
+	}
+	if _, ok := r.Get("A"); ok {
+		t.Error("old name should be gone")
+	}
+	c, err := T("X", TextValue("1")).Concat(T("Y", TextValue("2")))
+	if err != nil || c.Arity() != 2 {
+		t.Errorf("concat: %v %v", c, err)
+	}
+	if _, err := tup.Concat(tup); err == nil {
+		t.Error("concat with overlapping attributes should error")
+	}
+}
+
+func TestTupleKeyOrderInsensitive(t *testing.T) {
+	a := T("A", TextValue("x"), "B", TextValue("y"))
+	b := T("B", TextValue("y"), "A", TextValue("x"))
+	if a.Key() != b.Key() {
+		t.Error("key should be attribute-order insensitive")
+	}
+	if !a.Equal(b) {
+		t.Error("tuples equal up to order should be Equal")
+	}
+	c := T("A", TextValue("y"), "B", TextValue("x"))
+	if a.Equal(c) {
+		t.Error("swapped values should differ")
+	}
+	d := T("A", TextValue("x"))
+	if a.Equal(d) {
+		t.Error("different arity should differ")
+	}
+}
+
+func TestTupleCheckAgainst(t *testing.T) {
+	tt := MustTupleType(
+		Field{Name: "URL", Type: Link("Self")},
+		Field{Name: "Name", Type: Text()},
+		Field{Name: "Email", Type: Text(), Optional: true},
+	)
+	good := T("URL", LinkValue("u"), "Name", TextValue("n"), "Email", Null)
+	if err := good.CheckAgainst(tt); err != nil {
+		t.Errorf("valid tuple rejected: %v", err)
+	}
+	badNull := T("URL", LinkValue("u"), "Name", Null, "Email", Null)
+	if err := badNull.CheckAgainst(tt); err == nil {
+		t.Error("null for non-optional attribute should be rejected")
+	}
+	badType := T("URL", TextValue("u"), "Name", TextValue("n"), "Email", Null)
+	if err := badType.CheckAgainst(tt); err == nil {
+		t.Error("text where link expected should be rejected")
+	}
+	missing := T("URL", LinkValue("u"), "Name", TextValue("n"), "Wrong", Null)
+	if err := missing.CheckAgainst(tt); err == nil {
+		t.Error("wrong attribute set should be rejected")
+	}
+	short := T("URL", LinkValue("u"))
+	if err := short.CheckAgainst(tt); err == nil {
+		t.Error("missing attributes should be rejected")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tup := T("A", TextValue("x"), "L", ListValue{T("B", TextValue("y"))})
+	want := "<A: x, L: [<B: y>]>"
+	if got := tup.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// randomFlatTuple builds a random flat tuple over a fixed attribute pool.
+type randomFlatTuple struct{ T Tuple }
+
+// Generate implements quick.Generator.
+func (randomFlatTuple) Generate(r *rand.Rand, _ int) reflect.Value {
+	pool := []string{"A", "B", "C", "D", "E"}
+	n := 1 + r.Intn(len(pool))
+	names := append([]string(nil), pool[:n]...)
+	// Shuffle names so attribute order varies.
+	r.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+	vals := make([]Value, n)
+	for i := range vals {
+		vals[i] = randomScalar(r)
+	}
+	return reflect.ValueOf(randomFlatTuple{T: MustTuple(names, vals)})
+}
+
+// Property: projecting a tuple on all of its attributes (in sorted order)
+// yields an Equal tuple, and Key is stable under With+Without round trip.
+func TestTupleProperties(t *testing.T) {
+	prop := func(rt randomFlatTuple) bool {
+		tup := rt.T
+		names := append([]string(nil), tup.Names()...)
+		p, err := tup.Project(names)
+		if err != nil || !p.Equal(tup) {
+			return false
+		}
+		// Adding then removing a fresh attribute restores equality.
+		mod := tup.With("Z", TextValue("zz")).Without("Z")
+		return mod.Equal(tup)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tuple keys never collide for tuples with different value maps.
+func TestTupleKeySeparatesValues(t *testing.T) {
+	a := T("A", TextValue("x|B=y"), "B", TextValue("z"))
+	b := T("A", TextValue("x"), "B", TextValue("y|z"))
+	if a.Key() == b.Key() {
+		t.Error("key collision across attribute boundaries")
+	}
+	if !strings.Contains(a.Key(), "A=") {
+		t.Error("key should embed attribute names")
+	}
+}

@@ -1,0 +1,223 @@
+// Package nested implements the nested-relational substrate underlying the
+// Araneus data model: web types, nested tuples and relations in Partitioned
+// Normal Form (PNF), and the classical nested-relational operators
+// (selection, projection, join, unnest, nest) that the navigational algebra
+// of Mecca, Mendelzon and Merialdo (EDBT 1998) is defined over.
+package nested
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates web types. Following §3.1 of the paper, a web type is
+// either a mono-valued base type (text, image, link) or a multi-valued list
+// of tuples whose components are themselves web types.
+type Kind int
+
+const (
+	// KindText is the base type of textual attributes.
+	KindText Kind = iota
+	// KindImage is the base type of image attributes; values carry the
+	// image source reference.
+	KindImage
+	// KindLink is the type of hypertext links. A link value is a reference
+	// (URL); anchors are modeled as independent text attributes (§3.1).
+	KindLink
+	// KindList is the multi-valued type "list of (A1:T1, ..., An:Tn)".
+	KindList
+)
+
+// String reports the conventional name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindText:
+		return "text"
+	case KindImage:
+		return "image"
+	case KindLink:
+		return "link"
+	case KindList:
+		return "list"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Type describes a web type: a base type, a link type (with its target
+// page-scheme name), or a list-of-tuples type.
+type Type struct {
+	Kind Kind
+	// Target is the name of the page-scheme a link points to.
+	// Meaningful only when Kind == KindLink.
+	Target string
+	// Elem describes the component attributes of a list type.
+	// Meaningful only when Kind == KindList.
+	Elem []Field
+}
+
+// Field is a named, typed attribute of a tuple type or list element type.
+// Optional fields may hold Null values (§3.1: "some attributes may be
+// optional; in this case, they may generate null values").
+type Field struct {
+	Name     string
+	Type     Type
+	Optional bool
+}
+
+// Text returns the text base type.
+func Text() Type { return Type{Kind: KindText} }
+
+// Image returns the image base type.
+func Image() Type { return Type{Kind: KindImage} }
+
+// Link returns a link type pointing to the page-scheme named target.
+func Link(target string) Type { return Type{Kind: KindLink, Target: target} }
+
+// List returns a list-of-tuples type with the given element fields.
+func List(elem ...Field) Type { return Type{Kind: KindList, Elem: elem} }
+
+// Mono reports whether the type is mono-valued (text, image or link).
+func (t Type) Mono() bool { return t.Kind != KindList }
+
+// String renders the type in the paper's notation.
+func (t Type) String() string {
+	switch t.Kind {
+	case KindLink:
+		return "link to " + t.Target
+	case KindList:
+		parts := make([]string, len(t.Elem))
+		for i, f := range t.Elem {
+			parts[i] = f.Name + ": " + f.Type.String()
+		}
+		return "list of (" + strings.Join(parts, ", ") + ")"
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Equal reports deep structural equality of two types.
+func (t Type) Equal(u Type) bool {
+	if t.Kind != u.Kind || t.Target != u.Target || len(t.Elem) != len(u.Elem) {
+		return false
+	}
+	for i := range t.Elem {
+		if t.Elem[i].Name != u.Elem[i].Name ||
+			t.Elem[i].Optional != u.Elem[i].Optional ||
+			!t.Elem[i].Type.Equal(u.Elem[i].Type) {
+			return false
+		}
+	}
+	return true
+}
+
+// TupleType is the row type of a nested relation: an ordered sequence of
+// named fields. Field order is significant for display but not for equality
+// of tuples, which is by-name.
+type TupleType struct {
+	Fields []Field
+}
+
+// NewTupleType builds a tuple type and validates that field names are
+// non-empty and unique.
+func NewTupleType(fields ...Field) (*TupleType, error) {
+	seen := make(map[string]bool, len(fields))
+	for _, f := range fields {
+		if f.Name == "" {
+			return nil, fmt.Errorf("nested: tuple type with empty field name")
+		}
+		if seen[f.Name] {
+			return nil, fmt.Errorf("nested: duplicate field %q in tuple type", f.Name)
+		}
+		seen[f.Name] = true
+	}
+	return &TupleType{Fields: fields}, nil
+}
+
+// MustTupleType is NewTupleType that panics on error; for statically known
+// schemas in tests and generators.
+func MustTupleType(fields ...Field) *TupleType {
+	tt, err := NewTupleType(fields...)
+	if err != nil {
+		panic(err)
+	}
+	return tt
+}
+
+// Index returns the position of the named field, or -1.
+func (tt *TupleType) Index(name string) int {
+	for i, f := range tt.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Field returns the named field and whether it exists.
+func (tt *TupleType) Field(name string) (Field, bool) {
+	if i := tt.Index(name); i >= 0 {
+		return tt.Fields[i], true
+	}
+	return Field{}, false
+}
+
+// Names returns the field names in declaration order.
+func (tt *TupleType) Names() []string {
+	names := make([]string, len(tt.Fields))
+	for i, f := range tt.Fields {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// Equal reports whether two tuple types have the same fields in the same
+// order with equal types.
+func (tt *TupleType) Equal(other *TupleType) bool {
+	if tt == nil || other == nil {
+		return tt == other
+	}
+	if len(tt.Fields) != len(other.Fields) {
+		return false
+	}
+	for i := range tt.Fields {
+		if tt.Fields[i].Name != other.Fields[i].Name ||
+			tt.Fields[i].Optional != other.Fields[i].Optional ||
+			!tt.Fields[i].Type.Equal(other.Fields[i].Type) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tuple type as "(A1: T1, ..., An: Tn)".
+func (tt *TupleType) String() string {
+	parts := make([]string, len(tt.Fields))
+	for i, f := range tt.Fields {
+		opt := ""
+		if f.Optional {
+			opt = "?"
+		}
+		parts[i] = f.Name + opt + ": " + f.Type.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// SameFieldSet reports whether two tuple types have the same set of field
+// names, ignoring order and types. Used to validate unions.
+func (tt *TupleType) SameFieldSet(other *TupleType) bool {
+	if len(tt.Fields) != len(other.Fields) {
+		return false
+	}
+	a := append([]string(nil), tt.Names()...)
+	b := append([]string(nil), other.Names()...)
+	sort.Strings(a)
+	sort.Strings(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,147 @@
+package nested
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindText:  "text",
+		KindImage: "image",
+		KindLink:  "link",
+		KindList:  "list",
+		Kind(99):  "Kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestTypeConstructorsAndString(t *testing.T) {
+	if got := Text().String(); got != "text" {
+		t.Errorf("Text().String() = %q", got)
+	}
+	if got := Image().String(); got != "image" {
+		t.Errorf("Image().String() = %q", got)
+	}
+	if got := Link("ProfPage").String(); got != "link to ProfPage" {
+		t.Errorf("Link().String() = %q", got)
+	}
+	lt := List(
+		Field{Name: "ProfName", Type: Text()},
+		Field{Name: "ToProf", Type: Link("ProfPage")},
+	)
+	want := "list of (ProfName: text, ToProf: link to ProfPage)"
+	if got := lt.String(); got != want {
+		t.Errorf("List().String() = %q, want %q", got, want)
+	}
+}
+
+func TestTypeMono(t *testing.T) {
+	for _, tt := range []Type{Text(), Image(), Link("P")} {
+		if !tt.Mono() {
+			t.Errorf("%s should be mono-valued", tt)
+		}
+	}
+	if List().Mono() {
+		t.Error("list type should be multi-valued")
+	}
+}
+
+func TestTypeEqual(t *testing.T) {
+	a := List(Field{Name: "A", Type: Text()}, Field{Name: "L", Type: Link("P")})
+	b := List(Field{Name: "A", Type: Text()}, Field{Name: "L", Type: Link("P")})
+	if !a.Equal(b) {
+		t.Error("identical list types should be equal")
+	}
+	c := List(Field{Name: "A", Type: Text()}, Field{Name: "L", Type: Link("Q")})
+	if a.Equal(c) {
+		t.Error("list types with different link targets should differ")
+	}
+	d := List(Field{Name: "A", Type: Text()})
+	if a.Equal(d) {
+		t.Error("list types with different arity should differ")
+	}
+	if Text().Equal(Image()) {
+		t.Error("text should not equal image")
+	}
+	e := List(Field{Name: "A", Type: Text(), Optional: true}, Field{Name: "L", Type: Link("P")})
+	if a.Equal(e) {
+		t.Error("optionality should be part of type equality")
+	}
+}
+
+func TestNewTupleTypeValidation(t *testing.T) {
+	if _, err := NewTupleType(Field{Name: "", Type: Text()}); err == nil {
+		t.Error("empty field name should be rejected")
+	}
+	if _, err := NewTupleType(Field{Name: "A", Type: Text()}, Field{Name: "A", Type: Text()}); err == nil {
+		t.Error("duplicate field name should be rejected")
+	}
+	tt, err := NewTupleType(Field{Name: "A", Type: Text()}, Field{Name: "B", Type: Link("P")})
+	if err != nil {
+		t.Fatalf("NewTupleType: %v", err)
+	}
+	if tt.Index("B") != 1 || tt.Index("C") != -1 {
+		t.Error("Index lookup wrong")
+	}
+	f, ok := tt.Field("A")
+	if !ok || f.Type.Kind != KindText {
+		t.Error("Field lookup wrong")
+	}
+	if _, ok := tt.Field("missing"); ok {
+		t.Error("Field on missing name should report false")
+	}
+}
+
+func TestMustTupleTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTupleType should panic on invalid input")
+		}
+	}()
+	MustTupleType(Field{Name: "A", Type: Text()}, Field{Name: "A", Type: Text()})
+}
+
+func TestTupleTypeEqualAndString(t *testing.T) {
+	a := MustTupleType(Field{Name: "A", Type: Text()}, Field{Name: "B", Type: Text(), Optional: true})
+	b := MustTupleType(Field{Name: "A", Type: Text()}, Field{Name: "B", Type: Text(), Optional: true})
+	c := MustTupleType(Field{Name: "B", Type: Text(), Optional: true}, Field{Name: "A", Type: Text()})
+	if !a.Equal(b) {
+		t.Error("equal tuple types reported unequal")
+	}
+	if a.Equal(c) {
+		t.Error("Equal should be order-sensitive")
+	}
+	if !a.SameFieldSet(c) {
+		t.Error("SameFieldSet should be order-insensitive")
+	}
+	if a.Equal(nil) {
+		t.Error("non-nil should not equal nil")
+	}
+	var nilTT *TupleType
+	if !nilTT.Equal(nil) {
+		t.Error("nil should equal nil")
+	}
+	if !strings.Contains(a.String(), "B?: text") {
+		t.Errorf("String should mark optional fields: %s", a)
+	}
+	if got := a.Names(); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Errorf("Names() = %v", got)
+	}
+}
+
+func TestSameFieldSetDifferentLengths(t *testing.T) {
+	a := MustTupleType(Field{Name: "A", Type: Text()})
+	b := MustTupleType(Field{Name: "A", Type: Text()}, Field{Name: "B", Type: Text()})
+	if a.SameFieldSet(b) {
+		t.Error("different arities should not have the same field set")
+	}
+	c := MustTupleType(Field{Name: "C", Type: Text()})
+	if a.SameFieldSet(c) {
+		t.Error("different names should not have the same field set")
+	}
+}

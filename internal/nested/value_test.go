@@ -1,0 +1,212 @@
+package nested
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		null bool
+	}{
+		{TextValue("x"), KindText, false},
+		{ImageValue("logo.gif"), KindImage, false},
+		{LinkValue("http://a/b"), KindLink, false},
+		{ListValue{}, KindList, false},
+		{Null, KindText, true},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v.Kind() = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.IsNull() != c.null {
+			t.Errorf("%v.IsNull() = %v, want %v", c.v, c.v.IsNull(), c.null)
+		}
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !ValueEqual(TextValue("a"), TextValue("a")) {
+		t.Error("equal texts unequal")
+	}
+	if ValueEqual(TextValue("a"), TextValue("b")) {
+		t.Error("different texts equal")
+	}
+	// Same payload, different kind: must differ.
+	if ValueEqual(TextValue("u"), LinkValue("u")) {
+		t.Error("text and link with same payload should differ")
+	}
+	if ValueEqual(TextValue("a"), Null) {
+		t.Error("text equals null")
+	}
+	if !ValueEqual(Null, Null) {
+		t.Error("null should equal null")
+	}
+	if !ValueEqual(nil, nil) {
+		t.Error("nil should equal nil")
+	}
+	if ValueEqual(nil, TextValue("a")) {
+		t.Error("nil equals text")
+	}
+}
+
+func TestListValueSetSemantics(t *testing.T) {
+	t1 := T("A", TextValue("x"))
+	t2 := T("A", TextValue("y"))
+	l1 := ListValue{t1, t2}
+	l2 := ListValue{t2, t1}
+	if !ValueEqual(l1, l2) {
+		t.Error("lists should compare as sets (order-insensitive)")
+	}
+	l3 := ListValue{t1}
+	if ValueEqual(l1, l3) {
+		t.Error("lists of different length should differ")
+	}
+}
+
+// TestValueKeyInjective checks that canonical keys don't collide across
+// adjacent concatenations (the classic "ab"+"c" vs "a"+"bc" pitfall).
+func TestValueKeyInjective(t *testing.T) {
+	a := ListValue{T("A", TextValue("ab"), "B", TextValue("c"))}
+	b := ListValue{T("A", TextValue("a"), "B", TextValue("bc"))}
+	if ValueEqual(a, b) {
+		t.Error("keys collide across value boundaries")
+	}
+}
+
+func TestCompareValues(t *testing.T) {
+	if CompareValues(Null, TextValue("a")) >= 0 {
+		t.Error("null should sort first")
+	}
+	if CompareValues(TextValue("a"), Null) <= 0 {
+		t.Error("non-null vs null should be positive")
+	}
+	if CompareValues(Null, Null) != 0 {
+		t.Error("null vs null should be 0")
+	}
+	if CompareValues(TextValue("a"), TextValue("b")) >= 0 {
+		t.Error("a < b expected")
+	}
+	if CompareValues(TextValue("b"), TextValue("a")) <= 0 {
+		t.Error("b > a expected")
+	}
+	if CompareValues(TextValue("a"), TextValue("a")) != 0 {
+		t.Error("a = a expected")
+	}
+	// Cross-kind ordering is by kind.
+	if CompareValues(TextValue("z"), LinkValue("a")) >= 0 {
+		t.Error("text should sort before link")
+	}
+}
+
+func TestConformsTo(t *testing.T) {
+	if !ConformsTo(TextValue("x"), Text()) {
+		t.Error("text conforms to text")
+	}
+	if ConformsTo(TextValue("x"), Link("P")) {
+		t.Error("text should not conform to link")
+	}
+	if !ConformsTo(LinkValue("u"), Link("P")) {
+		t.Error("link conforms to link")
+	}
+	if !ConformsTo(ImageValue("i"), Image()) {
+		t.Error("image conforms to image")
+	}
+	if !ConformsTo(Null, Text()) {
+		t.Error("null conforms to any type")
+	}
+	if ConformsTo(nil, Text()) {
+		t.Error("nil should not conform")
+	}
+	lt := List(Field{Name: "A", Type: Text()})
+	if !ConformsTo(ListValue{T("A", TextValue("x"))}, lt) {
+		t.Error("well-typed list should conform")
+	}
+	if ConformsTo(ListValue{T("B", TextValue("x"))}, lt) {
+		t.Error("list with wrong element attrs should not conform")
+	}
+	if ConformsTo(TextValue("x"), lt) {
+		t.Error("scalar should not conform to list")
+	}
+	if ConformsTo(ListValue{T("A", LinkValue("u"))}, lt) {
+		t.Error("list with ill-typed element should not conform")
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	if Null.String() != "⊥" {
+		t.Errorf("null string = %q", Null.String())
+	}
+	if got := (ListValue{T("A", TextValue("x"))}).String(); got != "[<A: x>]" {
+		t.Errorf("list string = %q", got)
+	}
+	if got := ImageValue("p.gif").String(); got != "img:p.gif" {
+		t.Errorf("image string = %q", got)
+	}
+}
+
+// randomScalar generates a random scalar Value for property tests.
+func randomScalar(r *rand.Rand) Value {
+	switch r.Intn(4) {
+	case 0:
+		return TextValue(randomString(r))
+	case 1:
+		return ImageValue(randomString(r))
+	case 2:
+		return LinkValue(randomString(r))
+	default:
+		return Null
+	}
+}
+
+func randomString(r *rand.Rand) string {
+	n := r.Intn(8)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+// scalarPair is a quick.Generator producing pairs of random scalars.
+type scalarPair struct{ A, B Value }
+
+// Generate implements quick.Generator.
+func (scalarPair) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(scalarPair{A: randomScalar(r), B: randomScalar(r)})
+}
+
+// Property: ValueEqual is consistent with key equality and is symmetric;
+// CompareValues is antisymmetric and agrees with ValueEqual on zero.
+func TestValueEqualProperties(t *testing.T) {
+	prop := func(p scalarPair) bool {
+		eqAB := ValueEqual(p.A, p.B)
+		eqBA := ValueEqual(p.B, p.A)
+		if eqAB != eqBA {
+			return false
+		}
+		cAB := CompareValues(p.A, p.B)
+		cBA := CompareValues(p.B, p.A)
+		if cAB != -cBA {
+			return false
+		}
+		return eqAB == (cAB == 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ValueEqual is reflexive for every generated scalar.
+func TestValueEqualReflexive(t *testing.T) {
+	prop := func(p scalarPair) bool {
+		return ValueEqual(p.A, p.A) && ValueEqual(p.B, p.B)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+package rewrite
+
+import (
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ulixes/internal/nalg"
+)
+
+var aliasToken = regexp.MustCompile(`[A-Za-z0-9_]+\$[A-Za-z0-9_]+`)
+
+// CanonKey renders an expression with instance aliases normalized to their
+// order of first appearance. Plans that differ only in which atom's aliases
+// survived a Rule 4 merge compute the same relation, so enumeration
+// deduplicates on this key rather than the raw rendering.
+func CanonKey(e nalg.Expr) string {
+	s := e.String()
+	if !strings.Contains(s, "$") {
+		return s
+	}
+	next := 0
+	seen := make(map[string]string)
+	return aliasToken.ReplaceAllStringFunc(s, func(tok string) string {
+		i := strings.IndexByte(tok, '$')
+		atom, scheme := tok[:i], tok[i+1:]
+		nn, ok := seen[atom]
+		if !ok {
+			nn = "a" + strconv.Itoa(next)
+			next++
+			seen[atom] = nn
+		}
+		return nn + "$" + scheme
+	})
+}
+
+// DefaultMaxPlans bounds the plan set each expansion phase may produce.
+// Conjunctive queries over a handful of external relations stay well under
+// it; the bound is a safety valve against rule interactions.
+const DefaultMaxPlans = 4096
+
+// variants returns every whole-tree rewrite obtained by firing one enabled
+// rule at one node of e. Column maps carried by a rewrite are applied to
+// all enclosing operators on the way back up.
+func (rw *Rewriter) variants(e nalg.Expr) []nalg.Expr {
+	var out []nalg.Expr
+	for _, r := range rw.ruleResults(e) {
+		out = append(out, r.e)
+	}
+	kids := e.Children()
+	for i, kid := range kids {
+		for _, r := range rw.variantsWithMap(kid) {
+			newKids := make([]nalg.Expr, len(kids))
+			copy(newKids, kids)
+			newKids[i] = r.e
+			out = append(out, substNode(e, newKids, r.colmap))
+		}
+	}
+	return out
+}
+
+// variantsWithMap is variants keeping the column maps, for recursion.
+func (rw *Rewriter) variantsWithMap(e nalg.Expr) []result {
+	out := rw.ruleResults(e)
+	kids := e.Children()
+	for i, kid := range kids {
+		for _, r := range rw.variantsWithMap(kid) {
+			newKids := make([]nalg.Expr, len(kids))
+			copy(newKids, kids)
+			newKids[i] = r.e
+			out = append(out, result{e: substNode(e, newKids, r.colmap), colmap: r.colmap, rule: r.rule})
+		}
+	}
+	return out
+}
+
+// Expand computes the closure of the seed expressions under the enabled
+// rules, keeping only candidates that still type-check against the scheme.
+// The result is deterministic (sorted by canonical rendering) and bounded
+// by maxPlans.
+func (rw *Rewriter) Expand(seeds []nalg.Expr, maxPlans int) []nalg.Expr {
+	if maxPlans <= 0 {
+		maxPlans = DefaultMaxPlans
+	}
+	seen := make(map[string]bool)
+	var all []nalg.Expr
+	var queue []nalg.Expr
+	push := func(e nalg.Expr) {
+		if rw.schema(e) == nil {
+			return
+		}
+		k := CanonKey(e)
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		all = append(all, e)
+		queue = append(queue, e)
+	}
+	for _, s := range seeds {
+		push(s)
+	}
+	for len(queue) > 0 && len(all) < maxPlans {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, v := range rw.variants(cur) {
+			if len(all) >= maxPlans {
+				break
+			}
+			push(v)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].String() < all[j].String() })
+	return all
+}

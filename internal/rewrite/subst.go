@@ -1,0 +1,147 @@
+// Package rewrite implements the NALG rewriting rules of §6.1 of the paper
+// (Rules 1–9) and the bounded exhaustive plan enumeration that Algorithm 1
+// drives. Rules are whole-tree transformations: a rule fires at a node and
+// may carry a column-substitution map that the enumerator applies to all
+// enclosing operators (needed when a rewrite merges two navigations and one
+// set of column names disappears).
+package rewrite
+
+import (
+	"ulixes/internal/nalg"
+	"ulixes/internal/nested"
+)
+
+// substPred rewrites the column names a predicate references.
+func substPred(p nested.Predicate, m map[string]string) nested.Predicate {
+	switch q := p.(type) {
+	case nested.ConstPred:
+		if nn, ok := m[q.Attr]; ok {
+			q.Attr = nn
+		}
+		return q
+	case nested.AttrPred:
+		if nn, ok := m[q.Left]; ok {
+			q.Left = nn
+		}
+		if nn, ok := m[q.Right]; ok {
+			q.Right = nn
+		}
+		return q
+	case nested.AndPred:
+		out := make(nested.AndPred, len(q))
+		for i, sub := range q {
+			out[i] = substPred(sub, m)
+		}
+		return out
+	default:
+		return p
+	}
+}
+
+// substPredFn rewrites predicate column references through a function.
+func substPredFn(p nested.Predicate, get func(string) string) nested.Predicate {
+	switch q := p.(type) {
+	case nested.ConstPred:
+		q.Attr = get(q.Attr)
+		return q
+	case nested.AttrPred:
+		q.Left = get(q.Left)
+		q.Right = get(q.Right)
+		return q
+	case nested.AndPred:
+		out := make(nested.AndPred, len(q))
+		for i, sub := range q {
+			out[i] = substPredFn(sub, get)
+		}
+		return out
+	default:
+		return p
+	}
+}
+
+// substCols rewrites every column reference in an expression tree according
+// to the map. It renames references only — aliases embedded in scans stay
+// untouched, so it must only be used with maps produced by rules that
+// eliminate the mapped columns' producer.
+func substCols(e nalg.Expr, m map[string]string) nalg.Expr {
+	if len(m) == 0 {
+		return e
+	}
+	get := func(name string) string {
+		if nn, ok := m[name]; ok {
+			return nn
+		}
+		return name
+	}
+	switch x := e.(type) {
+	case *nalg.ExtScan, *nalg.EntryScan:
+		return e
+	case *nalg.Unnest:
+		return &nalg.Unnest{In: substCols(x.In, m), Attr: get(x.Attr)}
+	case *nalg.Follow:
+		return &nalg.Follow{In: substCols(x.In, m), Link: get(x.Link), Target: x.Target, Alias: x.Alias}
+	case *nalg.Select:
+		return &nalg.Select{In: substCols(x.In, m), Pred: substPred(x.Pred, m)}
+	case *nalg.Project:
+		cols := make([]string, len(x.Cols))
+		for i, c := range x.Cols {
+			cols[i] = get(c)
+		}
+		return &nalg.Project{In: substCols(x.In, m), Cols: cols}
+	case *nalg.Join:
+		conds := make([]nested.EqCond, len(x.Conds))
+		for i, c := range x.Conds {
+			conds[i] = nested.EqCond{Left: get(c.Left), Right: get(c.Right)}
+		}
+		return &nalg.Join{L: substCols(x.L, m), R: substCols(x.R, m), Conds: conds}
+	case *nalg.Rename:
+		nm := make(map[string]string, len(x.Map))
+		for old, nn := range x.Map {
+			nm[get(old)] = nn
+		}
+		return &nalg.Rename{In: substCols(x.In, m), Map: nm}
+	default:
+		return e
+	}
+}
+
+// substNode rewrites the column references of a single node (not its
+// children), plugging in the given children. It is the shallow counterpart
+// of substCols used by the enumerator when a child rewrite carries a column
+// map upward.
+func substNode(e nalg.Expr, kids []nalg.Expr, m map[string]string) nalg.Expr {
+	get := func(name string) string {
+		if nn, ok := m[name]; ok {
+			return nn
+		}
+		return name
+	}
+	switch x := e.(type) {
+	case *nalg.Unnest:
+		return &nalg.Unnest{In: kids[0], Attr: get(x.Attr)}
+	case *nalg.Follow:
+		return &nalg.Follow{In: kids[0], Link: get(x.Link), Target: x.Target, Alias: x.Alias}
+	case *nalg.Select:
+		return &nalg.Select{In: kids[0], Pred: substPred(x.Pred, m)}
+	case *nalg.Project:
+		cols := make([]string, len(x.Cols))
+		for i, c := range x.Cols {
+			cols[i] = get(c)
+		}
+		return &nalg.Project{In: kids[0], Cols: cols}
+	case *nalg.Join:
+		conds := make([]nested.EqCond, len(x.Conds))
+		for i, c := range x.Conds {
+			conds[i] = nested.EqCond{Left: get(c.Left), Right: get(c.Right)}
+		}
+		return &nalg.Join{L: kids[0], R: kids[1], Conds: conds}
+	case *nalg.Rename:
+		nm := make(map[string]string, len(x.Map))
+		for old, nn := range x.Map {
+			nm[get(old)] = nn
+		}
+		return &nalg.Rename{In: kids[0], Map: nm}
+	default:
+		return e
+	}
+}

@@ -1,0 +1,182 @@
+package site
+
+import (
+	"fmt"
+	"sync"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/nested"
+)
+
+// DefaultFetchWorkers bounds the fetcher's concurrent downloads, playing the
+// role of a polite crawler's connection limit.
+const DefaultFetchWorkers = 8
+
+// Fetcher downloads pages from a server and wraps them into nested tuples
+// under the site's web scheme. It caches by URL, so within one query every
+// page is downloaded at most once — the paper's cost function counts
+// *distinct* network accesses (§6.2), and the cache is what makes measured
+// cost match it.
+type Fetcher struct {
+	server  Server
+	scheme  *adm.Scheme
+	workers int
+
+	mu      sync.Mutex
+	cache   map[string]nested.Tuple
+	sizes   map[string]int
+	fetched int
+}
+
+// NewFetcher creates a fetcher over a server and scheme with the default
+// concurrency.
+func NewFetcher(server Server, scheme *adm.Scheme) *Fetcher {
+	return &Fetcher{
+		server:  server,
+		scheme:  scheme,
+		workers: DefaultFetchWorkers,
+		cache:   make(map[string]nested.Tuple),
+		sizes:   make(map[string]int),
+	}
+}
+
+// SetWorkers sets the concurrent download bound (minimum 1).
+func (f *Fetcher) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	f.workers = n
+}
+
+// PagesFetched returns the number of distinct pages downloaded through this
+// fetcher (cache misses).
+func (f *Fetcher) PagesFetched() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fetched
+}
+
+// wrap is defined as a variable boundary so tests can observe fetch errors
+// distinctly from wrap errors.
+func (f *Fetcher) wrapPage(schemeName, url, html string) (nested.Tuple, error) {
+	ps := f.scheme.Page(schemeName)
+	if ps == nil {
+		return nested.Tuple{}, fmt.Errorf("site: fetch: unknown page-scheme %q", schemeName)
+	}
+	return wrapHTML(ps, url, html)
+}
+
+// Fetch downloads and wraps the page at url as an instance of the named
+// page-scheme, consulting the cache first.
+func (f *Fetcher) Fetch(schemeName, url string) (nested.Tuple, error) {
+	f.mu.Lock()
+	if t, ok := f.cache[url]; ok {
+		f.mu.Unlock()
+		return t, nil
+	}
+	f.mu.Unlock()
+	p, err := f.server.Get(url)
+	if err != nil {
+		return nested.Tuple{}, err
+	}
+	t, err := f.wrapPage(schemeName, url, p.HTML)
+	if err != nil {
+		return nested.Tuple{}, err
+	}
+	f.mu.Lock()
+	// Another goroutine may have fetched the same URL concurrently; keep
+	// the first result so the count reflects what a shared connection pool
+	// would have done.
+	if prev, ok := f.cache[url]; ok {
+		f.mu.Unlock()
+		return prev, nil
+	}
+	f.cache[url] = t
+	f.sizes[url] = len(p.HTML)
+	f.fetched++
+	f.mu.Unlock()
+	return t, nil
+}
+
+// FetchAll downloads and wraps all URLs as pages of the named scheme, with
+// bounded concurrency. The result preserves input order. The first error
+// aborts the batch.
+func (f *Fetcher) FetchAll(schemeName string, urls []string) ([]nested.Tuple, error) {
+	out := make([]nested.Tuple, len(urls))
+	if len(urls) == 0 {
+		return out, nil
+	}
+	workers := f.workers
+	if workers > len(urls) {
+		workers = len(urls)
+	}
+	type job struct{ i int }
+	jobs := make(chan job)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				t, err := f.Fetch(schemeName, urls[j.i])
+				if err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+				out[j.i] = t
+			}
+		}()
+	}
+	for i := range urls {
+		jobs <- job{i}
+		select {
+		case err := <-errs:
+			close(jobs)
+			wg.Wait()
+			return nil, err
+		default:
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return out, nil
+}
+
+// SizeOf returns the HTML byte size of a fetched page.
+func (f *Fetcher) SizeOf(url string) (int, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, ok := f.sizes[url]
+	return n, ok
+}
+
+// BytesFetched returns the total HTML bytes downloaded through this
+// fetcher.
+func (f *Fetcher) BytesFetched() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var total int64
+	for _, n := range f.sizes {
+		total += int64(n)
+	}
+	return total
+}
+
+// ResetCache clears the page cache, as an engine does between queries so
+// each query's accesses are counted afresh.
+func (f *Fetcher) ResetCache() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cache = make(map[string]nested.Tuple)
+	f.sizes = make(map[string]int)
+	f.fetched = 0
+}

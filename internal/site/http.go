@@ -1,0 +1,119 @@
+package site
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/hypertext"
+	"ulixes/internal/nested"
+)
+
+func wrapHTML(ps *adm.PageScheme, pageURL, html string) (nested.Tuple, error) {
+	return hypertext.WrapPage(ps, pageURL, html)
+}
+
+// Handler serves a MemSite over real HTTP. Pages are addressed by their
+// full original URL passed in the "u" query parameter (the simulated site
+// uses absolute URLs on a fictional host), or by path for direct browsing.
+// GET returns the HTML with a Last-Modified header; HEAD returns only the
+// header — the "light connection" of §8.
+func Handler(ms *MemSite) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		target := r.URL.Query().Get("u")
+		if target == "" {
+			target = r.URL.Path
+		}
+		var page Page
+		var err error
+		switch r.Method {
+		case http.MethodHead:
+			var m Meta
+			m, err = ms.Head(target)
+			page.LastModified = m.LastModified
+		case http.MethodGet:
+			page, err = ms.Get(target)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Last-Modified", page.LastModified.UTC().Format(http.TimeFormat))
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if r.Method == http.MethodGet {
+			io.WriteString(w, page.HTML)
+		}
+	})
+}
+
+// HTTPServer adapts a real HTTP endpoint (serving Handler) to the Server
+// interface, so the whole query stack can run over genuine network sockets.
+type HTTPServer struct {
+	// Base is the HTTP base URL of the endpoint, e.g. a httptest server URL.
+	Base string
+	// Client is the HTTP client; http.DefaultClient if nil.
+	Client *http.Client
+}
+
+func (h *HTTPServer) client() *http.Client {
+	if h.Client != nil {
+		return h.Client
+	}
+	return http.DefaultClient
+}
+
+func (h *HTTPServer) endpoint(pageURL string) string {
+	return strings.TrimRight(h.Base, "/") + "/?u=" + url.QueryEscape(pageURL)
+}
+
+// Get implements Server over HTTP GET.
+func (h *HTTPServer) Get(pageURL string) (Page, error) {
+	resp, err := h.client().Get(h.endpoint(pageURL))
+	if err != nil {
+		return Page{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return Page{}, fmt.Errorf("%w: %s", ErrNotFound, pageURL)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Page{}, fmt.Errorf("site: GET %s: status %s", pageURL, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return Page{}, err
+	}
+	return Page{HTML: string(body), LastModified: parseLastModified(resp)}, nil
+}
+
+// Head implements Server over HTTP HEAD — the light connection.
+func (h *HTTPServer) Head(pageURL string) (Meta, error) {
+	resp, err := h.client().Head(h.endpoint(pageURL))
+	if err != nil {
+		return Meta{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return Meta{}, fmt.Errorf("%w: %s", ErrNotFound, pageURL)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Meta{}, fmt.Errorf("site: HEAD %s: status %s", pageURL, resp.Status)
+	}
+	return Meta{LastModified: parseLastModified(resp)}, nil
+}
+
+func parseLastModified(resp *http.Response) time.Time {
+	if v := resp.Header.Get("Last-Modified"); v != "" {
+		if t, err := http.ParseTime(v); err == nil {
+			return t
+		}
+	}
+	return time.Time{}
+}

@@ -1,0 +1,283 @@
+// Package site simulates the remote web site the query system navigates.
+//
+// The paper's cost model (§6.2) charges only for network accesses: full page
+// downloads (GET) and, for materialized-view maintenance (§8), "light
+// connections" that exchange just an error flag and the last-modification
+// date (HEAD). The Server interface exposes exactly those two operations;
+// the in-memory implementation counts them so experiments can report
+// measured costs, and supports the site-side mutations (page updates,
+// insertions, deletions) that drive view maintenance.
+package site
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/hypertext"
+	"ulixes/internal/nested"
+)
+
+// ErrNotFound is returned by Get and Head when no page exists at the URL.
+var ErrNotFound = errors.New("site: page not found")
+
+// Page is a downloaded page: its HTML source and last-modification time.
+type Page struct {
+	HTML         string
+	LastModified time.Time
+}
+
+// Meta is the result of a light connection: just the last-modification
+// date (§8: "an error flag and the date of last modification").
+type Meta struct {
+	LastModified time.Time
+}
+
+// Server is the remote site as seen by the query system.
+type Server interface {
+	// Get downloads the page at the URL.
+	Get(url string) (Page, error)
+	// Head opens a light connection to the URL.
+	Head(url string) (Meta, error)
+}
+
+// Counters tallies network accesses on a server.
+type Counters struct {
+	mu       sync.Mutex
+	gets     int
+	heads    int
+	bytes    int64
+	distinct map[string]bool
+}
+
+// NewCounters creates a zeroed counter set.
+func NewCounters() *Counters {
+	return &Counters{distinct: make(map[string]bool)}
+}
+
+func (c *Counters) countGet(url string, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gets++
+	c.bytes += int64(size)
+	c.distinct[url] = true
+}
+
+func (c *Counters) countHead() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.heads++
+}
+
+// Gets returns the total number of page downloads.
+func (c *Counters) Gets() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gets
+}
+
+// Bytes returns the total HTML bytes served by downloads. The paper notes
+// that a cost model could also weigh page sizes (e.g. the database-
+// conference list being "a smaller page" than the full list); this counter
+// lets experiments report that dimension.
+func (c *Counters) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Heads returns the total number of light connections.
+func (c *Counters) Heads() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.heads
+}
+
+// DistinctGets returns the number of distinct URLs downloaded.
+func (c *Counters) DistinctGets() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.distinct)
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gets, c.heads, c.bytes = 0, 0, 0
+	c.distinct = make(map[string]bool)
+}
+
+// Clock supplies the site's notion of time, injectable for deterministic
+// tests of view maintenance.
+type Clock func() time.Time
+
+// LogicalClock returns a Clock that advances by one second per call,
+// starting at a fixed epoch. It makes modification times deterministic.
+func LogicalClock() Clock {
+	var mu sync.Mutex
+	t := time.Date(1998, time.January, 1, 0, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t = t.Add(time.Second)
+		return t
+	}
+}
+
+// storedPage is a page held by the in-memory site.
+type storedPage struct {
+	scheme   string
+	html     string
+	modified time.Time
+}
+
+// MemSite is an in-memory web site: a set of HTML pages rendered from an
+// ADM instance, with counted access and a mutation API. It is safe for
+// concurrent use.
+type MemSite struct {
+	scheme   *adm.Scheme
+	clock    Clock
+	counters *Counters
+
+	mu    sync.RWMutex
+	pages map[string]*storedPage
+}
+
+// NewMemSite renders every page of the instance and serves it. The site
+// keeps only HTML — exactly what a remote server would hold; the query
+// system must wrap pages to recover tuples.
+func NewMemSite(inst *adm.Instance, clock Clock) (*MemSite, error) {
+	if clock == nil {
+		clock = LogicalClock()
+	}
+	s := &MemSite{
+		scheme:   inst.Scheme,
+		clock:    clock,
+		counters: NewCounters(),
+		pages:    make(map[string]*storedPage),
+	}
+	for _, name := range inst.Scheme.PageNames() {
+		ps := inst.Scheme.Page(name)
+		for _, tup := range inst.Relation(name).Tuples() {
+			if err := s.putTuple(ps, tup); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func (s *MemSite) putTuple(ps *adm.PageScheme, tup nested.Tuple) error {
+	urlV, ok := tup.Get(adm.URLAttr)
+	if !ok || urlV.IsNull() {
+		return fmt.Errorf("site: page of %q without URL", ps.Name)
+	}
+	html, err := hypertext.RenderPage(ps, tup)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pages[urlV.String()] = &storedPage{scheme: ps.Name, html: html, modified: s.clock()}
+	return nil
+}
+
+// Get implements Server.
+func (s *MemSite) Get(url string) (Page, error) {
+	s.mu.RLock()
+	p, ok := s.pages[url]
+	s.mu.RUnlock()
+	if !ok {
+		return Page{}, fmt.Errorf("%w: %s", ErrNotFound, url)
+	}
+	s.counters.countGet(url, len(p.html))
+	return Page{HTML: p.html, LastModified: p.modified}, nil
+}
+
+// Head implements Server.
+func (s *MemSite) Head(url string) (Meta, error) {
+	s.mu.RLock()
+	p, ok := s.pages[url]
+	s.mu.RUnlock()
+	if !ok {
+		return Meta{}, fmt.Errorf("%w: %s", ErrNotFound, url)
+	}
+	s.counters.countHead()
+	return Meta{LastModified: p.modified}, nil
+}
+
+// Counters returns the site's access counters.
+func (s *MemSite) Counters() *Counters { return s.counters }
+
+// Scheme returns the site's web scheme.
+func (s *MemSite) Scheme() *adm.Scheme { return s.scheme }
+
+// Len returns the number of pages currently served.
+func (s *MemSite) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pages)
+}
+
+// URLs returns every served URL in sorted order.
+func (s *MemSite) URLs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.pages))
+	for u := range s.pages {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SchemeOf returns the page-scheme name of the page at the URL, if served.
+func (s *MemSite) SchemeOf(url string) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.pages[url]
+	if !ok {
+		return "", false
+	}
+	return p.scheme, true
+}
+
+// UpdatePage replaces (or inserts) a page with a freshly rendered version of
+// the tuple, bumping its modification time. It models the site manager
+// editing a page without notifying anyone (§1).
+func (s *MemSite) UpdatePage(schemeName string, tup nested.Tuple) error {
+	ps := s.scheme.Page(schemeName)
+	if ps == nil {
+		return fmt.Errorf("site: unknown page-scheme %q", schemeName)
+	}
+	return s.putTuple(ps, tup)
+}
+
+// RemovePage deletes the page at the URL. It reports whether a page was
+// removed.
+func (s *MemSite) RemovePage(url string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.pages[url]; !ok {
+		return false
+	}
+	delete(s.pages, url)
+	return true
+}
+
+// Touch bumps the modification time of a page without changing content,
+// modeling a cosmetic edit.
+func (s *MemSite) Touch(url string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pages[url]
+	if !ok {
+		return false
+	}
+	p.modified = s.clock()
+	return true
+}

@@ -1,0 +1,432 @@
+package sitegen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/nested"
+)
+
+// Bibliography page-scheme names. The site models the Database and Logic
+// Programming Bibliography the paper's Introduction reasons about: a home
+// page linking to a list of all conferences, a smaller list of database
+// conferences, per-conference pages with one edition per year, and an
+// author list with per-author publication pages.
+const (
+	BibHomePage    = "BibHomePage"
+	ConfListPage   = "ConfListPage"
+	DBConfListPage = "DBConfListPage"
+	ConfPage       = "ConfPage"
+	ConfYearPage   = "ConfYearPage"
+	AuthorListPage = "AuthorListPage"
+	AuthorPage     = "AuthorPage"
+)
+
+// Bibliography entry-point URLs.
+const (
+	BibHomeURL       = "http://bib.example.org/index.html"
+	BibConfListURL   = "http://bib.example.org/confs.html"
+	BibDBConfListURL = "http://bib.example.org/db-confs.html"
+	BibAuthorListURL = "http://bib.example.org/authors.html"
+)
+
+// BibliographyParams sizes the generated bibliography site. The real site
+// had over 16,000 authors (§1); the default scales that down while keeping
+// the orders-of-magnitude gap between access paths.
+type BibliographyParams struct {
+	Authors int
+	// Confs is the total number of conference series; DBConfs of them are
+	// database conferences (the smaller list the Introduction mentions).
+	Confs   int
+	DBConfs int
+	// Years is the number of editions per conference series.
+	Years int
+	// PapersPerEdition is the number of papers in each conference edition.
+	PapersPerEdition int
+	// AuthorsPerPaper is the number of authors on each paper.
+	AuthorsPerPaper int
+	Seed            int64
+}
+
+// DefaultBibliographyParams gives a laptop-scale site that preserves the
+// Introduction's cost ratios (authors ≫ conferences ≫ one conference).
+func DefaultBibliographyParams() BibliographyParams {
+	return BibliographyParams{
+		Authors:          2000,
+		Confs:            40,
+		DBConfs:          8,
+		Years:            10,
+		PapersPerEdition: 25,
+		AuthorsPerPaper:  2,
+		Seed:             1998,
+	}
+}
+
+// WithDefaults returns the parameters with zero fields replaced by the
+// defaults the generator would use.
+func (p BibliographyParams) WithDefaults() BibliographyParams { return p.withDefaults() }
+
+func (p BibliographyParams) withDefaults() BibliographyParams {
+	d := DefaultBibliographyParams()
+	if p.Authors <= 0 {
+		p.Authors = d.Authors
+	}
+	if p.Confs <= 0 {
+		p.Confs = d.Confs
+	}
+	if p.DBConfs <= 0 || p.DBConfs > p.Confs {
+		p.DBConfs = min(d.DBConfs, p.Confs)
+	}
+	if p.Years <= 0 {
+		p.Years = d.Years
+	}
+	if p.PapersPerEdition <= 0 {
+		p.PapersPerEdition = d.PapersPerEdition
+	}
+	if p.AuthorsPerPaper <= 0 {
+		p.AuthorsPerPaper = d.AuthorsPerPaper
+	}
+	return p
+}
+
+// BibliographyScheme builds the web scheme of the bibliography site.
+func BibliographyScheme() *adm.Scheme {
+	s := adm.NewScheme()
+	mustAdd := func(p *adm.PageScheme) {
+		if err := s.AddPage(p); err != nil {
+			panic(err)
+		}
+	}
+	mustAdd(&adm.PageScheme{Name: BibHomePage, Attrs: []nested.Field{
+		{Name: "Title", Type: nested.Text()},
+		{Name: "ToConfList", Type: nested.Link(ConfListPage)},
+		{Name: "ToDBConfList", Type: nested.Link(DBConfListPage)},
+		{Name: "ToAuthorList", Type: nested.Link(AuthorListPage)},
+		// The home page links directly to a few major conferences, e.g.
+		// VLDB (access path 3 of the Introduction).
+		{Name: "FeaturedConfs", Type: nested.List(
+			nested.Field{Name: "ConfName", Type: nested.Text()},
+			nested.Field{Name: "ToConf", Type: nested.Link(ConfPage)},
+		)},
+	}})
+	confListAttrs := []nested.Field{
+		{Name: "Title", Type: nested.Text()},
+		{Name: "ConfList", Type: nested.List(
+			nested.Field{Name: "ConfName", Type: nested.Text()},
+			nested.Field{Name: "ToConf", Type: nested.Link(ConfPage)},
+		)},
+	}
+	mustAdd(&adm.PageScheme{Name: ConfListPage, Attrs: confListAttrs})
+	mustAdd(&adm.PageScheme{Name: DBConfListPage, Attrs: confListAttrs})
+	mustAdd(&adm.PageScheme{Name: ConfPage, Attrs: []nested.Field{
+		{Name: "ConfName", Type: nested.Text()},
+		{Name: "Area", Type: nested.Text()},
+		// The per-conference page lists every edition with its year and
+		// editors — the redundancy the paper exploits for "who edited
+		// VLDB '96" without visiting the edition page.
+		{Name: "Editions", Type: nested.List(
+			nested.Field{Name: "Year", Type: nested.Text()},
+			nested.Field{Name: "Editors", Type: nested.Text()},
+			nested.Field{Name: "ToEdition", Type: nested.Link(ConfYearPage)},
+		)},
+	}})
+	mustAdd(&adm.PageScheme{Name: ConfYearPage, Attrs: []nested.Field{
+		{Name: "ConfName", Type: nested.Text()},
+		{Name: "Year", Type: nested.Text()},
+		{Name: "Editors", Type: nested.Text()},
+		{Name: "Papers", Type: nested.List(
+			nested.Field{Name: "PTitle", Type: nested.Text()},
+			nested.Field{Name: "Authors", Type: nested.List(
+				nested.Field{Name: "AuthorName", Type: nested.Text()},
+				nested.Field{Name: "ToAuthor", Type: nested.Link(AuthorPage)},
+			)},
+		)},
+	}})
+	mustAdd(&adm.PageScheme{Name: AuthorListPage, Attrs: []nested.Field{
+		{Name: "Title", Type: nested.Text()},
+		{Name: "AuthorList", Type: nested.List(
+			nested.Field{Name: "AuthorName", Type: nested.Text()},
+			nested.Field{Name: "ToAuthor", Type: nested.Link(AuthorPage)},
+		)},
+	}})
+	mustAdd(&adm.PageScheme{Name: AuthorPage, Attrs: []nested.Field{
+		{Name: "AuthorName", Type: nested.Text()},
+		{Name: "Publications", Type: nested.List(
+			nested.Field{Name: "PTitle", Type: nested.Text()},
+			nested.Field{Name: "ConfName", Type: nested.Text()},
+			nested.Field{Name: "Year", Type: nested.Text()},
+			nested.Field{Name: "ToEdition", Type: nested.Link(ConfYearPage)},
+		)},
+	}})
+
+	s.AddEntryPoint(BibHomePage, BibHomeURL)
+	s.AddEntryPoint(ConfListPage, BibConfListURL)
+	s.AddEntryPoint(DBConfListPage, BibDBConfListURL)
+	s.AddEntryPoint(AuthorListPage, BibAuthorListURL)
+
+	ref := func(scheme, path string) adm.AttrRef {
+		return adm.AttrRef{Scheme: scheme, Path: adm.ParsePath(path)}
+	}
+	lc := func(scheme, link, src, tgt string) {
+		s.AddLinkConstraint(adm.LinkConstraint{
+			Link:    ref(scheme, link),
+			SrcAttr: adm.ParsePath(src),
+			TgtAttr: tgt,
+		})
+	}
+	lc(ConfListPage, "ConfList.ToConf", "ConfList.ConfName", "ConfName")
+	lc(DBConfListPage, "ConfList.ToConf", "ConfList.ConfName", "ConfName")
+	lc(BibHomePage, "FeaturedConfs.ToConf", "FeaturedConfs.ConfName", "ConfName")
+	lc(ConfPage, "Editions.ToEdition", "Editions.Year", "Year")
+	lc(ConfPage, "Editions.ToEdition", "Editions.Editors", "Editors")
+	lc(ConfPage, "Editions.ToEdition", "ConfName", "ConfName")
+	lc(AuthorListPage, "AuthorList.ToAuthor", "AuthorList.AuthorName", "AuthorName")
+	lc(ConfYearPage, "Papers.Authors.ToAuthor", "Papers.Authors.AuthorName", "AuthorName")
+	lc(AuthorPage, "Publications.ToEdition", "Publications.Year", "Year")
+	lc(AuthorPage, "Publications.ToEdition", "Publications.ConfName", "ConfName")
+
+	// Inclusions: the full conference list covers the DB list and the
+	// featured links; the author list covers authors reachable from papers;
+	// editions reachable from author pages are reachable from conferences.
+	s.AddInclusion(adm.InclusionConstraint{
+		Sub:   ref(DBConfListPage, "ConfList.ToConf"),
+		Super: ref(ConfListPage, "ConfList.ToConf"),
+	})
+	s.AddInclusion(adm.InclusionConstraint{
+		Sub:   ref(BibHomePage, "FeaturedConfs.ToConf"),
+		Super: ref(DBConfListPage, "ConfList.ToConf"),
+	})
+	s.AddInclusion(adm.InclusionConstraint{
+		Sub:   ref(BibHomePage, "FeaturedConfs.ToConf"),
+		Super: ref(ConfListPage, "ConfList.ToConf"),
+	})
+	s.AddInclusion(adm.InclusionConstraint{
+		Sub:   ref(ConfYearPage, "Papers.Authors.ToAuthor"),
+		Super: ref(AuthorListPage, "AuthorList.ToAuthor"),
+	})
+	s.AddInclusion(adm.InclusionConstraint{
+		Sub:   ref(AuthorPage, "Publications.ToEdition"),
+		Super: ref(ConfPage, "Editions.ToEdition"),
+	})
+	if err := s.Validate(); err != nil {
+		panic("sitegen: bibliography scheme invalid: " + err.Error())
+	}
+	return s
+}
+
+// Bibliography is a generated bibliography site.
+type Bibliography struct {
+	Params   BibliographyParams
+	Scheme   *adm.Scheme
+	Instance *adm.Instance
+	// VLDBName is the conference series used by the Introduction's example
+	// query ("authors with papers in the last three VLDB conferences").
+	VLDBName string
+	// LastYear is the most recent edition year.
+	LastYear int
+}
+
+// ConfSeriesName returns the series name of conference i; conference 0 is
+// VLDB and the first DBConfs series are database conferences.
+func ConfSeriesName(i int) string {
+	if i == 0 {
+		return "VLDB"
+	}
+	return fmt.Sprintf("CONF-%02d", i)
+}
+
+func confURL(i int) string { return fmt.Sprintf("http://bib.example.org/conf/%d.html", i) }
+func editionURL(c, y int) string {
+	return fmt.Sprintf("http://bib.example.org/conf/%d/%d.html", c, y)
+}
+func authorURL(i int) string { return fmt.Sprintf("http://bib.example.org/author/%d.html", i) }
+
+// AuthorName returns the display name of author i.
+func AuthorName(i int) string { return fmt.Sprintf("Author %05d", i) }
+
+// GenerateBibliography builds the full bibliography instance.
+func GenerateBibliography(p BibliographyParams) (*Bibliography, error) {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	scheme := BibliographyScheme()
+	inst := adm.NewInstance(scheme)
+	b := &Bibliography{Params: p, Scheme: scheme, Instance: inst, VLDBName: "VLDB"}
+	firstYear := 1999 - p.Years
+	b.LastYear = 1998
+
+	type pub struct {
+		title string
+		conf  int
+		year  int
+	}
+	pubsOf := make([][]pub, p.Authors)
+	type paper struct {
+		title   string
+		authors []int
+	}
+	// Authorship is skewed, as in the real bibliography: each conference
+	// series has a small core community contributing most papers year after
+	// year, so queries like "authors in the last three VLDBs" have non-empty
+	// answers; the rest of the slots go to the general population.
+	community := p.Authors / p.Confs
+	if community < 4 {
+		community = min(4, p.Authors)
+	}
+	papers := make([][][]paper, p.Confs) // conf → year index → papers
+	for c := 0; c < p.Confs; c++ {
+		commStart := (c * community) % p.Authors
+		papers[c] = make([][]paper, p.Years)
+		for y := 0; y < p.Years; y++ {
+			year := firstYear + y
+			for k := 0; k < p.PapersPerEdition; k++ {
+				title := fmt.Sprintf("%s'%d paper %d", ConfSeriesName(c), year%100, k)
+				authors := make([]int, 0, p.AuthorsPerPaper)
+				seen := make(map[int]bool)
+				// The community leaders publish in every edition (the
+				// prolific authors queries like the Introduction's target).
+				if k < 2 {
+					lead := (commStart + k) % p.Authors
+					seen[lead] = true
+					authors = append(authors, lead)
+				}
+				for len(authors) < p.AuthorsPerPaper {
+					var a int
+					if rng.Float64() < 0.7 {
+						a = (commStart + rng.Intn(community)) % p.Authors
+					} else {
+						a = rng.Intn(p.Authors)
+					}
+					if !seen[a] {
+						seen[a] = true
+						authors = append(authors, a)
+					}
+				}
+				papers[c][y] = append(papers[c][y], paper{title: title, authors: authors})
+				for _, a := range authors {
+					pubsOf[a] = append(pubsOf[a], pub{title: title, conf: c, year: year})
+				}
+			}
+		}
+	}
+
+	text := func(s string) nested.Value { return nested.TextValue(s) }
+	add := func(scheme string, t nested.Tuple) error { return inst.AddPage(scheme, t) }
+
+	featured := nested.ListValue{
+		nested.T("ConfName", text("VLDB"), "ToConf", nested.LinkValue(confURL(0))),
+	}
+	if err := add(BibHomePage, nested.T(
+		adm.URLAttr, nested.LinkValue(BibHomeURL),
+		"Title", text("Bibliography Home"),
+		"ToConfList", nested.LinkValue(BibConfListURL),
+		"ToDBConfList", nested.LinkValue(BibDBConfListURL),
+		"ToAuthorList", nested.LinkValue(BibAuthorListURL),
+		"FeaturedConfs", featured,
+	)); err != nil {
+		return nil, err
+	}
+	allConfs := make(nested.ListValue, p.Confs)
+	for c := 0; c < p.Confs; c++ {
+		allConfs[c] = nested.T("ConfName", text(ConfSeriesName(c)), "ToConf", nested.LinkValue(confURL(c)))
+	}
+	if err := add(ConfListPage, nested.T(
+		adm.URLAttr, nested.LinkValue(BibConfListURL),
+		"Title", text("All Conferences"),
+		"ConfList", allConfs,
+	)); err != nil {
+		return nil, err
+	}
+	dbConfs := make(nested.ListValue, p.DBConfs)
+	for c := 0; c < p.DBConfs; c++ {
+		dbConfs[c] = nested.T("ConfName", text(ConfSeriesName(c)), "ToConf", nested.LinkValue(confURL(c)))
+	}
+	if err := add(DBConfListPage, nested.T(
+		adm.URLAttr, nested.LinkValue(BibDBConfListURL),
+		"Title", text("Database Conferences"),
+		"ConfList", dbConfs,
+	)); err != nil {
+		return nil, err
+	}
+	authorList := make(nested.ListValue, p.Authors)
+	for a := 0; a < p.Authors; a++ {
+		authorList[a] = nested.T("AuthorName", text(AuthorName(a)), "ToAuthor", nested.LinkValue(authorURL(a)))
+	}
+	if err := add(AuthorListPage, nested.T(
+		adm.URLAttr, nested.LinkValue(BibAuthorListURL),
+		"Title", text("All Authors"),
+		"AuthorList", authorList,
+	)); err != nil {
+		return nil, err
+	}
+
+	for c := 0; c < p.Confs; c++ {
+		area := "Other"
+		if c < p.DBConfs {
+			area = "Databases"
+		}
+		editions := make(nested.ListValue, p.Years)
+		for y := 0; y < p.Years; y++ {
+			year := firstYear + y
+			editions[y] = nested.T(
+				"Year", text(fmt.Sprint(year)),
+				"Editors", text(fmt.Sprintf("Editors of %s %d", ConfSeriesName(c), year)),
+				"ToEdition", nested.LinkValue(editionURL(c, year)),
+			)
+		}
+		if err := add(ConfPage, nested.T(
+			adm.URLAttr, nested.LinkValue(confURL(c)),
+			"ConfName", text(ConfSeriesName(c)),
+			"Area", text(area),
+			"Editions", editions,
+		)); err != nil {
+			return nil, err
+		}
+		for y := 0; y < p.Years; y++ {
+			year := firstYear + y
+			pl := make(nested.ListValue, len(papers[c][y]))
+			for i, pp := range papers[c][y] {
+				al := make(nested.ListValue, len(pp.authors))
+				for j, a := range pp.authors {
+					al[j] = nested.T("AuthorName", text(AuthorName(a)), "ToAuthor", nested.LinkValue(authorURL(a)))
+				}
+				pl[i] = nested.T("PTitle", text(pp.title), "Authors", al)
+			}
+			if err := add(ConfYearPage, nested.T(
+				adm.URLAttr, nested.LinkValue(editionURL(c, year)),
+				"ConfName", text(ConfSeriesName(c)),
+				"Year", text(fmt.Sprint(year)),
+				"Editors", text(fmt.Sprintf("Editors of %s %d", ConfSeriesName(c), year)),
+				"Papers", pl,
+			)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for a := 0; a < p.Authors; a++ {
+		pubs := make(nested.ListValue, len(pubsOf[a]))
+		for i, pb := range pubsOf[a] {
+			pubs[i] = nested.T(
+				"PTitle", text(pb.title),
+				"ConfName", text(ConfSeriesName(pb.conf)),
+				"Year", text(fmt.Sprint(pb.year)),
+				"ToEdition", nested.LinkValue(editionURL(pb.conf, pb.year)),
+			)
+		}
+		if err := add(AuthorPage, nested.T(
+			adm.URLAttr, nested.LinkValue(authorURL(a)),
+			"AuthorName", text(AuthorName(a)),
+			"Publications", pubs,
+		)); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

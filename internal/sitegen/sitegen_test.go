@@ -1,0 +1,256 @@
+package sitegen
+
+import (
+	"testing"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/nested"
+)
+
+func TestUniversitySchemeValid(t *testing.T) {
+	s := UniversityScheme()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("scheme invalid: %v", err)
+	}
+	if len(s.PageNames()) != 8 {
+		t.Errorf("expected 8 page-schemes, got %d", len(s.PageNames()))
+	}
+	if len(s.Entry) != 4 {
+		t.Errorf("expected 4 entry points, got %d", len(s.Entry))
+	}
+	// The paper's two headline link constraints must be present.
+	if _, ok := s.LinkConstraintFor(adm.AttrRef{Scheme: ProfPage, Path: adm.ParsePath("ToDept")}); !ok {
+		t.Error("missing link constraint ProfPage.DName = DeptPage.DName")
+	}
+	if _, ok := s.LinkConstraintFor(adm.AttrRef{Scheme: SessionPage, Path: adm.ParsePath("CourseList.ToCourse")}); !ok {
+		t.Error("missing link constraint SessionPage.Session = CoursePage.Session")
+	}
+}
+
+func TestUniversityInstanceSatisfiesConstraints(t *testing.T) {
+	u, err := GenerateUniversity(PaperUniversityParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Instance.Validate(); err != nil {
+		t.Fatalf("generated instance violates constraints: %v", err)
+	}
+}
+
+func TestUniversityCardinalities(t *testing.T) {
+	p := PaperUniversityParams()
+	u, err := GenerateUniversity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := u.Instance
+	cases := map[string]int{
+		HomePage:        1,
+		DeptListPage:    1,
+		ProfListPage:    1,
+		SessionListPage: 1,
+		DeptPage:        p.Depts,
+		ProfPage:        p.Profs,
+		SessionPage:     len(p.Sessions),
+		CoursePage:      p.Courses,
+	}
+	for scheme, want := range cases {
+		if got := in.Relation(scheme).Len(); got != want {
+			t.Errorf("|%s| = %d, want %d", scheme, got, want)
+		}
+	}
+	if in.TotalPages() != 4+p.Depts+p.Profs+len(p.Sessions)+p.Courses {
+		t.Errorf("TotalPages = %d", in.TotalPages())
+	}
+}
+
+func TestUniversityDeterminism(t *testing.T) {
+	a, err := GenerateUniversity(PaperUniversityParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateUniversity(PaperUniversityParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range a.Scheme.PageNames() {
+		if !a.Instance.Relation(scheme).Equal(b.Instance.Relation(scheme)) {
+			t.Errorf("generation not deterministic for %s", scheme)
+		}
+	}
+}
+
+func TestUniversityStrictInclusion(t *testing.T) {
+	u, err := GenerateUniversity(PaperUniversityParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some professors teach no courses, so the set of professors reachable
+	// from course pages must be strictly smaller than the full list (§3.2).
+	reachable := make(map[string]bool)
+	for _, tup := range u.Instance.Relation(CoursePage).Tuples() {
+		for _, v := range adm.PathValues(tup, adm.ParsePath("ToProf")) {
+			reachable[v.String()] = true
+		}
+	}
+	if len(reachable) >= u.Params.Profs {
+		t.Errorf("inclusion should be strict: %d reachable of %d profs", len(reachable), u.Params.Profs)
+	}
+}
+
+func TestUniversitySessionDistribution(t *testing.T) {
+	p := PaperUniversityParams()
+	u, err := GenerateUniversity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	for _, tup := range u.Instance.Relation(CoursePage).Tuples() {
+		counts[tup.MustGet("Session").String()]++
+	}
+	// Round-robin assignment: each session holds ≈ Courses/Sessions.
+	for _, s := range p.Sessions {
+		if counts[s] < p.Courses/len(p.Sessions) {
+			t.Errorf("session %s has %d courses, want ≥ %d", s, counts[s], p.Courses/len(p.Sessions))
+		}
+	}
+	types := make(map[string]int)
+	for _, tup := range u.Instance.Relation(CoursePage).Tuples() {
+		types[tup.MustGet("Type").String()]++
+	}
+	if types["Graduate"] != p.Courses/2 {
+		t.Errorf("graduate courses = %d, want %d (selectivity 1/2 per Example 7.2)", types["Graduate"], p.Courses/2)
+	}
+}
+
+func TestUniversityDefaults(t *testing.T) {
+	u, err := GenerateUniversity(UniversityParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Params.Depts != 3 || u.Params.Profs != 20 || u.Params.Courses != 50 {
+		t.Errorf("defaults = %+v", u.Params)
+	}
+	if err := u.Instance.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBibliographySchemeValid(t *testing.T) {
+	s := BibliographyScheme()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("scheme invalid: %v", err)
+	}
+	if len(s.Entry) != 4 {
+		t.Errorf("expected 4 entry points, got %d", len(s.Entry))
+	}
+}
+
+func TestBibliographyInstanceSatisfiesConstraints(t *testing.T) {
+	// Small instance for validation cost.
+	b, err := GenerateBibliography(BibliographyParams{
+		Authors: 60, Confs: 6, DBConfs: 2, Years: 3, PapersPerEdition: 4, AuthorsPerPaper: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Instance.Validate(); err != nil {
+		t.Fatalf("generated instance violates constraints: %v", err)
+	}
+}
+
+func TestBibliographyCardinalities(t *testing.T) {
+	p := BibliographyParams{Authors: 50, Confs: 5, DBConfs: 2, Years: 4, PapersPerEdition: 3, AuthorsPerPaper: 2, Seed: 7}
+	b, err := GenerateBibliography(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := b.Instance
+	if got := in.Relation(AuthorPage).Len(); got != p.Authors {
+		t.Errorf("|AuthorPage| = %d, want %d", got, p.Authors)
+	}
+	if got := in.Relation(ConfPage).Len(); got != p.Confs {
+		t.Errorf("|ConfPage| = %d, want %d", got, p.Confs)
+	}
+	if got := in.Relation(ConfYearPage).Len(); got != p.Confs*p.Years {
+		t.Errorf("|ConfYearPage| = %d, want %d", got, p.Confs*p.Years)
+	}
+	// Every author page lists only real publications; papers per edition.
+	var ed nested.Tuple
+	for _, tup := range in.Relation(ConfYearPage).Tuples() {
+		ed = tup
+		break
+	}
+	lv, _ := ed.Get("Papers")
+	if len(lv.(nested.ListValue)) != p.PapersPerEdition {
+		t.Errorf("papers per edition = %d, want %d", len(lv.(nested.ListValue)), p.PapersPerEdition)
+	}
+}
+
+func TestBibliographyVLDBPresent(t *testing.T) {
+	b, err := GenerateBibliography(BibliographyParams{
+		Authors: 30, Confs: 4, DBConfs: 2, Years: 3, PapersPerEdition: 2, AuthorsPerPaper: 1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tup := range b.Instance.Relation(ConfPage).Tuples() {
+		if tup.MustGet("ConfName").String() == "VLDB" {
+			found = true
+			if tup.MustGet("Area").String() != "Databases" {
+				t.Error("VLDB should be a database conference")
+			}
+		}
+	}
+	if !found {
+		t.Error("VLDB series missing")
+	}
+	if ConfSeriesName(0) != "VLDB" || ConfSeriesName(3) != "CONF-03" {
+		t.Error("series naming wrong")
+	}
+}
+
+func TestBibliographyDefaultsClamp(t *testing.T) {
+	p := BibliographyParams{Confs: 3, DBConfs: 10}.withDefaults()
+	if p.DBConfs > p.Confs {
+		t.Errorf("DBConfs must be clamped to Confs: %+v", p)
+	}
+	if p.Authors != DefaultBibliographyParams().Authors {
+		t.Error("zero Authors should default")
+	}
+}
+
+func TestNameHelpers(t *testing.T) {
+	if DeptName(0) != "Computer Science" {
+		t.Errorf("DeptName(0) = %q", DeptName(0))
+	}
+	if DeptName(99) != "Department 99" {
+		t.Errorf("DeptName(99) = %q", DeptName(99))
+	}
+	if ProfName(3) != "Prof. 003" {
+		t.Errorf("ProfName(3) = %q", ProfName(3))
+	}
+	if CourseName(12) != "Course 012" {
+		t.Errorf("CourseName(12) = %q", CourseName(12))
+	}
+	if AuthorName(7) != "Author 00007" {
+		t.Errorf("AuthorName(7) = %q", AuthorName(7))
+	}
+}
+
+func TestSchemesFormatRoundTrip(t *testing.T) {
+	for name, ws := range map[string]*adm.Scheme{
+		"university":   UniversityScheme(),
+		"bibliography": BibliographyScheme(),
+	} {
+		back, err := adm.ParseScheme(ws.Format())
+		if err != nil {
+			t.Errorf("%s: formatted scheme does not re-parse: %v", name, err)
+			continue
+		}
+		if !ws.Equal(back) {
+			t.Errorf("%s: scheme text round trip changed the scheme", name)
+		}
+	}
+}

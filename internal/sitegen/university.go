@@ -1,0 +1,415 @@
+// Package sitegen builds deterministic synthetic web sites conforming to
+// the ADM schemes studied in the paper: the hypothetical university site of
+// Figure 1 and a DBLP-like bibliography site modeled on the Introduction's
+// example. The generators substitute for the real 1997/98 sites the authors
+// experimented on; topology, constraints and fan-outs follow the paper.
+package sitegen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/nested"
+)
+
+// University page-scheme names (Figure 1).
+const (
+	HomePage        = "HomePage"
+	DeptListPage    = "DeptListPage"
+	ProfListPage    = "ProfListPage"
+	SessionListPage = "SessionListPage"
+	DeptPage        = "DeptPage"
+	ProfPage        = "ProfPage"
+	SessionPage     = "SessionPage"
+	CoursePage      = "CoursePage"
+)
+
+// University entry-point URLs.
+const (
+	UnivHomeURL        = "http://univ.example.edu/index.html"
+	UnivDeptListURL    = "http://univ.example.edu/depts.html"
+	UnivProfListURL    = "http://univ.example.edu/profs.html"
+	UnivSessionListURL = "http://univ.example.edu/sessions.html"
+)
+
+// UniversityParams sizes the generated university site. Example 7.2 of the
+// paper quotes costs for 50 courses, 20 professors and 3 departments; see
+// PaperUniversityParams.
+type UniversityParams struct {
+	Depts    int
+	Profs    int
+	Courses  int
+	Sessions []string
+	// NonTeachingFrac is the fraction of professors who teach no course,
+	// making the inclusion CoursePage.ToProf ⊆ ProfListPage.ProfList.ToProf
+	// strict, as the paper observes (§3.2).
+	NonTeachingFrac float64
+	// Seed drives the deterministic pseudo-random attribute assignment.
+	Seed int64
+}
+
+// PaperUniversityParams are the sizes quoted in Example 7.2: 50 courses,
+// 20 professors, 3 departments.
+func PaperUniversityParams() UniversityParams {
+	return UniversityParams{
+		Depts:           3,
+		Profs:           20,
+		Courses:         50,
+		Sessions:        []string{"Fall", "Winter", "Summer"},
+		NonTeachingFrac: 0.2,
+		Seed:            1998,
+	}
+}
+
+// WithDefaults returns the parameters with zero fields replaced by the
+// defaults the generator would use.
+func (p UniversityParams) WithDefaults() UniversityParams { return p.withDefaults() }
+
+func (p UniversityParams) withDefaults() UniversityParams {
+	if p.Depts <= 0 {
+		p.Depts = 3
+	}
+	if p.Profs <= 0 {
+		p.Profs = 20
+	}
+	if p.Courses <= 0 {
+		p.Courses = 50
+	}
+	if len(p.Sessions) == 0 {
+		p.Sessions = []string{"Fall", "Winter", "Summer"}
+	}
+	if p.NonTeachingFrac < 0 || p.NonTeachingFrac >= 1 {
+		p.NonTeachingFrac = 0.2
+	}
+	return p
+}
+
+// UniversityScheme builds the web scheme of Figure 1: eight page-schemes,
+// four entry points, and the link and inclusion constraints the paper
+// declares for the site.
+func UniversityScheme() *adm.Scheme {
+	s := adm.NewScheme()
+	mustAdd := func(p *adm.PageScheme) {
+		if err := s.AddPage(p); err != nil {
+			panic(err)
+		}
+	}
+	mustAdd(&adm.PageScheme{Name: HomePage, Attrs: []nested.Field{
+		{Name: "Title", Type: nested.Text()},
+		{Name: "ToDeptList", Type: nested.Link(DeptListPage)},
+		{Name: "ToProfList", Type: nested.Link(ProfListPage)},
+		{Name: "ToSessionList", Type: nested.Link(SessionListPage)},
+	}})
+	mustAdd(&adm.PageScheme{Name: DeptListPage, Attrs: []nested.Field{
+		{Name: "Title", Type: nested.Text()},
+		{Name: "DeptList", Type: nested.List(
+			nested.Field{Name: "DeptName", Type: nested.Text()},
+			nested.Field{Name: "ToDept", Type: nested.Link(DeptPage)},
+		)},
+	}})
+	mustAdd(&adm.PageScheme{Name: ProfListPage, Attrs: []nested.Field{
+		{Name: "Title", Type: nested.Text()},
+		{Name: "ProfList", Type: nested.List(
+			nested.Field{Name: "ProfName", Type: nested.Text()},
+			nested.Field{Name: "ToProf", Type: nested.Link(ProfPage)},
+		)},
+	}})
+	mustAdd(&adm.PageScheme{Name: SessionListPage, Attrs: []nested.Field{
+		{Name: "Title", Type: nested.Text()},
+		{Name: "SesList", Type: nested.List(
+			nested.Field{Name: "Session", Type: nested.Text()},
+			nested.Field{Name: "ToSes", Type: nested.Link(SessionPage)},
+		)},
+	}})
+	mustAdd(&adm.PageScheme{Name: DeptPage, Attrs: []nested.Field{
+		{Name: "DName", Type: nested.Text()},
+		{Name: "Address", Type: nested.Text()},
+		{Name: "ProfList", Type: nested.List(
+			nested.Field{Name: "ProfName", Type: nested.Text()},
+			nested.Field{Name: "ToProf", Type: nested.Link(ProfPage)},
+		)},
+	}})
+	mustAdd(&adm.PageScheme{Name: ProfPage, Attrs: []nested.Field{
+		{Name: "Name", Type: nested.Text()},
+		{Name: "Rank", Type: nested.Text()},
+		{Name: "Email", Type: nested.Text()},
+		{Name: "DName", Type: nested.Text()},
+		{Name: "ToDept", Type: nested.Link(DeptPage)},
+		{Name: "CourseList", Type: nested.List(
+			nested.Field{Name: "CName", Type: nested.Text()},
+			nested.Field{Name: "ToCourse", Type: nested.Link(CoursePage)},
+		)},
+	}})
+	mustAdd(&adm.PageScheme{Name: SessionPage, Attrs: []nested.Field{
+		{Name: "Session", Type: nested.Text()},
+		{Name: "CourseList", Type: nested.List(
+			nested.Field{Name: "CName", Type: nested.Text()},
+			nested.Field{Name: "ToCourse", Type: nested.Link(CoursePage)},
+		)},
+	}})
+	mustAdd(&adm.PageScheme{Name: CoursePage, Attrs: []nested.Field{
+		{Name: "CName", Type: nested.Text()},
+		{Name: "Session", Type: nested.Text()},
+		{Name: "Description", Type: nested.Text()},
+		{Name: "Type", Type: nested.Text()},
+		{Name: "ProfName", Type: nested.Text()},
+		{Name: "ToProf", Type: nested.Link(ProfPage)},
+	}})
+
+	s.AddEntryPoint(HomePage, UnivHomeURL)
+	s.AddEntryPoint(DeptListPage, UnivDeptListURL)
+	s.AddEntryPoint(ProfListPage, UnivProfListURL)
+	s.AddEntryPoint(SessionListPage, UnivSessionListURL)
+
+	ref := func(scheme, path string) adm.AttrRef {
+		return adm.AttrRef{Scheme: scheme, Path: adm.ParsePath(path)}
+	}
+	// Link constraints (§3.2): redundant attributes along links. The two
+	// spelled out in the paper, plus the anchor redundancies Figure 1 shows.
+	lc := func(scheme, link, src, tgt string) {
+		s.AddLinkConstraint(adm.LinkConstraint{
+			Link:    ref(scheme, link),
+			SrcAttr: adm.ParsePath(src),
+			TgtAttr: tgt,
+		})
+	}
+	lc(ProfPage, "ToDept", "DName", "DName")                     // ProfPage.DName = DeptPage.DName
+	lc(SessionPage, "CourseList.ToCourse", "Session", "Session") // SessionPage.Session = CoursePage.Session
+	lc(SessionPage, "CourseList.ToCourse", "CourseList.CName", "CName")
+	lc(ProfPage, "CourseList.ToCourse", "CourseList.CName", "CName")
+	lc(CoursePage, "ToProf", "ProfName", "Name") // CoursePage.ProfName = ProfPage.Name
+	lc(DeptListPage, "DeptList.ToDept", "DeptList.DeptName", "DName")
+	lc(ProfListPage, "ProfList.ToProf", "ProfList.ProfName", "Name")
+	lc(DeptPage, "ProfList.ToProf", "ProfList.ProfName", "Name")
+	lc(SessionListPage, "SesList.ToSes", "SesList.Session", "Session")
+
+	// Inclusion constraints (§3.2): the list pages reach everything; the
+	// embedded paths reach subsets.
+	s.AddInclusion(adm.InclusionConstraint{
+		Sub:   ref(CoursePage, "ToProf"),
+		Super: ref(ProfListPage, "ProfList.ToProf"),
+	})
+	s.AddInclusion(adm.InclusionConstraint{
+		Sub:   ref(DeptPage, "ProfList.ToProf"),
+		Super: ref(ProfListPage, "ProfList.ToProf"),
+	})
+	s.AddInclusion(adm.InclusionConstraint{
+		Sub:   ref(ProfPage, "CourseList.ToCourse"),
+		Super: ref(SessionPage, "CourseList.ToCourse"),
+	})
+	// Every professor's department link appears in the department list, and
+	// vice versa every listed department is some professor's department
+	// only in one direction: list covers all.
+	s.AddInclusion(adm.InclusionConstraint{
+		Sub:   ref(ProfPage, "ToDept"),
+		Super: ref(DeptListPage, "DeptList.ToDept"),
+	})
+	if err := s.Validate(); err != nil {
+		panic("sitegen: university scheme invalid: " + err.Error())
+	}
+	return s
+}
+
+// University is a generated university site: the scheme, the instance, and
+// the generation bookkeeping useful to tests and benchmarks.
+type University struct {
+	Params   UniversityParams
+	Scheme   *adm.Scheme
+	Instance *adm.Instance
+
+	// DeptOf maps professor index to department index.
+	DeptOf []int
+	// InstructorOf maps course index to professor index.
+	InstructorOf []int
+	// SessionOf maps course index to session index.
+	SessionOf []int
+	// RankOf maps professor index to rank.
+	RankOf []string
+	// TypeOf maps course index to course type.
+	TypeOf []string
+}
+
+// Deterministic attribute vocabularies.
+var (
+	ranks       = []string{"Full", "Associate", "Assistant"}
+	courseTypes = []string{"Graduate", "Undergraduate"}
+	deptNames   = []string{
+		"Computer Science", "Mathematics", "Physics", "Chemistry", "Biology",
+		"Philosophy", "History", "Economics", "Linguistics", "Statistics",
+	}
+)
+
+// DeptName returns the display name of department i.
+func DeptName(i int) string {
+	if i < len(deptNames) {
+		return deptNames[i]
+	}
+	return fmt.Sprintf("Department %d", i)
+}
+
+// ProfName returns the display name of professor i.
+func ProfName(i int) string { return fmt.Sprintf("Prof. %03d", i) }
+
+// CourseName returns the display name of course i.
+func CourseName(i int) string { return fmt.Sprintf("Course %03d", i) }
+
+// URL builders for university pages.
+func deptURL(i int) string    { return fmt.Sprintf("http://univ.example.edu/dept/%d.html", i) }
+func profURL(i int) string    { return fmt.Sprintf("http://univ.example.edu/prof/%d.html", i) }
+func courseURL(i int) string  { return fmt.Sprintf("http://univ.example.edu/course/%d.html", i) }
+func sessionURL(i int) string { return fmt.Sprintf("http://univ.example.edu/session/%d.html", i) }
+
+// GenerateUniversity builds the full site instance. The generator is
+// deterministic for a given parameter set (including Seed).
+func GenerateUniversity(p UniversityParams) (*University, error) {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	scheme := UniversityScheme()
+	inst := adm.NewInstance(scheme)
+	u := &University{Params: p, Scheme: scheme, Instance: inst}
+
+	// Assignments. Professors with index ≥ teaching count teach nothing.
+	teaching := p.Profs - int(float64(p.Profs)*p.NonTeachingFrac)
+	if teaching < 1 {
+		teaching = 1
+	}
+	u.DeptOf = make([]int, p.Profs)
+	u.RankOf = make([]string, p.Profs)
+	for i := 0; i < p.Profs; i++ {
+		u.DeptOf[i] = i % p.Depts
+		u.RankOf[i] = ranks[i%len(ranks)]
+	}
+	u.InstructorOf = make([]int, p.Courses)
+	u.SessionOf = make([]int, p.Courses)
+	u.TypeOf = make([]string, p.Courses)
+	for i := 0; i < p.Courses; i++ {
+		u.InstructorOf[i] = rng.Intn(teaching)
+		u.SessionOf[i] = i % len(p.Sessions)
+		u.TypeOf[i] = courseTypes[i%len(courseTypes)]
+	}
+
+	coursesOf := make([][]int, p.Profs)
+	for c, prof := range u.InstructorOf {
+		coursesOf[prof] = append(coursesOf[prof], c)
+	}
+	profsOf := make([][]int, p.Depts)
+	for pr, d := range u.DeptOf {
+		profsOf[d] = append(profsOf[d], pr)
+	}
+	coursesIn := make([][]int, len(p.Sessions))
+	for c, sidx := range u.SessionOf {
+		coursesIn[sidx] = append(coursesIn[sidx], c)
+	}
+
+	text := func(s string) nested.Value { return nested.TextValue(s) }
+
+	// Entry points.
+	add := func(scheme string, t nested.Tuple) error { return inst.AddPage(scheme, t) }
+	if err := add(HomePage, nested.T(
+		adm.URLAttr, nested.LinkValue(UnivHomeURL),
+		"Title", text("University Home"),
+		"ToDeptList", nested.LinkValue(UnivDeptListURL),
+		"ToProfList", nested.LinkValue(UnivProfListURL),
+		"ToSessionList", nested.LinkValue(UnivSessionListURL),
+	)); err != nil {
+		return nil, err
+	}
+	deptList := make(nested.ListValue, p.Depts)
+	for i := 0; i < p.Depts; i++ {
+		deptList[i] = nested.T("DeptName", text(DeptName(i)), "ToDept", nested.LinkValue(deptURL(i)))
+	}
+	if err := add(DeptListPage, nested.T(
+		adm.URLAttr, nested.LinkValue(UnivDeptListURL),
+		"Title", text("Departments"),
+		"DeptList", deptList,
+	)); err != nil {
+		return nil, err
+	}
+	profList := make(nested.ListValue, p.Profs)
+	for i := 0; i < p.Profs; i++ {
+		profList[i] = nested.T("ProfName", text(ProfName(i)), "ToProf", nested.LinkValue(profURL(i)))
+	}
+	if err := add(ProfListPage, nested.T(
+		adm.URLAttr, nested.LinkValue(UnivProfListURL),
+		"Title", text("Professors"),
+		"ProfList", profList,
+	)); err != nil {
+		return nil, err
+	}
+	sesList := make(nested.ListValue, len(p.Sessions))
+	for i, name := range p.Sessions {
+		sesList[i] = nested.T("Session", text(name), "ToSes", nested.LinkValue(sessionURL(i)))
+	}
+	if err := add(SessionListPage, nested.T(
+		adm.URLAttr, nested.LinkValue(UnivSessionListURL),
+		"Title", text("Sessions"),
+		"SesList", sesList,
+	)); err != nil {
+		return nil, err
+	}
+
+	// Department pages.
+	for d := 0; d < p.Depts; d++ {
+		members := make(nested.ListValue, len(profsOf[d]))
+		for i, pr := range profsOf[d] {
+			members[i] = nested.T("ProfName", text(ProfName(pr)), "ToProf", nested.LinkValue(profURL(pr)))
+		}
+		if err := add(DeptPage, nested.T(
+			adm.URLAttr, nested.LinkValue(deptURL(d)),
+			"DName", text(DeptName(d)),
+			"Address", text(fmt.Sprintf("%d Campus Road", 100+d)),
+			"ProfList", members,
+		)); err != nil {
+			return nil, err
+		}
+	}
+	// Professor pages.
+	for pr := 0; pr < p.Profs; pr++ {
+		cl := make(nested.ListValue, len(coursesOf[pr]))
+		for i, c := range coursesOf[pr] {
+			cl[i] = nested.T("CName", text(CourseName(c)), "ToCourse", nested.LinkValue(courseURL(c)))
+		}
+		if err := add(ProfPage, nested.T(
+			adm.URLAttr, nested.LinkValue(profURL(pr)),
+			"Name", text(ProfName(pr)),
+			"Rank", text(u.RankOf[pr]),
+			"Email", text(fmt.Sprintf("prof%03d@univ.example.edu", pr)),
+			"DName", text(DeptName(u.DeptOf[pr])),
+			"ToDept", nested.LinkValue(deptURL(u.DeptOf[pr])),
+			"CourseList", cl,
+		)); err != nil {
+			return nil, err
+		}
+	}
+	// Session pages.
+	for sidx, name := range p.Sessions {
+		cl := make(nested.ListValue, len(coursesIn[sidx]))
+		for i, c := range coursesIn[sidx] {
+			cl[i] = nested.T("CName", text(CourseName(c)), "ToCourse", nested.LinkValue(courseURL(c)))
+		}
+		if err := add(SessionPage, nested.T(
+			adm.URLAttr, nested.LinkValue(sessionURL(sidx)),
+			"Session", text(name),
+			"CourseList", cl,
+		)); err != nil {
+			return nil, err
+		}
+	}
+	// Course pages.
+	for c := 0; c < p.Courses; c++ {
+		pr := u.InstructorOf[c]
+		if err := add(CoursePage, nested.T(
+			adm.URLAttr, nested.LinkValue(courseURL(c)),
+			"CName", text(CourseName(c)),
+			"Session", text(p.Sessions[u.SessionOf[c]]),
+			"Description", text(fmt.Sprintf("Description of course %03d.", c)),
+			"Type", text(u.TypeOf[c]),
+			"ProfName", text(ProfName(pr)),
+			"ToProf", nested.LinkValue(profURL(pr)),
+		)); err != nil {
+			return nil, err
+		}
+	}
+	return u, nil
+}

@@ -1,0 +1,91 @@
+package view
+
+import (
+	"ulixes/internal/adm"
+	"ulixes/internal/nalg"
+	"ulixes/internal/sitegen"
+)
+
+// BibliographyView builds the external view over the bibliography site.
+//
+// PaperAuthor has two default navigations — through the full conference
+// list and through the author list. The Introduction's other two access
+// paths (the smaller database-conference list and the home page's direct
+// VLDB link) are *not* valid default navigations: they do not cover the
+// relation's extent (a non-database conference's papers are unreachable
+// through them), exactly the situation §5 warns about ("it is not
+// guaranteed that all courses may be reached using this path"). The
+// experiment exp.E1 runs those two paths as explicit plans for the
+// VLDB-restricted query, where the restriction makes them correct.
+func BibliographyView(ws *adm.Scheme) *Registry {
+	r := NewRegistry(ws)
+
+	confNav := nalg.From(ws, sitegen.ConfListPage).Unnest("ConfList").Follow("ToConf").MustBuild()
+	r.MustAdd(&ExternalRelation{
+		Name:  "Conference",
+		Attrs: []string{"ConfName", "Area"},
+		Navs: []Navigation{{
+			Expr: confNav,
+			ColMap: map[string]string{
+				"ConfName": "ConfPage.ConfName",
+				"Area":     "ConfPage.Area",
+			},
+		}},
+	})
+
+	// Edition(ConfName, Year, Editors): answerable from the per-conference
+	// page alone thanks to the link-constraint redundancy (the paper's
+	// "who edited VLDB '96" example).
+	editionNav := nalg.From(ws, sitegen.ConfListPage).
+		Unnest("ConfList").Follow("ToConf").Unnest("Editions").MustBuild()
+	r.MustAdd(&ExternalRelation{
+		Name:  "Edition",
+		Attrs: []string{"ConfName", "Year", "Editors"},
+		Navs: []Navigation{{
+			Expr: editionNav,
+			ColMap: map[string]string{
+				"ConfName": "ConfPage.ConfName",
+				"Year":     "ConfPage.Editions.Year",
+				"Editors":  "ConfPage.Editions.Editors",
+			},
+		}},
+	})
+
+	// The covering access paths to paper/author facts.
+	paNav := func(b *nalg.Builder) nalg.Expr {
+		return b.Follow("ToConf").
+			Unnest("Editions").
+			Follow("ToEdition").
+			Unnest("Papers").
+			Unnest("Authors").
+			MustBuild()
+	}
+	viaAllConfs := paNav(nalg.From(ws, sitegen.ConfListPage).Unnest("ConfList"))
+	viaAuthors := nalg.From(ws, sitegen.AuthorListPage).
+		Unnest("AuthorList").
+		Follow("ToAuthor").
+		Unnest("Publications").
+		MustBuild()
+
+	confYearCols := map[string]string{
+		"ConfName":   "ConfYearPage.ConfName",
+		"Year":       "ConfYearPage.Year",
+		"PTitle":     "ConfYearPage.Papers.PTitle",
+		"AuthorName": "ConfYearPage.Papers.Authors.AuthorName",
+	}
+	r.MustAdd(&ExternalRelation{
+		Name:  "PaperAuthor",
+		Attrs: []string{"ConfName", "Year", "PTitle", "AuthorName"},
+		Navs: []Navigation{
+			{Expr: viaAllConfs, ColMap: confYearCols},
+			{Expr: viaAuthors, ColMap: map[string]string{
+				"ConfName":   "AuthorPage.Publications.ConfName",
+				"Year":       "AuthorPage.Publications.Year",
+				"PTitle":     "AuthorPage.Publications.PTitle",
+				"AuthorName": "AuthorPage.AuthorName",
+			}},
+		},
+	})
+
+	return r
+}

@@ -1,0 +1,175 @@
+package view
+
+import (
+	"fmt"
+	"sort"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/nalg"
+	"ulixes/internal/nested"
+	"ulixes/internal/rewrite"
+)
+
+// InferNavigations derives, by inference over the inclusion constraints,
+// every *covering* navigation from an entry point to the given page-scheme
+// — §5's suggestion that "the system might be able to select default
+// navigations among all possible navigations in the scheme" instead of
+// having the designer write them. A navigation qualifies when every follow
+// step's link attribute covers its target's extent (all other links to the
+// same target are included in it), so executing it materializes the full
+// page-relation.
+//
+// Chains are explored breadth-first up to maxDepth follow steps (default 4
+// when zero); results are returned shortest first, ties broken by
+// rendering.
+func InferNavigations(ws *adm.Scheme, target string, maxDepth int) ([]nalg.Expr, error) {
+	if ws.Page(target) == nil {
+		return nil, fmt.Errorf("view: unknown page-scheme %q", target)
+	}
+	if maxDepth <= 0 {
+		maxDepth = 4
+	}
+	type state struct {
+		expr nalg.Expr
+		// scheme is the page-scheme the chain currently sits on.
+		scheme string
+		// alias is the current page's alias.
+		alias string
+		depth int
+	}
+	var out []nalg.Expr
+	var queue []state
+	for _, ep := range ws.Entry {
+		e := &nalg.EntryScan{Scheme: ep.Scheme, URL: ep.URL}
+		if ep.Scheme == target {
+			out = append(out, e)
+		}
+		queue = append(queue, state{expr: e, scheme: ep.Scheme, alias: ep.Scheme, depth: 0})
+	}
+	// aliasFor disambiguates when a scheme repeats along one chain (rare;
+	// cycles are cut by the depth bound).
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.depth >= maxDepth {
+			continue
+		}
+		// Every covering link of the current scheme extends the chain.
+		for _, ref := range linkRefsOf(ws, cur.scheme) {
+			tgt, err := ws.LinkTarget(ref)
+			if err != nil {
+				return nil, err
+			}
+			if !rewrite.CoversExtent(ws, ref) {
+				continue
+			}
+			ext, err := extendChain(ws, cur.expr, cur.alias, ref, tgt)
+			if err != nil {
+				// Alias collision (scheme revisited): skip this extension.
+				continue
+			}
+			if tgt == target {
+				out = append(out, ext.expr)
+			}
+			queue = append(queue, state{expr: ext.expr, scheme: tgt, alias: ext.alias, depth: cur.depth + 1})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		li, lj := chainLen(out[i]), chainLen(out[j])
+		if li != lj {
+			return li < lj
+		}
+		return out[i].String() < out[j].String()
+	})
+	return out, nil
+}
+
+// linkRefsOf returns the link attribute references declared by one scheme.
+func linkRefsOf(ws *adm.Scheme, scheme string) []adm.AttrRef {
+	var out []adm.AttrRef
+	for _, ref := range ws.Links() {
+		if ref.Scheme == scheme {
+			out = append(out, ref)
+		}
+	}
+	return out
+}
+
+type extended struct {
+	expr  nalg.Expr
+	alias string
+}
+
+// extendChain appends the unnests and follow needed to traverse the link
+// attribute ref from the current position.
+func extendChain(ws *adm.Scheme, e nalg.Expr, alias string, ref adm.AttrRef, target string) (extended, error) {
+	col := alias
+	// Unnest every list level enclosing the link.
+	for i := 0; i < len(ref.Path)-1; i++ {
+		col = col + "." + ref.Path[i]
+		e = &nalg.Unnest{In: e, Attr: col}
+	}
+	link := col + "." + ref.Path.Leaf()
+	f := &nalg.Follow{In: e, Link: link, Target: target}
+	if _, err := nalg.InferSchema(f, ws); err != nil {
+		return extended{}, err
+	}
+	return extended{expr: f, alias: f.EffAlias()}, nil
+}
+
+func chainLen(e nalg.Expr) int {
+	n := 0
+	nalg.Walk(e, func(nalg.Expr) { n++ })
+	return n
+}
+
+// AutoRelation builds an external relation whose default navigations are
+// inferred with InferNavigations. attrMap maps each external attribute to a
+// mono-valued attribute name of the target page-scheme.
+func AutoRelation(ws *adm.Scheme, name, target string, attrMap map[string]string, maxDepth int) (*ExternalRelation, error) {
+	navs, err := InferNavigations(ws, target, maxDepth)
+	if err != nil {
+		return nil, err
+	}
+	if len(navs) == 0 {
+		return nil, fmt.Errorf("view: no covering navigation reaches %q", target)
+	}
+	attrs := make([]string, 0, len(attrMap))
+	for a := range attrMap {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for _, a := range attrs {
+		ty, err := ws.ResolvePath(target, adm.Path{attrMap[a]})
+		if err != nil {
+			return nil, fmt.Errorf("view: relation %s: %v", name, err)
+		}
+		if ty.Kind == nested.KindList {
+			return nil, fmt.Errorf("view: relation %s: attribute %q maps to a list", name, a)
+		}
+	}
+	rel := &ExternalRelation{Name: name, Attrs: attrs}
+	for _, nav := range navs {
+		// The navigation ends on the target's alias: find it from the
+		// schema (the last follow's alias, or the entry alias).
+		tgtAlias := targetAlias(nav, target)
+		cm := make(map[string]string, len(attrMap))
+		for a, attr := range attrMap {
+			cm[a] = tgtAlias + "." + attr
+		}
+		rel.Navs = append(rel.Navs, Navigation{Expr: nav, ColMap: cm})
+	}
+	return rel, nil
+}
+
+func targetAlias(e nalg.Expr, target string) string {
+	switch x := e.(type) {
+	case *nalg.EntryScan:
+		return x.EffAlias()
+	case *nalg.Follow:
+		if x.Target == target {
+			return x.EffAlias()
+		}
+	}
+	return target
+}

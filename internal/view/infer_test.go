@@ -1,0 +1,157 @@
+package view_test
+
+import (
+	"strings"
+	"testing"
+
+	"ulixes/internal/engine"
+	"ulixes/internal/nalg"
+	"ulixes/internal/nested"
+	"ulixes/internal/rewrite"
+	"ulixes/internal/site"
+	"ulixes/internal/sitegen"
+	"ulixes/internal/stats"
+	"ulixes/internal/view"
+)
+
+func TestInferNavigationsProfessors(t *testing.T) {
+	ws := sitegen.UniversityScheme()
+	navs, err := view.InferNavigations(ws, sitegen.ProfPage, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(navs) == 0 {
+		t.Fatal("no navigation inferred for ProfPage")
+	}
+	// The shortest inferred navigation is the designer's default of §5.
+	want := nalg.From(ws, sitegen.ProfListPage).Unnest("ProfList").Follow("ToProf").MustBuild()
+	if !nalg.Equal(navs[0], want) {
+		t.Errorf("first navigation = %s, want %s", navs[0], want)
+	}
+	// No inferred navigation goes through course pages: CoursePage.ToProf
+	// does not cover the professors (non-teaching professors are
+	// unreachable), exactly §5's warning.
+	for _, nav := range navs {
+		if strings.Contains(nav.String(), "CoursePage") {
+			t.Errorf("non-covering navigation inferred: %s", nav)
+		}
+		if !rewrite.CoveringChain(ws, nav) {
+			t.Errorf("inferred navigation is not covering: %s", nav)
+		}
+	}
+	// The department path is not covering either (DeptPage.ProfList.ToProf
+	// has no inclusion from the full list).
+	for _, nav := range navs {
+		if strings.Contains(nav.String(), "DeptPage") {
+			t.Errorf("department path should not be inferred as covering: %s", nav)
+		}
+	}
+}
+
+func TestInferNavigationsCourses(t *testing.T) {
+	ws := sitegen.UniversityScheme()
+	navs, err := view.InferNavigations(ws, sitegen.CoursePage, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(navs) == 0 {
+		t.Fatal("no navigation inferred for CoursePage")
+	}
+	want := nalg.From(ws, sitegen.SessionListPage).Unnest("SesList").Follow("ToSes").
+		Unnest("CourseList").Follow("ToCourse").MustBuild()
+	if !nalg.Equal(navs[0], want) {
+		t.Errorf("first navigation = %s, want %s", navs[0], want)
+	}
+	for _, nav := range navs {
+		if strings.Contains(nav.String(), "ProfPage") {
+			t.Errorf("professor path does not cover all courses: %s", nav)
+		}
+	}
+}
+
+func TestInferNavigationsEntryPointItself(t *testing.T) {
+	ws := sitegen.UniversityScheme()
+	navs, err := view.InferNavigations(ws, sitegen.ProfListPage, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(navs) == 0 {
+		t.Fatal("entry point should be reachable trivially")
+	}
+	if _, ok := navs[0].(*nalg.EntryScan); !ok {
+		t.Errorf("shortest navigation to an entry point should be its scan: %s", navs[0])
+	}
+}
+
+func TestInferNavigationsUnknownScheme(t *testing.T) {
+	ws := sitegen.UniversityScheme()
+	if _, err := view.InferNavigations(ws, "Ghost", 0); err == nil {
+		t.Error("unknown scheme should fail")
+	}
+}
+
+func TestInferNavigationsDepthBound(t *testing.T) {
+	ws := sitegen.UniversityScheme()
+	// Depth 1 cannot reach CoursePage (needs two follows).
+	navs, err := view.InferNavigations(ws, sitegen.CoursePage, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(navs) != 0 {
+		t.Errorf("depth 1 should not reach courses: %v", navs)
+	}
+}
+
+func TestAutoRelationMatchesManualView(t *testing.T) {
+	ws := sitegen.UniversityScheme()
+	rel, err := view.AutoRelation(ws, "Professor", sitegen.ProfPage, map[string]string{
+		"PName": "Name",
+		"Rank":  "Rank",
+		"Email": "Email",
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := view.NewRegistry(ws)
+	if err := r.Add(rel); err != nil {
+		t.Fatalf("inferred relation does not register: %v", err)
+	}
+	// Run a query through the inferred view and compare with the manual one.
+	u, err := sitegen.GenerateUniversity(sitegen.PaperUniversityParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := site.NewMemSite(u.Instance, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stats.CollectInstance(u.Instance)
+	autoEng := engine.New(r, ms, st)
+	manualEng := engine.New(view.UniversityView(ws), ms, st)
+	const q = "SELECT p.PName, p.Email FROM Professor p WHERE p.Rank = 'Full'"
+	a, err := autoEng.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := manualEng.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *nested.Relation = a.Result
+	if !a.Result.Equal(m.Result) {
+		t.Error("inferred view disagrees with the designer's view")
+	}
+}
+
+func TestAutoRelationErrors(t *testing.T) {
+	ws := sitegen.UniversityScheme()
+	if _, err := view.AutoRelation(ws, "R", "Ghost", map[string]string{"A": "B"}, 0); err == nil {
+		t.Error("unknown target should fail")
+	}
+	if _, err := view.AutoRelation(ws, "R", sitegen.ProfPage, map[string]string{"A": "Ghost"}, 0); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+	if _, err := view.AutoRelation(ws, "R", sitegen.ProfPage, map[string]string{"A": "CourseList"}, 0); err == nil {
+		t.Error("list attribute should fail")
+	}
+}

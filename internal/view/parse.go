@@ -1,0 +1,333 @@
+package view
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/nalg"
+)
+
+// ParseViews parses the textual view-definition language into a Registry:
+//
+//	relation Professor(PName, Rank, Email) {
+//	  nav ProfListPage / ProfList -> ToProf
+//	    map PName = ProfPage.Name, Rank = ProfPage.Rank, Email = ProfPage.Email
+//	}
+//
+//	relation CourseInstructor(CName, PName) {
+//	  nav ProfListPage / ProfList -> ToProf / CourseList
+//	    map CName = ProfPage.CourseList.CName, PName = ProfPage.Name
+//	  nav SessionListPage / SesList -> ToSes / CourseList -> ToCourse
+//	    map CName = CoursePage.CName, PName = CoursePage.ProfName
+//	}
+//
+// Each nav clause is a Ulixes navigation (see nalg.ParseNav); each map
+// clause binds every declared attribute to a navigation column. Line
+// comments start with '#'. Every navigation is validated against the
+// scheme.
+func ParseViews(ws *adm.Scheme, src string) (*Registry, error) {
+	r := NewRegistry(ws)
+	s := &viewScanner{src: stripComments(src)}
+	for {
+		s.skipSpace()
+		if s.eof() {
+			return r, nil
+		}
+		if err := s.keyword("relation"); err != nil {
+			return nil, err
+		}
+		rel, err := parseRelation(ws, s)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Add(rel); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func stripComments(src string) string {
+	lines := strings.Split(src, "\n")
+	for i, l := range lines {
+		if j := strings.IndexByte(l, '#'); j >= 0 && !strings.Contains(l[:j], "'") {
+			lines[i] = l[:j]
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// viewScanner is a lightweight word scanner; the nav clauses are handed to
+// nalg.ParseNav as raw text.
+type viewScanner struct {
+	src string
+	i   int
+}
+
+func (s *viewScanner) eof() bool { return s.i >= len(s.src) }
+
+func (s *viewScanner) skipSpace() {
+	for s.i < len(s.src) && (s.src[s.i] == ' ' || s.src[s.i] == '\t' || s.src[s.i] == '\n' || s.src[s.i] == '\r') {
+		s.i++
+	}
+}
+
+func (s *viewScanner) errf(format string, args ...any) error {
+	line := 1 + strings.Count(s.src[:min(s.i, len(s.src))], "\n")
+	return fmt.Errorf("view: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (s *viewScanner) ident() (string, error) {
+	s.skipSpace()
+	start := s.i
+	for s.i < len(s.src) && isWordByte(s.src[s.i]) {
+		s.i++
+	}
+	if s.i == start {
+		return "", s.errf("expected identifier")
+	}
+	return s.src[start:s.i], nil
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+func (s *viewScanner) keyword(kw string) error {
+	save := s.i
+	w, err := s.ident()
+	if err != nil || w != kw {
+		s.i = save
+		return s.errf("expected %q", kw)
+	}
+	return nil
+}
+
+func (s *viewScanner) peekKeyword(kw string) bool {
+	save := s.i
+	w, err := s.ident()
+	s.i = save
+	return err == nil && w == kw
+}
+
+func (s *viewScanner) punct(c byte) error {
+	s.skipSpace()
+	if s.eof() || s.src[s.i] != c {
+		return s.errf("expected %q", string(c))
+	}
+	s.i++
+	return nil
+}
+
+func (s *viewScanner) tryPunct(c byte) bool {
+	s.skipSpace()
+	if !s.eof() && s.src[s.i] == c {
+		s.i++
+		return true
+	}
+	return false
+}
+
+// rawUntilWord captures raw text up to (not including) the next occurrence
+// of one of the stop words at word boundaries outside quotes, or up to a
+// stop byte.
+func (s *viewScanner) rawUntilWord(stopWords []string, stopByte byte) (string, error) {
+	start := s.i
+	inQuote := false
+	for s.i < len(s.src) {
+		c := s.src[s.i]
+		if c == '\'' {
+			inQuote = !inQuote
+			s.i++
+			continue
+		}
+		if inQuote {
+			s.i++
+			continue
+		}
+		if c == stopByte {
+			return s.src[start:s.i], nil
+		}
+		if isWordByte(c) && (s.i == 0 || !isWordByte(s.src[s.i-1])) {
+			j := s.i
+			for j < len(s.src) && isWordByte(s.src[j]) {
+				j++
+			}
+			word := s.src[s.i:j]
+			for _, stop := range stopWords {
+				if word == stop {
+					return s.src[start:s.i], nil
+				}
+			}
+			s.i = j
+			continue
+		}
+		s.i++
+	}
+	if inQuote {
+		return "", s.errf("unterminated string")
+	}
+	return s.src[start:s.i], nil
+}
+
+func parseRelation(ws *adm.Scheme, s *viewScanner) (*ExternalRelation, error) {
+	name, err := s.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.punct('('); err != nil {
+		return nil, err
+	}
+	var attrs []string
+	for {
+		a, err := s.ident()
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, a)
+		if s.tryPunct(')') {
+			break
+		}
+		if err := s.punct(','); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.punct('{'); err != nil {
+		return nil, err
+	}
+	rel := &ExternalRelation{Name: name, Attrs: attrs}
+	for {
+		s.skipSpace()
+		if s.tryPunct('}') {
+			return rel, nil
+		}
+		if err := s.keyword("nav"); err != nil {
+			return nil, err
+		}
+		navText, err := s.rawUntilWord([]string{"map"}, '}')
+		if err != nil {
+			return nil, err
+		}
+		if err := s.keyword("map"); err != nil {
+			return nil, err
+		}
+		expr, err := nalg.ParseNav(ws, strings.TrimSpace(navText))
+		if err != nil {
+			return nil, fmt.Errorf("view: relation %s: %w", name, err)
+		}
+		colMap := make(map[string]string)
+		for {
+			attr, err := s.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := s.punct('='); err != nil {
+				return nil, err
+			}
+			col, err := s.dottedCol()
+			if err != nil {
+				return nil, err
+			}
+			colMap[attr] = col
+			if !s.tryPunct(',') {
+				break
+			}
+		}
+		rel.Navs = append(rel.Navs, Navigation{Expr: expr, ColMap: colMap})
+		if !s.peekKeyword("nav") {
+			if err := s.punct('}'); err != nil {
+				return nil, err
+			}
+			return rel, nil
+		}
+	}
+}
+
+// dottedCol parses a qualified column name IDENT ('.' IDENT)+.
+func (s *viewScanner) dottedCol() (string, error) {
+	head, err := s.ident()
+	if err != nil {
+		return "", err
+	}
+	parts := []string{head}
+	for {
+		save := s.i
+		s.skipSpace()
+		if s.eof() || s.src[s.i] != '.' {
+			s.i = save
+			break
+		}
+		s.i++
+		next, err := s.ident()
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) < 2 {
+		return "", s.errf("expected qualified column (Alias.Attr), found %q", head)
+	}
+	return strings.Join(parts, "."), nil
+}
+
+// Format renders the registry in the view-definition language.
+func (r *Registry) Format() string {
+	var sb strings.Builder
+	for _, name := range r.order {
+		rel := r.relations[name]
+		fmt.Fprintf(&sb, "relation %s(%s) {\n", rel.Name, strings.Join(rel.Attrs, ", "))
+		for _, nav := range rel.Navs {
+			fmt.Fprintf(&sb, "  nav %s\n", navText(nav.Expr))
+			attrs := make([]string, 0, len(nav.ColMap))
+			for a := range nav.ColMap {
+				attrs = append(attrs, a)
+			}
+			sort.Strings(attrs)
+			pairs := make([]string, len(attrs))
+			for i, a := range attrs {
+				pairs[i] = a + " = " + nav.ColMap[a]
+			}
+			fmt.Fprintf(&sb, "    map %s\n", strings.Join(pairs, ", "))
+		}
+		sb.WriteString("}\n\n")
+	}
+	return sb.String()
+}
+
+// navText renders a pure navigation chain in the textual navigation
+// language. Only the Entry/Unnest/Follow/Select shapes default navigations
+// use are supported; anything else falls back to the plan rendering (which
+// ParseNav will reject, surfacing the issue at parse time).
+func navText(e nalg.Expr) string {
+	switch x := e.(type) {
+	case *nalg.EntryScan:
+		return x.Scheme
+	case *nalg.Unnest:
+		return navText(x.In) + " / " + lastSeg(x.Attr)
+	case *nalg.Follow:
+		out := navText(x.In) + " -> " + lastSeg(x.Link)
+		if x.Alias != "" && x.Alias != x.Target {
+			out += " as " + x.Alias
+		}
+		return out
+	case *nalg.Select:
+		return navText(x.In) + " [" + x.Pred.String() + "]"
+	default:
+		return e.String()
+	}
+}
+
+func lastSeg(col string) string {
+	if i := strings.LastIndexByte(col, '.'); i >= 0 {
+		return col[i+1:]
+	}
+	return col
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

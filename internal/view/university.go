@@ -1,0 +1,113 @@
+package view
+
+import (
+	"ulixes/internal/adm"
+	"ulixes/internal/nalg"
+	"ulixes/internal/sitegen"
+)
+
+// UniversityView builds the external view of §5 over the university site:
+//
+//	Dept(DName, Address)
+//	Professor(PName, Rank, Email)
+//	Course(CName, Session, Description, Type)
+//	CourseInstructor(CName, PName)      — two default navigations
+//	ProfDept(PName, DName)              — two default navigations
+func UniversityView(ws *adm.Scheme) *Registry {
+	r := NewRegistry(ws)
+
+	deptNav := nalg.From(ws, sitegen.DeptListPage).Unnest("DeptList").Follow("ToDept").MustBuild()
+	r.MustAdd(&ExternalRelation{
+		Name:  "Dept",
+		Attrs: []string{"DName", "Address"},
+		Navs: []Navigation{{
+			Expr: deptNav,
+			ColMap: map[string]string{
+				"DName":   "DeptPage.DName",
+				"Address": "DeptPage.Address",
+			},
+		}},
+	})
+
+	profNav := nalg.From(ws, sitegen.ProfListPage).Unnest("ProfList").Follow("ToProf").MustBuild()
+	r.MustAdd(&ExternalRelation{
+		Name:  "Professor",
+		Attrs: []string{"PName", "Rank", "Email"},
+		Navs: []Navigation{{
+			Expr: profNav,
+			ColMap: map[string]string{
+				"PName": "ProfPage.Name",
+				"Rank":  "ProfPage.Rank",
+				"Email": "ProfPage.Email",
+			},
+		}},
+	})
+
+	courseNav := nalg.From(ws, sitegen.SessionListPage).
+		Unnest("SesList").Follow("ToSes").Unnest("CourseList").Follow("ToCourse").MustBuild()
+	r.MustAdd(&ExternalRelation{
+		Name:  "Course",
+		Attrs: []string{"CName", "Session", "Description", "Type"},
+		Navs: []Navigation{{
+			Expr: courseNav,
+			ColMap: map[string]string{
+				"CName":       "CoursePage.CName",
+				"Session":     "CoursePage.Session",
+				"Description": "CoursePage.Description",
+				"Type":        "CoursePage.Type",
+			},
+		}},
+	})
+
+	// CourseInstructor has two default navigations (§5 item 4): through the
+	// professors' course lists, or through the session/course pages.
+	ciProfNav := nalg.From(ws, sitegen.ProfListPage).
+		Unnest("ProfList").Follow("ToProf").Unnest("CourseList").MustBuild()
+	r.MustAdd(&ExternalRelation{
+		Name:  "CourseInstructor",
+		Attrs: []string{"CName", "PName"},
+		Navs: []Navigation{
+			{
+				Expr: ciProfNav,
+				ColMap: map[string]string{
+					"CName": "ProfPage.CourseList.CName",
+					"PName": "ProfPage.Name",
+				},
+			},
+			{
+				Expr: courseNav,
+				ColMap: map[string]string{
+					"CName": "CoursePage.CName",
+					"PName": "CoursePage.ProfName",
+				},
+			},
+		},
+	})
+
+	// ProfDept also has two (§5 item 5): through professor pages, or
+	// through department member lists.
+	pdDeptNav := nalg.From(ws, sitegen.DeptListPage).
+		Unnest("DeptList").Follow("ToDept").Unnest("ProfList").MustBuild()
+	r.MustAdd(&ExternalRelation{
+		Name:  "ProfDept",
+		Attrs: []string{"PName", "DName"},
+		Navs: []Navigation{
+			{
+				Expr: profNav,
+				ColMap: map[string]string{
+					"PName": "ProfPage.Name",
+					"DName": "ProfPage.DName",
+				},
+			},
+			{
+				Expr: pdDeptNav,
+				ColMap: map[string]string{
+					"PName": "DeptPage.ProfList.ProfName",
+					"DName": "DeptPage.DName",
+				},
+			},
+		},
+	})
+
+	return r
+}

@@ -1,0 +1,98 @@
+// Package view implements the relational views of §5 of the paper: external
+// relations exposed to the user, each associated with one or more default
+// navigations — computable NALG expressions whose execution materializes the
+// relation's extent — together with the column mapping from navigation
+// output to external attribute names.
+package view
+
+import (
+	"fmt"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/nalg"
+)
+
+// Navigation is one default navigation of an external relation.
+type Navigation struct {
+	// Expr is the navigation, a computable NALG expression without final
+	// projection (the optimizer projects as late or early as the rules
+	// allow).
+	Expr nalg.Expr
+	// ColMap maps each external attribute to the qualified navigation
+	// column holding it.
+	ColMap map[string]string
+}
+
+// ExternalRelation is one relation of the external view.
+type ExternalRelation struct {
+	Name string
+	// Attrs are the external attribute names in declaration order.
+	Attrs []string
+	// Navs are the default navigations (Rule 1 replaces the relation with
+	// any of them).
+	Navs []Navigation
+}
+
+// Registry is the set of external relations offered over one web scheme.
+type Registry struct {
+	Scheme    *adm.Scheme
+	relations map[string]*ExternalRelation
+	order     []string
+}
+
+// NewRegistry creates an empty registry over a web scheme.
+func NewRegistry(ws *adm.Scheme) *Registry {
+	return &Registry{Scheme: ws, relations: make(map[string]*ExternalRelation)}
+}
+
+// Add registers an external relation, validating each navigation: the
+// expression must be computable, type-check against the scheme, and expose
+// every mapped column.
+func (r *Registry) Add(rel *ExternalRelation) error {
+	if rel.Name == "" {
+		return fmt.Errorf("view: relation with empty name")
+	}
+	if _, dup := r.relations[rel.Name]; dup {
+		return fmt.Errorf("view: duplicate relation %q", rel.Name)
+	}
+	if len(rel.Attrs) == 0 {
+		return fmt.Errorf("view: relation %q has no attributes", rel.Name)
+	}
+	if len(rel.Navs) == 0 {
+		return fmt.Errorf("view: relation %q has no default navigation", rel.Name)
+	}
+	for i, nav := range rel.Navs {
+		if !nalg.Computable(nav.Expr) {
+			return fmt.Errorf("view: %s navigation %d is not computable", rel.Name, i)
+		}
+		sch, err := nalg.InferSchema(nav.Expr, r.Scheme)
+		if err != nil {
+			return fmt.Errorf("view: %s navigation %d: %v", rel.Name, i, err)
+		}
+		for _, a := range rel.Attrs {
+			col, ok := nav.ColMap[a]
+			if !ok {
+				return fmt.Errorf("view: %s navigation %d does not map attribute %q", rel.Name, i, a)
+			}
+			if !sch.Has(col) {
+				return fmt.Errorf("view: %s navigation %d maps %q to missing column %q", rel.Name, i, a, col)
+			}
+		}
+	}
+	r.relations[rel.Name] = rel
+	r.order = append(r.order, rel.Name)
+	return nil
+}
+
+// MustAdd is Add that panics on error, for the statically known site views.
+func (r *Registry) MustAdd(rel *ExternalRelation) {
+	if err := r.Add(rel); err != nil {
+		panic(err)
+	}
+}
+
+// Relation returns the named external relation, or nil.
+func (r *Registry) Relation(name string) *ExternalRelation { return r.relations[name] }
+
+// Names returns the relation names in registration order.
+func (r *Registry) Names() []string { return r.order }

@@ -1,0 +1,122 @@
+package view
+
+import (
+	"testing"
+
+	"ulixes/internal/nalg"
+	"ulixes/internal/nested"
+	"ulixes/internal/sitegen"
+)
+
+func TestUniversityViewRegistry(t *testing.T) {
+	ws := sitegen.UniversityScheme()
+	r := UniversityView(ws)
+	wantRels := []string{"Dept", "Professor", "Course", "CourseInstructor", "ProfDept"}
+	if len(r.Names()) != len(wantRels) {
+		t.Fatalf("relations = %v", r.Names())
+	}
+	for _, name := range wantRels {
+		if r.Relation(name) == nil {
+			t.Errorf("relation %s missing", name)
+		}
+	}
+	// The paper gives CourseInstructor and ProfDept two default navigations
+	// each (§5 items 4–5).
+	if got := len(r.Relation("CourseInstructor").Navs); got != 2 {
+		t.Errorf("CourseInstructor navs = %d, want 2", got)
+	}
+	if got := len(r.Relation("ProfDept").Navs); got != 2 {
+		t.Errorf("ProfDept navs = %d, want 2", got)
+	}
+	if got := len(r.Relation("Dept").Navs); got != 1 {
+		t.Errorf("Dept navs = %d, want 1", got)
+	}
+}
+
+func TestBibliographyViewRegistry(t *testing.T) {
+	ws := sitegen.BibliographyScheme()
+	r := BibliographyView(ws)
+	// Only the two covering paths qualify as default navigations; the
+	// Introduction's other two access paths miss non-database conferences
+	// (see the package comment on BibliographyView).
+	if got := len(r.Relation("PaperAuthor").Navs); got != 2 {
+		t.Errorf("PaperAuthor navs = %d, want 2 (the covering paths)", got)
+	}
+	if r.Relation("Conference") == nil || r.Relation("Edition") == nil {
+		t.Error("Conference/Edition relations missing")
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	ws := sitegen.UniversityScheme()
+	r := NewRegistry(ws)
+	nav := nalg.From(ws, sitegen.ProfListPage).Unnest("ProfList").MustBuild()
+
+	if err := r.Add(&ExternalRelation{Name: "", Attrs: []string{"A"}, Navs: []Navigation{{Expr: nav}}}); err == nil {
+		t.Error("empty name should be rejected")
+	}
+	if err := r.Add(&ExternalRelation{Name: "R", Attrs: nil, Navs: []Navigation{{Expr: nav}}}); err == nil {
+		t.Error("no attributes should be rejected")
+	}
+	if err := r.Add(&ExternalRelation{Name: "R", Attrs: []string{"A"}, Navs: nil}); err == nil {
+		t.Error("no navigations should be rejected")
+	}
+	// Unmapped attribute.
+	if err := r.Add(&ExternalRelation{Name: "R", Attrs: []string{"A"},
+		Navs: []Navigation{{Expr: nav, ColMap: map[string]string{}}}}); err == nil {
+		t.Error("unmapped attribute should be rejected")
+	}
+	// Mapped to missing column.
+	if err := r.Add(&ExternalRelation{Name: "R", Attrs: []string{"A"},
+		Navs: []Navigation{{Expr: nav, ColMap: map[string]string{"A": "Ghost.Col"}}}}); err == nil {
+		t.Error("mapping to missing column should be rejected")
+	}
+	// Non-computable navigation.
+	ext := &nalg.ExtScan{Relation: "X"}
+	if err := r.Add(&ExternalRelation{Name: "R", Attrs: []string{"A"},
+		Navs: []Navigation{{Expr: ext, ColMap: map[string]string{"A": "X.A"}}}}); err == nil {
+		t.Error("non-computable navigation should be rejected")
+	}
+	// Valid, then duplicate.
+	good := &ExternalRelation{Name: "R", Attrs: []string{"A"},
+		Navs: []Navigation{{Expr: nav, ColMap: map[string]string{"A": "ProfListPage.ProfList.ProfName"}}}}
+	if err := r.Add(good); err != nil {
+		t.Fatalf("valid relation rejected: %v", err)
+	}
+	if err := r.Add(good); err == nil {
+		t.Error("duplicate relation should be rejected")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustAdd should panic on error")
+			}
+		}()
+		r.MustAdd(good)
+	}()
+}
+
+func TestNavigationsTypeCheckAgainstScheme(t *testing.T) {
+	ws := sitegen.UniversityScheme()
+	r := UniversityView(ws)
+	for _, name := range r.Names() {
+		rel := r.Relation(name)
+		for i, nav := range rel.Navs {
+			sch, err := nalg.InferSchema(nav.Expr, ws)
+			if err != nil {
+				t.Errorf("%s nav %d: %v", name, i, err)
+				continue
+			}
+			for attr, col := range nav.ColMap {
+				c, ok := sch.Col(col)
+				if !ok {
+					t.Errorf("%s nav %d: attr %s maps to missing %s", name, i, attr, col)
+					continue
+				}
+				if c.Type.Kind == nested.KindList {
+					t.Errorf("%s nav %d: attr %s maps to a list column", name, i, attr)
+				}
+			}
+		}
+	}
+}

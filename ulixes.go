@@ -1,0 +1,172 @@
+// Package ulixes is a query system for relational views over web sites,
+// reproducing "Efficient Queries over Web Views" (Mecca, Mendelzon,
+// Merialdo, 1998). It models a site with a subset of the Araneus data model
+// (page-schemes plus link and inclusion constraints), exposes relational
+// external views over it, translates conjunctive queries into a
+// navigational algebra, optimizes them with constraint-aware rewrite rules
+// under a network-access cost model, and executes them either virtually
+// (navigating the site) or against a lazily maintained materialized view.
+//
+// The typical flow:
+//
+//	u, _ := sitegen.GenerateUniversity(sitegen.PaperUniversityParams())
+//	server, _ := site.NewMemSite(u.Instance, nil)
+//	sys, _ := ulixes.Open(server, u.Scheme, view.UniversityView(u.Scheme))
+//	ans, _ := sys.Query("SELECT p.PName FROM Professor p WHERE p.Rank = 'Full'")
+//
+// Open crawls the site once to gather the statistics the optimizer's cost
+// model needs (§6.2 of the paper); OpenWithStats skips the crawl when
+// statistics are already available.
+package ulixes
+
+import (
+	"fmt"
+	"strings"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/cq"
+	"ulixes/internal/engine"
+	"ulixes/internal/matview"
+	"ulixes/internal/nalg"
+	"ulixes/internal/nested"
+	"ulixes/internal/optimizer"
+	"ulixes/internal/site"
+	"ulixes/internal/stats"
+	"ulixes/internal/view"
+)
+
+// Re-exported types, so downstream users interact with one package.
+type (
+	// Scheme is an ADM web scheme: page-schemes, entry points, link and
+	// inclusion constraints.
+	Scheme = adm.Scheme
+	// Server is the remote-site abstraction: page downloads (GET) and
+	// light connections (HEAD).
+	Server = site.Server
+	// Views is a registry of external relations with default navigations.
+	Views = view.Registry
+	// Stats are the site statistics driving the cost model.
+	Stats = stats.Stats
+	// Answer is the result of a virtual-view query.
+	Answer = engine.Answer
+	// MatAnswer is the result of a materialized-view query.
+	MatAnswer = matview.Answer
+	// Plan is a costed candidate execution plan.
+	Plan = optimizer.Plan
+	// Options tunes the optimizer (rule ablations, search bounds).
+	Options = optimizer.Options
+	// Query is a parsed conjunctive query.
+	Query = cq.Query
+)
+
+// ParseQuery parses the conjunctive-query concrete syntax
+// (SELECT … FROM … WHERE … with equality predicates).
+func ParseQuery(src string) (*Query, error) { return cq.Parse(src) }
+
+// ParseNav parses the textual navigation language (the paper's Ulixes
+// expressions): "ProfListPage / ProfList -> ToProf [Rank='Full']".
+func ParseNav(ws *Scheme, src string) (nalg.Expr, error) { return nalg.ParseNav(ws, src) }
+
+// System is a query system over one web site: the virtual-view engine plus
+// everything needed to build plans.
+type System struct {
+	eng *engine.Engine
+}
+
+// Open builds a query system over a site, crawling it once to collect
+// statistics. The crawl's page count is the statistics-gathering cost the
+// paper assumes is amortized over many queries.
+func Open(server Server, ws *Scheme, views *Views) (*System, error) {
+	st, _, err := stats.CollectSite(server, ws)
+	if err != nil {
+		return nil, fmt.Errorf("ulixes: statistics crawl: %w", err)
+	}
+	return OpenWithStats(server, ws, views, st), nil
+}
+
+// OpenWithStats builds a query system with pre-collected statistics.
+func OpenWithStats(server Server, ws *Scheme, views *Views, st *Stats) *System {
+	return &System{eng: engine.New(views, server, st)}
+}
+
+// SetOptions replaces the optimizer options (rule ablations, beam width).
+func (s *System) SetOptions(opts Options) { s.eng.Opt.Opts = opts }
+
+// Stats returns the site statistics in use.
+func (s *System) Stats() *Stats { return s.eng.Stats }
+
+// Query parses, optimizes and executes a conjunctive query against the
+// live site, reporting the answer and the measured page accesses.
+func (s *System) Query(src string) (*Answer, error) { return s.eng.Query(src) }
+
+// QueryCQ is Query for an already parsed query.
+func (s *System) QueryCQ(q *Query) (*Answer, error) { return s.eng.QueryCQ(q) }
+
+// Plan optimizes a query without executing it, returning the chosen plan
+// and all candidates (cheapest first).
+func (s *System) Plan(src string) (*optimizer.Result, error) {
+	q, err := cq.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.eng.Opt.Optimize(q)
+}
+
+// Explain returns a human-readable report for a query: the chosen plan as a
+// tree (in the style of the paper's Figures 2–4), its estimated cost, and
+// the costs of the alternatives considered.
+func (s *System) Explain(src string) (string, error) {
+	res, err := s.Plan(src)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "chosen plan (estimated cost %.1f page accesses):\n", res.Best.Cost)
+	sb.WriteString(nalg.Explain(res.Best.Expr))
+	fmt.Fprintf(&sb, "\n%d candidate plans considered:\n", len(res.Candidates))
+	for i, c := range res.Candidates {
+		if i >= 10 {
+			fmt.Fprintf(&sb, "  … and %d more\n", len(res.Candidates)-i)
+			break
+		}
+		fmt.Fprintf(&sb, "  %8.1f  %s\n", c.Cost, c.Expr)
+	}
+	return sb.String(), nil
+}
+
+// Relation is a (nested) relation — the shape of query results.
+type Relation = nested.Relation
+
+// Execute runs an explicit navigational plan (for experiments comparing
+// strategies), returning the relation and the measured page downloads.
+func (s *System) Execute(plan nalg.Expr) (*Relation, int, error) {
+	return s.eng.Execute(plan)
+}
+
+// Materialize crawls the site into a local materialized view (§8) and
+// returns a system answering queries from it with lazy maintenance.
+func (s *System) Materialize() (*MatSystem, error) {
+	store, err := matview.Materialize(s.eng.Server, s.eng.Views.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	return &MatSystem{
+		eng:   matview.New(s.eng.Views, store, s.eng.Stats),
+		store: store,
+	}, nil
+}
+
+// MatSystem answers queries from a materialized view, maintaining it as a
+// side effect (§8).
+type MatSystem struct {
+	eng   *matview.Engine
+	store *matview.Store
+}
+
+// Query evaluates a conjunctive query on the materialized view, verifying
+// involved pages with light connections and downloading only changed pages.
+func (m *MatSystem) Query(src string) (*MatAnswer, error) { return m.eng.Query(src) }
+
+// Store exposes the underlying materialized store (for maintenance
+// operations like ProcessMissing and Refresh).
+func (m *MatSystem) Store() *matview.Store { return m.store }

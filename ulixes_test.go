@@ -1,0 +1,177 @@
+package ulixes_test
+
+import (
+	"strings"
+	"testing"
+
+	"ulixes"
+	"ulixes/internal/cost"
+	"ulixes/internal/rewrite"
+	"ulixes/internal/site"
+	"ulixes/internal/sitegen"
+	"ulixes/internal/stats"
+	"ulixes/internal/view"
+)
+
+func openUniversity(t *testing.T) (*sitegen.University, *site.MemSite, *ulixes.System) {
+	t.Helper()
+	u, err := sitegen.GenerateUniversity(sitegen.PaperUniversityParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := site.NewMemSite(u.Instance, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := ulixes.Open(ms, u.Scheme, view.UniversityView(u.Scheme))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, ms, sys
+}
+
+func TestOpenCollectsStats(t *testing.T) {
+	u, _, sys := openUniversity(t)
+	if got := sys.Stats().SchemeCard(sitegen.CoursePage); got != float64(u.Params.Courses) {
+		t.Errorf("crawled |CoursePage| = %v", got)
+	}
+}
+
+func TestFacadeQuery(t *testing.T) {
+	_, _, sys := openUniversity(t)
+	ans, err := sys.Query("SELECT d.DName, d.Address FROM Dept d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Result.Len() != 3 {
+		t.Errorf("departments = %d", ans.Result.Len())
+	}
+	q, err := ulixes.ParseQuery("SELECT d.DName, d.Address FROM Dept d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans2, err := sys.QueryCQ(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans2.Result.Equal(ans.Result) {
+		t.Error("QueryCQ should agree with Query")
+	}
+}
+
+func TestFacadeExplain(t *testing.T) {
+	_, _, sys := openUniversity(t)
+	out, err := sys.Explain("SELECT p.PName FROM Professor p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"chosen plan", "estimated cost", "candidate plans"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := sys.Explain("not a query"); err == nil {
+		t.Error("bad query should fail")
+	}
+}
+
+func TestFacadeOptions(t *testing.T) {
+	_, _, sys := openUniversity(t)
+	base, err := sys.Plan("SELECT c.CName FROM Course c WHERE c.Session = 'Fall'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetOptions(ulixes.Options{DisableRules: rewrite.Rule6})
+	ablated, err := sys.Plan("SELECT c.CName FROM Course c WHERE c.Session = 'Fall'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ablated.Best.Cost <= base.Best.Cost {
+		t.Errorf("ablation should cost more: %v vs %v", ablated.Best.Cost, base.Best.Cost)
+	}
+}
+
+func TestFacadeMaterialize(t *testing.T) {
+	u, _, sys := openUniversity(t)
+	mv, err := sys.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv.Store().Len() != u.Instance.TotalPages() {
+		t.Errorf("materialized %d pages", mv.Store().Len())
+	}
+	ans, err := mv.Query("SELECT p.PName FROM Professor p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Downloads != 0 {
+		t.Errorf("fresh view should not download, got %d", ans.Downloads)
+	}
+}
+
+func TestOpenWithStats(t *testing.T) {
+	u, err := sitegen.GenerateUniversity(sitegen.PaperUniversityParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := site.NewMemSite(u.Instance, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := ulixes.OpenWithStats(ms, u.Scheme, view.UniversityView(u.Scheme), stats.CollectInstance(u.Instance))
+	if _, err := sys.Query("SELECT p.PName FROM Professor p"); err != nil {
+		t.Fatal(err)
+	}
+	// No crawl happened: the site saw only the single query's accesses.
+	if ms.Counters().Gets() > 2 {
+		t.Errorf("OpenWithStats should not crawl; site saw %d gets", ms.Counters().Gets())
+	}
+}
+
+func TestLargeSiteEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large site")
+	}
+	u, err := sitegen.GenerateUniversity(sitegen.UniversityParams{
+		Depts: 10, Profs: 300, Courses: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := site.NewMemSite(u.Instance, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := ulixes.OpenWithStats(ms, u.Scheme, view.UniversityView(u.Scheme), stats.CollectInstance(u.Instance))
+	ans, err := sys.Query(`SELECT p.PName, p.Email
+		FROM Professor p, ProfDept pd
+		WHERE p.PName = pd.PName AND pd.DName = 'Computer Science'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Result.Len() != 30 {
+		t.Errorf("CS professors = %d, want 30", ans.Result.Len())
+	}
+	// The chase plan touches ≈ 2 + 30 pages, not 300.
+	if ans.PagesFetched > 60 {
+		t.Errorf("pages fetched = %d; the optimizer should not scan all professors", ans.PagesFetched)
+	}
+}
+
+func TestFacadeByteCostUnit(t *testing.T) {
+	_, _, sys := openUniversity(t)
+	pages, err := sys.Plan("SELECT c.CName FROM Course c WHERE c.Session = 'Fall'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetOptions(ulixes.Options{Unit: cost.Bytes})
+	bytes, err := sys.Plan("SELECT c.CName FROM Course c WHERE c.Session = 'Fall'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The byte-weighted cost is in HTML bytes: orders of magnitude above
+	// the page count, and the chosen plan still navigates the same path.
+	if bytes.Best.Cost < 100*pages.Best.Cost {
+		t.Errorf("byte cost %v should dwarf page cost %v", bytes.Best.Cost, pages.Best.Cost)
+	}
+}
