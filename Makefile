@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet verify bench experiments
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# verify is the full gate: build + vet + race-enabled tests.
+verify:
+	sh scripts/verify.sh
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+# experiments regenerates the tables of EXPERIMENTS.md.
+experiments:
+	$(GO) run ./cmd/bench -markdown

@@ -9,7 +9,9 @@ package ulixes_test
 // regenerates every table's key numbers alongside the usual ns/op.
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"ulixes"
 	"ulixes/internal/exp"
@@ -260,6 +262,62 @@ func BenchmarkLargeSiteQuery(b *testing.B) {
 		}
 		if i == 0 {
 			b.ReportMetric(float64(ans.PagesFetched), "pages")
+		}
+	}
+}
+
+// BenchmarkPipelinedVsSequential sweeps the worker count and the site
+// fan-out for the bibliography author sweep (E1 path 4) under a simulated
+// per-download RTT: wall time is the measured quantity; page accesses are
+// identical in every variant by construction (asserted).
+func BenchmarkPipelinedVsSequential(b *testing.B) {
+	for _, fanout := range []int{100, 300} {
+		params := benchBib
+		params.Authors = fanout
+		bib, err := sitegen.GenerateBibliography(params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms, err := site.NewMemSite(bib.Instance, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms.SetLatency(1 * time.Millisecond)
+		sys := ulixes.OpenWithStats(ms, bib.Scheme, view.BibliographyView(bib.Scheme),
+			stats.CollectInstance(bib.Instance))
+		plan := exp.BibAuthorPlan(bib)
+
+		_, seqStats, err := sys.ExecuteOpts(plan, ulixes.ExecOptions{Workers: 1, Pipelined: false})
+		if err != nil {
+			b.Fatal(err)
+		}
+		variants := []struct {
+			name string
+			opts ulixes.ExecOptions
+		}{
+			{"sequential", ulixes.ExecOptions{Workers: 1, Pipelined: false}},
+			{"pipelined-w1", ulixes.ExecOptions{Workers: 1, Pipelined: true}},
+			{"pipelined-w2", ulixes.ExecOptions{Workers: 2, Pipelined: true}},
+			{"pipelined-w4", ulixes.ExecOptions{Workers: 4, Pipelined: true}},
+			{"pipelined-w8", ulixes.ExecOptions{Workers: 8, Pipelined: true}},
+			{"pipelined-w16", ulixes.ExecOptions{Workers: 16, Pipelined: true}},
+		}
+		for _, v := range variants {
+			b.Run(fmt.Sprintf("authors=%d/%s", fanout, v.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_, st, err := sys.ExecuteOpts(plan, v.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if st.Pages != seqStats.Pages {
+						b.Fatalf("pages = %d, sequential fetched %d", st.Pages, seqStats.Pages)
+					}
+					if i == 0 {
+						b.ReportMetric(float64(st.Pages), "pages")
+						b.ReportMetric(float64(st.PeakInFlight), "peak_inflight")
+					}
+				}
+			})
 		}
 	}
 }

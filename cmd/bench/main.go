@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"ulixes/internal/exp"
 	"ulixes/internal/sitegen"
@@ -22,6 +23,7 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit markdown tables (for EXPERIMENTS.md)")
 	quick := flag.Bool("quick", false, "use smaller sites for a fast run")
 	only := flag.String("only", "", "comma-separated experiment ids to run (default all)")
+	latency := flag.Duration("latency", 2*time.Millisecond, "simulated per-download RTT for P1")
 	flag.Parse()
 
 	univ := sitegen.PaperUniversityParams()
@@ -50,6 +52,7 @@ func main() {
 		{"A2", func() (*exp.Table, error) { return exp.A2(univ) }},
 		{"A3", func() (*exp.Table, error) { return exp.A3(univ) }},
 		{"X1", func() (*exp.Table, error) { return exp.X1(univ) }},
+		{"P1", func() (*exp.Table, error) { return exp.P1(bib, *latency) }},
 	}
 
 	selected := make(map[string]bool)

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"ulixes"
 	"ulixes/internal/adm"
@@ -43,6 +44,8 @@ func main() {
 	baseURL := flag.String("url", "", "query a real HTTP endpoint instead of an in-memory site")
 	schemeFile := flag.String("scheme-file", "", "ADM scheme file (required with -url)")
 	viewsFile := flag.String("views-file", "", "view definition file (required with -url)")
+	workers := flag.Int("workers", 0, "bound on concurrent page downloads (0 = default)")
+	pipelined := flag.Bool("pipelined", false, "use the streaming parallel evaluator")
 	flag.Parse()
 
 	var sys *ulixes.System
@@ -56,6 +59,8 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	execOpts := ulixes.ExecOptions{Workers: *workers, Pipelined: *pipelined}
+	sys.SetExec(execOpts)
 	if *relations {
 		for _, name := range views.Names() {
 			rel := views.Relation(name)
@@ -74,11 +79,11 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(nalg.Explain(expr))
-		rel, pages, err := sys.Execute(expr)
+		rel, st, err := sys.ExecuteOpts(expr, execOpts)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("-- %d page accesses\n", pages)
+		fmt.Printf("-- %s\n", formatStats(st))
 		printRelation(rel)
 		return
 	}
@@ -99,6 +104,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		mv.SetExec(execOpts)
 		ans, err := mv.Query(query)
 		if err != nil {
 			fail(err)
@@ -114,7 +120,14 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("-- plan cost: estimated %.1f, measured %d page accesses\n", ans.Plan.Cost, ans.PagesFetched)
+	fmt.Printf("-- %s\n", formatStats(ans.Exec))
 	printRelation(ans.Result)
+}
+
+// formatStats renders the execution counters on one line.
+func formatStats(st ulixes.ExecStats) string {
+	return fmt.Sprintf("%d pages, %.1f KB, %s wall, peak %d in-flight",
+		st.Pages, float64(st.Bytes)/1024, st.Wall.Round(10*time.Microsecond), st.PeakInFlight)
 }
 
 // openRemote loads the scheme and views from files and targets a real HTTP

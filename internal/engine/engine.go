@@ -6,6 +6,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"ulixes/internal/cq"
 	"ulixes/internal/nalg"
@@ -16,12 +17,39 @@ import (
 	"ulixes/internal/view"
 )
 
+// ExecOptions tunes plan execution.
+type ExecOptions struct {
+	// Workers bounds the concurrent page downloads (0 means
+	// site.DefaultFetchWorkers). With Workers=1 and Pipelined=false the
+	// execution is the paper's fully sequential navigation.
+	Workers int
+	// Pipelined selects the streaming parallel evaluator: follow-link
+	// stages prefetch as their input arrives and join branches run
+	// concurrently. The answer and the measured page accesses are
+	// identical to sequential execution — only wall time changes.
+	Pipelined bool
+}
+
+// ExecStats are the measured per-query execution counters.
+type ExecStats struct {
+	// Pages is the number of distinct page downloads (the paper's cost).
+	Pages int
+	// Bytes is the total HTML bytes downloaded.
+	Bytes int64
+	// Wall is the elapsed execution time.
+	Wall time.Duration
+	// PeakInFlight is the maximum number of simultaneous downloads.
+	PeakInFlight int
+}
+
 // Engine answers queries over a web site through a relational view.
 type Engine struct {
 	Views  *view.Registry
 	Server site.Server
 	Stats  *stats.Stats
 	Opt    *optimizer.Optimizer
+	// Exec is the execution configuration used by Query/QueryCQ/Execute.
+	Exec ExecOptions
 }
 
 // New creates an engine. Statistics may come from stats.CollectSite (a
@@ -44,6 +72,9 @@ type Answer struct {
 	// PagesFetched is the measured number of distinct page downloads the
 	// execution performed — the quantity the paper's cost model estimates.
 	PagesFetched int
+	// Exec carries the full execution counters (pages, bytes, wall time,
+	// peak in-flight downloads).
+	Exec ExecStats
 }
 
 // Query parses, optimizes and executes a conjunctive query.
@@ -61,7 +92,7 @@ func (e *Engine) QueryCQ(q *cq.Query) (*Answer, error) {
 	if err != nil {
 		return nil, err
 	}
-	rel, fetched, err := e.Execute(res.Best.Expr)
+	rel, st, err := e.ExecuteOpts(res.Best.Expr, e.Exec)
 	if err != nil {
 		return nil, err
 	}
@@ -69,21 +100,61 @@ func (e *Engine) QueryCQ(q *cq.Query) (*Answer, error) {
 		Result:       rel,
 		Plan:         res.Best,
 		Candidates:   res.Candidates,
-		PagesFetched: fetched,
+		PagesFetched: st.Pages,
+		Exec:         st,
 	}, nil
 }
 
 // Execute evaluates a computable plan against the site with a fresh
 // per-query page cache, returning the result and the number of distinct
-// pages downloaded.
+// pages downloaded. It uses the engine's execution configuration.
 func (e *Engine) Execute(expr nalg.Expr) (*nested.Relation, int, error) {
-	if !nalg.Computable(expr) {
-		return nil, 0, fmt.Errorf("engine: plan is not computable: %s", expr)
-	}
-	f := site.NewFetcher(e.Server, e.Views.Scheme)
-	rel, err := nalg.Eval(expr, e.Views.Scheme, nalg.FetcherSource{F: f})
+	rel, st, err := e.ExecuteOpts(expr, e.Exec)
 	if err != nil {
 		return nil, 0, err
 	}
-	return rel, f.PagesFetched(), nil
+	return rel, st.Pages, nil
+}
+
+// ExecuteOpts evaluates a computable plan under explicit execution options,
+// returning the result and the measured execution counters. The page-access
+// count is invariant under the options: pipelining and parallelism never
+// change which pages are fetched.
+func (e *Engine) ExecuteOpts(expr nalg.Expr, opts ExecOptions) (*nested.Relation, ExecStats, error) {
+	if !nalg.Computable(expr) {
+		return nil, ExecStats{}, fmt.Errorf("engine: plan is not computable: %s", expr)
+	}
+	f := site.NewFetcher(e.Server, e.Views.Scheme)
+	if opts.Workers > 0 {
+		f.SetWorkers(opts.Workers)
+	}
+	evalOpts := nalg.EvalOptions{
+		Pipelined:    opts.Pipelined,
+		Workers:      opts.Workers,
+		EstimateCard: e.cardEstimator(),
+	}
+	start := time.Now()
+	rel, err := nalg.EvalWithOptions(expr, e.Views.Scheme, nalg.FetcherSource{F: f}, evalOpts)
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	return rel, ExecStats{
+		Pages:        f.PagesFetched(),
+		Bytes:        f.BytesFetched(),
+		Wall:         time.Since(start),
+		PeakInFlight: f.PeakInFlight(),
+	}, nil
+}
+
+// cardEstimator exposes the optimizer's cost model to the pipelined hash
+// join, which builds on the side with the smaller estimated cardinality.
+func (e *Engine) cardEstimator() func(nalg.Expr) (float64, bool) {
+	m := e.Opt.Model()
+	return func(x nalg.Expr) (float64, bool) {
+		est, err := m.Estimate(x)
+		if err != nil {
+			return 0, false
+		}
+		return est.Card, true
+	}
 }

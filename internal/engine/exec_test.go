@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"testing"
+
+	"ulixes/internal/nalg"
+)
+
+// TestExecOptionsThroughQuery verifies the engine-level configuration path:
+// a pipelined engine answers queries identically to a sequential one and
+// reports execution counters.
+func TestExecOptionsThroughQuery(t *testing.T) {
+	const query = `SELECT p.PName, c.CName
+		FROM Course c, CourseInstructor ci, Professor p
+		WHERE c.CName = ci.CName AND ci.PName = p.PName AND c.Session = 'Fall'`
+
+	_, _, seqEng := univEngine(t)
+	want, err := seqEng.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Exec.Pages != want.PagesFetched {
+		t.Errorf("Exec.Pages = %d, PagesFetched = %d", want.Exec.Pages, want.PagesFetched)
+	}
+	if want.Exec.Bytes <= 0 {
+		t.Error("Exec.Bytes should be positive after downloads")
+	}
+
+	_, _, pipeEng := univEngine(t)
+	pipeEng.Exec = ExecOptions{Workers: 8, Pipelined: true}
+	got, err := pipeEng.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.String() != want.Result.String() {
+		t.Error("pipelined engine answer differs from sequential")
+	}
+	if got.PagesFetched != want.PagesFetched {
+		t.Errorf("pipelined fetched %d pages, sequential %d", got.PagesFetched, want.PagesFetched)
+	}
+	if got.Exec.PeakInFlight > 8 {
+		t.Errorf("peak in-flight %d exceeds the worker bound", got.Exec.PeakInFlight)
+	}
+}
+
+// TestExecuteOptsRejectsNonComputable keeps the computability check on the
+// options path.
+func TestExecuteOptsRejectsNonComputable(t *testing.T) {
+	_, _, eng := univEngine(t)
+	ext := &nalg.ExtScan{Relation: "Professor"}
+	if _, _, err := eng.ExecuteOpts(ext, ExecOptions{Pipelined: true}); err == nil {
+		t.Error("non-computable plan should be rejected")
+	}
+}

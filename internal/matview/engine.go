@@ -17,6 +17,10 @@ type Engine struct {
 	Views *view.Registry
 	Store *Store
 	Opt   *optimizer.Optimizer
+	// Exec tunes plan evaluation (pipelined execution, worker bound). The
+	// store's singleflight guarantees the same light connections and
+	// downloads under any setting.
+	Exec nalg.EvalOptions
 }
 
 // New creates a materialized-view engine over a store.
@@ -75,7 +79,7 @@ func (e *Engine) QueryCQ(q *cq.Query) (*Answer, error) {
 func (e *Engine) Execute(expr nalg.Expr) (*nested.Relation, Counters, error) {
 	e.Store.BeginEvaluation()
 	before := e.Store.Counters()
-	rel, err := nalg.Eval(expr, e.Views.Scheme, e.Store)
+	rel, err := nalg.EvalWithOptions(expr, e.Views.Scheme, e.Store, e.Exec)
 	if err != nil {
 		return nil, Counters{}, err
 	}

@@ -71,20 +71,42 @@ type Counters struct {
 	DeletionsApplied int
 }
 
-// Store is the local materialization of a site's ADM representation.
+// DefaultCheckWorkers bounds the concurrent URLCheck light connections a
+// batched FollowPages issues.
+const DefaultCheckWorkers = 8
+
+// Store is the local materialization of a site's ADM representation. It is
+// safe for concurrent use: FollowPages batches its URLCheck HEADs through a
+// bounded worker pool, network calls run outside the store lock, and a
+// per-URL singleflight keeps concurrent evaluation branches from issuing
+// duplicate checks — so the measured light connections and downloads are
+// identical whether a plan is evaluated sequentially or pipelined.
 type Store struct {
 	ws     *adm.Scheme
 	server site.Server
 
 	mu       sync.Mutex
+	workers  int
 	pages    map[string]*StoredPage
 	status   map[string]Status
 	missing  map[string]bool // CheckMissing: deferred deletion queue
+	checking map[string]chan struct{} // per-URL in-flight checks (singleflight)
 	counters Counters
 	// scoped is non-nil when only a subset of the page-schemes is
 	// materialized (§8: "materialize views over portions of the Web");
 	// pages of other schemes are fetched live on every use.
 	scoped map[string]bool
+}
+
+// SetWorkers bounds the concurrent network checks of batched FollowPages
+// calls (minimum 1).
+func (s *Store) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.workers = n
 }
 
 // Materialized reports whether pages of the scheme are held locally.
@@ -108,11 +130,13 @@ func Materialize(server site.Server, ws *adm.Scheme) (*Store, error) {
 // portion of interest), but only the selected schemes are stored.
 func MaterializeSchemes(server site.Server, ws *adm.Scheme, schemes []string) (*Store, error) {
 	s := &Store{
-		ws:      ws,
-		server:  server,
-		pages:   make(map[string]*StoredPage),
-		status:  make(map[string]Status),
-		missing: make(map[string]bool),
+		ws:       ws,
+		server:   server,
+		workers:  DefaultCheckWorkers,
+		pages:    make(map[string]*StoredPage),
+		status:   make(map[string]Status),
+		missing:  make(map[string]bool),
+		checking: make(map[string]chan struct{}),
 	}
 	if len(schemes) > 0 {
 		s.scoped = make(map[string]bool, len(schemes))
@@ -242,14 +266,17 @@ func (s *Store) outlinks(scheme string, t nested.Tuple) map[string]string {
 
 // download fetches and wraps the page, updating the store and diffing
 // outlinks against the previous version (Function 2 lines 6–10): links that
-// appear are marked new, links that disappear are marked missing.
-// The caller holds s.mu.
+// appear are marked new, links that disappear are marked missing. The
+// network GET and the wrap run outside the store lock; only the state
+// updates (counters, link diff, page map) take it.
 func (s *Store) download(url, scheme string) (nested.Tuple, error) {
 	p, err := s.server.Get(url)
 	if err != nil {
 		return nested.Tuple{}, err
 	}
+	s.mu.Lock()
 	s.counters.Downloads++
+	s.mu.Unlock()
 	ps := s.ws.Page(scheme)
 	if ps == nil {
 		return nested.Tuple{}, fmt.Errorf("matview: unknown page-scheme %q", scheme)
@@ -259,6 +286,8 @@ func (s *Store) download(url, scheme string) (nested.Tuple, error) {
 		return nested.Tuple{}, err
 	}
 	newLinks := s.outlinks(scheme, t)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if prev, ok := s.pages[url]; ok {
 
 		oldLinks := s.outlinks(scheme, prev.Tuple)
@@ -319,40 +348,82 @@ func (s *Store) liveFetch(url, scheme string) (nested.Tuple, bool, error) {
 // has been updated on the site, refreshing the local copy if so, and
 // returns the current tuple. exists=false reports that the page is gone
 // from the site (the local copy is dropped and the deletion counted).
+// Concurrent checks of the same URL are serialized, so the light-connection
+// count stays what a sequential evaluation would measure.
 func (s *Store) URLCheck(url, scheme string) (t nested.Tuple, exists bool, err error) {
+	s.acquireCheck(url)
+	defer s.releaseCheck(url)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.urlCheckLocked(url, scheme)
+	st := s.status[url]
+	s.mu.Unlock()
+	return s.runCheck(url, scheme, st)
 }
 
-func (s *Store) urlCheckLocked(url, scheme string) (nested.Tuple, bool, error) {
-	if s.status[url] == StatusNew {
+// acquireCheck claims the per-URL check slot, waiting for any in-flight
+// check of the same URL to finish first.
+func (s *Store) acquireCheck(url string) {
+	for {
+		s.mu.Lock()
+		ch, busy := s.checking[url]
+		if !busy {
+			s.checking[url] = make(chan struct{})
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		<-ch
+	}
+}
+
+func (s *Store) releaseCheck(url string) {
+	s.mu.Lock()
+	ch := s.checking[url]
+	delete(s.checking, url)
+	s.mu.Unlock()
+	close(ch)
+}
+
+// runCheck performs Function 2 for one URL given its status snapshot. All
+// network traffic (HEAD, GET) happens outside the store lock so checks of
+// different URLs proceed in parallel.
+func (s *Store) runCheck(url, scheme string, st Status) (nested.Tuple, bool, error) {
+	if st == StatusNew {
 		// A link we have never materialized: download directly (Function 2
 		// line 1–2); no light connection is needed.
 		t, err := s.download(url, scheme)
 		if err != nil {
 			if isNotFound(err) {
 				// Appeared and disappeared between checks.
+				s.mu.Lock()
 				s.counters.DeletionsApplied++
 				s.status[url] = StatusChecked
+				s.mu.Unlock()
 				return nested.Tuple{}, false, nil
 			}
 			return nested.Tuple{}, false, err
 		}
+		s.mu.Lock()
 		s.status[url] = StatusChecked
+		s.mu.Unlock()
 		return t, true, nil
 	}
+	s.mu.Lock()
 	stored, have := s.pages[url]
+	s.mu.Unlock()
 	// Light connection: an error flag and the modification date (§8).
 	meta, err := s.server.Head(url)
+	s.mu.Lock()
 	s.counters.LightConnections++
+	s.mu.Unlock()
 	if err != nil {
 		if isNotFound(err) {
+			s.mu.Lock()
 			if have {
 				delete(s.pages, url)
 				s.counters.DeletionsApplied++
 			}
 			s.status[url] = StatusChecked
+			s.mu.Unlock()
 			return nested.Tuple{}, false, nil
 		}
 		return nested.Tuple{}, false, err
@@ -362,11 +433,53 @@ func (s *Store) urlCheckLocked(url, scheme string) (nested.Tuple, bool, error) {
 		if err != nil {
 			return nested.Tuple{}, false, err
 		}
+		s.mu.Lock()
 		s.status[url] = StatusChecked
+		s.mu.Unlock()
 		return t, true, nil
 	}
+	s.mu.Lock()
 	s.status[url] = StatusChecked
+	s.mu.Unlock()
 	return stored.Tuple, true, nil
+}
+
+// checkFollow is the per-URL step of a batched FollowPages: it applies the
+// status shortcuts of Algorithm 3 and otherwise runs Function 2 once per
+// URL per evaluation, no matter how many concurrent branches ask.
+func (s *Store) checkFollow(url, scheme string) (nested.Tuple, bool, error) {
+	for {
+		s.mu.Lock()
+		switch s.status[url] {
+		case StatusMissing:
+			// Deferred: checked periodically off-line, not during queries.
+			s.missing[url] = true
+			s.mu.Unlock()
+			return nested.Tuple{}, false, nil
+		case StatusChecked:
+			p, ok := s.pages[url]
+			s.mu.Unlock()
+			if !ok {
+				return nested.Tuple{}, false, nil
+			}
+			return p.Tuple, true, nil
+		}
+		ch, busy := s.checking[url]
+		if busy {
+			// Another branch is checking this URL right now: wait, then
+			// re-read the status (it will be Checked).
+			s.mu.Unlock()
+			<-ch
+			continue
+		}
+		s.checking[url] = make(chan struct{})
+		st := s.status[url]
+		s.mu.Unlock()
+
+		t, exists, err := s.runCheck(url, scheme, st)
+		s.releaseCheck(url)
+		return t, exists, err
+	}
 }
 
 func isNotFound(err error) bool {
@@ -410,12 +523,27 @@ func (s *Store) EntryPage(scheme, url string) (nested.Tuple, error) {
 // FollowPages implements nalg.Source for Algorithm 3 (lines 6–12): each
 // outgoing URL with status new or none is URL-checked; URLs flagged missing
 // are queued in CheckMissing and excluded from the evaluation; deleted
-// pages are dropped.
+// pages are dropped. The per-URL checks — one light connection each, plus a
+// download when the page actually changed — are batched through a bounded
+// worker pool, so a follow over many links overlaps its HEADs instead of
+// paying one round trip after another. Results preserve input order.
 func (s *Store) FollowPages(scheme string, urls []string) ([]nested.Tuple, error) {
-	var out []nested.Tuple
+	check := s.checkFollow
 	if !s.Materialized(scheme) {
+		check = func(u, sch string) (nested.Tuple, bool, error) {
+			return s.liveFetch(u, sch)
+		}
+	}
+	s.mu.Lock()
+	workers := s.workers
+	s.mu.Unlock()
+	if workers > len(urls) {
+		workers = len(urls)
+	}
+	if workers <= 1 {
+		var out []nested.Tuple
 		for _, u := range urls {
-			t, exists, err := s.liveFetch(u, scheme)
+			t, exists, err := check(u, scheme)
 			if err != nil {
 				return nil, err
 			}
@@ -425,30 +553,47 @@ func (s *Store) FollowPages(scheme string, urls []string) ([]nested.Tuple, error
 		}
 		return out, nil
 	}
-	for _, u := range urls {
-		s.mu.Lock()
-		st := s.status[u]
-		if st == StatusMissing {
-			// Deferred: checked periodically off-line, not during queries.
-			s.missing[u] = true
-			s.mu.Unlock()
-			continue
-		}
-		if st == StatusChecked {
-			p, ok := s.pages[u]
-			s.mu.Unlock()
-			if ok {
-				out = append(out, p.Tuple)
+	results := make([]nested.Tuple, len(urls))
+	exists := make([]bool, len(urls))
+	jobs := make(chan int)
+	done := make(chan struct{})
+	var once sync.Once
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				t, ok, err := check(urls[i], scheme)
+				if err != nil {
+					once.Do(func() {
+						firstErr = err
+						close(done)
+					})
+					return
+				}
+				results[i], exists[i] = t, ok
 			}
-			continue
+		}()
+	}
+producing:
+	for i := range urls {
+		select {
+		case jobs <- i:
+		case <-done:
+			break producing
 		}
-		t, exists, err := s.urlCheckLocked(u, scheme)
-		s.mu.Unlock()
-		if err != nil {
-			return nil, err
-		}
-		if exists {
-			out = append(out, t)
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	var out []nested.Tuple
+	for i, ok := range exists {
+		if ok {
+			out = append(out, results[i])
 		}
 	}
 	return out, nil
@@ -496,7 +641,10 @@ func (s *Store) Refresh() (updated, deleted int, err error) {
 	for _, u := range urls {
 		s.mu.Lock()
 		before := s.counters
-		_, exists, cerr := s.urlCheckLocked(u, schemes[u])
+		st := s.status[u]
+		s.mu.Unlock()
+		_, exists, cerr := s.runCheck(u, schemes[u], st)
+		s.mu.Lock()
 		after := s.counters
 		s.mu.Unlock()
 		if cerr != nil {

@@ -11,6 +11,11 @@ import (
 // Source supplies pages during evaluation. The virtual-view engine backs it
 // with a network fetcher; the materialized-view engine backs it with the
 // local store plus the URLCheck protocol of §8.
+//
+// The pipelined evaluator (EvalWithOptions) calls EntryPage and FollowPages
+// from concurrent goroutines; implementations must be safe for concurrent
+// use and must keep their measured access counts deterministic under
+// concurrency (per-URL deduplication / singleflight).
 type Source interface {
 	// EntryPage returns the single page of an entry point.
 	EntryPage(scheme, url string) (nested.Tuple, error)

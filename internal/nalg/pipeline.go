@@ -1,0 +1,462 @@
+package nalg
+
+import (
+	"fmt"
+	"sync"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/nested"
+)
+
+// Pipelined-evaluation defaults.
+const (
+	// DefaultWorkers bounds the concurrent follow-link fetch tasks of one
+	// pipelined evaluation.
+	DefaultWorkers = 8
+	// DefaultBatchSize is the tuple granularity of the streams: smaller
+	// batches pipeline more aggressively, larger batches amortize overhead.
+	DefaultBatchSize = 64
+)
+
+// EvalOptions tunes plan evaluation.
+type EvalOptions struct {
+	// Pipelined selects the streaming parallel evaluator: operators are
+	// connected by tuple-batch channels, Follow issues prefetches as soon
+	// as input batches arrive, and Join branches run concurrently. The
+	// result relation and the number of page accesses are identical to the
+	// sequential evaluator's — parallelism only changes wall time.
+	Pipelined bool
+	// Workers bounds the number of in-flight follow-link fetch tasks
+	// (0 means DefaultWorkers). The page-level connection bound lives in
+	// the fetcher; this knob only caps pipeline fan-out.
+	Workers int
+	// BatchSize is the tuple-batch granularity (0 means DefaultBatchSize).
+	BatchSize int
+	// EstimateCard optionally estimates the output cardinality of a
+	// subplan (from site statistics). The pipelined hash join builds on
+	// the side with the smaller estimate; without an estimator it builds
+	// on the right operand.
+	EstimateCard func(Expr) (float64, bool)
+}
+
+// EvalWithOptions evaluates a computable expression against a page source,
+// either with the sequential evaluator or the pipelined one. Both return
+// the same relation (as a set of tuples) and perform the same set of page
+// accesses; the pipelined evaluator overlaps fetching, wrapping and local
+// computation. A Source used with the pipelined evaluator must tolerate
+// concurrent EntryPage/FollowPages calls.
+func EvalWithOptions(e Expr, ws *adm.Scheme, src Source, opts EvalOptions) (*nested.Relation, error) {
+	if !opts.Pipelined {
+		return Eval(e, ws, src)
+	}
+	if _, err := InferSchema(e, ws); err != nil {
+		return nil, err
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = DefaultWorkers
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = DefaultBatchSize
+	}
+	p := &pipeline{
+		ws:   ws,
+		src:  src,
+		opts: opts,
+		sem:  make(chan struct{}, opts.Workers),
+		done: make(chan struct{}),
+	}
+	out := p.node(e)
+	rel := nested.NewRelation(nil)
+	for batch := range out {
+		for _, t := range batch {
+			rel.Insert(t)
+		}
+	}
+	p.wg.Wait()
+	if p.err != nil {
+		return nil, p.err
+	}
+	return rel, nil
+}
+
+// pipeline is one running dataflow evaluation: a tree of goroutines
+// connected by tuple-batch channels, with first-error-wins propagation.
+type pipeline struct {
+	ws   *adm.Scheme
+	src  Source
+	opts EvalOptions
+	sem  chan struct{} // bounds concurrent follow fetch tasks
+	done chan struct{} // closed on the first failure
+	once sync.Once
+	err  error
+	wg   sync.WaitGroup
+}
+
+// fail records the first error and unblocks every stage.
+func (p *pipeline) fail(err error) {
+	p.once.Do(func() {
+		p.err = err
+		close(p.done)
+	})
+}
+
+func (p *pipeline) spawn(fn func()) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		fn()
+	}()
+}
+
+// emit sends one batch downstream, aborting if the pipeline failed. It
+// reports whether the send happened.
+func (p *pipeline) emit(out chan<- []nested.Tuple, batch []nested.Tuple) bool {
+	if len(batch) == 0 {
+		return true
+	}
+	select {
+	case out <- batch:
+		return true
+	case <-p.done:
+		return false
+	}
+}
+
+// emitChunks re-batches and sends a tuple slice downstream. Re-batching is
+// what creates pipeline parallelism after expanding operators: an Unnest
+// blowing one page into hundreds of tuples yields several batches, so a
+// downstream Follow can have several fetch tasks in flight.
+func (p *pipeline) emitChunks(out chan<- []nested.Tuple, tuples []nested.Tuple) bool {
+	n := p.opts.BatchSize
+	for len(tuples) > 0 {
+		k := n
+		if k > len(tuples) {
+			k = len(tuples)
+		}
+		if !p.emit(out, tuples[:k:k]) {
+			return false
+		}
+		tuples = tuples[k:]
+	}
+	return true
+}
+
+// node compiles an expression into a running stage producing tuple batches.
+func (p *pipeline) node(e Expr) <-chan []nested.Tuple {
+	out := make(chan []nested.Tuple)
+	switch x := e.(type) {
+	case *ExtScan:
+		p.spawn(func() {
+			defer close(out)
+			p.fail(fmt.Errorf("nalg: cannot evaluate external relation %q", x.Relation))
+		})
+
+	case *EntryScan:
+		p.spawn(func() {
+			defer close(out)
+			t, err := p.src.EntryPage(x.Scheme, x.URL)
+			if err != nil {
+				p.fail(fmt.Errorf("nalg: entry point %s: %w", x.Scheme, err))
+				return
+			}
+			p.emit(out, []nested.Tuple{qualifyPage(t, x.EffAlias())})
+		})
+
+	case *Unnest, *Select, *Project, *Rename:
+		in := p.node(localInput(e))
+		p.spawn(func() {
+			defer close(out)
+			for batch := range in {
+				res, err := applyLocal(e, batch)
+				if err != nil {
+					p.fail(err)
+					return
+				}
+				if !p.emitChunks(out, res) {
+					return
+				}
+			}
+		})
+
+	case *Follow:
+		p.followNode(x, out)
+
+	case *Join:
+		p.joinNode(x, out)
+
+	default:
+		p.spawn(func() {
+			defer close(out)
+			p.fail(fmt.Errorf("nalg: unknown expression node %T", e))
+		})
+	}
+	return out
+}
+
+// localInput returns the operand of a unary local operator.
+func localInput(e Expr) Expr {
+	switch x := e.(type) {
+	case *Unnest:
+		return x.In
+	case *Select:
+		return x.In
+	case *Project:
+		return x.In
+	case *Rename:
+		return x.In
+	}
+	panic("nalg: not a local operator")
+}
+
+// applyLocal evaluates a tuple-at-a-time operator on one batch. These
+// operators distribute over union, so applying them per batch and deduping
+// at the sink computes the same set as the sequential evaluator.
+func applyLocal(e Expr, batch []nested.Tuple) ([]nested.Tuple, error) {
+	rel := nested.NewRelation(nil)
+	for _, t := range batch {
+		rel.Insert(t)
+	}
+	var res *nested.Relation
+	var err error
+	switch x := e.(type) {
+	case *Unnest:
+		res, err = rel.Unnest(x.Attr)
+	case *Select:
+		res, err = rel.Select(x.Pred)
+	case *Project:
+		res, err = rel.Project(x.Cols)
+	case *Rename:
+		res, err = rel.Rename(x.Map)
+	default:
+		return nil, fmt.Errorf("nalg: not a local operator: %T", e)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res.Tuples(), nil
+}
+
+// pageMap is the shared URL → qualified page tuple map a Follow stage's
+// fetch tasks fill and its joiner reads.
+type pageMap struct {
+	mu sync.Mutex
+	m  map[string]nested.Tuple
+}
+
+func (pm *pageMap) set(url string, t nested.Tuple) {
+	pm.mu.Lock()
+	pm.m[url] = t
+	pm.mu.Unlock()
+}
+
+func (pm *pageMap) get(url string) (nested.Tuple, bool) {
+	pm.mu.Lock()
+	t, ok := pm.m[url]
+	pm.mu.Unlock()
+	return t, ok
+}
+
+// followTask is one batch moving through a Follow stage: its page fetch
+// runs asynchronously; the joiner consumes tasks in order, so when task i
+// is joined every URL first seen in batches 0..i has been resolved.
+type followTask struct {
+	batch   []nested.Tuple
+	fetched chan struct{}
+}
+
+// followNode streams the follow-link operator: as input batches arrive,
+// the distinct not-yet-seen link URLs are prefetched concurrently (bounded
+// by the pipeline's worker semaphore) while earlier batches are being
+// joined with their target pages.
+func (p *pipeline) followNode(x *Follow, out chan<- []nested.Tuple) {
+	in := p.node(x.In)
+	tasks := make(chan *followTask, p.opts.Workers)
+	pages := &pageMap{m: make(map[string]nested.Tuple)}
+
+	// Producer: dedup link URLs across batches and launch fetch tasks.
+	p.spawn(func() {
+		defer close(tasks)
+		seen := make(map[string]bool)
+		for batch := range in {
+			var urls []string
+			for _, t := range batch {
+				lv, ok := t.Get(x.Link)
+				if !ok {
+					p.fail(fmt.Errorf("nalg: follow: no column %q", x.Link))
+					return
+				}
+				if lv.IsNull() {
+					continue
+				}
+				if u := lv.String(); !seen[u] {
+					seen[u] = true
+					urls = append(urls, u)
+				}
+			}
+			ft := &followTask{batch: batch, fetched: make(chan struct{})}
+			p.spawn(func() { p.fetchTask(x, urls, pages, ft) })
+			select {
+			case tasks <- ft:
+			case <-p.done:
+				return
+			}
+		}
+	})
+
+	// Joiner: in task order, wait for the task's pages and emit the
+	// navigation join of its batch.
+	p.spawn(func() {
+		defer close(out)
+		for ft := range tasks {
+			select {
+			case <-ft.fetched:
+			case <-p.done:
+				return
+			}
+			joined, err := joinFollowBatch(x, ft.batch, pages)
+			if err != nil {
+				p.fail(err)
+				return
+			}
+			if !p.emitChunks(out, joined) {
+				return
+			}
+		}
+	})
+}
+
+// fetchTask resolves one batch's new URLs into the shared page map.
+func (p *pipeline) fetchTask(x *Follow, urls []string, pages *pageMap, ft *followTask) {
+	defer close(ft.fetched)
+	if len(urls) == 0 {
+		return
+	}
+	select {
+	case p.sem <- struct{}{}:
+	case <-p.done:
+		return
+	}
+	defer func() { <-p.sem }()
+	got, err := p.src.FollowPages(x.Target, urls)
+	if err != nil {
+		p.fail(fmt.Errorf("nalg: follow %s: %w", x.Link, err))
+		return
+	}
+	alias := x.EffAlias()
+	for _, pg := range got {
+		u, ok := pg.Get(adm.URLAttr)
+		if !ok || u.IsNull() {
+			p.fail(fmt.Errorf("nalg: follow %s: target page without URL", x.Link))
+			return
+		}
+		pages.set(u.String(), qualifyPage(pg, alias))
+	}
+}
+
+// joinFollowBatch expands each tuple of a batch with its target page,
+// exactly as the sequential evalFollow does.
+func joinFollowBatch(x *Follow, batch []nested.Tuple, pages *pageMap) ([]nested.Tuple, error) {
+	var out []nested.Tuple
+	for _, t := range batch {
+		lv, ok := t.Get(x.Link)
+		if !ok {
+			return nil, fmt.Errorf("nalg: follow: no column %q", x.Link)
+		}
+		if lv.IsNull() {
+			continue
+		}
+		page, ok := pages.get(lv.String())
+		if !ok {
+			continue // dangling link: navigation yields nothing for it
+		}
+		joined, err := t.Concat(page)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, joined)
+	}
+	return out, nil
+}
+
+// joinNode evaluates both operands concurrently — their page fetches
+// overlap — hashing the build side incrementally as its batches arrive.
+// Probe batches arriving early are buffered; once the build side is
+// exhausted they stream through the hash table and out.
+func (p *pipeline) joinNode(x *Join, out chan<- []nested.Tuple) {
+	lin := p.node(x.L)
+	rin := p.node(x.R)
+	p.spawn(func() {
+		defer close(out)
+		buildLeft := p.chooseBuildLeft(x)
+		h := nested.NewHashJoiner(x.Conds, buildLeft)
+		build, probe := rin, lin
+		if buildLeft {
+			build, probe = lin, rin
+		}
+		// Drain both sides at once so neither subtree ever stalls on a
+		// full channel; probe batches queue until the hash table is
+		// complete.
+		var queued [][]nested.Tuple
+		probeOpen := true
+		for build != nil {
+			select {
+			case b, ok := <-build:
+				if !ok {
+					build = nil
+					continue
+				}
+				for _, t := range b {
+					if err := h.Build(t); err != nil {
+						p.fail(err)
+						return
+					}
+				}
+			case b, ok := <-probe:
+				if !ok {
+					probeOpen = false
+					probe = nil
+					continue
+				}
+				queued = append(queued, b)
+			case <-p.done:
+				return
+			}
+		}
+		probeBatch := func(b []nested.Tuple) bool {
+			var res []nested.Tuple
+			for _, t := range b {
+				joined, err := h.Probe(t)
+				if err != nil {
+					p.fail(err)
+					return false
+				}
+				res = append(res, joined...)
+			}
+			return p.emitChunks(out, res)
+		}
+		for _, b := range queued {
+			if !probeBatch(b) {
+				return
+			}
+		}
+		if probeOpen {
+			for b := range probe {
+				if !probeBatch(b) {
+					return
+				}
+			}
+		}
+	})
+}
+
+// chooseBuildLeft picks the hash-join build side from estimated
+// cardinalities when available (the smaller estimated side), defaulting to
+// the right operand like Relation.Join's tie-break.
+func (p *pipeline) chooseBuildLeft(x *Join) bool {
+	if p.opts.EstimateCard == nil {
+		return false
+	}
+	lc, lok := p.opts.EstimateCard(x.L)
+	rc, rok := p.opts.EstimateCard(x.R)
+	return lok && rok && lc < rc
+}

@@ -1,0 +1,97 @@
+package nested
+
+// HashJoiner is an incremental hash equi-join. Unlike Relation.Join, which
+// needs both inputs fully materialized, a HashJoiner separates the two
+// phases so a streaming evaluator can hash the build side as its tuples
+// arrive and probe with the other side's tuples as they arrive. The build
+// side is chosen by the caller (typically the side with the smaller
+// estimated cardinality when actual sizes are not yet known).
+//
+// With no conditions the join degenerates to the cartesian product: every
+// build tuple matches every probe tuple. Tuples with a null value in any
+// condition attribute never join, matching Relation.Join.
+//
+// A HashJoiner is not safe for concurrent use; callers serialize Build and
+// Probe (Probe is only meaningful once the build side is exhausted).
+type HashJoiner struct {
+	conds      []EqCond
+	buildLeft  bool
+	buildAttrs []string
+	probeAttrs []string
+	table      map[string][]Tuple
+	buildCount int
+}
+
+// NewHashJoiner creates a joiner for the given conditions. buildLeft
+// selects which operand is hashed: true hashes the left (EqCond.Left)
+// side, false the right. Probe results are always concatenated in
+// left-then-right attribute order regardless of orientation.
+func NewHashJoiner(conds []EqCond, buildLeft bool) *HashJoiner {
+	buildAttrs := make([]string, len(conds))
+	probeAttrs := make([]string, len(conds))
+	for i, c := range conds {
+		if buildLeft {
+			buildAttrs[i] = c.Left
+			probeAttrs[i] = c.Right
+		} else {
+			buildAttrs[i] = c.Right
+			probeAttrs[i] = c.Left
+		}
+	}
+	return &HashJoiner{
+		conds:      conds,
+		buildLeft:  buildLeft,
+		buildAttrs: buildAttrs,
+		probeAttrs: probeAttrs,
+		table:      make(map[string][]Tuple),
+	}
+}
+
+// BuildLeft reports which side is hashed.
+func (h *HashJoiner) BuildLeft() bool { return h.buildLeft }
+
+// BuildSize returns the number of tuples hashed so far.
+func (h *HashJoiner) BuildSize() int { return h.buildCount }
+
+// Build adds one build-side tuple to the hash table.
+func (h *HashJoiner) Build(t Tuple) error {
+	k, null, err := joinKey(t, h.buildAttrs)
+	if err != nil {
+		return err
+	}
+	if null {
+		return nil // nulls never join
+	}
+	h.table[k] = append(h.table[k], t)
+	h.buildCount++
+	return nil
+}
+
+// Probe matches one probe-side tuple against the hash table, returning the
+// joined tuples (left concatenated with right) in build-insertion order.
+func (h *HashJoiner) Probe(t Tuple) ([]Tuple, error) {
+	k, null, err := joinKey(t, h.probeAttrs)
+	if err != nil {
+		return nil, err
+	}
+	if null {
+		return nil, nil
+	}
+	matches := h.table[k]
+	if len(matches) == 0 {
+		return nil, nil
+	}
+	out := make([]Tuple, 0, len(matches))
+	for _, u := range matches {
+		left, right := t, u
+		if h.buildLeft {
+			left, right = u, t
+		}
+		c, err := left.Concat(right)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

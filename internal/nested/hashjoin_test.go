@@ -1,0 +1,126 @@
+package nested
+
+import (
+	"testing"
+)
+
+func TestHashJoinerBuildRight(t *testing.T) {
+	h := NewHashJoiner([]EqCond{{Left: "B", Right: "C"}}, false)
+	for _, tup := range []Tuple{
+		textTuple("C", "x", "D", "p"),
+		textTuple("C", "x", "D", "q"),
+		textTuple("C", "z", "D", "r"),
+	} {
+		if err := h.Build(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.BuildSize() != 3 {
+		t.Errorf("BuildSize = %d", h.BuildSize())
+	}
+	out, err := h.Probe(textTuple("A", "1", "B", "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("probe produced %d tuples, want 2", len(out))
+	}
+	// Joined tuples are left ++ right regardless of build orientation.
+	for _, j := range out {
+		names := j.Names()
+		if names[0] != "A" || names[len(names)-1] != "D" {
+			t.Errorf("attribute order = %v, want left then right", names)
+		}
+	}
+	if out[0].MustGet("D").String() != "p" || out[1].MustGet("D").String() != "q" {
+		t.Error("matches should come in build insertion order")
+	}
+	none, err := h.Probe(textTuple("A", "9", "B", "w"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Errorf("probe of unmatched key produced %d tuples", len(none))
+	}
+}
+
+func TestHashJoinerBuildLeft(t *testing.T) {
+	h := NewHashJoiner([]EqCond{{Left: "B", Right: "C"}}, true)
+	if !h.BuildLeft() {
+		t.Fatal("BuildLeft should report orientation")
+	}
+	if err := h.Build(textTuple("A", "1", "B", "x")); err != nil {
+		t.Fatal(err)
+	}
+	out, err := h.Probe(textTuple("C", "x", "D", "p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("probe produced %d tuples, want 1", len(out))
+	}
+	// Even with the left side as build input, output stays left ++ right.
+	names := out[0].Names()
+	if names[0] != "A" || names[len(names)-1] != "D" {
+		t.Errorf("attribute order = %v, want left then right", names)
+	}
+}
+
+func TestHashJoinerMultiColumnAndNulls(t *testing.T) {
+	h := NewHashJoiner([]EqCond{{Left: "A", Right: "A2"}, {Left: "B", Right: "B2"}}, false)
+	if err := h.Build(textTuple("A2", "1", "B2", "x")); err != nil {
+		t.Fatal(err)
+	}
+	// Null join keys never match (SQL semantics) and are skipped at build.
+	nullSide, _ := NewTuple([]string{"A2", "B2"}, []Value{Null, TextValue("x")})
+	if err := h.Build(nullSide); err != nil {
+		t.Fatal(err)
+	}
+	if h.BuildSize() != 1 {
+		t.Errorf("BuildSize = %d (null-keyed tuples are never hashed)", h.BuildSize())
+	}
+	out, err := h.Probe(textTuple("A", "1", "B", "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("probe produced %d tuples, want 1", len(out))
+	}
+	nullProbe, _ := NewTuple([]string{"A", "B"}, []Value{Null, TextValue("x")})
+	out, err = h.Probe(nullProbe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Error("null probe key should not match")
+	}
+}
+
+func TestHashJoinerMissingAttr(t *testing.T) {
+	h := NewHashJoiner([]EqCond{{Left: "B", Right: "C"}}, false)
+	if err := h.Build(textTuple("X", "1")); err == nil {
+		t.Error("build without the join attribute should error")
+	}
+	if err := h.Build(textTuple("C", "x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Probe(textTuple("X", "1")); err == nil {
+		t.Error("probe without the join attribute should error")
+	}
+}
+
+func TestHashJoinerCartesian(t *testing.T) {
+	h := NewHashJoiner(nil, false)
+	for _, tup := range []Tuple{textTuple("C", "x"), textTuple("C", "y")} {
+		if err := h.Build(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := h.Probe(textTuple("A", "1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Errorf("cartesian probe produced %d tuples, want 2", len(out))
+	}
+}

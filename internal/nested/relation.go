@@ -177,47 +177,23 @@ func (r *Relation) Join(s *Relation, conds []EqCond) (*Relation, error) {
 		return out, nil
 	}
 	// Build side: hash the smaller relation on its condition attributes.
+	buildLeft := r.Len() < s.Len()
 	build, probe := s, r
-	buildAttrs := make([]string, len(conds))
-	probeAttrs := make([]string, len(conds))
-	for i, c := range conds {
-		probeAttrs[i] = c.Left
-		buildAttrs[i] = c.Right
-	}
-	swapped := false
-	if r.Len() < s.Len() {
+	if buildLeft {
 		build, probe = r, s
-		buildAttrs, probeAttrs = probeAttrs, buildAttrs
-		swapped = true
 	}
-	ht := make(map[string][]Tuple, build.Len())
+	h := NewHashJoiner(conds, buildLeft)
 	for _, t := range build.tuples {
-		k, null, err := joinKey(t, buildAttrs)
-		if err != nil {
+		if err := h.Build(t); err != nil {
 			return nil, err
 		}
-		if null {
-			continue // nulls never join
-		}
-		ht[k] = append(ht[k], t)
 	}
 	for _, t := range probe.tuples {
-		k, null, err := joinKey(t, probeAttrs)
+		joined, err := h.Probe(t)
 		if err != nil {
 			return nil, err
 		}
-		if null {
-			continue
-		}
-		for _, u := range ht[k] {
-			left, right := t, u
-			if swapped {
-				left, right = u, t
-			}
-			c, err := left.Concat(right)
-			if err != nil {
-				return nil, err
-			}
+		for _, c := range joined {
 			out.Insert(c)
 		}
 	}

@@ -17,15 +17,34 @@ const DefaultFetchWorkers = 8
 // page is downloaded at most once — the paper's cost function counts
 // *distinct* network accesses (§6.2), and the cache is what makes measured
 // cost match it.
+//
+// Concurrent fetches of the same URL are coalesced (singleflight): no matter
+// how many goroutines race on a URL, the server sees exactly one GET, so the
+// measured access count stays deterministic and equal to the sequential
+// evaluator's |π_L(R)| under any degree of parallelism. The worker bound is
+// a single semaphore shared by every Fetch and FetchAll on the fetcher, so
+// parallel plan branches divide — never multiply — the connection limit.
 type Fetcher struct {
-	server  Server
-	scheme  *adm.Scheme
-	workers int
+	server Server
+	scheme *adm.Scheme
 
-	mu      sync.Mutex
-	cache   map[string]nested.Tuple
-	sizes   map[string]int
-	fetched int
+	mu       sync.Mutex
+	workers  int
+	sem      chan struct{} // global bound on in-flight server.Get calls
+	flight   map[string]*flight
+	cache    map[string]nested.Tuple
+	sizes    map[string]int
+	fetched  int
+	inflight int
+	peak     int
+}
+
+// flight is one in-progress download that concurrent fetchers of the same
+// URL wait on.
+type flight struct {
+	done chan struct{}
+	t    nested.Tuple
+	err  error
 }
 
 // NewFetcher creates a fetcher over a server and scheme with the default
@@ -35,17 +54,30 @@ func NewFetcher(server Server, scheme *adm.Scheme) *Fetcher {
 		server:  server,
 		scheme:  scheme,
 		workers: DefaultFetchWorkers,
+		sem:     make(chan struct{}, DefaultFetchWorkers),
+		flight:  make(map[string]*flight),
 		cache:   make(map[string]nested.Tuple),
 		sizes:   make(map[string]int),
 	}
 }
 
-// SetWorkers sets the concurrent download bound (minimum 1).
+// SetWorkers sets the concurrent download bound (minimum 1). It must not be
+// called while fetches are in progress.
 func (f *Fetcher) SetWorkers(n int) {
 	if n < 1 {
 		n = 1
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.workers = n
+	f.sem = make(chan struct{}, n)
+}
+
+// Workers returns the concurrent download bound.
+func (f *Fetcher) Workers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.workers
 }
 
 // PagesFetched returns the number of distinct pages downloaded through this
@@ -54,6 +86,14 @@ func (f *Fetcher) PagesFetched() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.fetched
+}
+
+// PeakInFlight returns the maximum number of simultaneous server GETs
+// observed, never exceeding the worker bound.
+func (f *Fetcher) PeakInFlight() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.peak
 }
 
 // wrap is defined as a variable boundary so tests can observe fetch errors
@@ -67,35 +107,63 @@ func (f *Fetcher) wrapPage(schemeName, url, html string) (nested.Tuple, error) {
 }
 
 // Fetch downloads and wraps the page at url as an instance of the named
-// page-scheme, consulting the cache first.
+// page-scheme, consulting the cache first. Concurrent calls for the same
+// URL share a single GET.
 func (f *Fetcher) Fetch(schemeName, url string) (nested.Tuple, error) {
 	f.mu.Lock()
 	if t, ok := f.cache[url]; ok {
 		f.mu.Unlock()
 		return t, nil
 	}
+	if fl, ok := f.flight[url]; ok {
+		// Another goroutine is downloading this URL: wait for its result
+		// instead of duplicating the GET.
+		f.mu.Unlock()
+		<-fl.done
+		return fl.t, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	f.flight[url] = fl
+	sem := f.sem
+	f.mu.Unlock()
+
+	t, size, err := f.download(schemeName, url, sem)
+
+	f.mu.Lock()
+	delete(f.flight, url)
+	if err == nil {
+		f.cache[url] = t
+		f.sizes[url] = size
+		f.fetched++
+	}
+	f.mu.Unlock()
+	fl.t, fl.err = t, err
+	close(fl.done)
+	return t, err
+}
+
+// download performs the bounded network GET and the local wrap.
+func (f *Fetcher) download(schemeName, url string, sem chan struct{}) (nested.Tuple, int, error) {
+	sem <- struct{}{}
+	f.mu.Lock()
+	f.inflight++
+	if f.inflight > f.peak {
+		f.peak = f.inflight
+	}
 	f.mu.Unlock()
 	p, err := f.server.Get(url)
+	f.mu.Lock()
+	f.inflight--
+	f.mu.Unlock()
+	<-sem
 	if err != nil {
-		return nested.Tuple{}, err
+		return nested.Tuple{}, 0, err
 	}
 	t, err := f.wrapPage(schemeName, url, p.HTML)
 	if err != nil {
-		return nested.Tuple{}, err
+		return nested.Tuple{}, 0, err
 	}
-	f.mu.Lock()
-	// Another goroutine may have fetched the same URL concurrently; keep
-	// the first result so the count reflects what a shared connection pool
-	// would have done.
-	if prev, ok := f.cache[url]; ok {
-		f.mu.Unlock()
-		return prev, nil
-	}
-	f.cache[url] = t
-	f.sizes[url] = len(p.HTML)
-	f.fetched++
-	f.mu.Unlock()
-	return t, nil
+	return t, len(p.HTML), nil
 }
 
 // FetchAll downloads and wraps all URLs as pages of the named scheme, with
@@ -106,47 +174,46 @@ func (f *Fetcher) FetchAll(schemeName string, urls []string) ([]nested.Tuple, er
 	if len(urls) == 0 {
 		return out, nil
 	}
-	workers := f.workers
+	workers := f.Workers()
 	if workers > len(urls) {
 		workers = len(urls)
 	}
-	type job struct{ i int }
-	jobs := make(chan job)
-	errs := make(chan error, workers)
+	jobs := make(chan int)
+	done := make(chan struct{}) // closed on the first worker error
+	var once sync.Once
+	var firstErr error
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				t, err := f.Fetch(schemeName, urls[j.i])
+			for i := range jobs {
+				t, err := f.Fetch(schemeName, urls[i])
 				if err != nil {
-					select {
-					case errs <- err:
-					default:
-					}
+					once.Do(func() {
+						firstErr = err
+						close(done)
+					})
 					return
 				}
-				out[j.i] = t
+				out[i] = t
 			}
 		}()
 	}
+	// The guarded send keeps the producer from blocking forever when every
+	// worker has exited on an error.
+producing:
 	for i := range urls {
-		jobs <- job{i}
 		select {
-		case err := <-errs:
-			close(jobs)
-			wg.Wait()
-			return nil, err
-		default:
+		case jobs <- i:
+		case <-done:
+			break producing
 		}
 	}
 	close(jobs)
 	wg.Wait()
-	select {
-	case err := <-errs:
-		return nil, err
-	default:
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }
@@ -179,4 +246,5 @@ func (f *Fetcher) ResetCache() {
 	f.cache = make(map[string]nested.Tuple)
 	f.sizes = make(map[string]int)
 	f.fetched = 0
+	f.peak = 0
 }

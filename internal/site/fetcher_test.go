@@ -1,0 +1,234 @@
+package site
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/sitegen"
+)
+
+// faultyServer delegates to a MemSite but fails every Get on one URL.
+type faultyServer struct {
+	*MemSite
+	bad string
+}
+
+var errBadURL = errors.New("injected fetch failure")
+
+func (s *faultyServer) Get(url string) (Page, error) {
+	if url == s.bad {
+		return Page{}, errBadURL
+	}
+	return s.MemSite.Get(url)
+}
+
+// profURLs collects the professor-page URLs of the generated university —
+// a convenient batch of many distinct pages of one scheme.
+func profURLs(t *testing.T, u *sitegen.University) []string {
+	t.Helper()
+	rel := u.Instance.Relation(sitegen.ProfPage)
+	if rel == nil {
+		t.Fatalf("no %s pages in the instance", sitegen.ProfPage)
+	}
+	var urls []string
+	for _, tup := range rel.Tuples() {
+		urls = append(urls, tup.MustGet(adm.URLAttr).String())
+	}
+	if len(urls) < 10 {
+		t.Fatalf("want at least 10 professor pages, have %d", len(urls))
+	}
+	return urls
+}
+
+// TestFetchAllErrorWithOneWorker is the deadlock regression test: with a
+// single worker and an error on the first URL of a long batch, the lone
+// worker exits immediately and the producer must not block feeding the
+// remaining jobs to nobody.
+func TestFetchAllErrorWithOneWorker(t *testing.T) {
+	u, ms := testSite(t)
+	urls := profURLs(t, u)
+	f := NewFetcher(&faultyServer{MemSite: ms, bad: urls[0]}, u.Scheme)
+	f.SetWorkers(1)
+
+	result := make(chan error, 1)
+	go func() {
+		_, err := f.FetchAll(sitegen.ProfPage, urls)
+		result <- err
+	}()
+	select {
+	case err := <-result:
+		if !errors.Is(err, errBadURL) {
+			t.Fatalf("err = %v, want the injected failure", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("FetchAll deadlocked: producer kept sending after all workers exited")
+	}
+}
+
+// TestFetchAllErrorManyWorkers covers the same hang with errors scattered
+// through a batch wider than the worker pool.
+func TestFetchAllErrorManyWorkers(t *testing.T) {
+	u, ms := testSite(t)
+	urls := profURLs(t, u)
+	f := NewFetcher(&faultyServer{MemSite: ms, bad: urls[len(urls)/2]}, u.Scheme)
+	f.SetWorkers(4)
+	if _, err := f.FetchAll(sitegen.ProfPage, urls); !errors.Is(err, errBadURL) {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+}
+
+// TestFetchSingleflight races 16 goroutines over the same URL set and
+// asserts the server saw exactly one GET per distinct URL: concurrent
+// branches never duplicate a download.
+func TestFetchSingleflight(t *testing.T) {
+	u, ms := testSite(t)
+	urls := profURLs(t, u)
+	f := NewFetcher(ms, u.Scheme)
+	f.SetWorkers(16)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, url := range urls {
+				if _, err := f.Fetch(sitegen.ProfPage, url); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := ms.Counters().Gets(); got != len(urls) {
+		t.Errorf("server saw %d GETs for %d distinct URLs", got, len(urls))
+	}
+	if got := f.PagesFetched(); got != len(urls) {
+		t.Errorf("PagesFetched = %d, want %d", got, len(urls))
+	}
+}
+
+// TestFetchAllSingleflightAcrossBatches runs overlapping FetchAll batches
+// concurrently; the distinct-URL GET count must still hold.
+func TestFetchAllSingleflightAcrossBatches(t *testing.T) {
+	u, ms := testSite(t)
+	urls := profURLs(t, u)
+	f := NewFetcher(ms, u.Scheme)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			batch := urls[g%3:] // overlapping slices of the same URL set
+			if _, err := f.FetchAll(sitegen.ProfPage, batch); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := ms.Counters().Gets(); got != len(urls) {
+		t.Errorf("server saw %d GETs for %d distinct URLs", got, len(urls))
+	}
+}
+
+// TestPeakInFlightBounded checks the worker bound is global: however many
+// goroutines fetch at once, the server never sees more than Workers()
+// simultaneous GETs.
+func TestPeakInFlightBounded(t *testing.T) {
+	u, ms := testSite(t)
+	ms.SetLatency(200 * time.Microsecond)
+	urls := profURLs(t, u)
+	f := NewFetcher(ms, u.Scheme)
+	f.SetWorkers(3)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if _, err := f.FetchAll(sitegen.ProfPage, urls); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if peak := f.PeakInFlight(); peak > 3 {
+		t.Errorf("peak in-flight = %d, want at most the worker bound 3", peak)
+	}
+	if peak := f.PeakInFlight(); peak < 1 {
+		t.Errorf("peak in-flight = %d, want at least 1", peak)
+	}
+}
+
+// TestFetchAllOrderAndCache verifies order preservation and that a second
+// batch is served entirely from cache.
+func TestFetchAllOrderAndCache(t *testing.T) {
+	u, ms := testSite(t)
+	urls := profURLs(t, u)
+	f := NewFetcher(ms, u.Scheme)
+	tuples, err := f.FetchAll(sitegen.ProfPage, urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tup := range tuples {
+		got, ok := tup.Get("URL")
+		if !ok || got.String() != urls[i] {
+			t.Fatalf("tuple %d: URL = %v, want %s", i, got, urls[i])
+		}
+	}
+	gets := ms.Counters().Gets()
+	if _, err := f.FetchAll(sitegen.ProfPage, urls); err != nil {
+		t.Fatal(err)
+	}
+	if ms.Counters().Gets() != gets {
+		t.Error("second batch should be served from cache")
+	}
+}
+
+// errOnceServer fails the first GET of a URL and succeeds afterwards,
+// exposing whether a failed flight poisons the cache.
+type errOnceServer struct {
+	*MemSite
+	mu     sync.Mutex
+	failed map[string]bool
+	bad    string
+}
+
+func (s *errOnceServer) Get(url string) (Page, error) {
+	s.mu.Lock()
+	fail := url == s.bad && !s.failed[url]
+	if fail {
+		s.failed[url] = true
+	}
+	s.mu.Unlock()
+	if fail {
+		return Page{}, fmt.Errorf("transient failure for %s", url)
+	}
+	return s.MemSite.Get(url)
+}
+
+func TestFetchErrorNotCached(t *testing.T) {
+	u, ms := testSite(t)
+	urls := profURLs(t, u)
+	srv := &errOnceServer{MemSite: ms, failed: make(map[string]bool), bad: urls[0]}
+	f := NewFetcher(srv, u.Scheme)
+	if _, err := f.Fetch(sitegen.ProfPage, urls[0]); err == nil {
+		t.Fatal("first fetch should fail")
+	}
+	if _, err := f.Fetch(sitegen.ProfPage, urls[0]); err != nil {
+		t.Fatalf("retry after transient failure: %v", err)
+	}
+	if f.PagesFetched() != 1 {
+		t.Errorf("PagesFetched = %d, want 1", f.PagesFetched())
+	}
+}

@@ -143,8 +143,28 @@ type MemSite struct {
 	clock    Clock
 	counters *Counters
 
-	mu    sync.RWMutex
-	pages map[string]*storedPage
+	mu      sync.RWMutex
+	pages   map[string]*storedPage
+	latency time.Duration
+}
+
+// SetLatency makes every successful network access (GET and HEAD) sleep for
+// d, simulating wide-area round-trip time. Latency-sensitive experiments use
+// it to expose the wall-clock effect of fetch concurrency; zero (the
+// default) keeps the site instantaneous.
+func (s *MemSite) SetLatency(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.latency = d
+}
+
+func (s *MemSite) simulateRTT() {
+	s.mu.RLock()
+	d := s.latency
+	s.mu.RUnlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
 }
 
 // NewMemSite renders every page of the instance and serves it. The site
@@ -190,24 +210,34 @@ func (s *MemSite) putTuple(ps *adm.PageScheme, tup nested.Tuple) error {
 func (s *MemSite) Get(url string) (Page, error) {
 	s.mu.RLock()
 	p, ok := s.pages[url]
+	var page Page
+	if ok {
+		page = Page{HTML: p.html, LastModified: p.modified}
+	}
 	s.mu.RUnlock()
 	if !ok {
 		return Page{}, fmt.Errorf("%w: %s", ErrNotFound, url)
 	}
-	s.counters.countGet(url, len(p.html))
-	return Page{HTML: p.html, LastModified: p.modified}, nil
+	s.simulateRTT()
+	s.counters.countGet(url, len(page.HTML))
+	return page, nil
 }
 
 // Head implements Server.
 func (s *MemSite) Head(url string) (Meta, error) {
 	s.mu.RLock()
 	p, ok := s.pages[url]
+	var meta Meta
+	if ok {
+		meta = Meta{LastModified: p.modified}
+	}
 	s.mu.RUnlock()
 	if !ok {
 		return Meta{}, fmt.Errorf("%w: %s", ErrNotFound, url)
 	}
+	s.simulateRTT()
 	s.counters.countHead()
-	return Meta{LastModified: p.modified}, nil
+	return meta, nil
 }
 
 // Counters returns the site's access counters.

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Full verification: build, vet, and the whole test suite under the race
+# detector. This is what CI and `make verify` run.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+echo "== go vet ./..."
+go vet ./...
+echo "== go test -race ./..."
+go test -race ./...
+echo "verify: OK"

@@ -57,6 +57,10 @@ type (
 	Options = optimizer.Options
 	// Query is a parsed conjunctive query.
 	Query = cq.Query
+	// ExecOptions tunes plan execution (pipelining, worker bound).
+	ExecOptions = engine.ExecOptions
+	// ExecStats are the measured per-query execution counters.
+	ExecStats = engine.ExecStats
 )
 
 // ParseQuery parses the conjunctive-query concrete syntax
@@ -91,6 +95,11 @@ func OpenWithStats(server Server, ws *Scheme, views *Views, st *Stats) *System {
 
 // SetOptions replaces the optimizer options (rule ablations, beam width).
 func (s *System) SetOptions(opts Options) { s.eng.Opt.Opts = opts }
+
+// SetExec replaces the execution options (pipelining, worker bound). The
+// answer and the measured page accesses are invariant under any setting;
+// only wall time changes.
+func (s *System) SetExec(opts ExecOptions) { s.eng.Exec = opts }
 
 // Stats returns the site statistics in use.
 func (s *System) Stats() *Stats { return s.eng.Stats }
@@ -143,6 +152,12 @@ func (s *System) Execute(plan nalg.Expr) (*Relation, int, error) {
 	return s.eng.Execute(plan)
 }
 
+// ExecuteOpts runs an explicit navigational plan under explicit execution
+// options, returning the relation and the full execution counters.
+func (s *System) ExecuteOpts(plan nalg.Expr, opts ExecOptions) (*Relation, ExecStats, error) {
+	return s.eng.ExecuteOpts(plan, opts)
+}
+
 // Materialize crawls the site into a local materialized view (§8) and
 // returns a system answering queries from it with lazy maintenance.
 func (s *System) Materialize() (*MatSystem, error) {
@@ -166,6 +181,16 @@ type MatSystem struct {
 // Query evaluates a conjunctive query on the materialized view, verifying
 // involved pages with light connections and downloading only changed pages.
 func (m *MatSystem) Query(src string) (*MatAnswer, error) { return m.eng.Query(src) }
+
+// SetExec replaces the execution options (pipelining, worker bound). The
+// store's per-URL singleflight keeps light connections and downloads
+// identical under any setting.
+func (m *MatSystem) SetExec(opts ExecOptions) {
+	m.eng.Exec = nalg.EvalOptions{Pipelined: opts.Pipelined, Workers: opts.Workers}
+	if opts.Workers > 0 {
+		m.store.SetWorkers(opts.Workers)
+	}
+}
 
 // Store exposes the underlying materialized store (for maintenance
 // operations like ProcessMissing and Refresh).
