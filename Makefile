@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench experiments
+.PHONY: build test race vet lint verify bench experiments
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,11 @@ race:
 vet:
 	$(GO) vet ./...
 
-# verify is the full gate: build + vet + race-enabled tests.
+# lint runs the project's own analyzers (see internal/lint).
+lint:
+	$(GO) run ./cmd/ulixes-vet ./...
+
+# verify is the full gate: build + vet + lint + race-enabled tests.
 verify:
 	sh scripts/verify.sh
 

@@ -1,0 +1,78 @@
+// Command ulixes-vet runs the project's custom static analyzers over Go
+// packages, in the style of go vet. With no arguments it checks ./...; any
+// finding is printed as file:line:col and makes the command exit 1.
+//
+//	go run ./cmd/ulixes-vet ./...
+//	go run ./cmd/ulixes-vet -list
+//	go run ./cmd/ulixes-vet -only fetchgate,nowallclock ./internal/...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ulixes/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ulixes-vet [-list] [-only names] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, strings.ReplaceAll(a.Doc, "\n", "\n             "))
+		}
+		return
+	}
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ulixes-vet: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ulixes-vet: %v\n", err)
+		os.Exit(2)
+	}
+	broken := false
+	for _, p := range pkgs {
+		for _, e := range p.Errors {
+			fmt.Fprintf(os.Stderr, "ulixes-vet: %s: %v\n", p.PkgPath, e)
+			broken = true
+		}
+	}
+	if broken {
+		os.Exit(2)
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Printf("%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

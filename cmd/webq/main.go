@@ -40,6 +40,7 @@ func main() {
 	candidates := flag.Bool("candidates", false, "print all candidate plans with costs")
 	mat := flag.Bool("mat", false, "query a materialized view instead of the live site")
 	nav := flag.Bool("nav", false, "treat the argument as a Ulixes navigation expression, not a query")
+	check := flag.Bool("check", false, "typecheck the plan statically and print diagnostics without executing")
 	relations := flag.Bool("relations", false, "list the external relations and exit")
 	baseURL := flag.String("url", "", "query a real HTTP endpoint instead of an in-memory site")
 	schemeFile := flag.String("scheme-file", "", "ADM scheme file (required with -url)")
@@ -78,6 +79,10 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		if *check {
+			checkPlan(expr, views.Scheme)
+			return
+		}
 		fmt.Println(nalg.Explain(expr))
 		rel, st, err := sys.ExecuteOpts(expr, execOpts)
 		if err != nil {
@@ -85,6 +90,16 @@ func main() {
 		}
 		fmt.Printf("-- %s\n", formatStats(st))
 		printRelation(rel)
+		return
+	}
+
+	if *check {
+		res, err := sys.Plan(query)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("-- plan: %s\n", res.Best.Expr)
+		checkPlan(res.Best.Expr, views.Scheme)
 		return
 	}
 
@@ -122,6 +137,20 @@ func main() {
 	fmt.Printf("-- plan cost: estimated %.1f, measured %d page accesses\n", ans.Plan.Cost, ans.PagesFetched)
 	fmt.Printf("-- %s\n", formatStats(ans.Exec))
 	printRelation(ans.Result)
+}
+
+// checkPlan prints the static diagnostics for a plan and exits non-zero if
+// any were found (the -check mode: no page is ever accessed).
+func checkPlan(expr nalg.Expr, ws *adm.Scheme) {
+	diags := nalg.Check(expr, ws)
+	if len(diags) == 0 {
+		fmt.Println("plan typechecks: OK")
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "webq: %s\n", d)
+	}
+	os.Exit(1)
 }
 
 // formatStats renders the execution counters on one line.

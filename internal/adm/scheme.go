@@ -238,35 +238,46 @@ func (s *Scheme) AddEquivalence(a, b AttrRef) {
 // ResolvePath returns the type of the attribute at the given path of a
 // page-scheme, descending through list types.
 func (s *Scheme) ResolvePath(scheme string, path Path) (nested.Type, error) {
+	f, err := s.ResolveField(scheme, path)
+	if err != nil {
+		return nested.Type{}, err
+	}
+	return f.Type, nil
+}
+
+// ResolveField resolves an attribute path to its full field declaration,
+// including the Optional flag that ResolvePath discards. The synthetic URL
+// attribute resolves to a non-optional link to the scheme itself.
+func (s *Scheme) ResolveField(scheme string, path Path) (nested.Field, error) {
 	p := s.Page(scheme)
 	if p == nil {
-		return nested.Type{}, fmt.Errorf("adm: unknown page-scheme %q", scheme)
+		return nested.Field{}, fmt.Errorf("adm: unknown page-scheme %q", scheme)
 	}
 	if len(path) == 0 {
-		return nested.Type{}, fmt.Errorf("adm: empty attribute path on %q", scheme)
+		return nested.Field{}, fmt.Errorf("adm: empty attribute path on %q", scheme)
 	}
 	if len(path) == 1 && path[0] == URLAttr {
-		return nested.Link(scheme), nil
+		return nested.Field{Name: URLAttr, Type: nested.Link(scheme)}, nil
 	}
 	fields := p.Attrs
-	var cur nested.Type
+	var cur nested.Field
 	for i, step := range path {
 		found := false
 		for _, f := range fields {
 			if f.Name == step {
-				cur = f.Type
+				cur = f
 				found = true
 				break
 			}
 		}
 		if !found {
-			return nested.Type{}, fmt.Errorf("adm: %s.%s: no attribute %q", scheme, path, step)
+			return nested.Field{}, fmt.Errorf("adm: %s.%s: no attribute %q", scheme, path, step)
 		}
 		if i < len(path)-1 {
-			if cur.Kind != nested.KindList {
-				return nested.Type{}, fmt.Errorf("adm: %s.%s: %q is not a list", scheme, path, step)
+			if cur.Type.Kind != nested.KindList {
+				return nested.Field{}, fmt.Errorf("adm: %s.%s: %q is not a list", scheme, path, step)
 			}
-			fields = cur.Elem
+			fields = cur.Type.Elem
 		}
 	}
 	return cur, nil

@@ -119,10 +119,15 @@ func (e *Engine) Execute(expr nalg.Expr) (*nested.Relation, int, error) {
 // ExecuteOpts evaluates a computable plan under explicit execution options,
 // returning the result and the measured execution counters. The page-access
 // count is invariant under the options: pipelining and parallelism never
-// change which pages are fetched.
+// change which pages are fetched. Before touching the network the plan is
+// statically typechecked with nalg.Check; an ill-typed plan is rejected
+// here rather than failing (or silently misnavigating) mid-execution.
 func (e *Engine) ExecuteOpts(expr nalg.Expr, opts ExecOptions) (*nested.Relation, ExecStats, error) {
 	if !nalg.Computable(expr) {
 		return nil, ExecStats{}, fmt.Errorf("engine: plan is not computable: %s", expr)
+	}
+	if diags := nalg.Check(expr, e.Views.Scheme); len(diags) > 0 {
+		return nil, ExecStats{}, fmt.Errorf("engine: plan is ill-typed (%d diagnostics): %s", len(diags), diags[0])
 	}
 	f := site.NewFetcher(e.Server, e.Views.Scheme)
 	if opts.Workers > 0 {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"ulixes/internal/nalg"
@@ -168,6 +169,23 @@ func TestExecuteRejectsNonComputable(t *testing.T) {
 	_, _, e := univEngine(t)
 	if _, _, err := e.Execute(&nalg.ExtScan{Relation: "R"}); err == nil {
 		t.Error("non-computable plan should be rejected")
+	}
+}
+
+// TestExecuteRejectsIllTyped requires the static plan checker to gate
+// execution: an ill-typed plan must be rejected before any page access.
+func TestExecuteRejectsIllTyped(t *testing.T) {
+	u, _, e := univEngine(t)
+	bad := &nalg.Follow{
+		In:     &nalg.Unnest{In: &nalg.EntryScan{Scheme: sitegen.ProfListPage, URL: sitegen.UnivProfListURL}, Attr: "ProfListPage.ProfList"},
+		Link:   "ProfListPage.ProfList.ToProf",
+		Target: sitegen.DeptPage, // declared target is ProfPage
+	}
+	if diags := nalg.Check(bad, u.Scheme); len(diags) == 0 {
+		t.Fatal("fixture plan should be ill-typed")
+	}
+	if _, _, err := e.Execute(bad); err == nil || !strings.Contains(err.Error(), "ill-typed") {
+		t.Errorf("ill-typed plan should be rejected by the gate, got err=%v", err)
 	}
 }
 

@@ -1,0 +1,101 @@
+// Package linttest is a tiny analysistest: it runs one analyzer over a
+// fixture package under testdata/src and compares the diagnostics against
+// `// want "regexp"` comments in the fixture sources.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ulixes/internal/lint"
+)
+
+// wantRe extracts the expectation regexps of one comment: one or more
+// quoted or backquoted strings after "want".
+var wantRe = regexp.MustCompile("want\\s+((?:(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")\\s*)+)")
+
+var wantArgRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads testdata/src/<fixture> relative to the test's working directory,
+// applies the analyzer, and reports mismatches between its findings and the
+// fixture's want comments. The //lint:allow suppression runs exactly as in
+// the real driver, so fixtures can assert exemptions too.
+func Run(t *testing.T, a *lint.Analyzer, fixture string) {
+	t.Helper()
+	pkgs, err := lint.Load(".", "./testdata/src/"+fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %q: %v", fixture, err)
+	}
+	var expects []*expectation
+	for _, pkg := range pkgs {
+		for _, err := range pkg.Errors {
+			t.Errorf("fixture %q does not type-check: %v", fixture, err)
+		}
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, arg := range wantArgRe.FindAllString(m[1], -1) {
+						pat, err := unquote(arg)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, arg, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+						}
+						expects = append(expects, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+
+	findings := lint.Run(pkgs, []*lint.Analyzer{a})
+	for _, f := range findings {
+		if exp := match(expects, f); exp != nil {
+			exp.hit = true
+		} else {
+			t.Errorf("unexpected diagnostic %s", f)
+		}
+	}
+	for _, exp := range expects {
+		if !exp.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", exp.file, exp.line, exp.re)
+		}
+	}
+}
+
+func match(expects []*expectation, f lint.Finding) *expectation {
+	for _, exp := range expects {
+		if !exp.hit && exp.file == f.Pos.Filename && exp.line == f.Pos.Line && exp.re.MatchString(f.Message) {
+			return exp
+		}
+	}
+	return nil
+}
+
+func unquote(s string) (string, error) {
+	if strings.HasPrefix(s, "`") {
+		return strings.Trim(s, "`"), nil
+	}
+	out, err := strconv.Unquote(s)
+	if err != nil {
+		return "", fmt.Errorf("unquoting %s: %v", s, err)
+	}
+	return out, nil
+}

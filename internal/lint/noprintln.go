@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// stdoutPrintFuncs are the fmt functions that write to the process's
+// standard streams (as opposed to Fprint/Sprint, which take a destination).
+var stdoutPrintFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// NoPrintln keeps library packages silent: no fmt.Print*, no log package,
+// no print/println builtins outside package main and tests. Library output
+// belongs in return values; rendering belongs to the commands.
+var NoPrintln = &Analyzer{
+	Name: "noprintln",
+	Doc: "library packages must not write to stdout/stderr: no fmt.Print*,\n" +
+		"no log package, no print/println builtins (commands are exempt)",
+	Run: runNoPrintln,
+}
+
+func runNoPrintln(pass *Pass) {
+	if pass.Pkg.Name == "main" {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+					if b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); ok && (b.Name() == "print" || b.Name() == "println") {
+						pass.Reportf(x.Pos(), "%s builtin writes to stderr from a library package", b.Name())
+					}
+				}
+				obj := calleeObject(pass.Pkg, x)
+				if obj == nil || obj.Pkg() == nil || isMethod(obj) {
+					return true
+				}
+				if obj.Pkg().Path() == "fmt" && stdoutPrintFuncs[obj.Name()] {
+					pass.Reportf(x.Pos(), "fmt.%s writes to stdout from a library package", obj.Name())
+				}
+			case *ast.SelectorExpr:
+				// Any use of the standard log package (functions, Logger
+				// constructors, package variables).
+				if id, ok := x.X.(*ast.Ident); ok {
+					if pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "log" {
+						pass.Reportf(x.Pos(), "log package use in a library package; return errors instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

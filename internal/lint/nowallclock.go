@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// measuredPkgs are the packages whose outputs feed the cost model and the
+// experiment tables: reading the ambient wall clock there makes results
+// depend on when they ran. Timing belongs to the callers that own the
+// measurement (the engine's ExecStats).
+var measuredPkgs = []string{
+	"ulixes/internal/cost",
+	"ulixes/internal/nalg",
+	"ulixes/internal/rewrite",
+}
+
+// wallClockFuncs are the time package entry points that read or depend on
+// the ambient clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+}
+
+// NoWallClock forbids ambient wall-clock reads in the cost-measured
+// packages, so estimated-vs-measured comparisons stay deterministic.
+var NoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc: "cost-measured packages (internal/cost, internal/nalg, internal/rewrite)\n" +
+		"must not read the ambient wall clock; measurement belongs to the engine",
+	Run: runNoWallClock,
+}
+
+func runNoWallClock(pass *Pass) {
+	if !pathIsOneOf(pass.Pkg.PkgPath, measuredPkgs...) && !fixturePackage(pass.Pkg.PkgPath) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObject(pass.Pkg, call)
+			if obj == nil || obj.Pkg() == nil || isMethod(obj) {
+				return true
+			}
+			if obj.Pkg().Path() == "time" && wallClockFuncs[obj.Name()] {
+				pass.Reportf(call.Pos(), "wall-clock call time.%s in cost-measured package %s", obj.Name(), pass.Pkg.PkgPath)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,31 @@
+// Package noprintln is the noprintln analyzer fixture: stdout/stderr writes
+// from a library package.
+package noprintln
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+func chatty(x int) {
+	fmt.Println("value:", x)   // want `fmt\.Println writes to stdout`
+	fmt.Printf("value: %d", x) // want `fmt\.Printf writes to stdout`
+	fmt.Print(x)               // want `fmt\.Print writes to stdout`
+	log.Printf("value: %d", x) // want `log package use`
+	println("debug", x)        // want `println builtin writes to stderr`
+}
+
+// Destination-explicit formatting is fine: the caller chose the stream.
+func quiet(w io.Writer, x int) (string, error) {
+	if _, err := fmt.Fprintf(w, "value: %d\n", x); err != nil {
+		return "", fmt.Errorf("writing: %w", err)
+	}
+	return fmt.Sprintf("value: %d", x), nil
+}
+
+// Even writing to os.Stderr explicitly via Fprintln is the caller's choice.
+func explicit(x int) {
+	fmt.Fprintln(os.Stderr, "value:", x)
+}

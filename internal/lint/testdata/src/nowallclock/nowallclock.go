@@ -1,0 +1,44 @@
+// Package nowallclock is the nowallclock analyzer fixture: ambient clock
+// reads in a (simulated) cost-measured package.
+package nowallclock
+
+import "time"
+
+func measure() time.Duration {
+	start := time.Now() // want `wall-clock call time\.Now`
+	work()
+	return time.Since(start) // want `wall-clock call time\.Since`
+}
+
+func throttle() {
+	time.Sleep(time.Millisecond) // want `wall-clock call time\.Sleep`
+}
+
+func poll(done <-chan struct{}) {
+	select {
+	case <-time.After(time.Second): // want `wall-clock call time\.After`
+	case <-done:
+	}
+}
+
+// Pure time arithmetic and formatting do not read the clock.
+func format(t time.Time, d time.Duration) string {
+	return t.Add(d).Format(time.RFC3339)
+}
+
+// An injected clock is the sanctioned pattern.
+type clock func() time.Time
+
+func measureWith(now clock) time.Duration {
+	start := now()
+	work()
+	return now().Sub(start)
+}
+
+// exempted documents an intentional read; the driver must suppress it.
+func exempted() time.Time {
+	//lint:allow nowallclock fixture for the comment-above form
+	return time.Now()
+}
+
+func work() {}

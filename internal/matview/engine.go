@@ -1,6 +1,8 @@
 package matview
 
 import (
+	"fmt"
+
 	"ulixes/internal/cq"
 	"ulixes/internal/nalg"
 	"ulixes/internal/nested"
@@ -76,7 +78,12 @@ func (e *Engine) QueryCQ(q *cq.Query) (*Answer, error) {
 
 // Execute evaluates a computable plan against the store per Algorithm 3 and
 // returns the answer along with the maintenance counters for this query.
+// Like the virtual-view engine, it gates execution on the static plan
+// typechecker: an ill-typed plan never reaches the store.
 func (e *Engine) Execute(expr nalg.Expr) (*nested.Relation, Counters, error) {
+	if diags := nalg.Check(expr, e.Views.Scheme); len(diags) > 0 {
+		return nil, Counters{}, fmt.Errorf("matview: plan is ill-typed (%d diagnostics): %s", len(diags), diags[0])
+	}
 	e.Store.BeginEvaluation()
 	before := e.Store.Counters()
 	rel, err := nalg.EvalWithOptions(expr, e.Views.Scheme, e.Store, e.Exec)

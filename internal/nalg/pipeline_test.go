@@ -122,7 +122,7 @@ func (s *brokenServer) Get(url string) (site.Page, error) {
 	if strings.Contains(url, s.badPrefix) {
 		return site.Page{}, errBroken
 	}
-	return s.MemSite.Get(url)
+	return s.MemSite.Get(url) //lint:allow fetchgate fault-injecting Server double delegates
 }
 
 // TestPipelinedErrorPropagation injects fetch failures deep in a follow

@@ -1,0 +1,93 @@
+package optimizer
+
+import (
+	"testing"
+
+	"ulixes/internal/nalg"
+	"ulixes/internal/sitegen"
+	"ulixes/internal/stats"
+	"ulixes/internal/view"
+)
+
+func bibOptimizer(t *testing.T) *Optimizer {
+	t.Helper()
+	b, err := sitegen.GenerateBibliography(sitegen.BibliographyParams{
+		Authors: 60, Confs: 6, DBConfs: 2, Years: 3, PapersPerEdition: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(view.BibliographyView(b.Scheme), stats.CollectInstance(b.Instance))
+}
+
+// TestAllCandidatesTypecheck is the optimizer/typechecker agreement
+// property: every plan the enumeration produces — not just the chosen one —
+// must pass the static plan checker, carry provenance that re-resolves
+// against the scheme, and produce exactly the output columns of the best
+// plan. The rewrites explore wildly different navigations; this pins down
+// that none of them changes what the query returns.
+func TestAllCandidatesTypecheck(t *testing.T) {
+	_, univ := univOptimizer(t)
+	bib := bibOptimizer(t)
+	cases := []struct {
+		name    string
+		opt     *Optimizer
+		queries []string
+	}{
+		{"university", univ, []string{
+			"SELECT p.PName, p.Email FROM Professor p WHERE p.Rank = 'Full'",
+			"SELECT p.PName FROM Professor p",
+			"SELECT c.CName, c.Session FROM Course c WHERE c.Session = 'Fall'",
+			"SELECT p.PName, ci.CName FROM Professor p, CourseInstructor ci WHERE p.PName = ci.PName",
+			"SELECT ci.CName FROM CourseInstructor ci, ProfDept pd WHERE ci.PName = pd.PName AND pd.DName = 'Department 01'",
+		}},
+		{"bibliography", bib, []string{
+			"SELECT c.ConfName FROM Conference c WHERE c.Area = 'Databases'",
+			"SELECT e.Editors FROM Edition e WHERE e.ConfName = 'Conf. 01' AND e.Year = '1996'",
+			"SELECT pa.PTitle FROM PaperAuthor pa WHERE pa.AuthorName = 'Author 001'",
+		}},
+	}
+	for _, site := range cases {
+		t.Run(site.name, func(t *testing.T) {
+			ws := site.opt.Views.Scheme
+			for _, src := range site.queries {
+				res, err := site.opt.Optimize(mustParse(t, src))
+				if err != nil {
+					t.Errorf("%s: %v", src, err)
+					continue
+				}
+				bestSchema, err := nalg.InferSchema(res.Best.Expr, ws)
+				if err != nil {
+					t.Errorf("%s: best plan schema: %v", src, err)
+					continue
+				}
+				want := bestSchema.Names()
+				for _, cand := range res.Candidates {
+					if diags := nalg.Check(cand.Expr, ws); len(diags) != 0 {
+						t.Errorf("%s: candidate %s: %v", src, cand.Expr, diags)
+						continue
+					}
+					sch, err := nalg.InferSchema(cand.Expr, ws)
+					if err != nil {
+						t.Errorf("%s: candidate %s: %v", src, cand.Expr, err)
+						continue
+					}
+					if diags := nalg.CheckCols(sch.Cols, ws); len(diags) != 0 {
+						t.Errorf("%s: candidate %s: provenance: %v", src, cand.Expr, diags)
+					}
+					got := sch.Names()
+					if len(got) != len(want) {
+						t.Errorf("%s: candidate %s has columns %v, best has %v", src, cand.Expr, got, want)
+						continue
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Errorf("%s: candidate %s has columns %v, best has %v", src, cand.Expr, got, want)
+							break
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -57,17 +57,25 @@ type result struct {
 	e      nalg.Expr
 	colmap map[string]string
 	rule   Rule
+	// pre is the scheme precondition the rule relied on; nil for purely
+	// structural rewrites. Every result is re-validated against it before
+	// being emitted (see validated in precond.go).
+	pre *Precondition
 }
 
 // Rewriter applies the rule set against a web scheme.
 type Rewriter struct {
 	WS    *adm.Scheme
 	Rules Rule
+	// RecordAudit enables the application audit trail returned by Audit.
+	RecordAudit bool
 
 	// schemas caches inference results by node identity. Rewrites share
 	// subtrees, so the cache hit rate is high during enumeration. A nil
 	// entry records an inference failure.
 	schemas map[nalg.Expr]*nalg.Schema
+	// audit is the recorded rule applications (RecordAudit only).
+	audit []Application
 }
 
 // schema is InferSchema that tolerates failure (rules simply don't fire)
@@ -128,7 +136,7 @@ func (rw *Rewriter) ruleResults(e nalg.Expr) []result {
 	if rw.Rules.Has(RulePushJoin) {
 		out = append(out, rw.pushJoin(e)...)
 	}
-	return out
+	return rw.validated(e, out)
 }
 
 // pushJoin commutes a join below an Unnest or Follow on either side, when
@@ -296,7 +304,12 @@ func (rw *Rewriter) rule5(e nalg.Expr) []result {
 			return nil
 		}
 	}
-	return []result{{e: &nalg.Project{In: f.In, Cols: p.Cols}, rule: Rule5}}
+	linkRef := link.Ref()
+	return []result{{
+		e:    &nalg.Project{In: f.In, Cols: p.Cols},
+		rule: Rule5,
+		pre:  &Precondition{Rule: Rule5, NonOptionalLink: &linkRef},
+	}}
 }
 
 // rule6 pushes selections down: through projections, joins, unnests and
@@ -354,7 +367,7 @@ func (rw *Rewriter) rule6(e nalg.Expr) []result {
 				})
 			} else if cp, ok := s.Pred.(nested.ConstPred); ok && cp.Op == nested.OpEq {
 				// Link-constraint translation (Rule 6 proper).
-				if srcCol, ok := rw.constraintSource(in, cp.Attr); ok {
+				if srcCol, lc, ok := rw.constraintSource(in, cp.Attr); ok {
 					out = append(out, result{
 						e: &nalg.Follow{
 							In:     &nalg.Select{In: in.In, Pred: nested.ConstPred{Attr: srcCol, Op: nested.OpEq, Val: cp.Val}},
@@ -363,6 +376,7 @@ func (rw *Rewriter) rule6(e nalg.Expr) []result {
 							Alias:  in.Alias,
 						},
 						rule: Rule6,
+						pre:  &Precondition{Rule: Rule6, Constraint: &lc},
 					})
 				}
 			}
@@ -374,30 +388,31 @@ func (rw *Rewriter) rule6(e nalg.Expr) []result {
 // constraintSource resolves a selection on a followed page's attribute
 // (column "alias.B") to the equivalent source column before the follow,
 // using the link constraint attached to the followed link. It returns the
-// source column name in the follow's input schema.
-func (rw *Rewriter) constraintSource(f *nalg.Follow, col string) (string, bool) {
+// source column name in the follow's input schema along with the constraint
+// relied on, which the caller records as the rewrite's precondition.
+func (rw *Rewriter) constraintSource(f *nalg.Follow, col string) (string, adm.LinkConstraint, bool) {
 	alias, rel, ok := splitCol(col)
 	if !ok || alias != f.EffAlias() {
-		return "", false
+		return "", adm.LinkConstraint{}, false
 	}
 	inner := rw.schema(f.In)
 	if inner == nil {
-		return "", false
+		return "", adm.LinkConstraint{}, false
 	}
 	linkCol, ok := inner.Col(f.Link)
 	if !ok {
-		return "", false
+		return "", adm.LinkConstraint{}, false
 	}
 	c, ok := rw.WS.LinkConstraintFor(linkCol.Ref())
 	if !ok || c.TgtAttr != rel {
-		return "", false
+		return "", adm.LinkConstraint{}, false
 	}
 	// The source attribute's column is the link owner's alias + SrcAttr.
 	srcCol := linkCol.Alias + "." + c.SrcAttr.String()
 	if !inner.Has(srcCol) {
-		return "", false
+		return "", adm.LinkConstraint{}, false
 	}
-	return srcCol, true
+	return srcCol, c, true
 }
 
 // rule7: π_{...,B,...}(R1 →L R2) where B is a target attribute with link
@@ -415,7 +430,7 @@ func (rw *Rewriter) rule7(e nalg.Expr) []result {
 	}
 	var out []result
 	for i, col := range p.Cols {
-		srcCol, ok := rw.constraintSource(f, col)
+		srcCol, lc, ok := rw.constraintSource(f, col)
 		if !ok || srcCol == col {
 			continue
 		}
@@ -430,6 +445,7 @@ func (rw *Rewriter) rule7(e nalg.Expr) []result {
 				Map: map[string]string{srcCol: col},
 			},
 			rule: Rule7,
+			pre:  &Precondition{Rule: Rule7, Constraint: &lc},
 		})
 	}
 	return out
@@ -468,6 +484,9 @@ type pointerPattern struct {
 	followLeft bool
 	// l1Col is R1's link column; l2Col is R2's pointer column to R3.
 	l1Col, l2Col nalg.Col
+	// lc is the link constraint that matched the pointer column, when the
+	// anchor form applied (nil for a direct URL comparison).
+	lc *adm.LinkConstraint
 	// otherConds are the conditions not consumed by the rewrite.
 	otherConds []nested.EqCond
 }
@@ -497,6 +516,7 @@ func (rw *Rewriter) matchPointer(e nalg.Expr) []pointerPattern {
 		}
 		tAlias := f.EffAlias()
 		var l2 *nalg.Col
+		var l2c *adm.LinkConstraint
 		var rest []nested.EqCond
 		for _, c := range j.Conds {
 			// Normalize so tCol is the followed-page column.
@@ -515,21 +535,21 @@ func (rw *Rewriter) matchPointer(e nalg.Expr) []pointerPattern {
 			if !ok {
 				return
 			}
-			cand, ok := rw.pointerColFor(oSch, oCol, tRel, f.Target)
+			cand, lc, ok := rw.pointerColFor(oSch, oCol, tRel, f.Target)
 			if !ok {
 				return
 			}
 			if l2 != nil && l2.Name != cand.Name {
 				return // conditions disagree on the pointer column
 			}
-			l2 = &cand
+			l2, l2c = &cand, lc
 		}
 		if l2 == nil {
 			return
 		}
 		out = append(out, pointerPattern{
 			j: j, f: f, other: other, followLeft: followLeft,
-			l1Col: l1Col, l2Col: *l2, otherConds: rest,
+			l1Col: l1Col, l2Col: *l2, lc: l2c, otherConds: rest,
 		})
 	}
 	if f, ok := j.L.(*nalg.Follow); ok {
@@ -544,17 +564,19 @@ func (rw *Rewriter) matchPointer(e nalg.Expr) []pointerPattern {
 // pointerColFor resolves a join condition R3.B = R2.A to R2's pointer
 // column L' such that following L' lands on pages where B = A, i.e. either
 // A is itself a link to R3's scheme compared against R3.URL, or A is the
-// anchor of a link constraint A = B on some link L' of R2.
-func (rw *Rewriter) pointerColFor(oSch *nalg.Schema, oCol nalg.Col, tRel, target string) (nalg.Col, bool) {
+// anchor of a link constraint A = B on some link L' of R2. In the anchor
+// case the constraint is returned so the caller can record it as the
+// rewrite's precondition.
+func (rw *Rewriter) pointerColFor(oSch *nalg.Schema, oCol nalg.Col, tRel, target string) (nalg.Col, *adm.LinkConstraint, bool) {
 	// Case 1: direct URL comparison.
 	if tRel == adm.URLAttr && oCol.Type.Kind == nested.KindLink && oCol.Type.Target == target {
-		return oCol, true
+		return oCol, nil, true
 	}
 	// Case 2: anchor comparison via a link constraint. Find a link column
 	// of the same alias whose constraint says SrcAttr = oCol's path and
 	// TgtAttr = tRel.
 	if oCol.Scheme == "" {
-		return nalg.Col{}, false
+		return nalg.Col{}, nil, false
 	}
 	for _, cand := range oSch.Cols {
 		if cand.Alias != oCol.Alias || cand.Type.Kind != nested.KindLink || cand.Type.Target != target {
@@ -565,10 +587,10 @@ func (rw *Rewriter) pointerColFor(oSch *nalg.Schema, oCol nalg.Col, tRel, target
 			continue
 		}
 		if lc.TgtAttr == tRel && lc.SrcAttr.Equal(oCol.Path) {
-			return cand, true
+			return cand, &lc, true
 		}
 	}
-	return nalg.Col{}, false
+	return nalg.Col{}, nil, false
 }
 
 // rule8 (pointer join): join the two pointer sets before navigating:
@@ -588,6 +610,7 @@ func (rw *Rewriter) rule8(e nalg.Expr) []result {
 		out = append(out, result{
 			e:    &nalg.Follow{In: inner, Link: m.f.Link, Target: m.f.Target, Alias: m.f.Alias},
 			rule: Rule8,
+			pre:  &Precondition{Rule: Rule8, Constraint: m.lc},
 		})
 	}
 	return out
@@ -611,9 +634,17 @@ func (rw *Rewriter) rule9(e nalg.Expr) []result {
 		if !rw.WS.IncludedIn(m.l2Col.Ref(), m.l1Col.Ref()) {
 			continue
 		}
+		sub, super := m.l2Col.Ref(), m.l1Col.Ref()
 		out = append(out, result{
 			e:    &nalg.Follow{In: m.other, Link: m.l2Col.Name, Target: m.f.Target, Alias: m.f.Alias},
 			rule: Rule9,
+			pre: &Precondition{
+				Rule:          Rule9,
+				Constraint:    m.lc,
+				IncludedSub:   &sub,
+				IncludedSuper: &super,
+				Covering:      m.f.In,
+			},
 		})
 	}
 	return out

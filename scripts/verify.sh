@@ -1,6 +1,6 @@
 #!/bin/sh
-# Full verification: build, vet, and the whole test suite under the race
-# detector. This is what CI and `make verify` run.
+# Full verification: build, vet, the project's own analyzers, and the whole
+# test suite under the race detector. This is what CI and `make verify` run.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -8,6 +8,8 @@ echo "== go build ./..."
 go build ./...
 echo "== go vet ./..."
 go vet ./...
+echo "== ulixes-vet ./..."
+go run ./cmd/ulixes-vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 echo "verify: OK"
