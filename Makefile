@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint verify bench experiments
+.PHONY: build test race vet lint verify bench experiments chaos
 
 build:
 	$(GO) build ./...
@@ -28,3 +28,11 @@ bench:
 # experiments regenerates the tables of EXPERIMENTS.md.
 experiments:
 	$(GO) run ./cmd/bench -markdown
+
+# chaos runs the fault-injection suite under the race detector: the chaos
+# server's determinism, the resilient fetch path, and the end-to-end
+# degraded/retry acceptance scenarios.
+chaos:
+	$(GO) test -race ./internal/faults/ ./internal/site/ -run 'Chaos|Fault|Retry|Degraded|Stall|Singleflight|Backoff|NotFound'
+	$(GO) test -race ./internal/engine/ -run 'TestChaos'
+	$(GO) run ./cmd/bench -only P3

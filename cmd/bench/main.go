@@ -24,6 +24,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use smaller sites for a fast run")
 	only := flag.String("only", "", "comma-separated experiment ids to run (default all)")
 	latency := flag.Duration("latency", 2*time.Millisecond, "simulated per-download RTT for P1")
+	chaosSeed := flag.Uint64("chaos-seed", 1998, "fault-injection seed for P3")
 	flag.Parse()
 
 	univ := sitegen.PaperUniversityParams()
@@ -53,6 +54,7 @@ func main() {
 		{"A3", func() (*exp.Table, error) { return exp.A3(univ) }},
 		{"X1", func() (*exp.Table, error) { return exp.X1(univ) }},
 		{"P1", func() (*exp.Table, error) { return exp.P1(bib, *latency) }},
+		{"P3", func() (*exp.Table, error) { return exp.P3(univ, nil, *chaosSeed) }},
 	}
 
 	selected := make(map[string]bool)

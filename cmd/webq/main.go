@@ -47,6 +47,9 @@ func main() {
 	viewsFile := flag.String("views-file", "", "view definition file (required with -url)")
 	workers := flag.Int("workers", 0, "bound on concurrent page downloads (0 = default)")
 	pipelined := flag.Bool("pipelined", false, "use the streaming parallel evaluator")
+	retries := flag.Int("retries", 0, "retries per page fetch (exponential backoff with jitter)")
+	timeout := flag.Duration("timeout", 0, "per-attempt fetch deadline (0 = none)")
+	degraded := flag.Bool("degraded", false, "return partial answers when pages are unreachable")
 	flag.Parse()
 
 	var sys *ulixes.System
@@ -60,7 +63,12 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	execOpts := ulixes.ExecOptions{Workers: *workers, Pipelined: *pipelined}
+	execOpts := ulixes.ExecOptions{
+		Workers:   *workers,
+		Pipelined: *pipelined,
+		Retry:     site.RetryPolicy{MaxRetries: *retries, AttemptTimeout: *timeout},
+		Degraded:  *degraded,
+	}
 	sys.SetExec(execOpts)
 	if *relations {
 		for _, name := range views.Names() {
@@ -155,8 +163,16 @@ func checkPlan(expr nalg.Expr, ws *adm.Scheme) {
 
 // formatStats renders the execution counters on one line.
 func formatStats(st ulixes.ExecStats) string {
-	return fmt.Sprintf("%d pages, %.1f KB, %s wall, peak %d in-flight",
+	s := fmt.Sprintf("%d pages, %.1f KB, %s wall, peak %d in-flight",
 		st.Pages, float64(st.Bytes)/1024, st.Wall.Round(10*time.Microsecond), st.PeakInFlight)
+	if st.Retries > 0 {
+		s += fmt.Sprintf(", %d retries", st.Retries)
+	}
+	if st.Degraded {
+		s += fmt.Sprintf(", DEGRADED (%d pages unreachable: %s)",
+			len(st.FailedPages), strings.Join(st.FailedPages, ", "))
+	}
+	return s
 }
 
 // openRemote loads the scheme and views from files and targets a real HTTP

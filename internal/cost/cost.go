@@ -84,6 +84,13 @@ type Model struct {
 	Stats  *stats.Stats
 	// Unit selects page counting (default) or byte weighting.
 	Unit Unit
+	// RetryOverhead is the expected number of retry GETs per page access
+	// under a faulty site — with per-attempt failure probability p and
+	// enough retries, p/(1-p). Each access then costs 1+RetryOverhead, so
+	// estimated and measured costs stay comparable when the resilient
+	// fetcher is re-downloading pages. 0 (the default) is the paper's
+	// perfectly reliable network.
+	RetryOverhead float64
 
 	mu      sync.Mutex
 	schemas map[nalg.Expr]*nalg.Schema
@@ -91,12 +98,13 @@ type Model struct {
 }
 
 // accessCost returns the cost of downloading one page of the scheme under
-// the model's unit.
+// the model's unit, inflated by the expected retry traffic.
 func (m *Model) accessCost(scheme string) float64 {
+	base := 1.0
 	if m.Unit == Bytes {
-		return m.Stats.AvgPageBytes(scheme)
+		base = m.Stats.AvgPageBytes(scheme)
 	}
-	return 1
+	return base * (1 + m.RetryOverhead)
 }
 
 // schemaOf is memoized schema inference (see rewrite.Rewriter.schema).

@@ -371,3 +371,22 @@ func TestCostOfRenameOverJoin(t *testing.T) {
 		t.Errorf("rename should not change cost: %v", est.Cost)
 	}
 }
+
+// TestRetryOverheadInflatesCost: with expected retry traffic the model
+// multiplies every page access by 1+RetryOverhead, keeping estimates
+// comparable to measured costs under a faulty site.
+func TestRetryOverheadInflatesCost(t *testing.T) {
+	u, m := paperModel(t)
+	e := nalg.From(u.Scheme, sitegen.ProfListPage).Unnest("ProfList").Follow("ToProf").MustBuild()
+	base, err := m.Estimate(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retry := &Model{Scheme: m.Scheme, Stats: m.Stats, RetryOverhead: 0.25}
+	est, err := retry.Estimate(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "cost", est.Cost, base.Cost*1.25, 1e-9)
+	approx(t, "card", est.Card, base.Card, 1e-9)
+}

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"ulixes/internal/faults"
+	"ulixes/internal/site"
+)
+
+// TestChaosRetriesRecoverQuery is the first acceptance scenario from the
+// fault-injection issue: a query that fails outright with no retries
+// succeeds once retries are enabled, producing exactly the tuples of the
+// fault-free run, with ExecStats.Retries > 0 and the distinct-page cost
+// unchanged. Every wait goes through InstantSleeper, so no wall clock.
+func TestChaosRetriesRecoverQuery(t *testing.T) {
+	_, ms, base := univEngine(t)
+	const query = "SELECT p.PName, p.Rank FROM Professor p WHERE p.Rank = 'Full'"
+	want, err := base.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every page fails its first two GET attempts, deterministically.
+	chaos := faults.New(ms, 42, faults.Rule{Kind: faults.Transient, First: 2})
+	e := New(base.Views, chaos, base.Stats)
+
+	e.Exec = ExecOptions{Sleeper: &site.InstantSleeper{}}
+	if _, err := e.Query(query); err == nil {
+		t.Fatal("query with no retries should fail under First=2 transient faults")
+	}
+
+	chaos.Reset()
+	e.Exec = ExecOptions{
+		Retry:   site.RetryPolicy{MaxRetries: 3},
+		Sleeper: &site.InstantSleeper{},
+	}
+	ans, err := e.Query(query)
+	if err != nil {
+		t.Fatalf("query with 3 retries should recover: %v", err)
+	}
+	if !ans.Result.Equal(want.Result) {
+		t.Errorf("recovered answer differs from fault-free run:\ngot  %v\nwant %v",
+			ans.Result.Sorted(), want.Result.Sorted())
+	}
+	if ans.Exec.Retries == 0 {
+		t.Error("ExecStats.Retries = 0, want > 0 after recovering from faults")
+	}
+	if ans.Exec.Pages != want.Exec.Pages {
+		t.Errorf("distinct pages = %d, want %d (retries must not change the paper's cost)",
+			ans.Exec.Pages, want.Exec.Pages)
+	}
+	if ans.Exec.Degraded {
+		t.Error("Degraded = true on a fully recovered run")
+	}
+	if chaos.Injected(faults.Transient) == 0 {
+		t.Error("chaos server reports no injected transients")
+	}
+}
+
+// TestChaosDegradedPartialAnswer is the second acceptance scenario: with a
+// permanently vanished page and degraded mode on, the query returns a
+// partial answer — the reachable tuples — with Degraded=true and the
+// missing URL listed in FailedPages. Strict mode still fails.
+func TestChaosDegradedPartialAnswer(t *testing.T) {
+	_, ms, base := univEngine(t)
+	// Rank lives on the professor's own page, so the plan must follow every
+	// ToProf link — including the vanished one.
+	const query = "SELECT p.PName, p.Rank FROM Professor p"
+	const gone = "http://univ.example.edu/prof/3.html"
+	want, err := base.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaos := faults.New(ms, 7, faults.Rule{Pattern: "prof/3.html", Kind: faults.NotFound, Rate: 1})
+	e := New(base.Views, chaos, base.Stats)
+
+	// Strict mode: the vanished page aborts the query.
+	e.Exec = ExecOptions{Sleeper: &site.InstantSleeper{}}
+	if _, err := e.Query(query); err == nil {
+		t.Fatal("strict query over a vanished page should fail")
+	}
+
+	chaos.Reset()
+	e.Exec = ExecOptions{Degraded: true, Sleeper: &site.InstantSleeper{}}
+	ans, err := e.Query(query)
+	if err != nil {
+		t.Fatalf("degraded query should return a partial answer: %v", err)
+	}
+	if !ans.Exec.Degraded {
+		t.Error("ExecStats.Degraded = false, want true")
+	}
+	if len(ans.Exec.FailedPages) != 1 || ans.Exec.FailedPages[0] != gone {
+		t.Errorf("FailedPages = %v, want [%s]", ans.Exec.FailedPages, gone)
+	}
+	if got := ans.Result.Len(); got != want.Result.Len()-1 {
+		t.Errorf("partial answer has %d tuples, want %d (full minus the vanished professor)",
+			got, want.Result.Len()-1)
+	}
+	for _, tup := range ans.Result.Tuples() {
+		if strings.Contains(tup.String(), "prof/3.html") {
+			t.Errorf("partial answer contains a tuple from the vanished page: %v", tup)
+		}
+	}
+}

@@ -28,6 +28,18 @@ type ExecOptions struct {
 	// concurrently. The answer and the measured page accesses are
 	// identical to sequential execution — only wall time changes.
 	Pipelined bool
+	// Retry configures resilient fetching: bounded retries with
+	// exponential backoff + deterministic jitter and per-attempt
+	// deadlines. The zero policy is the strict single-attempt behavior.
+	Retry site.RetryPolicy
+	// Degraded turns fetch failures into partial answers: unreachable
+	// pages are left out (like dangling links) instead of aborting the
+	// query, and the missing URLs are reported in ExecStats.FailedPages.
+	Degraded bool
+	// Sleeper overrides how backoffs and attempt deadlines wait (nil means
+	// real timers). Deterministic tests inject site.InstantSleeper so
+	// chaos runs never touch the wall clock.
+	Sleeper site.Sleeper
 }
 
 // ExecStats are the measured per-query execution counters.
@@ -40,6 +52,15 @@ type ExecStats struct {
 	Wall time.Duration
 	// PeakInFlight is the maximum number of simultaneous downloads.
 	PeakInFlight int
+	// Retries is the number of retry GETs the resilient fetcher issued —
+	// extra network accesses beyond the paper's distinct-page cost.
+	Retries int
+	// FailedPages lists the URLs a degraded execution could not fetch and
+	// left out of the answer, in sorted order.
+	FailedPages []string
+	// Degraded reports that the answer is partial: degraded mode was on
+	// and at least one page was unreachable.
+	Degraded bool
 }
 
 // Engine answers queries over a web site through a relational view.
@@ -133,6 +154,11 @@ func (e *Engine) ExecuteOpts(expr nalg.Expr, opts ExecOptions) (*nested.Relation
 	if opts.Workers > 0 {
 		f.SetWorkers(opts.Workers)
 	}
+	f.SetPolicy(opts.Retry)
+	f.SetDegraded(opts.Degraded)
+	if opts.Sleeper != nil {
+		f.SetSleeper(opts.Sleeper)
+	}
 	evalOpts := nalg.EvalOptions{
 		Pipelined:    opts.Pipelined,
 		Workers:      opts.Workers,
@@ -143,11 +169,15 @@ func (e *Engine) ExecuteOpts(expr nalg.Expr, opts ExecOptions) (*nested.Relation
 	if err != nil {
 		return nil, ExecStats{}, err
 	}
+	failed := f.FailedURLs()
 	return rel, ExecStats{
 		Pages:        f.PagesFetched(),
 		Bytes:        f.BytesFetched(),
 		Wall:         time.Since(start),
 		PeakInFlight: f.PeakInFlight(),
+		Retries:      f.Retries(),
+		FailedPages:  failed,
+		Degraded:     opts.Degraded && len(failed) > 0,
 	}, nil
 }
 

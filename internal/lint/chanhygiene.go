@@ -9,6 +9,7 @@ import (
 // execution, where an unbounded fan-out or an unguarded send can turn a
 // large site into a goroutine explosion or a deadlock.
 var concurrentPkgs = []string{
+	"ulixes/internal/faults",
 	"ulixes/internal/nalg",
 	"ulixes/internal/matview",
 	"ulixes/internal/site",
@@ -27,9 +28,10 @@ var concurrentPkgs = []string{
 // select-guarded sends pass.
 var ChanHygiene = &Analyzer{
 	Name: "chanhygiene",
-	Doc: "concurrent evaluation packages (internal/nalg, internal/matview,\n" +
-		"internal/site) must bound goroutine fan-out with worker pools or\n" +
-		"semaphores and guard loop sends on unbuffered channels with select",
+	Doc: "concurrent evaluation packages (internal/faults, internal/nalg,\n" +
+		"internal/matview, internal/site) must bound goroutine fan-out with\n" +
+		"worker pools or semaphores and guard loop sends on unbuffered\n" +
+		"channels with select",
 	Run: runChanHygiene,
 }
 

@@ -10,6 +10,7 @@ import (
 // measurement (the engine's ExecStats).
 var measuredPkgs = []string{
 	"ulixes/internal/cost",
+	"ulixes/internal/faults",
 	"ulixes/internal/nalg",
 	"ulixes/internal/rewrite",
 }
@@ -25,8 +26,9 @@ var wallClockFuncs = map[string]bool{
 // packages, so estimated-vs-measured comparisons stay deterministic.
 var NoWallClock = &Analyzer{
 	Name: "nowallclock",
-	Doc: "cost-measured packages (internal/cost, internal/nalg, internal/rewrite)\n" +
-		"must not read the ambient wall clock; measurement belongs to the engine",
+	Doc: "cost-measured packages (internal/cost, internal/faults, internal/nalg,\n" +
+		"internal/rewrite) must not read the ambient wall clock; measurement\n" +
+		"belongs to the engine and waiting to injectable sleepers",
 	Run: runNoWallClock,
 }
 

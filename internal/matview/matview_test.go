@@ -1,6 +1,8 @@
 package matview
 
 import (
+	"errors"
+	"sync"
 	"testing"
 
 	"ulixes/internal/adm"
@@ -319,7 +321,7 @@ func TestRefreshFullView(t *testing.T) {
 	victim := profPageURL(t, u, 3)
 	ms.RemovePage(victim)
 
-	updated, deleted, err := store.Refresh()
+	updated, deleted, stale, err := store.Refresh()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,6 +330,9 @@ func TestRefreshFullView(t *testing.T) {
 	}
 	if deleted != 1 {
 		t.Errorf("refresh deleted = %d, want 1", deleted)
+	}
+	if len(stale) != 0 {
+		t.Errorf("refresh stale = %v, want none on a healthy site", stale)
 	}
 	if _, ok := store.Page(victim); ok {
 		t.Error("refresh should remove deleted pages")
@@ -434,5 +439,89 @@ func TestURLCheckNewStatusDownloadsDirectly(t *testing.T) {
 	_, exists, err = store.URLCheck(ghost, sitegen.ProfPage)
 	if err != nil || exists {
 		t.Errorf("vanished new page: exists=%v err=%v", exists, err)
+	}
+}
+
+// downServer wraps a server and makes one URL unreachable (both GET and
+// HEAD fail with a non-404 error) — a source host that is down, not a page
+// that was deleted.
+type downServer struct {
+	site.Server
+	mu   sync.Mutex
+	down string
+}
+
+var errHostDown = errors.New("connection refused (injected)")
+
+func (s *downServer) setDown(url string) {
+	s.mu.Lock()
+	s.down = url
+	s.mu.Unlock()
+}
+
+func (s *downServer) unreachable(url string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return url == s.down
+}
+
+func (s *downServer) Get(url string) (site.Page, error) {
+	if s.unreachable(url) {
+		return site.Page{}, errHostDown
+	}
+	return s.Server.Get(url) //lint:allow fetchgate the fault wrapper sits under the counted fetcher
+}
+
+func (s *downServer) Head(url string) (site.Meta, error) {
+	if s.unreachable(url) {
+		return site.Meta{}, errHostDown
+	}
+	return s.Server.Head(url) //lint:allow fetchgate the fault wrapper sits under the counted fetcher
+}
+
+// TestRefreshToleratesUnreachablePages: a full-view refresh over a source
+// that is partially down keeps the stale rows (the view stays answerable),
+// reports their URLs, and a later refresh picks them up once the source
+// heals.
+func TestRefreshToleratesUnreachablePages(t *testing.T) {
+	u, ms, _, _ := fixtureParts(t)
+	srv := &downServer{Server: ms}
+	store, err := Materialize(srv, u.Scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	victim := profPageURL(t, u, 2)
+	ms.RemovePage(profPageURL(t, u, 5))
+	srv.setDown(victim)
+
+	updated, deleted, stale, err := store.Refresh()
+	if err != nil {
+		t.Fatalf("refresh over a partially-down source: %v", err)
+	}
+	if deleted != 1 {
+		t.Errorf("deleted = %d, want 1 (the removed page is a clean 404)", deleted)
+	}
+	if len(stale) != 1 || stale[0] != victim {
+		t.Errorf("stale = %v, want [%s]", stale, victim)
+	}
+	if _, ok := store.Page(victim); !ok {
+		t.Error("unreachable page must keep its stale row")
+	}
+	_ = updated
+
+	srv.setDown("")
+	_, deleted, stale, err = store.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stale) != 0 {
+		t.Errorf("stale after heal = %v, want none", stale)
+	}
+	if deleted != 0 {
+		t.Errorf("deleted after heal = %d, want 0", deleted)
+	}
+	if _, ok := store.Page(victim); !ok {
+		t.Error("healed page should still be materialized")
 	}
 }

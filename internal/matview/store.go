@@ -11,6 +11,7 @@ package matview
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -627,8 +628,11 @@ func (s *Store) ProcessMissing() (int, error) {
 
 // Refresh re-checks every materialized page (the periodic full-view
 // consistency pass the paper mentions at the end of §8). It returns how
-// many pages were updated or deleted.
-func (s *Store) Refresh() (updated, deleted int, err error) {
+// many pages were updated or deleted, plus the sorted URLs that could not
+// be verified: an unreachable page (any network failure other than a clean
+// 404) no longer aborts the pass — the stale local row is kept, so the view
+// stays answerable, and the URL is reported for the next refresh to retry.
+func (s *Store) Refresh() (updated, deleted int, stale []string, err error) {
 	s.mu.Lock()
 	urls := make([]string, 0, len(s.pages))
 	schemes := make(map[string]string, len(s.pages))
@@ -637,6 +641,7 @@ func (s *Store) Refresh() (updated, deleted int, err error) {
 		schemes[u] = p.Scheme
 	}
 	s.mu.Unlock()
+	sort.Strings(urls)
 	s.BeginEvaluation()
 	for _, u := range urls {
 		s.mu.Lock()
@@ -648,7 +653,11 @@ func (s *Store) Refresh() (updated, deleted int, err error) {
 		after := s.counters
 		s.mu.Unlock()
 		if cerr != nil {
-			return updated, deleted, cerr
+			// Source unreachable: keep serving the stale row rather than
+			// failing the whole pass ("Maintaining Consistency of Data on
+			// the Web": a view must stay usable when sources misbehave).
+			stale = append(stale, u)
+			continue
 		}
 		if !exists {
 			deleted++
@@ -658,5 +667,5 @@ func (s *Store) Refresh() (updated, deleted int, err error) {
 			updated++
 		}
 	}
-	return updated, deleted, nil
+	return updated, deleted, stale, nil
 }

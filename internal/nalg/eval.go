@@ -1,6 +1,7 @@
 package nalg
 
 import (
+	"errors"
 	"fmt"
 
 	"ulixes/internal/adm"
@@ -126,6 +127,16 @@ func eval(e Expr, ws *adm.Scheme, src Source) (*nested.Relation, error) {
 	}
 }
 
+// degradedFollow reports whether a FollowPages error is a graceful partial
+// result (the fetcher's degraded mode): the reachable pages were returned
+// and the unreachable URLs simply dangle, exactly like links to pages that
+// no longer exist. The fetcher has already recorded the failures for
+// ExecStats, so evaluation proceeds on what arrived.
+func degradedFollow(err error) bool {
+	var pe *site.PartialError
+	return errors.As(err, &pe)
+}
+
 // evalFollow expands each input tuple with the page its link column points
 // to: the distinct link URLs are fetched (this is where network cost is
 // paid), and the input is joined with the fetched pages on link = URL.
@@ -139,7 +150,7 @@ func evalFollow(x *Follow, in *nested.Relation, src Source) (*nested.Relation, e
 		urls[i] = v.String()
 	}
 	pages, err := src.FollowPages(x.Target, urls)
-	if err != nil {
+	if err != nil && !degradedFollow(err) {
 		return nil, fmt.Errorf("nalg: follow %s: %w", x.Link, err)
 	}
 	alias := x.EffAlias()

@@ -338,7 +338,7 @@ func (p *pipeline) fetchTask(x *Follow, urls []string, pages *pageMap, ft *follo
 	}
 	defer func() { <-p.sem }()
 	got, err := p.src.FollowPages(x.Target, urls)
-	if err != nil {
+	if err != nil && !degradedFollow(err) {
 		p.fail(fmt.Errorf("nalg: follow %s: %w", x.Link, err))
 		return
 	}

@@ -1,7 +1,9 @@
 package site
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"ulixes/internal/adm"
@@ -24,6 +26,13 @@ const DefaultFetchWorkers = 8
 // evaluator's |π_L(R)| under any degree of parallelism. The worker bound is
 // a single semaphore shared by every Fetch and FetchAll on the fetcher, so
 // parallel plan branches divide — never multiply — the connection limit.
+//
+// Against a misbehaving site the fetcher is resilient: a RetryPolicy adds
+// bounded retries with exponential backoff + deterministic jitter and a
+// per-attempt deadline, permanently-missing URLs land in a negative cache
+// (one 404 is enough — later fetches fail without touching the network),
+// and degraded mode turns FetchAll's all-or-nothing batches into partial
+// results plus a structured PartialError.
 type Fetcher struct {
 	server Server
 	scheme *adm.Scheme
@@ -34,9 +43,25 @@ type Fetcher struct {
 	flight   map[string]*flight
 	cache    map[string]nested.Tuple
 	sizes    map[string]int
+	neg      map[string]error // negative cache: permanently-failed URLs
+	failed   map[string]error // URLs a degraded batch had to leave out
+	policy   RetryPolicy
+	sleeper  Sleeper
+	degraded bool
+	retries  int
 	fetched  int
+	bytes    int64
 	inflight int
 	peak     int
+	waiting  int // goroutines blocked on another goroutine's flight
+}
+
+// flightWaiters reports how many goroutines are blocked waiting on another
+// goroutine's in-progress download (tests synchronize on it).
+func (f *Fetcher) flightWaiters() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.waiting
 }
 
 // flight is one in-progress download that concurrent fetchers of the same
@@ -48,7 +73,7 @@ type flight struct {
 }
 
 // NewFetcher creates a fetcher over a server and scheme with the default
-// concurrency.
+// concurrency and no retries (the zero RetryPolicy).
 func NewFetcher(server Server, scheme *adm.Scheme) *Fetcher {
 	return &Fetcher{
 		server:  server,
@@ -58,6 +83,9 @@ func NewFetcher(server Server, scheme *adm.Scheme) *Fetcher {
 		flight:  make(map[string]*flight),
 		cache:   make(map[string]nested.Tuple),
 		sizes:   make(map[string]int),
+		neg:     make(map[string]error),
+		failed:  make(map[string]error),
+		sleeper: stdSleeper{},
 	}
 }
 
@@ -80,12 +108,68 @@ func (f *Fetcher) Workers() int {
 	return f.workers
 }
 
+// SetPolicy installs the retry policy. It must not be called while fetches
+// are in progress.
+func (f *Fetcher) SetPolicy(p RetryPolicy) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.policy = p
+}
+
+// SetSleeper replaces the backoff/deadline waiter (tests install an
+// InstantSleeper so retry schedules are asserted, not slept).
+func (f *Fetcher) SetSleeper(s Sleeper) {
+	if s == nil {
+		s = stdSleeper{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sleeper = s
+}
+
+// SetDegraded switches FetchAll between all-or-nothing batches (false, the
+// default) and graceful degradation: partial results plus a PartialError.
+func (f *Fetcher) SetDegraded(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.degraded = on
+}
+
+// DegradedMode reports whether graceful degradation is on.
+func (f *Fetcher) DegradedMode() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.degraded
+}
+
 // PagesFetched returns the number of distinct pages downloaded through this
 // fetcher (cache misses).
 func (f *Fetcher) PagesFetched() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.fetched
+}
+
+// Retries returns the number of retry attempts performed — extra GETs
+// beyond the first attempt of each URL, the quantity the cost model's retry
+// overhead estimates.
+func (f *Fetcher) Retries() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.retries
+}
+
+// FailedURLs returns the sorted URLs that degraded batches had to leave
+// out: the pages missing from a partial answer.
+func (f *Fetcher) FailedURLs() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.failed))
+	for u := range f.failed {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // PeakInFlight returns the maximum number of simultaneous server GETs
@@ -110,16 +194,31 @@ func (f *Fetcher) wrapPage(schemeName, url, html string) (nested.Tuple, error) {
 // page-scheme, consulting the cache first. Concurrent calls for the same
 // URL share a single GET.
 func (f *Fetcher) Fetch(schemeName, url string) (nested.Tuple, error) {
+	return f.FetchCtx(context.Background(), schemeName, url)
+}
+
+// FetchCtx is Fetch under a context: retry backoffs and per-attempt
+// deadlines observe the context's cancelation.
+func (f *Fetcher) FetchCtx(ctx context.Context, schemeName, url string) (nested.Tuple, error) {
 	f.mu.Lock()
 	if t, ok := f.cache[url]; ok {
 		f.mu.Unlock()
 		return t, nil
 	}
+	if err, ok := f.neg[url]; ok {
+		// The page is known to be permanently gone: fail without a GET.
+		f.mu.Unlock()
+		return nested.Tuple{}, err
+	}
 	if fl, ok := f.flight[url]; ok {
 		// Another goroutine is downloading this URL: wait for its result
 		// instead of duplicating the GET.
+		f.waiting++
 		f.mu.Unlock()
 		<-fl.done
+		f.mu.Lock()
+		f.waiting--
+		f.mu.Unlock()
 		return fl.t, fl.err
 	}
 	fl := &flight{done: make(chan struct{})}
@@ -127,14 +226,18 @@ func (f *Fetcher) Fetch(schemeName, url string) (nested.Tuple, error) {
 	sem := f.sem
 	f.mu.Unlock()
 
-	t, size, err := f.download(schemeName, url, sem)
+	t, size, err := f.download(ctx, schemeName, url, sem)
 
 	f.mu.Lock()
 	delete(f.flight, url)
 	if err == nil {
 		f.cache[url] = t
 		f.sizes[url] = size
+		f.bytes += int64(size)
 		f.fetched++
+	} else if !retryable(err) {
+		// Permanently gone: remember, so later fetches skip the network.
+		f.neg[url] = err
 	}
 	f.mu.Unlock()
 	fl.t, fl.err = t, err
@@ -142,16 +245,52 @@ func (f *Fetcher) Fetch(schemeName, url string) (nested.Tuple, error) {
 	return t, err
 }
 
-// download performs the bounded network GET and the local wrap.
-func (f *Fetcher) download(schemeName, url string, sem chan struct{}) (nested.Tuple, int, error) {
-	sem <- struct{}{}
+// retryConfig snapshots the policy and sleeper under the lock.
+func (f *Fetcher) retryConfig() (RetryPolicy, Sleeper) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.policy, f.sleeper
+}
+
+// download runs the attempt loop for one URL: each attempt is a bounded
+// network GET plus the local wrap; failures back off exponentially (with
+// deterministic jitter) and retry up to the policy's bound. Permanent
+// errors (the page does not exist) are never retried.
+func (f *Fetcher) download(ctx context.Context, schemeName, url string, sem chan struct{}) (nested.Tuple, int, error) {
+	pol, slp := f.retryConfig()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		t, size, err := f.attempt(ctx, schemeName, url, sem)
+		if err == nil {
+			return t, size, nil
+		}
+		lastErr = err
+		if !retryable(err) || attempt >= pol.MaxRetries {
+			return nested.Tuple{}, 0, lastErr
+		}
+		f.mu.Lock()
+		f.retries++
+		f.mu.Unlock()
+		if err := slp.Sleep(ctx, pol.Backoff(url, attempt)); err != nil {
+			return nested.Tuple{}, 0, lastErr
+		}
+	}
+}
+
+// attempt performs one bounded network GET and the local wrap.
+func (f *Fetcher) attempt(ctx context.Context, schemeName, url string, sem chan struct{}) (nested.Tuple, int, error) {
+	select {
+	case sem <- struct{}{}:
+	case <-ctx.Done():
+		return nested.Tuple{}, 0, ctx.Err()
+	}
 	f.mu.Lock()
 	f.inflight++
 	if f.inflight > f.peak {
 		f.peak = f.inflight
 	}
 	f.mu.Unlock()
-	p, err := f.server.Get(url)
+	p, err := f.getPage(ctx, url)
 	f.mu.Lock()
 	f.inflight--
 	f.mu.Unlock()
@@ -166,14 +305,80 @@ func (f *Fetcher) download(schemeName, url string, sem chan struct{}) (nested.Tu
 	return t, len(p.HTML), nil
 }
 
+// getPage issues one GET under the policy's per-attempt deadline. The
+// deadline is driven by the fetcher's sleeper, so deterministic tests make
+// it fire instantly. A ContextServer has its download canceled when the
+// deadline fires; a plain Server is raced in a goroutine and abandoned —
+// the goroutine drains when (if) the server finally answers.
+func (f *Fetcher) getPage(ctx context.Context, url string) (Page, error) {
+	pol, slp := f.retryConfig()
+	if pol.AttemptTimeout <= 0 {
+		if cs, ok := f.server.(ContextServer); ok {
+			return cs.GetContext(ctx, url)
+		}
+		return f.server.Get(url)
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	timedOut := make(chan struct{})
+	go func() {
+		if slp.Sleep(actx, pol.AttemptTimeout) == nil {
+			close(timedOut)
+			cancel()
+		}
+	}()
+	var p Page
+	var err error
+	if cs, ok := f.server.(ContextServer); ok {
+		p, err = cs.GetContext(actx, url)
+	} else {
+		type result struct {
+			p   Page
+			err error
+		}
+		ch := make(chan result, 1)
+		go func() {
+			got, gerr := f.server.Get(url)
+			ch <- result{got, gerr}
+		}()
+		select {
+		case r := <-ch:
+			p, err = r.p, r.err
+		case <-actx.Done():
+			err = actx.Err()
+		}
+	}
+	if err != nil {
+		// A cancelation caused by the deadline goroutine is a timeout, not
+		// a caller abort.
+		select {
+		case <-timedOut:
+			return Page{}, fmt.Errorf("%w: GET %s after %s", ErrAttemptTimeout, url, pol.AttemptTimeout)
+		default:
+		}
+		return Page{}, err
+	}
+	return p, nil
+}
+
 // FetchAll downloads and wraps all URLs as pages of the named scheme, with
-// bounded concurrency. The result preserves input order. The first error
-// aborts the batch.
+// bounded concurrency. The result preserves input order. In the default
+// strict mode the first error aborts the batch; in degraded mode
+// (SetDegraded) every URL is attempted, the reachable pages are returned,
+// and the unreachable ones are reported in a *PartialError.
 func (f *Fetcher) FetchAll(schemeName string, urls []string) ([]nested.Tuple, error) {
+	return f.FetchAllCtx(context.Background(), schemeName, urls)
+}
+
+// FetchAllCtx is FetchAll under a context.
+func (f *Fetcher) FetchAllCtx(ctx context.Context, schemeName string, urls []string) ([]nested.Tuple, error) {
 	out := make([]nested.Tuple, len(urls))
 	if len(urls) == 0 {
 		return out, nil
 	}
+	degraded := f.DegradedMode()
+	oks := make([]bool, len(urls))
+	errs := make([]error, len(urls))
 	workers := f.Workers()
 	if workers > len(urls) {
 		workers = len(urls)
@@ -188,15 +393,21 @@ func (f *Fetcher) FetchAll(schemeName string, urls []string) ([]nested.Tuple, er
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				t, err := f.Fetch(schemeName, urls[i])
+				t, err := f.FetchCtx(ctx, schemeName, urls[i])
 				if err != nil {
+					if degraded {
+						// Leave the page out and keep going: the batch
+						// degrades instead of aborting.
+						errs[i] = err
+						continue
+					}
 					once.Do(func() {
 						firstErr = err
 						close(done)
 					})
 					return
 				}
-				out[i] = t
+				out[i], oks[i] = t, true
 			}
 		}()
 	}
@@ -215,7 +426,30 @@ producing:
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	return out, nil
+	if !degraded {
+		return out, nil
+	}
+	kept := make([]nested.Tuple, 0, len(urls))
+	var failures []FetchFailure
+	for i := range urls {
+		if oks[i] {
+			kept = append(kept, out[i])
+			continue
+		}
+		f.noteFailure(urls[i], errs[i])
+		failures = append(failures, FetchFailure{URL: urls[i], Err: errs[i]})
+	}
+	if len(failures) == 0 {
+		return kept, nil
+	}
+	return kept, &PartialError{Failures: failures}
+}
+
+// noteFailure records a URL a degraded batch left out.
+func (f *Fetcher) noteFailure(url string, err error) {
+	f.mu.Lock()
+	f.failed[url] = err
+	f.mu.Unlock()
 }
 
 // SizeOf returns the HTML byte size of a fetched page.
@@ -227,24 +461,27 @@ func (f *Fetcher) SizeOf(url string) (int, bool) {
 }
 
 // BytesFetched returns the total HTML bytes downloaded through this
-// fetcher.
+// fetcher. The counter is maintained at insert time — constant work here no
+// matter how many pages are cached.
 func (f *Fetcher) BytesFetched() int64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	var total int64
-	for _, n := range f.sizes {
-		total += int64(n)
-	}
-	return total
+	return f.bytes
 }
 
-// ResetCache clears the page cache, as an engine does between queries so
-// each query's accesses are counted afresh.
+// ResetCache clears the page cache and counters, as an engine does between
+// queries so each query's accesses are counted afresh. The negative cache
+// and failure record clear too: a page that reappears between queries is
+// given a fresh chance.
 func (f *Fetcher) ResetCache() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.cache = make(map[string]nested.Tuple)
 	f.sizes = make(map[string]int)
+	f.neg = make(map[string]error)
+	f.failed = make(map[string]error)
 	f.fetched = 0
+	f.bytes = 0
+	f.retries = 0
 	f.peak = 0
 }

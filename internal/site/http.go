@@ -1,6 +1,7 @@
 package site
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -21,7 +22,9 @@ func wrapHTML(ps *adm.PageScheme, pageURL, html string) (nested.Tuple, error) {
 // full original URL passed in the "u" query parameter (the simulated site
 // uses absolute URLs on a fictional host), or by path for direct browsing.
 // GET returns the HTML with a Last-Modified header; HEAD returns only the
-// header — the "light connection" of §8.
+// header — the "light connection" of §8. Only a genuinely missing page maps
+// to 404; any other site error (an internal render or wrap failure) is a
+// 500, so clients can tell "page gone" from "server sick".
 func Handler(ms *MemSite) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		target := r.URL.Query().Get("u")
@@ -42,7 +45,11 @@ func Handler(ms *MemSite) http.Handler {
 			return
 		}
 		if err != nil {
-			http.NotFound(w, r)
+			if errors.Is(err, ErrNotFound) {
+				http.NotFound(w, r)
+			} else {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
 			return
 		}
 		w.Header().Set("Last-Modified", page.LastModified.UTC().Format(http.TimeFormat))
@@ -53,12 +60,22 @@ func Handler(ms *MemSite) http.Handler {
 	})
 }
 
+// DefaultHTTPTimeout bounds a default HTTPServer request end to end; a
+// remote site that accepts the connection and never answers must not hang a
+// query forever.
+const DefaultHTTPTimeout = 30 * time.Second
+
+// defaultHTTPClient is the shared client used when none is injected. Unlike
+// http.DefaultClient it carries an explicit timeout.
+var defaultHTTPClient = &http.Client{Timeout: DefaultHTTPTimeout}
+
 // HTTPServer adapts a real HTTP endpoint (serving Handler) to the Server
 // interface, so the whole query stack can run over genuine network sockets.
 type HTTPServer struct {
 	// Base is the HTTP base URL of the endpoint, e.g. a httptest server URL.
 	Base string
-	// Client is the HTTP client; http.DefaultClient if nil.
+	// Client is the HTTP client; a shared client with DefaultHTTPTimeout
+	// if nil.
 	Client *http.Client
 }
 
@@ -66,7 +83,7 @@ func (h *HTTPServer) client() *http.Client {
 	if h.Client != nil {
 		return h.Client
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
 }
 
 func (h *HTTPServer) endpoint(pageURL string) string {

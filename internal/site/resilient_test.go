@@ -1,0 +1,353 @@
+package site
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"ulixes/internal/sitegen"
+)
+
+// failNServer fails the first N GETs of each URL with a transient error,
+// counting every server-side attempt.
+type failNServer struct {
+	*MemSite
+	n    int
+	mu   sync.Mutex
+	gets map[string]int
+}
+
+func newFailNServer(ms *MemSite, n int) *failNServer {
+	return &failNServer{MemSite: ms, n: n, gets: make(map[string]int)}
+}
+
+func (s *failNServer) Get(url string) (Page, error) {
+	s.mu.Lock()
+	k := s.gets[url]
+	s.gets[url] = k + 1
+	s.mu.Unlock()
+	if k < s.n {
+		return Page{}, errBadURL
+	}
+	return s.MemSite.Get(url)
+}
+
+func (s *failNServer) count(url string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gets[url]
+}
+
+func TestBackoffScheduleDeterministic(t *testing.T) {
+	pol := RetryPolicy{BaseBackoff: 100 * time.Millisecond, MaxBackoff: 400 * time.Millisecond, Seed: 1}
+	const url = "http://x/p.html"
+	for retry, want := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 400 * time.Millisecond} {
+		d := pol.Backoff(url, retry)
+		if d < want/2 || d >= want {
+			t.Errorf("Backoff(retry=%d) = %v, want in [%v, %v)", retry, d, want/2, want)
+		}
+		if d2 := pol.Backoff(url, retry); d2 != d {
+			t.Errorf("Backoff(retry=%d) not deterministic: %v vs %v", retry, d, d2)
+		}
+	}
+	if pol.Backoff(url, 0) == pol.Backoff("http://x/q.html", 0) {
+		t.Error("jitter should differ across URLs")
+	}
+	zero := RetryPolicy{}
+	if d := zero.Backoff(url, 0); d < DefaultBaseBackoff/2 || d >= DefaultBaseBackoff {
+		t.Errorf("zero-policy Backoff = %v, want in [%v, %v)", d, DefaultBaseBackoff/2, DefaultBaseBackoff)
+	}
+}
+
+// TestRetryRecoversTransient: a URL that fails its first two GETs succeeds
+// with MaxRetries=3, the sleeper records exactly the policy's backoff
+// schedule, and the retry count is surfaced.
+func TestRetryRecoversTransient(t *testing.T) {
+	u, ms := testSite(t)
+	urls := profURLs(t, u)
+	srv := newFailNServer(ms, 2)
+	f := NewFetcher(srv, u.Scheme)
+	pol := RetryPolicy{MaxRetries: 3, Seed: 7}
+	f.SetPolicy(pol)
+	slp := &InstantSleeper{}
+	f.SetSleeper(slp)
+
+	if _, err := f.Fetch(sitegen.ProfPage, urls[0]); err != nil {
+		t.Fatalf("fetch with retries should recover: %v", err)
+	}
+	if got := srv.count(urls[0]); got != 3 {
+		t.Errorf("server saw %d GETs, want 3 (two failures + success)", got)
+	}
+	if got := f.Retries(); got != 2 {
+		t.Errorf("Retries = %d, want 2", got)
+	}
+	want := []time.Duration{pol.Backoff(urls[0], 0), pol.Backoff(urls[0], 1)}
+	got := slp.Slept()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("backoff waits = %v, want %v", got, want)
+	}
+	if f.PagesFetched() != 1 {
+		t.Errorf("PagesFetched = %d, want 1 (retries are not distinct pages)", f.PagesFetched())
+	}
+}
+
+// TestRetryExhaustion: when the fault outlives the retry budget the final
+// transient error surfaces, and nothing is negatively cached — the URL can
+// be retried by a later fetch.
+func TestRetryExhaustion(t *testing.T) {
+	u, ms := testSite(t)
+	urls := profURLs(t, u)
+	srv := newFailNServer(ms, 3)
+	f := NewFetcher(srv, u.Scheme)
+	f.SetPolicy(RetryPolicy{MaxRetries: 2})
+	f.SetSleeper(&InstantSleeper{})
+
+	if _, err := f.Fetch(sitegen.ProfPage, urls[0]); !errors.Is(err, errBadURL) {
+		t.Fatalf("err = %v, want errBadURL after exhausting retries", err)
+	}
+	if got := srv.count(urls[0]); got != 3 {
+		t.Errorf("server saw %d GETs, want 3 (1 + 2 retries)", got)
+	}
+	// The fourth server attempt succeeds: a fresh fetch must reach it.
+	if _, err := f.Fetch(sitegen.ProfPage, urls[0]); err != nil {
+		t.Fatalf("transient exhaustion must not poison the URL: %v", err)
+	}
+}
+
+// TestNotFoundNotRetriedAndNegativelyCached: a permanently-missing page is
+// fetched exactly once — no retries, and later fetches fail from the
+// negative cache without touching the network.
+func TestNotFoundNotRetriedAndNegativelyCached(t *testing.T) {
+	u, ms := testSite(t)
+	const gone = "http://univ.example.edu/no-such-page.html"
+	cs := newFailNServer(ms, 0) // never fails, but counts server GETs
+	f := NewFetcher(cs, u.Scheme)
+	f.SetPolicy(RetryPolicy{MaxRetries: 5})
+	f.SetSleeper(&InstantSleeper{})
+
+	if _, err := f.Fetch(sitegen.ProfPage, gone); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if got := cs.count(gone); got != 1 {
+		t.Errorf("server saw %d GETs, want 1 (permanent errors are not retried)", got)
+	}
+	if f.Retries() != 0 {
+		t.Errorf("Retries = %d, want 0", f.Retries())
+	}
+	if _, err := f.Fetch(sitegen.ProfPage, gone); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second fetch err = %v, want ErrNotFound", err)
+	}
+	if got := cs.count(gone); got != 1 {
+		t.Errorf("server saw %d GETs after second fetch, want still 1 (negative cache)", got)
+	}
+	f.ResetCache()
+	if _, err := f.Fetch(sitegen.ProfPage, gone); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("post-reset fetch err = %v, want ErrNotFound", err)
+	}
+	if got := cs.count(gone); got != 2 {
+		t.Errorf("ResetCache should clear the negative cache: %d GETs, want 2", got)
+	}
+}
+
+// TestFetchAllDegradedPartial: in degraded mode a batch with unreachable
+// URLs returns every reachable page plus a structured PartialError naming
+// the missing ones.
+func TestFetchAllDegradedPartial(t *testing.T) {
+	u, ms := testSite(t)
+	urls := profURLs(t, u)
+	bad := urls[3]
+	f := NewFetcher(&faultyServer{MemSite: ms, bad: bad}, u.Scheme)
+	f.SetDegraded(true)
+
+	got, err := f.FetchAll(sitegen.ProfPage, urls)
+	if err == nil {
+		t.Fatal("degraded FetchAll over a bad URL should return a PartialError")
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T (%v), want *PartialError", err, err)
+	}
+	if us := pe.URLs(); len(us) != 1 || us[0] != bad {
+		t.Errorf("PartialError.URLs = %v, want [%s]", us, bad)
+	}
+	if !errors.Is(err, errBadURL) {
+		t.Error("PartialError should unwrap to the underlying fetch error")
+	}
+	if len(got) != len(urls)-1 {
+		t.Errorf("degraded batch returned %d pages, want %d", len(got), len(urls)-1)
+	}
+	if fu := f.FailedURLs(); len(fu) != 1 || fu[0] != bad {
+		t.Errorf("FailedURLs = %v, want [%s]", fu, bad)
+	}
+	// A fully healthy batch in degraded mode reports no error at all.
+	f2 := NewFetcher(ms, u.Scheme)
+	f2.SetDegraded(true)
+	if _, err := f2.FetchAll(sitegen.ProfPage, urls); err != nil {
+		t.Errorf("degraded FetchAll over a healthy site: %v", err)
+	}
+}
+
+// stallOnceServer stalls the first GET of each URL until the download
+// context is canceled, then serves normally — the shape of a hung TCP
+// connection that a per-attempt deadline must break.
+type stallOnceServer struct {
+	*MemSite
+	mu      sync.Mutex
+	stalled map[string]bool
+}
+
+func (s *stallOnceServer) GetContext(ctx context.Context, url string) (Page, error) {
+	s.mu.Lock()
+	stall := !s.stalled[url]
+	s.stalled[url] = true
+	s.mu.Unlock()
+	if stall {
+		<-ctx.Done()
+		return Page{}, ctx.Err()
+	}
+	return s.MemSite.Get(url)
+}
+
+// TestAttemptTimeoutBreaksStall: the per-attempt deadline abandons a
+// stalled download and the retry succeeds — all without any wall-clock
+// wait, because the deadline timer is the injected sleeper.
+func TestAttemptTimeoutBreaksStall(t *testing.T) {
+	u, ms := testSite(t)
+	urls := profURLs(t, u)
+	srv := &stallOnceServer{MemSite: ms, stalled: make(map[string]bool)}
+	f := NewFetcher(srv, u.Scheme)
+	f.SetSleeper(&InstantSleeper{})
+
+	// Without retries the attempt deadline surfaces as ErrAttemptTimeout.
+	f.SetPolicy(RetryPolicy{AttemptTimeout: time.Second})
+	if _, err := f.Fetch(sitegen.ProfPage, urls[0]); !errors.Is(err, ErrAttemptTimeout) {
+		t.Fatalf("err = %v, want ErrAttemptTimeout", err)
+	}
+
+	// With one retry the second attempt finds the server healed.
+	f.SetPolicy(RetryPolicy{MaxRetries: 1, AttemptTimeout: time.Second})
+	if _, err := f.Fetch(sitegen.ProfPage, urls[1]); err != nil {
+		t.Fatalf("retry after a stalled attempt should succeed: %v", err)
+	}
+	if f.Retries() == 0 {
+		t.Error("Retries = 0, want > 0 after recovering from a stall")
+	}
+}
+
+// gatedFailServer blocks each GET until released, then fails it — so a
+// test can pile concurrent fetchers onto one in-flight download and assert
+// they all share its error.
+type gatedFailServer struct {
+	*MemSite
+	mu      sync.Mutex
+	started chan struct{} // signaled once per GET start
+	release chan struct{} // closed to let GETs proceed
+	healed  bool
+	gets    int
+}
+
+func (s *gatedFailServer) Get(url string) (Page, error) {
+	s.mu.Lock()
+	s.gets++
+	healed := s.healed
+	s.mu.Unlock()
+	s.started <- struct{}{}
+	<-s.release
+	if healed {
+		return s.MemSite.Get(url)
+	}
+	return Page{}, errBadURL
+}
+
+func (s *gatedFailServer) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gets
+}
+
+// TestSingleflightErrorPropagation: when many goroutines race on one URL
+// whose single underlying GET fails, every waiter receives the error, the
+// server sees exactly one GET, and the URL stays fetchable afterwards —
+// a failed flight neither poisons the cache nor breaks the singleflight.
+func TestSingleflightErrorPropagation(t *testing.T) {
+	u, ms := testSite(t)
+	urls := profURLs(t, u)
+	srv := &gatedFailServer{
+		MemSite: ms,
+		started: make(chan struct{}, 64),
+		release: make(chan struct{}),
+	}
+	f := NewFetcher(srv, u.Scheme)
+
+	const waiters = 15
+	errs := make(chan error, waiters+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := f.Fetch(sitegen.ProfPage, urls[0])
+		errs <- err
+	}()
+	<-srv.started // the flight is registered and blocked in the server
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := f.Fetch(sitegen.ProfPage, urls[0])
+			errs <- err
+		}()
+	}
+	// Wait until every waiter has joined the in-progress flight; only then
+	// let the single GET fail, so all of them share its error.
+	for f.flightWaiters() < waiters {
+		runtime.Gosched()
+	}
+	close(srv.release)
+	wg.Wait()
+	close(errs)
+	n := 0
+	for err := range errs {
+		n++
+		if !errors.Is(err, errBadURL) {
+			t.Errorf("waiter error = %v, want errBadURL", err)
+		}
+	}
+	if n != waiters+1 {
+		t.Fatalf("collected %d errors, want %d", n, waiters+1)
+	}
+	if got := srv.count(); got != 1 {
+		t.Errorf("server saw %d GETs, want 1 (singleflight must coalesce)", got)
+	}
+
+	// The URL heals: the next fetch issues a fresh GET and succeeds, and the
+	// singleflight keeps coalescing.
+	srv.mu.Lock()
+	srv.healed = true
+	srv.mu.Unlock()
+	go func() {
+		<-srv.started
+	}()
+	if _, err := f.Fetch(sitegen.ProfPage, urls[0]); err != nil {
+		t.Fatalf("fetch after heal: %v", err)
+	}
+	if got := srv.count(); got != 2 {
+		t.Errorf("server saw %d GETs after heal, want 2", got)
+	}
+	if f.PagesFetched() != 1 {
+		t.Errorf("PagesFetched = %d, want 1", f.PagesFetched())
+	}
+}
+
+// TestDefaultHTTPClientHasTimeout: an HTTPServer without an injected client
+// must not fall back to the timeout-less http.DefaultClient.
+func TestDefaultHTTPClientHasTimeout(t *testing.T) {
+	h := &HTTPServer{Base: "http://example.test"}
+	c := h.client()
+	if c.Timeout != DefaultHTTPTimeout {
+		t.Errorf("default client timeout = %v, want %v", c.Timeout, DefaultHTTPTimeout)
+	}
+}

@@ -12,4 +12,6 @@ echo "== ulixes-vet ./..."
 go run ./cmd/ulixes-vet ./...
 echo "== go test -race ./..."
 go test -race ./...
+echo "== chaos (fault-injection determinism check)"
+go run ./cmd/bench -only P3 >/dev/null
 echo "verify: OK"
