@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint verify bench experiments chaos
+.PHONY: build test race vet lint verify bench experiments chaos serve smoke
 
 build:
 	$(GO) build ./...
@@ -36,3 +36,11 @@ chaos:
 	$(GO) test -race ./internal/faults/ ./internal/site/ -run 'Chaos|Fault|Retry|Degraded|Stall|Singleflight|Backoff|NotFound'
 	$(GO) test -race ./internal/engine/ -run 'TestChaos'
 	$(GO) run ./cmd/bench -only P3
+
+# serve starts the long-running query server over the shared page store.
+serve:
+	$(GO) run ./cmd/ulixesd
+
+# smoke runs the query server's concurrent self-test (ephemeral port).
+smoke:
+	$(GO) run ./cmd/ulixesd -smoke

@@ -55,6 +55,7 @@ func main() {
 		{"X1", func() (*exp.Table, error) { return exp.X1(univ) }},
 		{"P1", func() (*exp.Table, error) { return exp.P1(bib, *latency) }},
 		{"P3", func() (*exp.Table, error) { return exp.P3(univ, nil, *chaosSeed) }},
+		{"P4", func() (*exp.Table, error) { return exp.P4(univ) }},
 	}
 
 	selected := make(map[string]bool)

@@ -1,0 +1,173 @@
+// Command ulixesd is a long-running query server: many concurrent clients
+// share one site, one optimizer and one cross-query page store, so pages
+// downloaded for one query answer the next one for free (or for the price
+// of a §8 light connection once their TTL expires).
+//
+// Usage:
+//
+//	ulixesd [-addr 127.0.0.1:8099] [-site university|bibliography]
+//	        [-ttl 30s|forever] [-cache-bytes N] [-page-budget N]
+//	        [-max-queries N] [-workers N] [-drain-timeout 10s]
+//
+//	POST /query      query text in the body (or GET /query?q=…)
+//	GET  /healthz    liveness (503 while draining)
+//	GET  /stats      shared-store and admission counters
+//
+// Admission control is strict: at most -max-queries queries run at once and
+// excess requests are rejected immediately with 429 rather than queued, so
+// an overloaded server stays responsive. On SIGINT/SIGTERM the server stops
+// admitting (503) and drains in-flight queries up to -drain-timeout.
+//
+// With -smoke the server starts on an ephemeral port, runs a deterministic
+// multi-client workload against itself, checks every answer and the exact
+// page-access accounting, and exits non-zero on any mismatch (used by
+// scripts/verify.sh and CI).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ulixes"
+	"ulixes/internal/pagecache"
+	"ulixes/internal/site"
+	"ulixes/internal/sitegen"
+	"ulixes/internal/view"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8099", "listen address")
+	siteName := flag.String("site", "university", "site to serve: university or bibliography")
+	courses := flag.Int("courses", 50, "university: number of courses")
+	profs := flag.Int("profs", 20, "university: number of professors")
+	depts := flag.Int("depts", 3, "university: number of departments")
+	authors := flag.Int("authors", 500, "bibliography: number of authors")
+	workers := flag.Int("workers", 0, "per-query bound on concurrent page downloads (0 = default)")
+	maxQueries := flag.Int("max-queries", 8, "max in-flight queries; excess requests get 429")
+	pageBudget := flag.Int("page-budget", 0, "max distinct pages one query may access (0 = unlimited)")
+	ttl := flag.String("ttl", "forever", "page TTL: a duration, 0 (revalidate every re-access) or forever")
+	cacheBytes := flag.Int64("cache-bytes", 0, "shared store byte bound (0 = unbounded)")
+	pipelined := flag.Bool("pipelined", true, "use the streaming parallel evaluator")
+	retries := flag.Int("retries", 0, "retries per page fetch in the shared store")
+	degraded := flag.Bool("degraded", false, "partial answers when pages are unreachable")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain bound on shutdown")
+	smoke := flag.Bool("smoke", false, "self-test: serve on an ephemeral port, run a concurrent workload, exit")
+	flag.Parse()
+
+	ttlDur, err := parseTTL(*ttl)
+	if err != nil {
+		log.Fatalf("ulixesd: %v", err)
+	}
+
+	ms, ws, views, err := buildSite(*siteName, *courses, *profs, *depts, *authors)
+	if err != nil {
+		log.Fatalf("ulixesd: %v", err)
+	}
+	cache := pagecache.New(ms, ws, pagecache.Config{
+		MaxBytes:   *cacheBytes,
+		DefaultTTL: ttlDur,
+		Clock:      site.LogicalClock(),
+		Retry:      site.RetryPolicy{MaxRetries: *retries},
+		Workers:    *workers,
+	})
+	sys, err := ulixes.Open(ms, ws, views)
+	if err != nil {
+		log.Fatalf("ulixesd: statistics crawl: %v", err)
+	}
+	sys.SetExec(ulixes.ExecOptions{
+		Workers:    *workers,
+		Pipelined:  *pipelined,
+		Degraded:   *degraded,
+		Cache:      cache,
+		PageBudget: *pageBudget,
+	})
+
+	srv := newServer(sys, cache, *maxQueries)
+
+	if *smoke {
+		if err := runSmoke(srv); err != nil {
+			log.Fatalf("ulixesd: smoke: %v", err)
+		}
+		fmt.Println("ulixesd: smoke OK")
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("ulixesd: %v", err)
+	}
+	hs := &http.Server{Handler: srv.handler()}
+	go func() {
+		log.Printf("ulixesd: serving %s on http://%s (max %d queries, ttl %s)",
+			*siteName, ln.Addr(), *maxQueries, *ttl)
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("ulixesd: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("ulixesd: draining (up to %s)", *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	srv.drain()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Fatalf("ulixesd: drain: %v", err)
+	}
+	log.Printf("ulixesd: drained; %d queries served", srv.served.Load())
+}
+
+// parseTTL accepts a Go duration, "0" and the sentinel "forever".
+func parseTTL(s string) (time.Duration, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "forever", "inf":
+		return pagecache.Forever, nil
+	case "0":
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad -ttl %q: a duration, 0 or forever", s)
+	}
+	return d, nil
+}
+
+// buildSite generates one of the paper's sites in memory.
+func buildSite(name string, courses, profs, depts, authors int) (*site.MemSite, *ulixes.Scheme, *ulixes.Views, error) {
+	switch name {
+	case "university":
+		u, err := sitegen.GenerateUniversity(sitegen.UniversityParams{
+			Courses: courses, Profs: profs, Depts: depts,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ms, err := site.NewMemSite(u.Instance, nil)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return ms, u.Scheme, view.UniversityView(u.Scheme), nil
+	case "bibliography":
+		b, err := sitegen.GenerateBibliography(sitegen.BibliographyParams{Authors: authors})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ms, err := site.NewMemSite(b.Instance, nil)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return ms, b.Scheme, view.BibliographyView(b.Scheme), nil
+	default:
+		return nil, nil, nil, fmt.Errorf("unknown site %q (university or bibliography)", name)
+	}
+}

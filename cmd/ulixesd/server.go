@@ -1,0 +1,212 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"ulixes"
+	"ulixes/internal/pagecache"
+)
+
+// server is the HTTP face of one shared query system: a semaphore admits at
+// most maxQueries concurrent queries (excess is rejected with 429, never
+// queued), and a draining flag refuses new work during graceful shutdown.
+type server struct {
+	sys   *ulixes.System
+	cache *pagecache.Cache
+
+	sem      chan struct{}
+	draining atomic.Bool
+	inflight atomic.Int64
+	served   atomic.Int64
+	rejected atomic.Int64
+}
+
+func newServer(sys *ulixes.System, cache *pagecache.Cache, maxQueries int) *server {
+	if maxQueries < 1 {
+		maxQueries = 1
+	}
+	return &server{sys: sys, cache: cache, sem: make(chan struct{}, maxQueries)}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// drain stops admitting queries; in-flight ones finish normally.
+func (s *server) drain() { s.draining.Store(true) }
+
+// queryStats is the per-query accounting exposed to clients. Pages +
+// CacheHits + Revalidations is the paper's distinct-access cost C(E),
+// invariant across cold and warm stores; Pages alone is what this query
+// actually cost the network.
+type queryStats struct {
+	Accesses         int     `json:"accesses"`
+	Pages            int     `json:"pages"`
+	CacheHits        int     `json:"cacheHits"`
+	Revalidations    int     `json:"revalidations"`
+	LightConnections int     `json:"lightConnections"`
+	Bytes            int64   `json:"bytes"`
+	WallMs           float64 `json:"wallMs"`
+}
+
+type queryFailure struct {
+	URL     string `json:"url"`
+	Error   string `json:"error"`
+	Retries int    `json:"retries"`
+}
+
+type queryResponse struct {
+	Plan          string         `json:"plan"`
+	EstimatedCost float64        `json:"estimatedCost"`
+	Columns       []string       `json:"columns"`
+	Rows          [][]string     `json:"rows"`
+	Stats         queryStats     `json:"stats"`
+	Degraded      bool           `json:"degraded,omitempty"`
+	Failures      []queryFailure `json:"failures,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.rejected.Add(1)
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "too many in-flight queries"})
+		return
+	}
+	defer func() { <-s.sem }()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	text, err := queryText(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	q, err := ulixes.ParseQuery(text)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	ans, err := s.sys.QueryCQ(q)
+	switch {
+	case err == nil:
+	case errors.Is(err, pagecache.ErrBudgetExceeded):
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		return
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	s.served.Add(1)
+
+	st := ans.Exec
+	resp := queryResponse{
+		Plan:          ans.Plan.Expr.String(),
+		EstimatedCost: ans.Plan.Cost,
+		Columns:       ans.Result.Names(),
+		Stats: queryStats{
+			Accesses:         st.Pages + st.CacheHits + st.Revalidations,
+			Pages:            st.Pages,
+			CacheHits:        st.CacheHits,
+			Revalidations:    st.Revalidations,
+			LightConnections: st.LightConnections,
+			Bytes:            st.Bytes,
+			WallMs:           float64(st.Wall) / float64(time.Millisecond),
+		},
+		Degraded: st.Degraded,
+	}
+	for _, t := range ans.Result.Sorted() {
+		row := make([]string, t.Arity())
+		for i := range row {
+			row[i] = t.At(i).String()
+		}
+		resp.Rows = append(resp.Rows, row)
+	}
+	for _, f := range st.Failures {
+		resp.Failures = append(resp.Failures, queryFailure{
+			URL: f.URL, Error: f.Err.Error(), Retries: f.Retries,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// storeStats is the /stats payload: the shared store's global counters plus
+// the server's admission ledger.
+type storeStats struct {
+	Fetches          int   `json:"fetches"`
+	Hits             int   `json:"hits"`
+	Revalidations    int   `json:"revalidations"`
+	LightConnections int   `json:"lightConnections"`
+	Retries          int   `json:"retries"`
+	Evictions        int   `json:"evictions"`
+	BytesFetched     int64 `json:"bytesFetched"`
+	EntryCount       int   `json:"entryCount"`
+	EntryBytes       int64 `json:"entryBytes"`
+	Inflight         int64 `json:"inflight"`
+	Served           int64 `json:"served"`
+	Rejected         int64 `json:"rejected"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cs := s.cache.Stats()
+	writeJSON(w, http.StatusOK, storeStats{
+		Fetches:          cs.Fetches,
+		Hits:             cs.Hits,
+		Revalidations:    cs.Revalidations,
+		LightConnections: cs.LightConnections,
+		Retries:          cs.Retries,
+		Evictions:        cs.Evictions,
+		BytesFetched:     cs.BytesFetched,
+		EntryCount:       s.cache.Len(),
+		EntryBytes:       s.cache.Bytes(),
+		Inflight:         s.inflight.Load(),
+		Served:           s.served.Load(),
+		Rejected:         s.rejected.Load(),
+	})
+}
+
+// queryText extracts the query from ?q= or the request body.
+func queryText(r *http.Request) (string, error) {
+	if q := r.URL.Query().Get("q"); q != "" {
+		return q, nil
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return "", err
+	}
+	if len(body) == 0 {
+		return "", errors.New("no query: pass ?q=… or a request body")
+	}
+	return string(body), nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,249 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ulixes"
+	"ulixes/internal/pagecache"
+	"ulixes/internal/site"
+	"ulixes/internal/sitegen"
+	"ulixes/internal/view"
+)
+
+// gateServer wraps a site and, when armed, blocks every GET until released
+// — it lets a test hold a query in flight deterministically.
+type gateServer struct {
+	*site.MemSite
+	mu      sync.Mutex
+	gate    chan struct{}
+	blocked chan struct{} // signaled once per blocked GET
+}
+
+func (g *gateServer) arm() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.gate = make(chan struct{})
+	g.blocked = make(chan struct{}, 64)
+}
+
+func (g *gateServer) release() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.gate != nil {
+		close(g.gate)
+		g.gate = nil
+	}
+}
+
+func (g *gateServer) Get(url string) (site.Page, error) {
+	g.mu.Lock()
+	gate, blocked := g.gate, g.blocked
+	g.mu.Unlock()
+	if gate != nil {
+		blocked <- struct{}{}
+		<-gate
+	}
+	return g.MemSite.Get(url) //lint:allow fetchgate test double forwarding to the wrapped site
+}
+
+// newTestServer builds a small university system over the given site
+// wrapper with a shared store.
+func newTestServer(t *testing.T, maxQueries, pageBudget int, wrap func(*site.MemSite) site.Server) *server {
+	t.Helper()
+	u, err := sitegen.GenerateUniversity(sitegen.UniversityParams{Courses: 12, Profs: 6, Depts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := site.NewMemSite(u.Instance, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sv site.Server = ms
+	if wrap != nil {
+		sv = wrap(ms)
+	}
+	cache := pagecache.New(sv, u.Scheme, pagecache.Config{
+		DefaultTTL: pagecache.Forever,
+		Clock:      site.LogicalClock(),
+	})
+	sys, err := ulixes.Open(ms, u.Scheme, view.UniversityView(u.Scheme))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetExec(ulixes.ExecOptions{Cache: cache, PageBudget: pageBudget})
+	return newServer(sys, cache, maxQueries)
+}
+
+func doQuery(t *testing.T, ts *httptest.Server, q string) (*http.Response, queryResponse) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/query", "text/plain", strings.NewReader(q)) //lint:allow fetchgate client of our own query API, not a page fetch
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out queryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+// TestSharedStoreAcrossQueries: the second query over the same relation
+// costs zero downloads — every access is a cache hit, and the invariant
+// access count matches the cold run.
+func TestSharedStoreAcrossQueries(t *testing.T) {
+	srv := newTestServer(t, 4, 0, nil)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	const q = "SELECT p.PName FROM Professor p WHERE p.Rank = 'Full'"
+	resp, cold := doQuery(t, ts, q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold query status %d", resp.StatusCode)
+	}
+	if cold.Stats.Pages == 0 || cold.Stats.CacheHits != 0 {
+		t.Fatalf("cold stats %+v, want all downloads", cold.Stats)
+	}
+	resp, warm := doQuery(t, ts, q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm query status %d", resp.StatusCode)
+	}
+	if warm.Stats.Pages != 0 {
+		t.Errorf("warm query downloaded %d pages, want 0", warm.Stats.Pages)
+	}
+	if warm.Stats.CacheHits != cold.Stats.Accesses {
+		t.Errorf("warm hits %d, want %d (invariant accesses)", warm.Stats.CacheHits, cold.Stats.Accesses)
+	}
+	if len(warm.Rows) != len(cold.Rows) {
+		t.Errorf("warm rows %d != cold rows %d", len(warm.Rows), len(cold.Rows))
+	}
+}
+
+// TestAdmissionControl: with a single query slot, a second concurrent query
+// is rejected immediately with 429 instead of queueing.
+func TestAdmissionControl(t *testing.T) {
+	var gs *gateServer
+	srv := newTestServer(t, 1, 0, func(ms *site.MemSite) site.Server {
+		gs = &gateServer{MemSite: ms}
+		return gs
+	})
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	gs.arm()
+	done := make(chan int, 1)
+	go func() {
+		resp, _ := doQuery(t, ts, "SELECT d.DName FROM Dept d")
+		done <- resp.StatusCode
+	}()
+	// Wait until the in-flight query is provably blocked on a page fetch.
+	select {
+	case <-gs.blocked:
+	case <-time.After(10 * time.Second):
+		t.Fatal("query never reached the site")
+	}
+
+	resp, _ := doQuery(t, ts, "SELECT d.DName FROM Dept d")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second query status %d, want 429", resp.StatusCode)
+	}
+
+	gs.release()
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("gated query finished with %d, want 200", code)
+	}
+	// The slot is free again.
+	resp, _ = doQuery(t, ts, "SELECT d.DName FROM Dept d")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release query status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestPageBudgetRejectsQuery: a query whose plan needs more distinct pages
+// than the per-query budget fails with 422 and a structured error.
+func TestPageBudgetRejectsQuery(t *testing.T) {
+	srv := newTestServer(t, 4, 2, nil)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	resp, _ := doQuery(t, ts, "SELECT p.PName, p.Email FROM Professor p")
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("over-budget query status %d, want 422", resp.StatusCode)
+	}
+}
+
+// TestParseErrorIs400 and friends: client errors are 4xx, not 5xx.
+func TestParseErrorIs400(t *testing.T) {
+	srv := newTestServer(t, 4, 0, nil)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	resp, _ := doQuery(t, ts, "SELEKT nonsense")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage query status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = doQuery(t, ts, "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty query status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestDrainRefusesNewQueries: draining flips /query and /healthz to 503
+// while in-flight queries run to completion.
+func TestDrainRefusesNewQueries(t *testing.T) {
+	var gs *gateServer
+	srv := newTestServer(t, 4, 0, func(ms *site.MemSite) site.Server {
+		gs = &gateServer{MemSite: ms}
+		return gs
+	})
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	gs.arm()
+	done := make(chan int, 1)
+	go func() {
+		resp, _ := doQuery(t, ts, "SELECT d.DName FROM Dept d")
+		done <- resp.StatusCode
+	}()
+	select {
+	case <-gs.blocked:
+	case <-time.After(10 * time.Second):
+		t.Fatal("query never reached the site")
+	}
+
+	srv.drain()
+	resp, _ := doQuery(t, ts, "SELECT d.DName FROM Dept d")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query while draining: status %d, want 503", resp.StatusCode)
+	}
+	hresp, err := ts.Client().Get(ts.URL + "/healthz") //lint:allow fetchgate client of our own query API, not a page fetch
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: status %d, want 503", hresp.StatusCode)
+	}
+
+	// The in-flight query still completes.
+	gs.release()
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("in-flight query finished with %d during drain, want 200", code)
+	}
+}
+
+// TestSmokeWorkload runs the self-test end to end (ephemeral port).
+func TestSmokeWorkload(t *testing.T) {
+	srv := newTestServer(t, 8, 0, nil)
+	if err := runSmoke(srv); err != nil {
+		t.Fatal(err)
+	}
+}

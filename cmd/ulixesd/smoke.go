@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"sync"
+)
+
+// smokeQuery touches several page-schemes through an index page, so the
+// workload exercises follow-chains, not just an entry page.
+const smokeQuery = "SELECT p.PName FROM Professor p WHERE p.Rank = 'Full'"
+
+// runSmoke serves on an ephemeral port and runs a deterministic concurrent
+// workload against the HTTP API: one cold query to learn the plan's
+// distinct-access count D, then three concurrent warm queries. Every
+// response must be 200 with exactly D accesses; the warm ones must cost the
+// network zero page downloads (the shared store resolves every access as a
+// hit or a revalidation); and the store's global fetch count must equal D.
+func runSmoke(srv *server) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.handler()}
+	go hs.Serve(ln) //nolint:errcheck — torn down with the process
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	var health struct{ Status string }
+	if err := getJSON(base+"/healthz", http.StatusOK, &health); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	// Cold query: every access is a physical GET, so Pages == D.
+	cold, err := runQuery(base, smokeQuery)
+	if err != nil {
+		return fmt.Errorf("cold query: %w", err)
+	}
+	d := cold.Stats.Accesses
+	if d == 0 {
+		return fmt.Errorf("cold query touched no pages; bad workload")
+	}
+	if cold.Stats.Pages != d || cold.Stats.CacheHits != 0 {
+		return fmt.Errorf("cold query: %d GETs and %d hits over %d accesses, want all GETs",
+			cold.Stats.Pages, cold.Stats.CacheHits, d)
+	}
+	if len(cold.Rows) == 0 {
+		return fmt.Errorf("cold query returned no rows")
+	}
+
+	// Three concurrent warm queries: same answer, same D, zero GETs.
+	var wg sync.WaitGroup
+	warm := make([]*queryResponse, 3)
+	errs := make([]error, 3)
+	for i := range warm {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			warm[i], errs[i] = runQuery(base, smokeQuery)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("warm query %d: %w", i, err)
+		}
+	}
+	for i, r := range warm {
+		if got := r.Stats.Accesses; got != d {
+			return fmt.Errorf("warm query %d: %d accesses, want %d (invariant cost)", i, got, d)
+		}
+		if r.Stats.Pages != 0 {
+			return fmt.Errorf("warm query %d: %d page downloads, want 0 (shared store)", i, r.Stats.Pages)
+		}
+		if got := r.Stats.CacheHits + r.Stats.Revalidations; got != d {
+			return fmt.Errorf("warm query %d: %d hits+revalidations, want %d", i, got, d)
+		}
+		if len(r.Rows) != len(cold.Rows) {
+			return fmt.Errorf("warm query %d: %d rows, cold run had %d", i, len(r.Rows), len(cold.Rows))
+		}
+	}
+
+	var st storeStats
+	if err := getJSON(base+"/stats", http.StatusOK, &st); err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if st.Fetches != d {
+		return fmt.Errorf("store fetched %d pages for 4 queries, want exactly %d", st.Fetches, d)
+	}
+	if st.Served != 4 {
+		return fmt.Errorf("served %d queries, want 4", st.Served)
+	}
+	fmt.Printf("ulixesd: smoke: 4 queries, %d distinct accesses each, %d total GETs, %d hits, %d revalidations\n",
+		d, st.Fetches, st.Hits, st.Revalidations)
+	return nil
+}
+
+// runQuery posts a query to the server's own API. This client talks to the
+// query endpoint, not to a web site, so it is outside the fetch gate.
+func runQuery(base, q string) (*queryResponse, error) {
+	resp, err := http.Get(base + "/query?q=" + url.QueryEscape(q)) //lint:allow fetchgate client of our own query API, not a page fetch
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	var out queryResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// getJSON fetches a JSON endpoint, enforcing the expected status.
+func getJSON(u string, want int, v any) error {
+	resp, err := http.Get(u) //lint:allow fetchgate client of our own query API, not a page fetch
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != want {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	return json.Unmarshal(body, v)
+}

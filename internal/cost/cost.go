@@ -142,6 +142,42 @@ func (m *Model) Cost(e nalg.Expr) (float64, error) {
 	return est.Cost, nil
 }
 
+// WarmEstimate is the predicted network traffic of evaluating a plan
+// against a warm shared page store (pagecache) whose leases have expired:
+// §8's maintenance cost applied to query serving.
+type WarmEstimate struct {
+	// LightConnections is the expected number of HEADs — one per distinct
+	// page access, C(E).
+	LightConnections float64
+	// Downloads is the expected number of full re-GETs — one per page that
+	// actually changed since it was cached.
+	Downloads float64
+}
+
+// Warm estimates the cost of a plan on a warm shared store under the §8
+// revalidation protocol: every distinct access opens a light connection,
+// and only the changeRate fraction of pages (those modified since caching)
+// are re-downloaded. Within the freshness lease even the light connections
+// disappear; this is the worst-case warm cost. It assumes the Pages unit,
+// where Estimate's Cost is the distinct-access count C(E).
+func (m *Model) Warm(e nalg.Expr, changeRate float64) (WarmEstimate, error) {
+	if changeRate < 0 {
+		changeRate = 0
+	}
+	if changeRate > 1 {
+		changeRate = 1
+	}
+	est, err := m.Estimate(e)
+	if err != nil {
+		return WarmEstimate{}, err
+	}
+	accesses := est.Cost / (1 + m.RetryOverhead)
+	return WarmEstimate{
+		LightConnections: accesses,
+		Downloads:        accesses * changeRate * (1 + m.RetryOverhead),
+	}, nil
+}
+
 // Estimate computes the full property set of an expression.
 func (m *Model) Estimate(e nalg.Expr) (Estimate, error) {
 	m.mu.Lock()

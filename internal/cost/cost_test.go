@@ -390,3 +390,50 @@ func TestRetryOverheadInflatesCost(t *testing.T) {
 	approx(t, "cost", est.Cost, base.Cost*1.25, 1e-9)
 	approx(t, "card", est.Card, base.Card, 1e-9)
 }
+
+// TestWarmEstimate: §8's warm-store formula — every distinct access costs a
+// light connection, and only the changed fraction is re-downloaded. The
+// retry overhead inflates only the downloads (HEADs are retried too, but
+// the model folds that into the light-connection count staying at C(E)).
+func TestWarmEstimate(t *testing.T) {
+	u, m := paperModel(t)
+	e := nalg.From(u.Scheme, sitegen.ProfListPage).Unnest("ProfList").Follow("ToProf").MustBuild()
+	est, err := m.Estimate(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := m.Warm(e, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "Warm(0).LightConnections", w.LightConnections, est.Cost, 1e-9)
+	approx(t, "Warm(0).Downloads", w.Downloads, 0, 1e-9)
+
+	w, err = m.Warm(e, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "Warm(0.25).Downloads", w.Downloads, est.Cost*0.25, 1e-9)
+
+	// Out-of-range change rates clamp instead of extrapolating.
+	w, err = m.Warm(e, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "Warm(2).Downloads", w.Downloads, est.Cost, 1e-9)
+
+	// Under retry overhead the distinct-access count C(E) is recovered
+	// from the inflated estimate, and downloads are re-inflated.
+	m.RetryOverhead = 0.5
+	infl, err := m.Estimate(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err = m.Warm(e, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "Warm.LightConnections under overhead", w.LightConnections, infl.Cost/1.5, 1e-9)
+	approx(t, "Warm.Downloads under overhead", w.Downloads, (infl.Cost/1.5)*0.2*1.5, 1e-9)
+}

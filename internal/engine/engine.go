@@ -12,6 +12,7 @@ import (
 	"ulixes/internal/nalg"
 	"ulixes/internal/nested"
 	"ulixes/internal/optimizer"
+	"ulixes/internal/pagecache"
 	"ulixes/internal/site"
 	"ulixes/internal/stats"
 	"ulixes/internal/view"
@@ -40,11 +41,32 @@ type ExecOptions struct {
 	// real timers). Deterministic tests inject site.InstantSleeper so
 	// chaos runs never touch the wall clock.
 	Sleeper site.Sleeper
+	// Cache, when non-nil, serves the query from the shared cross-query
+	// page store instead of a fresh per-query fetcher: pages cached by
+	// earlier queries are hits or §8 revalidations (see ExecStats), and
+	// pages this query downloads are left behind for later queries. The
+	// Retry/Sleeper fields are ignored on this path — resilience is
+	// configured on the cache itself.
+	Cache *pagecache.Cache
+	// PageBudget caps the distinct pages one query may access through the
+	// shared store (0 = unlimited); exceeding it aborts the query with
+	// pagecache.ErrBudgetExceeded. It requires Cache.
+	PageBudget int
 }
 
 // ExecStats are the measured per-query execution counters.
+//
+// With a private per-query fetcher (the default), Pages alone is the
+// paper's distinct-access cost. With a shared page store (ExecOptions.
+// Cache) the cost splits by how each access was resolved:
+//
+//	Pages + CacheHits + Revalidations = distinct page accesses (C(E))
+//
+// — invariant across cold and warm stores, while Pages alone is what the
+// query actually cost the network.
 type ExecStats struct {
-	// Pages is the number of distinct page downloads (the paper's cost).
+	// Pages is the number of distinct page downloads — physical GETs this
+	// query's accesses resolved to (the paper's cost on a cold store).
 	Pages int
 	// Bytes is the total HTML bytes downloaded.
 	Bytes int64
@@ -58,9 +80,23 @@ type ExecStats struct {
 	// FailedPages lists the URLs a degraded execution could not fetch and
 	// left out of the answer, in sorted order.
 	FailedPages []string
+	// Failures carries the structured per-URL diagnostics behind
+	// FailedPages: each unreachable page with its final error and the
+	// retry attempts spent on it.
+	Failures []site.FetchFailure
 	// Degraded reports that the answer is partial: degraded mode was on
 	// and at least one page was unreachable.
 	Degraded bool
+	// CacheHits is the number of accesses served fresh from the shared
+	// page store (always 0 without ExecOptions.Cache).
+	CacheHits int
+	// Revalidations is the number of accesses whose expired store entry a
+	// light connection confirmed unchanged (§8) — served locally at the
+	// price of one HEAD.
+	Revalidations int
+	// LightConnections is the number of HEADs issued for this query's
+	// accesses.
+	LightConnections int
 }
 
 // Engine answers queries over a web site through a relational view.
@@ -150,6 +186,14 @@ func (e *Engine) ExecuteOpts(expr nalg.Expr, opts ExecOptions) (*nested.Relation
 	if diags := nalg.Check(expr, e.Views.Scheme); len(diags) > 0 {
 		return nil, ExecStats{}, fmt.Errorf("engine: plan is ill-typed (%d diagnostics): %s", len(diags), diags[0])
 	}
+	evalOpts := nalg.EvalOptions{
+		Pipelined:    opts.Pipelined,
+		Workers:      opts.Workers,
+		EstimateCard: e.cardEstimator(),
+	}
+	if opts.Cache != nil {
+		return e.executeShared(expr, opts, evalOpts)
+	}
 	f := site.NewFetcher(e.Server, e.Views.Scheme)
 	if opts.Workers > 0 {
 		f.SetWorkers(opts.Workers)
@@ -158,11 +202,6 @@ func (e *Engine) ExecuteOpts(expr nalg.Expr, opts ExecOptions) (*nested.Relation
 	f.SetDegraded(opts.Degraded)
 	if opts.Sleeper != nil {
 		f.SetSleeper(opts.Sleeper)
-	}
-	evalOpts := nalg.EvalOptions{
-		Pipelined:    opts.Pipelined,
-		Workers:      opts.Workers,
-		EstimateCard: e.cardEstimator(),
 	}
 	start := time.Now()
 	rel, err := nalg.EvalWithOptions(expr, e.Views.Scheme, nalg.FetcherSource{F: f}, evalOpts)
@@ -177,7 +216,38 @@ func (e *Engine) ExecuteOpts(expr nalg.Expr, opts ExecOptions) (*nested.Relation
 		PeakInFlight: f.PeakInFlight(),
 		Retries:      f.Retries(),
 		FailedPages:  failed,
+		Failures:     f.Failures(),
 		Degraded:     opts.Degraded && len(failed) > 0,
+	}, nil
+}
+
+// executeShared evaluates a plan through a per-query session on the shared
+// page store: physical fetches are deduplicated across concurrent queries
+// and persist for later ones, while the session keeps this query's access
+// accounting exact (Pages + CacheHits + Revalidations = distinct accesses).
+func (e *Engine) executeShared(expr nalg.Expr, opts ExecOptions, evalOpts nalg.EvalOptions) (*nested.Relation, ExecStats, error) {
+	sess := opts.Cache.NewSession(pagecache.SessionOptions{
+		PageBudget: opts.PageBudget,
+		Degraded:   opts.Degraded,
+		Workers:    opts.Workers,
+	})
+	start := time.Now()
+	rel, err := nalg.EvalWithOptions(expr, e.Views.Scheme, nalg.FetcherSource{F: sess}, evalOpts)
+	if err != nil {
+		return nil, ExecStats{}, err
+	}
+	st := sess.Stats()
+	failed := sess.FailedURLs()
+	return rel, ExecStats{
+		Pages:            st.Fetches,
+		Bytes:            st.Bytes,
+		Wall:             time.Since(start),
+		FailedPages:      failed,
+		Failures:         sess.Failures(),
+		Degraded:         opts.Degraded && len(failed) > 0,
+		CacheHits:        st.CacheHits,
+		Revalidations:    st.Revalidations,
+		LightConnections: st.LightConnections,
 	}, nil
 }
 

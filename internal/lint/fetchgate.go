@@ -5,9 +5,14 @@ import (
 	"go/types"
 )
 
-// sitePkg is the only package allowed to touch the network and the raw page
-// wrapper: its Fetcher is the counted access path of the cost model.
+// sitePkg is allowed to touch the network and the raw page wrapper: its
+// Fetcher is the counted access path of the cost model.
 const sitePkg = "ulixes/internal/site"
+
+// pagecachePkg is the shared cross-query page store — the other sanctioned
+// access path: its GETs, HEADs and wraps are counted per query (Session)
+// and globally (Stats), so the cost model stays sound.
+const pagecachePkg = "ulixes/internal/pagecache"
 
 // hypertextPkg defines WrapPage, the HTML→tuple wrapper; calling it outside
 // internal/site means a page was obtained without being counted.
@@ -36,15 +41,17 @@ var httpClientMethods = map[string]bool{
 //     without the fetch being counted).
 var FetchGate = &Analyzer{
 	Name: "fetchgate",
-	Doc: "page accesses must flow through the counted fetcher in internal/site;\n" +
-		"direct net/http client calls, Server/MemSite page reads, and raw\n" +
+	Doc: "page accesses must flow through a counted access path — the fetcher\n" +
+		"in internal/site or the shared store in internal/pagecache; direct\n" +
+		"net/http client calls, Server/MemSite page reads, and raw\n" +
 		"hypertext.WrapPage calls elsewhere make ExecStats page counts unsound",
 	IncludeTests: true,
 	Run:          runFetchGate,
 }
 
 func runFetchGate(pass *Pass) {
-	if pass.Pkg.PkgPath == sitePkg || pass.Pkg.PkgPath == sitePkg+"_test" {
+	if pass.Pkg.PkgPath == sitePkg || pass.Pkg.PkgPath == sitePkg+"_test" ||
+		pass.Pkg.PkgPath == pagecachePkg || pass.Pkg.PkgPath == pagecachePkg+"_test" {
 		return
 	}
 	for _, file := range pass.Files {

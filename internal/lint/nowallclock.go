@@ -12,6 +12,7 @@ var measuredPkgs = []string{
 	"ulixes/internal/cost",
 	"ulixes/internal/faults",
 	"ulixes/internal/nalg",
+	"ulixes/internal/pagecache",
 	"ulixes/internal/rewrite",
 }
 

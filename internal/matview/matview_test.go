@@ -7,6 +7,7 @@ import (
 
 	"ulixes/internal/adm"
 	"ulixes/internal/nested"
+	"ulixes/internal/pagecache"
 	"ulixes/internal/site"
 	"ulixes/internal/sitegen"
 	"ulixes/internal/stats"
@@ -523,5 +524,58 @@ func TestRefreshToleratesUnreachablePages(t *testing.T) {
 	}
 	if _, ok := store.Page(victim); !ok {
 		t.Error("healed page should still be materialized")
+	}
+}
+
+// TestLiveSourceSharesPages routes the live fetches of a partial store's
+// non-materialized schemes through a shared cross-query page store: the
+// second query's pages come from the store instead of the network, and the
+// accounting moves to the source (the store's Downloads counter keeps
+// covering only maintenance traffic).
+func TestLiveSourceSharesPages(t *testing.T) {
+	u, ms, _, _ := fixtureParts(t)
+	store, err := MaterializeSchemes(ms, u.Scheme, []string{
+		sitegen.ProfListPage, sitegen.ProfPage,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(view.UniversityView(u.Scheme), store, stats.CollectInstance(u.Instance))
+	cache := pagecache.New(ms, u.Scheme, pagecache.Config{
+		DefaultTTL: pagecache.Forever,
+		Clock:      site.LogicalClock(),
+	})
+
+	const query = "SELECT c.CName FROM Course c WHERE c.Session = 'Fall'"
+	s1 := cache.NewSession(pagecache.SessionOptions{})
+	store.SetLiveSource(s1)
+	a1, err := eng.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := s1.Stats()
+	if st1.Fetches == 0 {
+		t.Fatal("out-of-portion query fetched nothing through the live source")
+	}
+	if a1.Downloads != 0 {
+		t.Errorf("store counted %d Downloads for source-served fetches, want 0", a1.Downloads)
+	}
+
+	gets := ms.Counters().Gets()
+	s2 := cache.NewSession(pagecache.SessionOptions{})
+	store.SetLiveSource(s2)
+	a2, err := eng.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a2.Result.Equal(a1.Result) {
+		t.Error("shared-store answer differs between queries")
+	}
+	st2 := s2.Stats()
+	if st2.Fetches != 0 || st2.CacheHits != st1.Fetches {
+		t.Errorf("second query: %d fetches, %d hits; want 0 and %d", st2.Fetches, st2.CacheHits, st1.Fetches)
+	}
+	if got := ms.Counters().Gets(); got != gets {
+		t.Errorf("second query cost %d GETs, want 0 (shared store)", got-gets)
 	}
 }

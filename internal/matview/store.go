@@ -10,6 +10,7 @@
 package matview
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -97,6 +98,22 @@ type Store struct {
 	// materialized (§8: "materialize views over portions of the Web");
 	// pages of other schemes are fetched live on every use.
 	scoped map[string]bool
+	// liveSrc, when set, serves the live fetches of non-materialized
+	// schemes (e.g. from a shared cross-query page store) instead of
+	// direct server GETs; those accesses are then accounted by the source,
+	// not by the store's Downloads counter.
+	liveSrc site.PageSource
+}
+
+// SetLiveSource routes the live fetches of non-materialized schemes through
+// a shared page source (a pagecache.Session or a Fetcher) instead of direct
+// server GETs. Accesses through the source are counted by the source — the
+// store's Downloads counter keeps covering only materialized-portion
+// maintenance traffic.
+func (s *Store) SetLiveSource(ps site.PageSource) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.liveSrc = ps
 }
 
 // SetWorkers bounds the concurrent network checks of batched FollowPages
@@ -322,8 +339,22 @@ func (s *Store) download(url, scheme string) (nested.Tuple, error) {
 }
 
 // liveFetch downloads and wraps a page without storing it, for schemes
-// outside the materialized portion.
+// outside the materialized portion. With a live source installed the page
+// comes from the shared store (and is accounted there).
 func (s *Store) liveFetch(url, scheme string) (nested.Tuple, bool, error) {
+	s.mu.Lock()
+	src := s.liveSrc
+	s.mu.Unlock()
+	if src != nil {
+		t, err := src.FetchCtx(context.Background(), scheme, url)
+		if err != nil {
+			if isNotFound(err) {
+				return nested.Tuple{}, false, nil
+			}
+			return nested.Tuple{}, false, err
+		}
+		return t, true, nil
+	}
 	p, err := s.server.Get(url) //lint:allow fetchgate matview counts its own Downloads (§8)
 	if err != nil {
 		if isNotFound(err) {

@@ -1,6 +1,7 @@
 package nalg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -26,20 +27,21 @@ type Source interface {
 	FollowPages(scheme string, urls []string) ([]nested.Tuple, error)
 }
 
-// FetcherSource adapts a site.Fetcher to the Source interface, downloading
-// and wrapping pages over the (simulated) network.
+// FetcherSource adapts a site.PageSource — a per-query site.Fetcher
+// downloading over the (simulated) network, or a pagecache.Session drawing
+// from the shared cross-query store — to the Source interface.
 type FetcherSource struct {
-	F *site.Fetcher
+	F site.PageSource
 }
 
 // EntryPage implements Source.
 func (s FetcherSource) EntryPage(scheme, url string) (nested.Tuple, error) {
-	return s.F.Fetch(scheme, url)
+	return s.F.FetchCtx(context.Background(), scheme, url)
 }
 
 // FollowPages implements Source.
 func (s FetcherSource) FollowPages(scheme string, urls []string) ([]nested.Tuple, error) {
-	return s.F.FetchAll(scheme, urls)
+	return s.F.FetchAllCtx(context.Background(), scheme, urls)
 }
 
 // qualifyPage renames a page tuple's attributes to alias-qualified column

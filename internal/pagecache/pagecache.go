@@ -1,0 +1,458 @@
+// Package pagecache is the shared, cross-query page store: a concurrent
+// byte-bounded LRU of wrapped pages that many simultaneous queries draw
+// from, so a workload of repeated queries pays for each page once instead
+// of re-downloading hub pages per query.
+//
+// Freshness follows §8 of the paper. Every entry carries the Last-Modified
+// date the site reported and a per-scheme TTL lease. Within the lease the
+// page is served straight from the store (a cache hit — zero network
+// accesses). When the lease expires the store does NOT blindly re-download:
+// it opens a "light connection" (HTTP HEAD, exchanging just an error flag
+// and the modification date) and re-GETs the page only if it actually
+// changed on the site — the materialized-view maintenance protocol applied
+// to a query-serving cache. Both kinds of traffic are counted, per query
+// (Session) and globally (Stats), so measured costs stay exact even though
+// physical fetches are shared.
+//
+// Concurrent queries that miss on the same URL are coalesced (singleflight
+// shared across queries): the site sees exactly one GET per distinct URL no
+// matter how many queries race. A failed or degraded fetch never poisons
+// the store — errors are returned to the asking queries and nothing is
+// cached, so a chaos-injected truncated page disappears with the query that
+// saw it.
+//
+// The package reads no ambient wall clock (the nowallclock lint enforces
+// it): time comes from an injectable Clock, so TTL behaviour is exactly
+// reproducible in tests and experiments.
+package pagecache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/hypertext"
+	"ulixes/internal/nested"
+	"ulixes/internal/site"
+)
+
+// Forever is the TTL sentinel for entries that never expire: once cached, a
+// page is served from the store without ever revalidating.
+const Forever = time.Duration(math.MaxInt64)
+
+// ErrBudgetExceeded reports that a query hit its per-query page budget: the
+// next page access would exceed the maximum number of distinct pages the
+// query is allowed to touch. The serving layer maps it to a client error.
+var ErrBudgetExceeded = errors.New("pagecache: query page budget exceeded")
+
+// Config tunes a Cache.
+type Config struct {
+	// MaxBytes bounds the total HTML bytes retained (0 = unbounded). When
+	// an insertion pushes the store over the bound, least-recently-used
+	// entries are evicted; a single page larger than the bound is not
+	// retained at all.
+	MaxBytes int64
+	// DefaultTTL is the freshness lease of a cached page: within it the
+	// page is served with no network access. 0 means entries expire
+	// immediately — every re-access revalidates with a light connection,
+	// the strict §8 behaviour. Forever disables expiry.
+	DefaultTTL time.Duration
+	// SchemeTTL overrides the TTL per page-scheme: a volatile leaf scheme
+	// can expire fast while stable hub pages are kept long.
+	SchemeTTL map[string]time.Duration
+	// Clock supplies the store's notion of time (nil means a deterministic
+	// logical clock advancing one second per reading; servers inject
+	// time.Now, tests a manual clock).
+	Clock site.Clock
+	// Retry configures bounded retries with backoff for physical fetches
+	// (the zero policy is single-attempt).
+	Retry site.RetryPolicy
+	// Sleeper overrides how retry backoffs wait (nil means real timers).
+	Sleeper site.Sleeper
+	// Workers bounds the concurrent physical fetches a single FetchAll
+	// batch issues (0 means site.DefaultFetchWorkers).
+	Workers int
+}
+
+// Stats are the cache-wide counters, accumulated across every query that
+// ever used the store.
+type Stats struct {
+	// Fetches is the number of physical page downloads (GETs that reached
+	// the site).
+	Fetches int
+	// Hits is the number of accesses served from the store within their
+	// freshness lease — zero network cost.
+	Hits int
+	// Revalidations is the number of expired entries a light connection
+	// confirmed unchanged (served from the store after one HEAD).
+	Revalidations int
+	// LightConnections is the number of HEADs issued (revalidations plus
+	// the HEADs that discovered a change and triggered a re-GET).
+	LightConnections int
+	// Retries is the number of retry attempts physical fetches spent.
+	Retries int
+	// Evictions is the number of entries dropped by the byte bound.
+	Evictions int
+	// BytesFetched is the total HTML bytes physically downloaded.
+	BytesFetched int64
+}
+
+// entry is one cached page.
+type entry struct {
+	url     string
+	scheme  string
+	tuple   nested.Tuple
+	size    int
+	lastMod time.Time // site-reported Last-Modified at fetch time
+	expires time.Time // end of the freshness lease; zero = never expires
+	elem    *list.Element
+}
+
+// flight is one in-progress store fill (miss fetch or revalidation) that
+// concurrent queries asking for the same URL wait on.
+type flight struct {
+	done chan struct{}
+	res  access
+	err  error
+}
+
+// access is the resolved outcome of one page access: the tuple plus which
+// network traffic resolving it cost. Sessions turn accesses into per-query
+// counters.
+type access struct {
+	tuple nested.Tuple
+	// fetched reports a physical GET resolved this access.
+	fetched bool
+	// revalidated reports a light connection confirmed the cached copy.
+	revalidated bool
+	// heads is the number of HEADs issued (0 or 1).
+	heads int
+	// size is the HTML byte size of the page (only when fetched).
+	size int
+}
+
+// Cache is the shared page store. It is safe for concurrent use by many
+// queries at once.
+type Cache struct {
+	server site.Server
+	scheme *adm.Scheme
+	clock  site.Clock
+	cfg    Config
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // front = most recently used
+	bytes   int64
+	flights map[string]*flight
+	perURL  map[string]int // retry attempts per URL (diagnostics)
+	sleeper site.Sleeper
+	stats   Stats
+}
+
+// New creates a shared page store over a server and web scheme.
+func New(server site.Server, scheme *adm.Scheme, cfg Config) *Cache {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = site.LogicalClock()
+	}
+	slp := cfg.Sleeper
+	if slp == nil {
+		slp = site.StdSleeper()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = site.DefaultFetchWorkers
+	}
+	return &Cache{
+		server:  server,
+		scheme:  scheme,
+		clock:   clk,
+		cfg:     cfg,
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+		flights: make(map[string]*flight),
+		perURL:  make(map[string]int),
+		sleeper: slp,
+	}
+}
+
+// Stats returns a snapshot of the cache-wide counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of cached pages.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Bytes returns the total HTML bytes currently retained.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// RetriesFor returns the retry attempts spent on one URL across all
+// queries.
+func (c *Cache) RetriesFor(url string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.perURL[url]
+}
+
+// Invalidate drops the entry for a URL (a client learned out-of-band that
+// the page changed). It reports whether an entry was dropped.
+func (c *Cache) Invalidate(url string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[url]
+	if !ok {
+		return false
+	}
+	c.removeLocked(e)
+	return true
+}
+
+// ttlFor returns the freshness lease of a page-scheme.
+func (c *Cache) ttlFor(scheme string) time.Duration {
+	if d, ok := c.cfg.SchemeTTL[scheme]; ok {
+		return d
+	}
+	return c.cfg.DefaultTTL
+}
+
+// leaseLocked stamps the expiry of an entry from its scheme's TTL.
+func (c *Cache) leaseLocked(e *entry, now time.Time) {
+	ttl := c.ttlFor(e.scheme)
+	if ttl == Forever {
+		e.expires = time.Time{}
+		return
+	}
+	e.expires = now.Add(ttl)
+}
+
+// fresh reports whether an entry is inside its freshness lease at time now.
+func fresh(e *entry, now time.Time) bool {
+	return e.expires.IsZero() || now.Before(e.expires)
+}
+
+// Access resolves one page access against the store: a fresh entry is a
+// hit, an expired entry is revalidated with a light connection (re-GET only
+// if the page changed), a miss is fetched. Concurrent accesses of the same
+// URL share one store fill and adopt its outcome.
+func (c *Cache) Access(ctx context.Context, schemeName, url string) (nested.Tuple, error) {
+	res, err := c.access(ctx, schemeName, url)
+	return res.tuple, err
+}
+
+func (c *Cache) access(ctx context.Context, schemeName, url string) (access, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[url]; ok && fresh(e, c.clock()) {
+		c.lru.MoveToFront(e.elem)
+		c.stats.Hits++
+		res := access{tuple: e.tuple}
+		c.mu.Unlock()
+		return res, nil
+	}
+	if fl, ok := c.flights[url]; ok {
+		// Another query is filling this URL: wait and adopt its outcome —
+		// the access was not free for this query either, so the shared
+		// fetch is attributed to every query that needed it while the
+		// site still sees a single GET.
+		c.mu.Unlock()
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return access{}, ctx.Err()
+		}
+		return fl.res, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[url] = fl
+	stale := c.entries[url] // non-nil: expired entry to revalidate
+	c.mu.Unlock()
+
+	res, err := c.fill(ctx, schemeName, url, stale)
+
+	c.mu.Lock()
+	delete(c.flights, url)
+	c.mu.Unlock()
+	fl.res, fl.err = res, err
+	close(fl.done)
+	return res, err
+}
+
+// fill performs the network side of an access: revalidate an expired entry
+// (§8 light connection, re-GET only on change) or fetch a missing page.
+// On any error nothing is cached — a degraded fetch never poisons the
+// store — and an expired-but-unverifiable entry is kept, to be retried by
+// the next access.
+func (c *Cache) fill(ctx context.Context, schemeName, url string, stale *entry) (access, error) {
+	if stale != nil {
+		meta, err := c.headRetry(ctx, url)
+		c.mu.Lock()
+		c.stats.LightConnections++
+		c.mu.Unlock()
+		if err != nil {
+			if errors.Is(err, site.ErrNotFound) {
+				// The page is gone: drop the entry and report it like a
+				// dangling link.
+				c.mu.Lock()
+				if cur, ok := c.entries[url]; ok && cur == stale {
+					c.removeLocked(cur)
+				}
+				c.mu.Unlock()
+				return access{heads: 1}, err
+			}
+			// Transient failure: keep the stale entry for a later retry,
+			// fail this access.
+			return access{heads: 1}, err
+		}
+		if !meta.LastModified.After(stale.lastMod) {
+			// Unchanged on the site: extend the lease, serve the copy.
+			c.mu.Lock()
+			now := c.clock()
+			c.leaseLocked(stale, now)
+			c.lru.MoveToFront(stale.elem)
+			c.stats.Revalidations++
+			res := access{tuple: stale.tuple, revalidated: true, heads: 1}
+			c.mu.Unlock()
+			return res, nil
+		}
+		// Changed: fall through to a full download.
+		res, err := c.fetch(ctx, schemeName, url)
+		res.heads = 1
+		return res, err
+	}
+	return c.fetch(ctx, schemeName, url)
+}
+
+// fetch downloads, wraps and stores the page at url.
+func (c *Cache) fetch(ctx context.Context, schemeName, url string) (access, error) {
+	ps := c.scheme.Page(schemeName)
+	if ps == nil {
+		return access{}, fmt.Errorf("pagecache: unknown page-scheme %q", schemeName)
+	}
+	page, err := c.getRetry(ctx, url)
+	if err != nil {
+		// A changed-but-now-unfetchable page must not keep serving its old
+		// version as if verified: drop any entry for the URL.
+		c.drop(url)
+		return access{}, err
+	}
+	t, err := hypertext.WrapPage(ps, url, page.HTML)
+	if err != nil {
+		// A malformed page (e.g. a chaos-truncated body) is an error for
+		// the asking queries, never a cache entry.
+		return access{}, err
+	}
+	c.mu.Lock()
+	now := c.clock()
+	if old, ok := c.entries[url]; ok {
+		c.removeLocked(old) // replacement, not a capacity eviction
+	}
+	e := &entry{url: url, scheme: schemeName, tuple: t, size: len(page.HTML), lastMod: page.LastModified}
+	c.leaseLocked(e, now)
+	e.elem = c.lru.PushFront(e)
+	c.entries[url] = e
+	c.bytes += int64(e.size)
+	c.stats.Fetches++
+	c.stats.BytesFetched += int64(e.size)
+	c.evictLocked()
+	c.mu.Unlock()
+	return access{tuple: t, fetched: true, size: e.size}, nil
+}
+
+// drop removes any entry for url.
+func (c *Cache) drop(url string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[url]; ok {
+		c.removeLocked(e)
+	}
+}
+
+// removeLocked unlinks an entry; the caller holds c.mu.
+func (c *Cache) removeLocked(e *entry) {
+	c.lru.Remove(e.elem)
+	delete(c.entries, e.url)
+	c.bytes -= int64(e.size)
+}
+
+// evictLocked enforces the byte bound, evicting least-recently-used
+// entries; the caller holds c.mu.
+func (c *Cache) evictLocked() {
+	if c.cfg.MaxBytes <= 0 {
+		return
+	}
+	for c.bytes > c.cfg.MaxBytes && c.lru.Len() > 0 {
+		back := c.lru.Back()
+		c.removeLocked(back.Value.(*entry))
+		c.stats.Evictions++
+	}
+}
+
+// retryable classifies a fetch error: a missing page is permanent,
+// everything else may succeed on a later attempt.
+func retryable(err error) bool {
+	return err != nil && !errors.Is(err, site.ErrNotFound)
+}
+
+// getRetry issues one physical GET under the retry policy.
+func (c *Cache) getRetry(ctx context.Context, url string) (site.Page, error) {
+	var last error
+	for attempt := 0; ; attempt++ {
+		var p site.Page
+		var err error
+		if cs, ok := c.server.(site.ContextServer); ok {
+			p, err = cs.GetContext(ctx, url)
+		} else {
+			p, err = c.server.Get(url)
+		}
+		if err == nil {
+			return p, nil
+		}
+		last = err
+		if !retryable(err) || attempt >= c.cfg.Retry.MaxRetries {
+			return site.Page{}, last
+		}
+		c.mu.Lock()
+		c.stats.Retries++
+		c.perURL[url]++
+		c.mu.Unlock()
+		if err := c.sleeper.Sleep(ctx, c.cfg.Retry.Backoff(url, attempt)); err != nil {
+			return site.Page{}, last
+		}
+	}
+}
+
+// headRetry opens one light connection under the retry policy.
+func (c *Cache) headRetry(ctx context.Context, url string) (site.Meta, error) {
+	var last error
+	for attempt := 0; ; attempt++ {
+		m, err := c.server.Head(url)
+		if err == nil {
+			return m, nil
+		}
+		last = err
+		if !retryable(err) || attempt >= c.cfg.Retry.MaxRetries {
+			return site.Meta{}, last
+		}
+		c.mu.Lock()
+		c.stats.Retries++
+		c.perURL[url]++
+		c.mu.Unlock()
+		if err := c.sleeper.Sleep(ctx, c.cfg.Retry.Backoff(url, attempt)); err != nil {
+			return site.Meta{}, last
+		}
+	}
+}

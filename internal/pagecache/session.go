@@ -1,0 +1,241 @@
+package pagecache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ulixes/internal/nested"
+	"ulixes/internal/site"
+)
+
+// SessionOptions tunes one query's view of the shared store.
+type SessionOptions struct {
+	// PageBudget caps the number of distinct pages the query may access
+	// (0 = unlimited). The budget counts logical accesses — a cache hit
+	// spends budget like a download does, because the budget bounds query
+	// breadth, not network luck.
+	PageBudget int
+	// Degraded turns fetch failures in batches into partial results plus a
+	// *site.PartialError, like the fetcher's degraded mode. A budget
+	// overrun is never degraded away: it aborts the query.
+	Degraded bool
+	// Workers bounds the concurrent accesses one FetchAll batch issues
+	// (0 = the cache's configured bound).
+	Workers int
+}
+
+// SessionStats are the per-query access counters. Every distinct page the
+// query touched resolves to exactly one of hit / revalidation / fetch, so
+//
+//	Accesses = CacheHits + Revalidations + Fetches
+//
+// and Accesses is the paper's distinct-page cost C(E) — invariant whether
+// the store was cold or warm — while Fetches is what the query actually
+// cost the network.
+type SessionStats struct {
+	// Accesses is the number of distinct pages the query touched.
+	Accesses int
+	// Fetches is the number of accesses resolved by a physical GET.
+	Fetches int
+	// CacheHits is the number of accesses served fresh from the store.
+	CacheHits int
+	// Revalidations is the number of accesses a light connection confirmed
+	// unchanged.
+	Revalidations int
+	// LightConnections is the number of HEADs issued for this query's
+	// accesses (revalidations plus changed-page checks).
+	LightConnections int
+	// Bytes is the HTML bytes of this query's physical fetches.
+	Bytes int64
+}
+
+// Session is one query's handle on the shared store. It implements
+// site.PageSource: the engine evaluates a plan through it exactly as it
+// would through a private fetcher, but pages come from (and land in) the
+// cross-query cache.
+//
+// Within a session every URL is resolved at most once and the tuple is
+// pinned locally, so one query sees a consistent snapshot of each page even
+// if the shared entry is evicted or refreshed mid-query — the same
+// guarantee the per-query fetcher's private cache gave.
+type Session struct {
+	c    *Cache
+	opts SessionOptions
+
+	mu     sync.Mutex
+	local  map[string]nested.Tuple // URL → pinned tuple (per-query snapshot)
+	seen   map[string]bool         // URLs already charged against the budget
+	failed map[string]error        // URLs degraded batches left out
+	stats  SessionStats
+}
+
+// NewSession opens a per-query view of the store.
+func (c *Cache) NewSession(opts SessionOptions) *Session {
+	if opts.Workers <= 0 {
+		opts.Workers = c.cfg.Workers
+	}
+	return &Session{
+		c:      c,
+		opts:   opts,
+		local:  make(map[string]nested.Tuple),
+		seen:   make(map[string]bool),
+		failed: make(map[string]error),
+	}
+}
+
+// Stats returns a snapshot of the session's counters.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Failures returns structured per-URL diagnostics for the pages degraded
+// batches left out, sorted by URL, with the retry attempts the store spent
+// on each.
+func (s *Session) Failures() []site.FetchFailure {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]site.FetchFailure, 0, len(s.failed))
+	for u, err := range s.failed {
+		out = append(out, site.FetchFailure{URL: u, Err: err, Retries: s.c.RetriesFor(u)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// FailedURLs returns the sorted URLs degraded batches left out.
+func (s *Session) FailedURLs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.failed))
+	for u := range s.failed {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FetchCtx implements site.PageSource: one page access through the shared
+// store, budget-checked and pinned for the rest of the query.
+func (s *Session) FetchCtx(ctx context.Context, schemeName, url string) (nested.Tuple, error) {
+	s.mu.Lock()
+	if t, ok := s.local[url]; ok {
+		s.mu.Unlock()
+		return t, nil
+	}
+	if !s.seen[url] {
+		if s.opts.PageBudget > 0 && len(s.seen) >= s.opts.PageBudget {
+			s.mu.Unlock()
+			return nested.Tuple{}, fmt.Errorf("%w: budget %d, next page %s", ErrBudgetExceeded, s.opts.PageBudget, url)
+		}
+		s.seen[url] = true
+		s.stats.Accesses++
+	}
+	s.mu.Unlock()
+
+	res, err := s.c.access(ctx, schemeName, url)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.LightConnections += res.heads
+	if err != nil {
+		return nested.Tuple{}, err
+	}
+	switch {
+	case res.fetched:
+		s.stats.Fetches++
+		s.stats.Bytes += int64(res.size)
+	case res.revalidated:
+		s.stats.Revalidations++
+	default:
+		s.stats.CacheHits++
+	}
+	s.local[url] = res.tuple
+	return res.tuple, nil
+}
+
+// FetchAllCtx implements site.PageSource: a batch of accesses through a
+// bounded worker pool, preserving input order. In strict mode the first
+// error aborts the batch; in degraded mode unreachable pages are left out
+// and reported in a *site.PartialError — except a budget overrun, which
+// always aborts.
+func (s *Session) FetchAllCtx(ctx context.Context, schemeName string, urls []string) ([]nested.Tuple, error) {
+	out := make([]nested.Tuple, len(urls))
+	oks := make([]bool, len(urls))
+	errs := make([]error, len(urls))
+	if len(urls) == 0 {
+		return nil, nil
+	}
+	workers := s.opts.Workers
+	if workers > len(urls) {
+		workers = len(urls)
+	}
+	jobs := make(chan int)
+	done := make(chan struct{}) // closed on the first aborting error
+	var once sync.Once
+	var firstErr error
+	abort := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			close(done)
+		})
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				t, err := s.FetchCtx(ctx, schemeName, urls[i])
+				if err != nil {
+					if s.opts.Degraded && !errors.Is(err, ErrBudgetExceeded) {
+						errs[i] = err
+						continue
+					}
+					abort(err)
+					return
+				}
+				out[i], oks[i] = t, true
+			}
+		}()
+	}
+producing:
+	for i := range urls {
+		select {
+		case jobs <- i:
+		case <-done:
+			break producing
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	kept := make([]nested.Tuple, 0, len(urls))
+	var failures []site.FetchFailure
+	for i := range urls {
+		if oks[i] {
+			kept = append(kept, out[i])
+			continue
+		}
+		if errs[i] == nil {
+			continue
+		}
+		s.mu.Lock()
+		s.failed[urls[i]] = errs[i]
+		s.mu.Unlock()
+		failures = append(failures, site.FetchFailure{URL: urls[i], Err: errs[i], Retries: s.c.RetriesFor(urls[i])})
+	}
+	if len(failures) == 0 {
+		return kept, nil
+	}
+	return kept, &site.PartialError{Failures: failures}
+}
+
+// Session implements site.PageSource.
+var _ site.PageSource = (*Session)(nil)

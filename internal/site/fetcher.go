@@ -45,6 +45,7 @@ type Fetcher struct {
 	sizes    map[string]int
 	neg      map[string]error // negative cache: permanently-failed URLs
 	failed   map[string]error // URLs a degraded batch had to leave out
+	perURL   map[string]int   // retry attempts per URL (diagnostics)
 	policy   RetryPolicy
 	sleeper  Sleeper
 	degraded bool
@@ -85,6 +86,7 @@ func NewFetcher(server Server, scheme *adm.Scheme) *Fetcher {
 		sizes:   make(map[string]int),
 		neg:     make(map[string]error),
 		failed:  make(map[string]error),
+		perURL:  make(map[string]int),
 		sleeper: stdSleeper{},
 	}
 }
@@ -170,6 +172,28 @@ func (f *Fetcher) FailedURLs() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Failures returns structured per-URL diagnostics for the pages degraded
+// batches left out: each failed URL with its last error and the number of
+// retry attempts spent on it, sorted by URL. This is what a serving layer
+// reports back to clients alongside a partial answer.
+func (f *Fetcher) Failures() []FetchFailure {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FetchFailure, 0, len(f.failed))
+	for u, err := range f.failed {
+		out = append(out, FetchFailure{URL: u, Err: err, Retries: f.perURL[u]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// RetriesFor returns the retry attempts spent on one URL.
+func (f *Fetcher) RetriesFor(url string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.perURL[url]
 }
 
 // PeakInFlight returns the maximum number of simultaneous server GETs
@@ -270,6 +294,7 @@ func (f *Fetcher) download(ctx context.Context, schemeName, url string, sem chan
 		}
 		f.mu.Lock()
 		f.retries++
+		f.perURL[url]++
 		f.mu.Unlock()
 		if err := slp.Sleep(ctx, pol.Backoff(url, attempt)); err != nil {
 			return nested.Tuple{}, 0, lastErr
@@ -437,7 +462,7 @@ producing:
 			continue
 		}
 		f.noteFailure(urls[i], errs[i])
-		failures = append(failures, FetchFailure{URL: urls[i], Err: errs[i]})
+		failures = append(failures, FetchFailure{URL: urls[i], Err: errs[i], Retries: f.RetriesFor(urls[i])})
 	}
 	if len(failures) == 0 {
 		return kept, nil
@@ -469,19 +494,38 @@ func (f *Fetcher) BytesFetched() int64 {
 	return f.bytes
 }
 
-// ResetCache clears the page cache and counters, as an engine does between
-// queries so each query's accesses are counted afresh. The negative cache
-// and failure record clear too: a page that reappears between queries is
-// given a fresh chance.
-func (f *Fetcher) ResetCache() {
+// ResetPages drops the cached pages — the page cache, size index, negative
+// cache and failure record — without touching the counters. A page that
+// reappears between queries is given a fresh chance (the documented
+// negative-cache behaviour), while cross-query statistics (pages fetched,
+// bytes, retries) keep accumulating.
+func (f *Fetcher) ResetPages() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.cache = make(map[string]nested.Tuple)
 	f.sizes = make(map[string]int)
 	f.neg = make(map[string]error)
 	f.failed = make(map[string]error)
+}
+
+// ResetCounters zeroes the access counters (pages fetched, bytes, retries,
+// per-URL retry attempts, peak in-flight) without dropping any cached page:
+// an experiment can re-measure over a warm cache.
+func (f *Fetcher) ResetCounters() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.fetched = 0
 	f.bytes = 0
 	f.retries = 0
 	f.peak = 0
+	f.perURL = make(map[string]int)
+}
+
+// ResetCache clears the page cache and counters, as an engine does between
+// queries so each query's accesses are counted afresh. It is ResetPages
+// plus ResetCounters; callers that want cross-query stats to survive a
+// cache drop use the two halves separately.
+func (f *Fetcher) ResetCache() {
+	f.ResetPages()
+	f.ResetCounters()
 }

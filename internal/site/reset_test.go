@@ -1,0 +1,127 @@
+package site
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ulixes/internal/sitegen"
+)
+
+// TestResetCountersKeepsPages: zeroing the access counters between measured
+// runs must not drop cached pages — the next fetch is still free.
+func TestResetCountersKeepsPages(t *testing.T) {
+	u, ms := testSite(t)
+	urls := profURLs(t, u)
+	srv := newFailNServer(ms, 0)
+	f := NewFetcher(srv, u.Scheme)
+
+	if _, err := f.Fetch(sitegen.ProfPage, urls[0]); err != nil {
+		t.Fatal(err)
+	}
+	f.ResetCounters()
+	if f.PagesFetched() != 0 || f.BytesFetched() != 0 || f.Retries() != 0 {
+		t.Fatalf("counters not zeroed: pages %d bytes %d retries %d",
+			f.PagesFetched(), f.BytesFetched(), f.Retries())
+	}
+	if _, err := f.Fetch(sitegen.ProfPage, urls[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.count(urls[0]); got != 1 {
+		t.Errorf("server saw %d GETs, want 1 (ResetCounters must keep the page cache)", got)
+	}
+	if f.PagesFetched() != 0 {
+		t.Errorf("cached re-fetch counted as a page: %d", f.PagesFetched())
+	}
+}
+
+// TestResetPagesKeepsCounters: dropping the page cache (including the
+// negative cache) preserves the accumulated counters, so a long-lived
+// fetcher can expire content without losing its ledger.
+func TestResetPagesKeepsCounters(t *testing.T) {
+	u, ms := testSite(t)
+	urls := profURLs(t, u)
+	const gone = "http://univ.example.edu/no-such-page.html"
+	srv := newFailNServer(ms, 1)
+	f := NewFetcher(srv, u.Scheme)
+	f.SetPolicy(RetryPolicy{MaxRetries: 2, Seed: 3})
+	f.SetSleeper(&InstantSleeper{})
+
+	if _, err := f.Fetch(sitegen.ProfPage, urls[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Fetch(sitegen.ProfPage, gone); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	// One retry for the real page, one for the missing one (its first
+	// attempt fails transiently before the server reports not-found).
+	pages, bytes, retries := f.PagesFetched(), f.BytesFetched(), f.Retries()
+	if pages != 1 || retries != 2 {
+		t.Fatalf("setup: pages %d retries %d, want 1 and 2", pages, retries)
+	}
+
+	f.ResetPages()
+	if f.PagesFetched() != pages || f.BytesFetched() != bytes || f.Retries() != retries {
+		t.Fatalf("ResetPages changed counters: pages %d bytes %d retries %d",
+			f.PagesFetched(), f.BytesFetched(), f.Retries())
+	}
+	// The positive cache is gone: the page costs a fresh GET ...
+	if _, err := f.Fetch(sitegen.ProfPage, urls[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.count(urls[0]); got != 3 {
+		t.Errorf("server saw %d GETs, want 3 (fail+retry, then post-reset re-fetch)", got)
+	}
+	// ... and so is the negative cache: the missing URL is re-probed.
+	if _, err := f.Fetch(sitegen.ProfPage, gone); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("post-reset err = %v, want ErrNotFound", err)
+	}
+	if got := srv.count(gone); got != 3 {
+		t.Errorf("server saw %d GETs for the missing URL, want 3 (negative cache cleared)", got)
+	}
+}
+
+// TestFailuresCarryRetries: degraded batches surface, per failed URL, both
+// the final error and how many retries were burned reaching it — the
+// structured diagnostics ulixesd reports.
+func TestFailuresCarryRetries(t *testing.T) {
+	u, ms := testSite(t)
+	urls := profURLs(t, u)
+	bad := urls[2]
+	// Fail only one URL, forever.
+	fs := &faultyServer{MemSite: ms, bad: bad}
+	f := NewFetcher(fs, u.Scheme)
+	f.SetPolicy(RetryPolicy{MaxRetries: 2, Seed: 11})
+	f.SetSleeper(&InstantSleeper{})
+	f.SetDegraded(true)
+
+	_, err := f.FetchAll(sitegen.ProfPage, urls[:4])
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T (%v), want *PartialError", err, err)
+	}
+	if len(pe.Failures) != 1 {
+		t.Fatalf("got %d failures, want 1", len(pe.Failures))
+	}
+	fail := pe.Failures[0]
+	if fail.URL != bad {
+		t.Errorf("failure URL = %s, want %s", fail.URL, bad)
+	}
+	if fail.Err == nil {
+		t.Error("failure carries no error")
+	}
+	if fail.Retries != 2 {
+		t.Errorf("failure Retries = %d, want 2 (the whole budget)", fail.Retries)
+	}
+	if got := f.RetriesFor(bad); got != 2 {
+		t.Errorf("RetriesFor = %d, want 2", got)
+	}
+	if msg := pe.Error(); !strings.Contains(msg, "after 2 retries") {
+		t.Errorf("PartialError message lacks retry count: %q", msg)
+	}
+	// Failures() mirrors the partial error's diagnostics.
+	fl := f.Failures()
+	if len(fl) != 1 || fl[0].URL != bad || fl[0].Retries != 2 {
+		t.Errorf("Failures() = %+v, want one entry for %s with 2 retries", fl, bad)
+	}
+}

@@ -106,6 +106,9 @@ type Sleeper interface {
 	Sleep(ctx context.Context, d time.Duration) error
 }
 
+// StdSleeper returns the default Sleeper, waiting on real timers.
+func StdSleeper() Sleeper { return stdSleeper{} }
+
 // stdSleeper waits on real timers.
 type stdSleeper struct{}
 
@@ -159,10 +162,14 @@ func retryable(err error) bool {
 }
 
 // FetchFailure is one URL a degraded batch could not fetch, with the final
-// error after retries.
+// error after retries and the number of retry attempts spent on it —
+// the structured per-page diagnostic a serving layer returns to clients.
 type FetchFailure struct {
 	URL string
 	Err error
+	// Retries is how many retry attempts were spent on the URL before
+	// giving up (0 means the first attempt's error was final).
+	Retries int
 }
 
 // PartialError is the structured multi-error of a degraded FetchAll: the
@@ -182,7 +189,11 @@ func (e *PartialError) Error() string {
 			fmt.Fprintf(&sb, " … and %d more", len(e.Failures)-i)
 			break
 		}
-		fmt.Fprintf(&sb, " %s (%v);", f.URL, f.Err)
+		if f.Retries > 0 {
+			fmt.Fprintf(&sb, " %s (%v; after %d retries);", f.URL, f.Err, f.Retries)
+		} else {
+			fmt.Fprintf(&sb, " %s (%v);", f.URL, f.Err)
+		}
 	}
 	return sb.String()
 }

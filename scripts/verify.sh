@@ -14,4 +14,8 @@ echo "== go test -race ./..."
 go test -race ./...
 echo "== chaos (fault-injection determinism check)"
 go run ./cmd/bench -only P3 >/dev/null
+echo "== shared store (multi-query determinism check)"
+go run ./cmd/bench -only P4 >/dev/null
+echo "== ulixesd smoke (concurrent query server self-test)"
+go run ./cmd/ulixesd -smoke
 echo "verify: OK"
