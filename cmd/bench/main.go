@@ -56,6 +56,7 @@ func main() {
 		{"P1", func() (*exp.Table, error) { return exp.P1(bib, *latency) }},
 		{"P3", func() (*exp.Table, error) { return exp.P3(univ, nil, *chaosSeed) }},
 		{"P4", func() (*exp.Table, error) { return exp.P4(univ) }},
+		{"P5", func() (*exp.Table, error) { return exp.P5(univ) }},
 	}
 
 	selected := make(map[string]bool)

@@ -8,15 +8,27 @@
 //	ulixesd [-addr 127.0.0.1:8099] [-site university|bibliography]
 //	        [-ttl 30s|forever] [-cache-bytes N] [-page-budget N]
 //	        [-max-queries N] [-workers N] [-drain-timeout 10s]
+//	        [-guard] [-breaker-threshold 0.5] [-breaker-open-for 30s]
+//	        [-host-fetches N] [-hedge-after 0]
 //
 //	POST /query      query text in the body (or GET /query?q=…)
-//	GET  /healthz    liveness (503 while draining)
-//	GET  /stats      shared-store and admission counters
+//	GET  /healthz    liveness (503 while draining; reports open breakers)
+//	GET  /stats      shared-store, admission and per-host guard counters
 //
 // Admission control is strict: at most -max-queries queries run at once and
 // excess requests are rejected immediately with 429 rather than queued, so
 // an overloaded server stays responsive. On SIGINT/SIGTERM the server stops
 // admitting (503) and drains in-flight queries up to -drain-timeout.
+//
+// With -guard (the default) every fetch runs through a per-host site-health
+// guard: an EWMA-driven circuit breaker fast-fails requests to sick hosts
+// (queries degrade to the store's expired copies instead of failing), a
+// per-host bulkhead bounds in-flight fetches (-host-fetches), and slow GETs
+// are hedged after -hedge-after (0 disables hedging). While any breaker is
+// open, low-priority queries (header X-Ulixes-Priority: low or
+// ?priority=low) are shed at admission with 503 so capacity goes to
+// must-run work. Request deadlines and disconnects propagate end to end:
+// the HTTP request context cancels the query's page fetches.
 //
 // With -smoke the server starts on an ephemeral port, runs a deterministic
 // multi-client workload against itself, checks every answer and the exact
@@ -38,6 +50,7 @@ import (
 	"time"
 
 	"ulixes"
+	"ulixes/internal/guard"
 	"ulixes/internal/pagecache"
 	"ulixes/internal/site"
 	"ulixes/internal/sitegen"
@@ -60,6 +73,11 @@ func main() {
 	retries := flag.Int("retries", 0, "retries per page fetch in the shared store")
 	degraded := flag.Bool("degraded", false, "partial answers when pages are unreachable")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain bound on shutdown")
+	useGuard := flag.Bool("guard", true, "run fetches through the per-host site-health guard")
+	breakerThreshold := flag.Float64("breaker-threshold", guard.DefaultErrorThreshold, "EWMA error rate that opens a host's circuit breaker")
+	breakerOpenFor := flag.Duration("breaker-open-for", guard.DefaultOpenFor, "how long an open breaker fast-fails before probing")
+	hostFetches := flag.Int("host-fetches", 0, "per-host bulkhead: max in-flight fetches per host (0 = unbounded)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "hedge straggler GETs after this delay (0 = no hedging)")
 	smoke := flag.Bool("smoke", false, "self-test: serve on an ephemeral port, run a concurrent workload, exit")
 	flag.Parse()
 
@@ -72,14 +90,28 @@ func main() {
 	if err != nil {
 		log.Fatalf("ulixesd: %v", err)
 	}
-	cache := pagecache.New(ms, ws, pagecache.Config{
+	// The guard composes transparently: it is simply the server the store
+	// and the engine fetch through, so breakers, bulkheads and hedges apply
+	// to every page access without further wiring.
+	var server site.Server = ms
+	var g *guard.Guard
+	if *useGuard {
+		g = guard.New(ms, guard.Config{
+			ErrorThreshold: *breakerThreshold,
+			OpenFor:        *breakerOpenFor,
+			MaxPerHost:     *hostFetches,
+			HedgeAfter:     *hedgeAfter,
+		})
+		server = g
+	}
+	cache := pagecache.New(server, ws, pagecache.Config{
 		MaxBytes:   *cacheBytes,
 		DefaultTTL: ttlDur,
 		Clock:      site.LogicalClock(),
 		Retry:      site.RetryPolicy{MaxRetries: *retries},
 		Workers:    *workers,
 	})
-	sys, err := ulixes.Open(ms, ws, views)
+	sys, err := ulixes.Open(server, ws, views)
 	if err != nil {
 		log.Fatalf("ulixesd: statistics crawl: %v", err)
 	}
@@ -92,6 +124,7 @@ func main() {
 	})
 
 	srv := newServer(sys, cache, *maxQueries)
+	srv.guard = g
 
 	if *smoke {
 		if err := runSmoke(srv); err != nil {

@@ -5,25 +5,32 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"ulixes"
+	"ulixes/internal/guard"
 	"ulixes/internal/pagecache"
 )
 
 // server is the HTTP face of one shared query system: a semaphore admits at
 // most maxQueries concurrent queries (excess is rejected with 429, never
 // queued), and a draining flag refuses new work during graceful shutdown.
+// When a site-health guard is attached, low-priority queries are shed at
+// admission (503) while any host's breaker is open, so the remaining
+// capacity goes to must-run work.
 type server struct {
 	sys   *ulixes.System
 	cache *pagecache.Cache
+	guard *guard.Guard // nil when -guard=false
 
 	sem      chan struct{}
 	draining atomic.Bool
 	inflight atomic.Int64
 	served   atomic.Int64
 	rejected atomic.Int64
+	shed     atomic.Int64
 }
 
 func newServer(sys *ulixes.System, cache *pagecache.Cache, maxQueries int) *server {
@@ -45,9 +52,9 @@ func (s *server) handler() http.Handler {
 func (s *server) drain() { s.draining.Store(true) }
 
 // queryStats is the per-query accounting exposed to clients. Pages +
-// CacheHits + Revalidations is the paper's distinct-access cost C(E),
-// invariant across cold and warm stores; Pages alone is what this query
-// actually cost the network.
+// CacheHits + Revalidations + Stale is the paper's distinct-access cost
+// C(E), invariant across cold and warm stores; Pages alone is what this
+// query actually cost the network.
 type queryStats struct {
 	Accesses         int     `json:"accesses"`
 	Pages            int     `json:"pages"`
@@ -56,6 +63,9 @@ type queryStats struct {
 	LightConnections int     `json:"lightConnections"`
 	Bytes            int64   `json:"bytes"`
 	WallMs           float64 `json:"wallMs"`
+	Stale            int     `json:"stale,omitempty"`
+	Hedges           int     `json:"hedges,omitempty"`
+	BreakerFastFails int     `json:"breakerFastFails,omitempty"`
 }
 
 type queryFailure struct {
@@ -72,15 +82,34 @@ type queryResponse struct {
 	Stats         queryStats     `json:"stats"`
 	Degraded      bool           `json:"degraded,omitempty"`
 	Failures      []queryFailure `json:"failures,omitempty"`
+	StalePages    []string       `json:"stalePages,omitempty"`
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// lowPriority reports whether the request marked itself sheddable, via the
+// X-Ulixes-Priority header or the ?priority= query parameter.
+func lowPriority(r *http.Request) bool {
+	p := r.Header.Get("X-Ulixes-Priority")
+	if p == "" {
+		p = r.URL.Query().Get("priority")
+	}
+	return strings.EqualFold(strings.TrimSpace(p), "low")
+}
+
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		return
+	}
+	// Load shedding: while any host's breaker is open the system is
+	// degraded, so sheddable work is refused at admission rather than
+	// spending bulkhead slots and stale serves on it.
+	if s.guard != nil && lowPriority(r) && s.guard.AnyOpen() {
+		s.shed.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "degraded: low-priority queries shed while a circuit breaker is open"})
 		return
 	}
 	select {
@@ -104,7 +133,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	ans, err := s.sys.QueryCQ(q)
+	ans, err := s.sys.QueryCQCtx(r.Context(), q)
 	switch {
 	case err == nil:
 	case errors.Is(err, pagecache.ErrBudgetExceeded):
@@ -122,15 +151,19 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		EstimatedCost: ans.Plan.Cost,
 		Columns:       ans.Result.Names(),
 		Stats: queryStats{
-			Accesses:         st.Pages + st.CacheHits + st.Revalidations,
+			Accesses:         st.Pages + st.CacheHits + st.Revalidations + st.Stale,
 			Pages:            st.Pages,
 			CacheHits:        st.CacheHits,
 			Revalidations:    st.Revalidations,
 			LightConnections: st.LightConnections,
 			Bytes:            st.Bytes,
 			WallMs:           float64(st.Wall) / float64(time.Millisecond),
+			Stale:            st.Stale,
+			Hedges:           st.Hedges,
+			BreakerFastFails: st.BreakerFastFails,
 		},
-		Degraded: st.Degraded,
+		Degraded:   st.Degraded,
+		StalePages: st.StalePages,
 	}
 	for _, t := range ans.Result.Sorted() {
 		row := make([]string, t.Arity())
@@ -147,34 +180,68 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// healthResponse is the /healthz payload. The server stays alive (200)
+// while breakers are open — queries degrade to stale serves rather than
+// fail — but reports itself "degraded" with the affected hosts so probes
+// and dashboards see the condition.
+type healthResponse struct {
+	Status       string            `json:"status"`
+	BreakersOpen int               `json:"breakersOpen,omitempty"`
+	Breakers     map[string]string `json:"breakers,omitempty"`
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := healthResponse{Status: "ok"}
+	if s.guard != nil {
+		for _, h := range s.guard.Snapshot() {
+			if h.State == guard.Closed.String() {
+				continue
+			}
+			if resp.Breakers == nil {
+				resp.Breakers = make(map[string]string)
+			}
+			resp.Breakers[h.Host] = h.State
+			if h.State == guard.Open.String() {
+				resp.BreakersOpen++
+			}
+		}
+		if resp.BreakersOpen > 0 {
+			resp.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
-// storeStats is the /stats payload: the shared store's global counters plus
-// the server's admission ledger.
+// storeStats is the /stats payload: the shared store's global counters, the
+// server's admission ledger, and (with the guard on) per-host breaker and
+// bulkhead health.
 type storeStats struct {
-	Fetches          int   `json:"fetches"`
-	Hits             int   `json:"hits"`
-	Revalidations    int   `json:"revalidations"`
-	LightConnections int   `json:"lightConnections"`
-	Retries          int   `json:"retries"`
-	Evictions        int   `json:"evictions"`
-	BytesFetched     int64 `json:"bytesFetched"`
-	EntryCount       int   `json:"entryCount"`
-	EntryBytes       int64 `json:"entryBytes"`
-	Inflight         int64 `json:"inflight"`
-	Served           int64 `json:"served"`
-	Rejected         int64 `json:"rejected"`
+	Fetches          int                `json:"fetches"`
+	Hits             int                `json:"hits"`
+	Revalidations    int                `json:"revalidations"`
+	LightConnections int                `json:"lightConnections"`
+	Retries          int                `json:"retries"`
+	Evictions        int                `json:"evictions"`
+	BytesFetched     int64              `json:"bytesFetched"`
+	EntryCount       int                `json:"entryCount"`
+	EntryBytes       int64              `json:"entryBytes"`
+	Inflight         int64              `json:"inflight"`
+	Served           int64              `json:"served"`
+	Rejected         int64              `json:"rejected"`
+	Stale            int                `json:"stale,omitempty"`
+	Hedges           int                `json:"hedges,omitempty"`
+	BreakerFastFails int                `json:"breakerFastFails,omitempty"`
+	Shed             int64              `json:"shed,omitempty"`
+	Hosts            []guard.HostHealth `json:"hosts,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cs := s.cache.Stats()
-	writeJSON(w, http.StatusOK, storeStats{
+	out := storeStats{
 		Fetches:          cs.Fetches,
 		Hits:             cs.Hits,
 		Revalidations:    cs.Revalidations,
@@ -187,7 +254,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Inflight:         s.inflight.Load(),
 		Served:           s.served.Load(),
 		Rejected:         s.rejected.Load(),
-	})
+		Stale:            cs.Stale,
+		Hedges:           cs.Hedges,
+		BreakerFastFails: cs.BreakerFastFails,
+		Shed:             s.shed.Load(),
+	}
+	if s.guard != nil {
+		out.Hosts = s.guard.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // queryText extracts the query from ?q= or the request body.

@@ -4,12 +4,15 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"ulixes"
+	"ulixes/internal/faults"
+	"ulixes/internal/guard"
 	"ulixes/internal/pagecache"
 	"ulixes/internal/site"
 	"ulixes/internal/sitegen"
@@ -246,4 +249,240 @@ func TestSmokeWorkload(t *testing.T) {
 	if err := runSmoke(srv); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// headGate blocks every HEAD while armed — it holds a revalidating query in
+// flight deterministically. It deliberately implements only the plain
+// site.Server surface.
+type headGate struct {
+	inner   site.Server
+	mu      sync.Mutex
+	gate    chan struct{}
+	blocked chan struct{}
+}
+
+func (h *headGate) arm() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.gate = make(chan struct{})
+	h.blocked = make(chan struct{}, 64)
+}
+
+func (h *headGate) release() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.gate != nil {
+		close(h.gate)
+		h.gate = nil
+	}
+}
+
+func (h *headGate) Get(url string) (site.Page, error) {
+	return h.inner.Get(url) //lint:allow fetchgate test double forwarding to the wrapped site
+}
+
+func (h *headGate) Head(url string) (site.Meta, error) {
+	h.mu.Lock()
+	gate, blocked := h.gate, h.blocked
+	h.mu.Unlock()
+	if gate != nil {
+		blocked <- struct{}{}
+		<-gate
+	}
+	return h.inner.Head(url) //lint:allow fetchgate test double forwarding to the wrapped site
+}
+
+// guardedFixture builds a university server whose fetches run through
+// chaos → headGate → guard, on a shared manual clock, exactly as ulixesd
+// wires the guard in front of the store and the engine.
+func guardedFixture(t *testing.T) (*server, *faults.Server, *headGate, func(time.Duration)) {
+	t.Helper()
+	u, err := sitegen.GenerateUniversity(sitegen.UniversityParams{Courses: 12, Profs: 6, Depts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := site.NewMemSite(u.Instance, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	now := time.Date(1998, time.March, 23, 0, 0, 0, 0, time.UTC)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	chaos := faults.New(ms, 7)
+	hg := &headGate{inner: chaos}
+	g := guard.New(hg, guard.Config{
+		Clock: clock,
+		// The statistics crawl and the warm query leave the EWMA near
+		// zero, so exactly two failures (0.5, then 0.75) cross 0.6.
+		ErrorThreshold: 0.6,
+		OpenFor:        30 * time.Second,
+	})
+	cache := pagecache.New(g, u.Scheme, pagecache.Config{
+		DefaultTTL: 10 * time.Second,
+		Clock:      clock,
+		Retry:      site.RetryPolicy{MaxRetries: 3, Seed: 7},
+		Sleeper:    &site.InstantSleeper{},
+	})
+	sys, err := ulixes.Open(g, u.Scheme, view.UniversityView(u.Scheme))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetExec(ulixes.ExecOptions{Cache: cache})
+	srv := newServer(sys, cache, 4)
+	srv.guard = g
+	return srv, chaos, hg, advance
+}
+
+// TestDrainCompletesDegradedQueriesAgainstFaultySite: queries in flight
+// against a site that just went down are not lost by a graceful drain —
+// the drain refuses new work immediately and the in-flight queries finish
+// 200, degraded, answered from the store's expired copies.
+func TestDrainCompletesDegradedQueriesAgainstFaultySite(t *testing.T) {
+	srv, chaos, hg, advance := guardedFixture(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	const q = "SELECT p.PName FROM Professor p WHERE p.Rank = 'Full'"
+	resp, warm := doQuery(t, ts, q)
+	if resp.StatusCode != http.StatusOK || warm.Degraded {
+		t.Fatalf("warm query: status %d degraded %v", resp.StatusCode, warm.Degraded)
+	}
+
+	// Every lease expires and the origin goes down; the revalidating HEAD
+	// of the next query blocks at the gate, provably in flight.
+	advance(11 * time.Second)
+	chaos.SetRules(faults.Rule{Kind: faults.Transient, Rate: 1})
+	hg.arm()
+	type result struct {
+		code int
+		body queryResponse
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, body := doQuery(t, ts, q)
+		done <- result{resp.StatusCode, body}
+	}()
+	select {
+	case <-hg.blocked:
+	case <-time.After(10 * time.Second):
+		t.Fatal("query never reached the site")
+	}
+
+	srv.drain()
+	if resp, _ := doQuery(t, ts, q); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query while draining: status %d, want 503", resp.StatusCode)
+	}
+
+	// The in-flight query must complete within the drain deadline even
+	// though its host is sick: two real failures trip the breaker and the
+	// rest of the accesses degrade to the expired copies.
+	hg.release()
+	select {
+	case r := <-done:
+		if r.code != http.StatusOK {
+			t.Fatalf("in-flight query finished with %d during drain, want 200", r.code)
+		}
+		if !r.body.Degraded || r.body.Stats.Stale != warm.Stats.Accesses {
+			t.Fatalf("in-flight query stats %+v degraded=%v, want all %d accesses stale",
+				r.body.Stats, r.body.Degraded, warm.Stats.Accesses)
+		}
+		if len(r.body.Rows) != len(warm.Rows) {
+			t.Fatalf("degraded answer has %d rows, warm had %d", len(r.body.Rows), len(warm.Rows))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight query lost: did not finish within the drain deadline")
+	}
+}
+
+// TestLowPriorityShedWhileBreakerOpen: while any breaker is open, queries
+// marked low priority are refused at admission with 503 (and counted), while
+// normal-priority queries keep being served from the stale store. /healthz
+// and /stats surface the open breaker.
+func TestLowPriorityShedWhileBreakerOpen(t *testing.T) {
+	srv, chaos, _, advance := guardedFixture(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	const q = "SELECT p.PName FROM Professor p WHERE p.Rank = 'Full'"
+	if resp, _ := doQuery(t, ts, q); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm query status %d", resp.StatusCode)
+	}
+
+	// Low priority is admitted while healthy.
+	resp, err := ts.Client().Get(ts.URL + "/query?priority=low&q=" + url.QueryEscape(q)) //lint:allow fetchgate client of our own query API, not a page fetch
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy low-priority query status %d, want 200", resp.StatusCode)
+	}
+
+	// The origin goes down; the next query trips the breaker and degrades.
+	advance(11 * time.Second)
+	chaos.SetRules(faults.Rule{Kind: faults.Transient, Rate: 1})
+	resp2, body := doQuery(t, ts, q)
+	if resp2.StatusCode != http.StatusOK || !body.Degraded {
+		t.Fatalf("sick-host query: status %d degraded %v, want degraded 200", resp2.StatusCode, body.Degraded)
+	}
+
+	// Low priority is now shed at admission; normal priority still served.
+	req, err := http.NewRequest("GET", ts.URL+"/query?q="+url.QueryEscape(q), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Ulixes-Priority", "low")
+	resp3, err := ts.Client().Do(req) //lint:allow fetchgate client of our own query API, not a page fetch
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("low-priority query with open breaker: status %d, want 503", resp3.StatusCode)
+	}
+	if resp4, _ := doQuery(t, ts, q); resp4.StatusCode != http.StatusOK {
+		t.Fatalf("normal-priority query with open breaker: status %d, want 200", resp4.StatusCode)
+	}
+	if got := srv.shed.Load(); got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+
+	// The open breaker is visible on /healthz and /stats.
+	var health healthResponse
+	if err := getTestJSON(t, ts, "/healthz", &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" || health.BreakersOpen != 1 {
+		t.Fatalf("healthz %+v, want degraded with one open breaker", health)
+	}
+	var st storeStats
+	if err := getTestJSON(t, ts, "/stats", &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Hosts) != 1 || st.Hosts[0].State != guard.Open.String() {
+		t.Fatalf("stats hosts %+v, want one open host", st.Hosts)
+	}
+	if st.Stale == 0 || st.BreakerFastFails == 0 || st.Shed != 1 {
+		t.Fatalf("stats %+v, want stale, fast-fail and shed counters", st)
+	}
+}
+
+// getTestJSON fetches one of the server's own JSON endpoints.
+func getTestJSON(t *testing.T, ts *httptest.Server, path string, v any) error {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path) //lint:allow fetchgate client of our own query API, not a page fetch
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
 }

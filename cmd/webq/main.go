@@ -24,6 +24,7 @@ import (
 
 	"ulixes"
 	"ulixes/internal/adm"
+	"ulixes/internal/guard"
 	"ulixes/internal/nalg"
 	"ulixes/internal/site"
 	"ulixes/internal/sitegen"
@@ -50,16 +51,34 @@ func main() {
 	retries := flag.Int("retries", 0, "retries per page fetch (exponential backoff with jitter)")
 	timeout := flag.Duration("timeout", 0, "per-attempt fetch deadline (0 = none)")
 	degraded := flag.Bool("degraded", false, "return partial answers when pages are unreachable")
+	useGuard := flag.Bool("guard", true, "wrap the site in the per-host health guard (circuit breakers, bulkheads, hedging)")
+	breakerThreshold := flag.Float64("breaker-threshold", guard.DefaultErrorThreshold, "EWMA error rate that opens a host's circuit breaker")
+	breakerOpenFor := flag.Duration("breaker-open-for", guard.DefaultOpenFor, "how long an open breaker rejects before probing")
+	hostFetches := flag.Int("host-fetches", 0, "bulkhead: max concurrent fetches per host (0 = default)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "issue a hedged GET if the first hasn't answered in this long (0 = off)")
 	flag.Parse()
 
-	var sys *ulixes.System
+	var server site.Server
+	var ws *adm.Scheme
 	var views *ulixes.Views
 	var err error
 	if *baseURL != "" {
-		sys, views, err = openRemote(*baseURL, *schemeFile, *viewsFile)
+		server, ws, views, err = openRemote(*baseURL, *schemeFile, *viewsFile)
 	} else {
-		sys, views, err = open(*siteName, *courses, *profs, *depts, *authors)
+		server, ws, views, err = open(*siteName, *courses, *profs, *depts, *authors)
 	}
+	if err != nil {
+		fail(err)
+	}
+	if *useGuard {
+		server = guard.New(server, guard.Config{
+			ErrorThreshold: *breakerThreshold,
+			OpenFor:        *breakerOpenFor,
+			MaxPerHost:     *hostFetches,
+			HedgeAfter:     *hedgeAfter,
+		})
+	}
+	sys, err := ulixes.Open(server, ws, views)
 	if err != nil {
 		fail(err)
 	}
@@ -168,6 +187,15 @@ func formatStats(st ulixes.ExecStats) string {
 	if st.Retries > 0 {
 		s += fmt.Sprintf(", %d retries", st.Retries)
 	}
+	if st.Stale > 0 {
+		s += fmt.Sprintf(", %d served stale", st.Stale)
+	}
+	if st.Hedges > 0 {
+		s += fmt.Sprintf(", %d hedged (%d won)", st.Hedges, st.HedgeWins)
+	}
+	if st.BreakerFastFails > 0 {
+		s += fmt.Sprintf(", %d breaker fast-fails", st.BreakerFastFails)
+	}
 	if st.Degraded {
 		s += fmt.Sprintf(", DEGRADED (%d pages unreachable: %s)",
 			len(st.FailedPages), strings.Join(st.FailedPages, ", "))
@@ -176,61 +204,57 @@ func formatStats(st ulixes.ExecStats) string {
 }
 
 // openRemote loads the scheme and views from files and targets a real HTTP
-// endpoint serving the site (e.g. `sitegen -serve :8098`).
-func openRemote(base, schemeFile, viewsFile string) (*ulixes.System, *ulixes.Views, error) {
+// endpoint serving the site (e.g. `sitegen -serve :8098`). It returns the
+// raw server so main can layer the health guard before opening the system.
+func openRemote(base, schemeFile, viewsFile string) (site.Server, *adm.Scheme, *ulixes.Views, error) {
 	if schemeFile == "" || viewsFile == "" {
-		return nil, nil, fmt.Errorf("-url requires -scheme-file and -views-file")
+		return nil, nil, nil, fmt.Errorf("-url requires -scheme-file and -views-file")
 	}
 	schemeSrc, err := os.ReadFile(schemeFile)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	ws, err := adm.ParseScheme(string(schemeSrc))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	viewSrc, err := os.ReadFile(viewsFile)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	views, err := view.ParseViews(ws, string(viewSrc))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	sys, err := ulixes.Open(&site.HTTPServer{Base: base}, ws, views)
-	return sys, views, err
+	return &site.HTTPServer{Base: base}, ws, views, nil
 }
 
-func open(name string, courses, profs, depts, authors int) (*ulixes.System, *ulixes.Views, error) {
+func open(name string, courses, profs, depts, authors int) (site.Server, *adm.Scheme, *ulixes.Views, error) {
 	switch name {
 	case "university":
 		u, err := sitegen.GenerateUniversity(sitegen.UniversityParams{
 			Courses: courses, Profs: profs, Depts: depts,
 		})
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		ms, err := site.NewMemSite(u.Instance, nil)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		views := view.UniversityView(u.Scheme)
-		sys, err := ulixes.Open(ms, u.Scheme, views)
-		return sys, views, err
+		return ms, u.Scheme, view.UniversityView(u.Scheme), nil
 	case "bibliography":
 		b, err := sitegen.GenerateBibliography(sitegen.BibliographyParams{Authors: authors})
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		ms, err := site.NewMemSite(b.Instance, nil)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		views := view.BibliographyView(b.Scheme)
-		sys, err := ulixes.Open(ms, b.Scheme, views)
-		return sys, views, err
+		return ms, b.Scheme, view.BibliographyView(b.Scheme), nil
 	default:
-		return nil, nil, fmt.Errorf("unknown site %q (university or bibliography)", name)
+		return nil, nil, nil, fmt.Errorf("unknown site %q (university or bibliography)", name)
 	}
 }
 

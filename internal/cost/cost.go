@@ -91,20 +91,43 @@ type Model struct {
 	// fetcher is re-downloading pages. 0 (the default) is the paper's
 	// perfectly reliable network.
 	RetryOverhead float64
+	// HedgeOverhead is the expected number of extra hedged GETs per page
+	// access under the site-health guard — with straggler probability q
+	// (the fraction of requests slower than the hedge delay), q per access.
+	// Hedges trade network traffic for tail latency, so they inflate the
+	// access cost exactly like retries. 0 (the default) is no hedging.
+	HedgeOverhead float64
+	// StaleRate is the expected fraction of accesses answered from expired
+	// store entries because a circuit breaker is open. Stale serves cost no
+	// network at all — their light connection is fast-failed locally — so
+	// they deflate the warm traffic estimate (see Warm). 0 (the default)
+	// is every origin healthy.
+	StaleRate float64
 
 	mu      sync.Mutex
 	schemas map[nalg.Expr]*nalg.Schema
 	ests    map[nalg.Expr]*Estimate
 }
 
+// accessMultiplier is the expected physical requests per logical access:
+// the first attempt plus expected retries plus expected hedges. Negative
+// configuration is clamped so the multiplier never drops below 1.
+func (m *Model) accessMultiplier() float64 {
+	mult := 1 + math.Max(m.RetryOverhead, 0) + math.Max(m.HedgeOverhead, 0)
+	if mult < 1 {
+		mult = 1
+	}
+	return mult
+}
+
 // accessCost returns the cost of downloading one page of the scheme under
-// the model's unit, inflated by the expected retry traffic.
+// the model's unit, inflated by the expected retry and hedge traffic.
 func (m *Model) accessCost(scheme string) float64 {
 	base := 1.0
 	if m.Unit == Bytes {
 		base = m.Stats.AvgPageBytes(scheme)
 	}
-	return base * (1 + m.RetryOverhead)
+	return base * m.accessMultiplier()
 }
 
 // schemaOf is memoized schema inference (see rewrite.Rewriter.schema).
@@ -147,34 +170,37 @@ func (m *Model) Cost(e nalg.Expr) (float64, error) {
 // §8's maintenance cost applied to query serving.
 type WarmEstimate struct {
 	// LightConnections is the expected number of HEADs — one per distinct
-	// page access, C(E).
+	// page access, C(E), minus the stale-served fraction.
 	LightConnections float64
 	// Downloads is the expected number of full re-GETs — one per page that
 	// actually changed since it was cached.
 	Downloads float64
+	// Stale is the expected number of accesses answered from expired
+	// entries because a breaker is open — zero network traffic each.
+	Stale float64
 }
 
 // Warm estimates the cost of a plan on a warm shared store under the §8
 // revalidation protocol: every distinct access opens a light connection,
 // and only the changeRate fraction of pages (those modified since caching)
 // are re-downloaded. Within the freshness lease even the light connections
-// disappear; this is the worst-case warm cost. It assumes the Pages unit,
-// where Estimate's Cost is the distinct-access count C(E).
+// disappear; this is the worst-case warm cost. With the site-health guard,
+// the StaleRate fraction of accesses is answered from expired copies
+// without any network traffic at all. It assumes the Pages unit, where
+// Estimate's Cost is the distinct-access count C(E).
 func (m *Model) Warm(e nalg.Expr, changeRate float64) (WarmEstimate, error) {
-	if changeRate < 0 {
-		changeRate = 0
-	}
-	if changeRate > 1 {
-		changeRate = 1
-	}
+	changeRate = math.Min(math.Max(changeRate, 0), 1)
+	staleRate := math.Min(math.Max(m.StaleRate, 0), 1)
 	est, err := m.Estimate(e)
 	if err != nil {
 		return WarmEstimate{}, err
 	}
-	accesses := est.Cost / (1 + m.RetryOverhead)
+	accesses := est.Cost / m.accessMultiplier()
+	live := accesses * (1 - staleRate)
 	return WarmEstimate{
-		LightConnections: accesses,
-		Downloads:        accesses * changeRate * (1 + m.RetryOverhead),
+		LightConnections: live,
+		Downloads:        live * changeRate * m.accessMultiplier(),
+		Stale:            accesses * staleRate,
 	}, nil
 }
 

@@ -437,3 +437,60 @@ func TestWarmEstimate(t *testing.T) {
 	approx(t, "Warm.LightConnections under overhead", w.LightConnections, infl.Cost/1.5, 1e-9)
 	approx(t, "Warm.Downloads under overhead", w.Downloads, (infl.Cost/1.5)*0.2*1.5, 1e-9)
 }
+
+// TestHedgeAndStaleTerms: hedged GETs inflate the access cost like retries,
+// and the stale-served fraction of a warm plan costs no network at all.
+func TestHedgeAndStaleTerms(t *testing.T) {
+	u, m := paperModel(t)
+	e := nalg.From(u.Scheme, sitegen.ProfListPage).Unnest("ProfList").Follow("ToProf").MustBuild()
+	base, err := m.Estimate(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Retry and hedge overheads compound additively: each access costs the
+	// first attempt, the expected retries, and the expected hedges.
+	hedged := &Model{Scheme: m.Scheme, Stats: m.Stats, RetryOverhead: 0.25, HedgeOverhead: 0.1}
+	est, err := hedged.Estimate(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "hedged cost", est.Cost, base.Cost*1.35, 1e-9)
+	approx(t, "hedged card", est.Card, base.Card, 1e-9)
+
+	// Warm recovers C(E) by dividing out the same multiplier it applied, so
+	// the accounting stays consistent however the overheads are configured.
+	w, err := hedged.Warm(e, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accesses := est.Cost / 1.35
+	approx(t, "hedged Warm.LightConnections", w.LightConnections, accesses, 1e-9)
+	approx(t, "hedged Warm.Downloads", w.Downloads, accesses*0.2*1.35, 1e-9)
+	approx(t, "hedged Warm.Stale", w.Stale, 0, 1e-9)
+
+	// With a quarter of the origins behind open breakers, a quarter of the
+	// accesses are served stale: no light connection, no download.
+	sick := &Model{Scheme: m.Scheme, Stats: m.Stats, StaleRate: 0.25}
+	w, err = sick.Warm(e, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "sick Warm.LightConnections", w.LightConnections, base.Cost*0.75, 1e-9)
+	approx(t, "sick Warm.Downloads", w.Downloads, base.Cost*0.75*0.2, 1e-9)
+	approx(t, "sick Warm.Stale", w.Stale, base.Cost*0.25, 1e-9)
+
+	// Negative configuration clamps: the multiplier never drops below the
+	// one mandatory attempt, and the stale fraction stays in [0,1].
+	neg := &Model{Scheme: m.Scheme, Stats: m.Stats, RetryOverhead: -2, HedgeOverhead: -1, StaleRate: -0.5}
+	est, err = neg.Estimate(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "clamped cost", est.Cost, base.Cost, 1e-9)
+	w, err = neg.Warm(e, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "clamped Warm.Stale", w.Stale, 0, 1e-9)
+}

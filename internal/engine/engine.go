@@ -5,6 +5,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -60,7 +61,7 @@ type ExecOptions struct {
 // paper's distinct-access cost. With a shared page store (ExecOptions.
 // Cache) the cost splits by how each access was resolved:
 //
-//	Pages + CacheHits + Revalidations = distinct page accesses (C(E))
+//	Pages + CacheHits + Revalidations + Stale = distinct page accesses (C(E))
 //
 // — invariant across cold and warm stores, while Pages alone is what the
 // query actually cost the network.
@@ -97,6 +98,20 @@ type ExecStats struct {
 	// LightConnections is the number of HEADs issued for this query's
 	// accesses.
 	LightConnections int
+	// Stale is the number of accesses answered from expired store entries
+	// because the origin's circuit breaker was open: the answer includes
+	// those pages at reduced freshness rather than losing them. Stale > 0
+	// always marks the answer Degraded.
+	Stale int
+	// StalePages lists the URLs served stale, in sorted order.
+	StalePages []string
+	// Hedges is the number of extra hedged GETs the site-health guard
+	// issued against stragglers; HedgeWins is how many answered first.
+	Hedges    int
+	HedgeWins int
+	// BreakerFastFails is the number of access attempts an open circuit
+	// breaker rejected without touching the network.
+	BreakerFastFails int
 }
 
 // Engine answers queries over a web site through a relational view.
@@ -136,20 +151,33 @@ type Answer struct {
 
 // Query parses, optimizes and executes a conjunctive query.
 func (e *Engine) Query(src string) (*Answer, error) {
+	return e.QueryCtx(context.Background(), src) //lint:allow noctxbg context-free API compatibility
+}
+
+// QueryCtx parses, optimizes and executes a conjunctive query under the
+// caller's context: the request deadline and cancellation propagate through
+// the evaluator down to every page access.
+func (e *Engine) QueryCtx(ctx context.Context, src string) (*Answer, error) {
 	q, err := cq.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.QueryCQ(q)
+	return e.QueryCQCtx(ctx, q)
 }
 
 // QueryCQ optimizes and executes a parsed conjunctive query.
 func (e *Engine) QueryCQ(q *cq.Query) (*Answer, error) {
+	return e.QueryCQCtx(context.Background(), q) //lint:allow noctxbg context-free API compatibility
+}
+
+// QueryCQCtx optimizes and executes a parsed conjunctive query under the
+// caller's context.
+func (e *Engine) QueryCQCtx(ctx context.Context, q *cq.Query) (*Answer, error) {
 	res, err := e.Opt.Optimize(q)
 	if err != nil {
 		return nil, err
 	}
-	rel, st, err := e.ExecuteOpts(res.Best.Expr, e.Exec)
+	rel, st, err := e.ExecuteOptsCtx(ctx, res.Best.Expr, e.Exec)
 	if err != nil {
 		return nil, err
 	}
@@ -180,6 +208,12 @@ func (e *Engine) Execute(expr nalg.Expr) (*nested.Relation, int, error) {
 // statically typechecked with nalg.Check; an ill-typed plan is rejected
 // here rather than failing (or silently misnavigating) mid-execution.
 func (e *Engine) ExecuteOpts(expr nalg.Expr, opts ExecOptions) (*nested.Relation, ExecStats, error) {
+	return e.ExecuteOptsCtx(context.Background(), expr, opts) //lint:allow noctxbg context-free API compatibility
+}
+
+// ExecuteOptsCtx is ExecuteOpts under the caller's context: the deadline
+// and cancellation propagate to every page access the plan performs.
+func (e *Engine) ExecuteOptsCtx(ctx context.Context, expr nalg.Expr, opts ExecOptions) (*nested.Relation, ExecStats, error) {
 	if !nalg.Computable(expr) {
 		return nil, ExecStats{}, fmt.Errorf("engine: plan is not computable: %s", expr)
 	}
@@ -192,7 +226,7 @@ func (e *Engine) ExecuteOpts(expr nalg.Expr, opts ExecOptions) (*nested.Relation
 		EstimateCard: e.cardEstimator(),
 	}
 	if opts.Cache != nil {
-		return e.executeShared(expr, opts, evalOpts)
+		return e.executeShared(ctx, expr, opts, evalOpts)
 	}
 	f := site.NewFetcher(e.Server, e.Views.Scheme)
 	if opts.Workers > 0 {
@@ -204,20 +238,23 @@ func (e *Engine) ExecuteOpts(expr nalg.Expr, opts ExecOptions) (*nested.Relation
 		f.SetSleeper(opts.Sleeper)
 	}
 	start := time.Now()
-	rel, err := nalg.EvalWithOptions(expr, e.Views.Scheme, nalg.FetcherSource{F: f}, evalOpts)
+	rel, err := nalg.EvalWithOptions(expr, e.Views.Scheme, nalg.FetcherSource{F: f, Ctx: ctx}, evalOpts)
 	if err != nil {
 		return nil, ExecStats{}, err
 	}
 	failed := f.FailedURLs()
 	return rel, ExecStats{
-		Pages:        f.PagesFetched(),
-		Bytes:        f.BytesFetched(),
-		Wall:         time.Since(start),
-		PeakInFlight: f.PeakInFlight(),
-		Retries:      f.Retries(),
-		FailedPages:  failed,
-		Failures:     f.Failures(),
-		Degraded:     opts.Degraded && len(failed) > 0,
+		Pages:            f.PagesFetched(),
+		Bytes:            f.BytesFetched(),
+		Wall:             time.Since(start),
+		PeakInFlight:     f.PeakInFlight(),
+		Retries:          f.Retries(),
+		FailedPages:      failed,
+		Failures:         f.Failures(),
+		Degraded:         opts.Degraded && len(failed) > 0,
+		Hedges:           f.Hedges(),
+		HedgeWins:        f.HedgeWins(),
+		BreakerFastFails: f.BreakerFastFails(),
 	}, nil
 }
 
@@ -225,14 +262,14 @@ func (e *Engine) ExecuteOpts(expr nalg.Expr, opts ExecOptions) (*nested.Relation
 // page store: physical fetches are deduplicated across concurrent queries
 // and persist for later ones, while the session keeps this query's access
 // accounting exact (Pages + CacheHits + Revalidations = distinct accesses).
-func (e *Engine) executeShared(expr nalg.Expr, opts ExecOptions, evalOpts nalg.EvalOptions) (*nested.Relation, ExecStats, error) {
+func (e *Engine) executeShared(ctx context.Context, expr nalg.Expr, opts ExecOptions, evalOpts nalg.EvalOptions) (*nested.Relation, ExecStats, error) {
 	sess := opts.Cache.NewSession(pagecache.SessionOptions{
 		PageBudget: opts.PageBudget,
 		Degraded:   opts.Degraded,
 		Workers:    opts.Workers,
 	})
 	start := time.Now()
-	rel, err := nalg.EvalWithOptions(expr, e.Views.Scheme, nalg.FetcherSource{F: sess}, evalOpts)
+	rel, err := nalg.EvalWithOptions(expr, e.Views.Scheme, nalg.FetcherSource{F: sess, Ctx: ctx}, evalOpts)
 	if err != nil {
 		return nil, ExecStats{}, err
 	}
@@ -244,10 +281,15 @@ func (e *Engine) executeShared(expr nalg.Expr, opts ExecOptions, evalOpts nalg.E
 		Wall:             time.Since(start),
 		FailedPages:      failed,
 		Failures:         sess.Failures(),
-		Degraded:         opts.Degraded && len(failed) > 0,
+		Degraded:         (opts.Degraded && len(failed) > 0) || st.Stale > 0,
 		CacheHits:        st.CacheHits,
 		Revalidations:    st.Revalidations,
 		LightConnections: st.LightConnections,
+		Stale:            st.Stale,
+		StalePages:       sess.StaleURLs(),
+		Hedges:           st.Hedges,
+		HedgeWins:        st.HedgeWins,
+		BreakerFastFails: st.BreakerFastFails,
 	}, nil
 }
 

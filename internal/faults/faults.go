@@ -150,10 +150,11 @@ func mix64(h uint64) uint64 {
 type Server struct {
 	inner site.Server
 	seed  uint64
-	rules []Rule
-	sleep func(time.Duration) // nil: latency recorded, not slept
 
 	mu       sync.Mutex
+	rules    []Rule
+	sleep    func(time.Duration) // nil: latency recorded, not slept
+	sleeper  site.Sleeper        // preferred over sleep: cancelable latency
 	attempts map[string]int
 	injected map[Kind]int
 	faulted  map[string]bool
@@ -178,6 +179,25 @@ func (s *Server) SetSleep(fn func(time.Duration)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sleep = fn
+}
+
+// SetSleeper installs a context-aware sleeper for Latency faults, taking
+// precedence over SetSleep. Unlike a plain sleep function, the delay is
+// abandoned the moment the caller's context ends — a hedged request whose
+// loser was canceled must not keep a goroutine parked in the fault layer.
+func (s *Server) SetSleeper(slp site.Sleeper) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sleeper = slp
+}
+
+// SetRules replaces the rule set, keeping attempt counters and tallies.
+// Chaos scenarios use it to make a healthy host fall sick mid-run (or
+// recover), the situation the circuit breaker exists for.
+func (s *Server) SetRules(rules ...Rule) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules = append([]Rule(nil), rules...)
 }
 
 // Reset clears the attempt counters and injection tallies, replaying the
@@ -252,7 +272,7 @@ func (s *Server) decide(key, url string) (Rule, bool) {
 // context-free signature; use GetContext (the resilient fetcher does) to
 // make them recoverable.
 func (s *Server) Get(url string) (site.Page, error) {
-	return s.GetContext(context.Background(), url)
+	return s.GetContext(context.Background(), url) //lint:allow noctxbg context-free site.Server compatibility
 }
 
 // GetContext is the context-aware download the resilient fetcher prefers:
@@ -270,9 +290,13 @@ func (s *Server) GetContext(ctx context.Context, url string) (site.Page, error) 
 			return site.Page{}, fmt.Errorf("%w: %s (injected)", site.ErrNotFound, url)
 		case Latency:
 			s.mu.Lock()
-			sleep := s.sleep
+			sleep, sleeper := s.sleep, s.sleeper
 			s.mu.Unlock()
-			if sleep != nil {
+			if sleeper != nil {
+				if err := sleeper.Sleep(ctx, rule.Latency); err != nil {
+					return site.Page{}, fmt.Errorf("faults: delayed GET %s: %w", url, err)
+				}
+			} else if sleep != nil {
 				sleep(rule.Latency)
 			}
 		}
@@ -293,8 +317,9 @@ func (s *Server) GetContext(ctx context.Context, url string) (site.Page, error) 
 }
 
 // Head implements site.Server. Only NotFound and Transient rules apply to
-// light connections; a HEAD consumes its own attempt counter so it never
-// perturbs the GET schedule.
+// context-free light connections (a Stall would block forever with no way
+// out); a HEAD consumes its own attempt counter so it never perturbs the
+// GET schedule.
 func (s *Server) Head(url string) (site.Meta, error) {
 	rule, fired := s.decide("HEAD\x00"+url, url)
 	if fired {
@@ -303,6 +328,35 @@ func (s *Server) Head(url string) (site.Meta, error) {
 			return site.Meta{}, fmt.Errorf("%w: HEAD %s", ErrInjected, url)
 		case NotFound:
 			return site.Meta{}, fmt.Errorf("%w: %s (injected)", site.ErrNotFound, url)
+		}
+	}
+	return s.inner.Head(url) //lint:allow fetchgate the fault layer sits under the counted fetcher
+}
+
+// HeadContext implements site.ContextHeadServer: the context-aware light
+// connection the guard prefers. Stall rules apply here — the connection
+// blocks until the caller's context ends, never beyond it — alongside the
+// Transient and NotFound kinds of the plain Head.
+func (s *Server) HeadContext(ctx context.Context, url string) (site.Meta, error) {
+	rule, fired := s.decide("HEAD\x00"+url, url)
+	if fired {
+		switch rule.Kind {
+		case Transient:
+			return site.Meta{}, fmt.Errorf("%w: HEAD %s", ErrInjected, url)
+		case Stall:
+			<-ctx.Done()
+			return site.Meta{}, fmt.Errorf("faults: stalled HEAD %s: %w", url, ctx.Err())
+		case NotFound:
+			return site.Meta{}, fmt.Errorf("%w: %s (injected)", site.ErrNotFound, url)
+		case Latency:
+			s.mu.Lock()
+			sleeper := s.sleeper
+			s.mu.Unlock()
+			if sleeper != nil {
+				if err := sleeper.Sleep(ctx, rule.Latency); err != nil {
+					return site.Meta{}, fmt.Errorf("faults: delayed HEAD %s: %w", url, err)
+				}
+			}
 		}
 	}
 	return s.inner.Head(url) //lint:allow fetchgate the fault layer sits under the counted fetcher

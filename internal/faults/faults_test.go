@@ -3,6 +3,7 @@ package faults
 import (
 	"context"
 	"errors"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -261,5 +262,119 @@ func TestRuleOrder(t *testing.T) {
 	}
 	if _, err := s.Get(testURL); err != nil {
 		t.Fatalf("third GET: %v", err)
+	}
+}
+
+// TestStallHonorsContextWithoutLeakingGoroutines: a burst of stalled GETs,
+// HEADs and latency-delayed requests whose contexts are canceled must all
+// return promptly and leave no goroutine parked in the fault layer — the
+// situation a hedged fetch creates every time it cancels the loser.
+func TestStallHonorsContextWithoutLeakingGoroutines(t *testing.T) {
+	s := New(testServer(), 23,
+		Rule{Pattern: "stall", Kind: Stall, Rate: 1},
+		Rule{Pattern: "delay", Kind: Latency, Rate: 1, Latency: time.Hour},
+	)
+	s.SetSleeper(site.StdSleeper())
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	const n = 25
+	for i := 0; i < n; i++ {
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			_, err := s.GetContext(ctx, "http://example.test/stall.html")
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("stalled GET returned %v, want context.Canceled", err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			_, err := s.HeadContext(ctx, "http://example.test/stall.html")
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("stalled HEAD returned %v, want context.Canceled", err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			_, err := s.GetContext(ctx, "http://example.test/delay.html")
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("delayed GET returned %v, want context.Canceled", err)
+			}
+		}()
+	}
+	// Give the burst a moment to park, then cancel everything.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled requests did not return within 5s")
+	}
+	// The goroutine count must settle back to (about) where it started.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after cancel", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSetRulesMidRun: a healthy host falls sick when SetRules installs a
+// failure rule, and recovers when the rules are cleared; attempt counters
+// survive the swap.
+func TestSetRulesMidRun(t *testing.T) {
+	s := New(testServer(), 29)
+	if _, err := s.Get(testURL); err != nil {
+		t.Fatalf("healthy GET: %v", err)
+	}
+	s.SetRules(Rule{Kind: Transient, Rate: 1})
+	if _, err := s.Get(testURL); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sick GET err = %v, want ErrInjected", err)
+	}
+	s.SetRules()
+	if _, err := s.Get(testURL); err != nil {
+		t.Fatalf("recovered GET: %v", err)
+	}
+	if got := s.Attempts(testURL); got != 3 {
+		t.Errorf("Attempts = %d, want 3 across rule swaps", got)
+	}
+}
+
+// TestHeadContextStall: the context-aware light connection supports Stall
+// (the plain Head cannot — it has no way out) and shares the HEAD attempt
+// counter with Head.
+func TestHeadContextStall(t *testing.T) {
+	s := New(testServer(), 31, Rule{Kind: Stall, First: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.HeadContext(ctx, testURL)
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		t.Fatalf("stalled HEAD returned early: %v", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("stalled HEAD err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled HEAD never returned after cancel")
+	}
+	// The schedule is consumed: the next HEAD goes through.
+	if _, err := s.Head(testURL); err != nil {
+		t.Fatalf("post-stall HEAD: %v", err)
 	}
 }

@@ -10,6 +10,7 @@ import (
 // large site into a goroutine explosion or a deadlock.
 var concurrentPkgs = []string{
 	"ulixes/internal/faults",
+	"ulixes/internal/guard",
 	"ulixes/internal/nalg",
 	"ulixes/internal/matview",
 	"ulixes/internal/site",

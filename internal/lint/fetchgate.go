@@ -14,6 +14,11 @@ const sitePkg = "ulixes/internal/site"
 // and globally (Stats), so the cost model stays sound.
 const pagecachePkg = "ulixes/internal/pagecache"
 
+// guardPkg is the per-host resilience layer (breakers, bulkheads, hedges).
+// It sits beneath the counted access paths — the fetcher and the pagecache
+// call the origin through it — so its raw Get/Head calls are sanctioned.
+const guardPkg = "ulixes/internal/guard"
+
 // hypertextPkg defines WrapPage, the HTML→tuple wrapper; calling it outside
 // internal/site means a page was obtained without being counted.
 const hypertextPkg = "ulixes/internal/hypertext"
@@ -51,7 +56,8 @@ var FetchGate = &Analyzer{
 
 func runFetchGate(pass *Pass) {
 	if pass.Pkg.PkgPath == sitePkg || pass.Pkg.PkgPath == sitePkg+"_test" ||
-		pass.Pkg.PkgPath == pagecachePkg || pass.Pkg.PkgPath == pagecachePkg+"_test" {
+		pass.Pkg.PkgPath == pagecachePkg || pass.Pkg.PkgPath == pagecachePkg+"_test" ||
+		pass.Pkg.PkgPath == guardPkg || pass.Pkg.PkgPath == guardPkg+"_test" {
 		return
 	}
 	for _, file := range pass.Files {

@@ -1,7 +1,7 @@
 // Package lint is a small static-analysis framework for the engine's own
 // invariants, in the spirit of golang.org/x/tools/go/analysis but built only
 // on the standard library's go/ast and go/types (the repository carries no
-// module dependencies). It ships four analyzers:
+// module dependencies). It ships five analyzers:
 //
 //   - fetchgate: every page access must flow through the counted fetcher in
 //     internal/site, so ExecStats page counts stay sound;
@@ -9,7 +9,9 @@
 //   - chanhygiene: no unbounded goroutine fan-out or unguarded channel sends
 //     in the concurrent evaluation packages;
 //   - noprintln: no writes to the process's stdout/stderr from library
-//     packages.
+//     packages;
+//   - noctxbg: no context.Background/TODO in request-path packages, so
+//     request deadlines and cancellation propagate to every page access.
 //
 // Intentional exemptions are documented in the source with a
 //
@@ -76,7 +78,7 @@ func (f Finding) String() string {
 
 // Analyzers returns the full analyzer suite in deterministic order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{FetchGate, NoWallClock, ChanHygiene, NoPrintln}
+	return []*Analyzer{FetchGate, NoWallClock, ChanHygiene, NoPrintln, NoCtxBackground}
 }
 
 // Run applies the analyzers to the packages and returns the surviving

@@ -11,6 +11,7 @@ func TestFetchGate(t *testing.T)   { linttest.Run(t, lint.FetchGate, "fetchgate"
 func TestNoWallClock(t *testing.T) { linttest.Run(t, lint.NoWallClock, "nowallclock") }
 func TestChanHygiene(t *testing.T) { linttest.Run(t, lint.ChanHygiene, "chanhygiene") }
 func TestNoPrintln(t *testing.T)   { linttest.Run(t, lint.NoPrintln, "noprintln") }
+func TestNoCtxBg(t *testing.T)     { linttest.Run(t, lint.NoCtxBackground, "noctxbg") }
 
 // TestRepoClean asserts the invariant the PR establishes: the repo's own
 // packages produce no findings (intentional bypasses carry //lint:allow).

@@ -11,6 +11,7 @@ import (
 var measuredPkgs = []string{
 	"ulixes/internal/cost",
 	"ulixes/internal/faults",
+	"ulixes/internal/guard",
 	"ulixes/internal/nalg",
 	"ulixes/internal/pagecache",
 	"ulixes/internal/rewrite",

@@ -1,0 +1,33 @@
+// Package noctxbg is the noctxbg analyzer fixture: root-context minting in
+// a (simulated) request-path package.
+package noctxbg
+
+import "context"
+
+type page struct{}
+
+type fetcher interface {
+	fetch(ctx context.Context, url string) (page, error)
+}
+
+func fetchFresh(f fetcher, url string) (page, error) {
+	return f.fetch(context.Background(), url) // want `context\.Background on the request path`
+}
+
+func fetchLater(f fetcher, url string) (page, error) {
+	return f.fetch(context.TODO(), url) // want `context\.TODO on the request path`
+}
+
+// Threading the caller's context is the sanctioned pattern, including
+// deriving cancellable children from it.
+func fetchBounded(ctx context.Context, f fetcher, url string) (page, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return f.fetch(ctx, url)
+}
+
+// exempted documents a deliberate context-free compatibility shim; the
+// driver must suppress it.
+func exempted(f fetcher, url string) (page, error) {
+	return f.fetch(context.Background(), url) //lint:allow noctxbg context-free API compatibility
+}

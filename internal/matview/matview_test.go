@@ -4,8 +4,11 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"ulixes/internal/adm"
+	"ulixes/internal/faults"
+	"ulixes/internal/guard"
 	"ulixes/internal/nested"
 	"ulixes/internal/pagecache"
 	"ulixes/internal/site"
@@ -577,5 +580,86 @@ func TestLiveSourceSharesPages(t *testing.T) {
 	}
 	if got := ms.Counters().Gets(); got != gets {
 		t.Errorf("second query cost %d GETs, want 0 (shared store)", got-gets)
+	}
+}
+
+// TestStaleServeWhenBreakerOpen drives lazy maintenance through a sick
+// origin behind the site-health guard: once the breaker opens, URLCheck
+// serves the stored copy without confirmation (counted as a StaleServe)
+// instead of failing, and resumes verified checks after the site heals.
+func TestStaleServeWhenBreakerOpen(t *testing.T) {
+	u, ms, _, _ := fixtureParts(t)
+	var now struct {
+		mu sync.Mutex
+		t  time.Time
+	}
+	now.t = time.Date(2000, time.January, 1, 0, 0, 0, 0, time.UTC)
+	clock := func() time.Time {
+		now.mu.Lock()
+		defer now.mu.Unlock()
+		return now.t
+	}
+	advance := func(d time.Duration) {
+		now.mu.Lock()
+		now.t = now.t.Add(d)
+		now.mu.Unlock()
+	}
+	chaos := faults.New(ms, 7)
+	// Materialize itself runs through the guard and leaves its EWMA near
+	// zero, so with Alpha = 0.5 the error rate after one failure is 0.5 and
+	// after two is 0.75: a 0.6 threshold deterministically needs exactly
+	// two real failures to trip.
+	g := guard.New(chaos, guard.Config{
+		Clock:          clock,
+		MinSamples:     3,
+		ErrorThreshold: 0.6,
+		OpenFor:        30 * time.Second,
+	})
+	store, err := Materialize(g, u.Scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, ok := store.Page(sitegen.UnivProfListURL)
+	if !ok {
+		t.Fatal("prof list not materialized")
+	}
+	store.ResetCounters()
+	store.BeginEvaluation()
+
+	// The origin goes down hard: the first two checks fail for real and
+	// trip the breaker.
+	chaos.SetRules(faults.Rule{Kind: faults.Transient, Rate: 1})
+	for i := 0; i < 2; i++ {
+		if _, _, err := store.URLCheck(sitegen.UnivProfListURL, sitegen.ProfListPage); err == nil {
+			t.Fatalf("check %d: expected a transient failure", i)
+		}
+	}
+	if got := g.StateOf(guard.HostOf(sitegen.UnivProfListURL)); got != guard.Open {
+		t.Fatalf("breaker state %v, want Open", got)
+	}
+
+	// With the breaker open the check is answered from the stored copy.
+	tup, exists, err := store.URLCheck(sitegen.UnivProfListURL, sitegen.ProfListPage)
+	if err != nil || !exists {
+		t.Fatalf("stale check: exists=%v err=%v", exists, err)
+	}
+	if !tup.Equal(stored.Tuple) {
+		t.Fatal("stale check returned a different tuple than the stored copy")
+	}
+	c := store.Counters()
+	if c.StaleServes != 1 || c.LightConnections != 2 || c.Downloads != 0 {
+		t.Fatalf("counters %+v, want 1 stale serve, 2 light connections, 0 downloads", c)
+	}
+
+	// The site heals and the open window lapses: the half-open probe
+	// verifies the page with a real light connection again.
+	chaos.SetRules()
+	advance(31 * time.Second)
+	if _, exists, err := store.URLCheck(sitegen.UnivProfListURL, sitegen.ProfListPage); err != nil || !exists {
+		t.Fatalf("recovered check: exists=%v err=%v", exists, err)
+	}
+	c = store.Counters()
+	if c.StaleServes != 1 || c.LightConnections != 3 || c.Downloads != 0 {
+		t.Fatalf("post-recovery counters %+v, want 3 light connections and no new stale serves", c)
 	}
 }

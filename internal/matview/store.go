@@ -11,6 +11,7 @@ package matview
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -71,6 +72,11 @@ type Counters struct {
 	UpdatesApplied int
 	// DeletionsApplied counts pages found removed from the site.
 	DeletionsApplied int
+	// StaleServes counts checks answered from the stored copy without
+	// confirmation because the origin's circuit breaker was open: lazy
+	// maintenance degrades to trusting the materialization until the site
+	// heals, instead of failing the query.
+	StaleServes int
 }
 
 // DefaultCheckWorkers bounds the concurrent URLCheck light connections a
@@ -346,7 +352,7 @@ func (s *Store) liveFetch(url, scheme string) (nested.Tuple, bool, error) {
 	src := s.liveSrc
 	s.mu.Unlock()
 	if src != nil {
-		t, err := src.FetchCtx(context.Background(), scheme, url)
+		t, err := src.FetchCtx(context.Background(), scheme, url) //lint:allow noctxbg context-free Source surface of the store
 		if err != nil {
 			if isNotFound(err) {
 				return nested.Tuple{}, false, nil
@@ -444,9 +450,13 @@ func (s *Store) runCheck(url, scheme string, st Status) (nested.Tuple, bool, err
 	s.mu.Unlock()
 	// Light connection: an error flag and the modification date (§8).
 	meta, err := s.server.Head(url) //lint:allow fetchgate light connection, counted below (§8)
-	s.mu.Lock()
-	s.counters.LightConnections++
-	s.mu.Unlock()
+	if !errors.Is(err, site.ErrBreakerOpen) {
+		// A breaker fast-fail never reached the network, so it is not a
+		// light connection.
+		s.mu.Lock()
+		s.counters.LightConnections++
+		s.mu.Unlock()
+	}
 	if err != nil {
 		if isNotFound(err) {
 			s.mu.Lock()
@@ -458,11 +468,28 @@ func (s *Store) runCheck(url, scheme string, st Status) (nested.Tuple, bool, err
 			s.mu.Unlock()
 			return nested.Tuple{}, false, nil
 		}
+		if have && errors.Is(err, site.ErrBreakerOpen) {
+			// The origin's breaker is open: skip confirmation and trust
+			// the stored copy until the site heals. The URL stays
+			// unchecked so the next evaluation retries the verification.
+			s.mu.Lock()
+			s.counters.StaleServes++
+			s.mu.Unlock()
+			return stored.Tuple, true, nil
+		}
 		return nested.Tuple{}, false, err
 	}
 	if !have || stored.AccessDate.Before(meta.LastModified) {
 		t, err := s.download(url, scheme)
 		if err != nil {
+			if have && errors.Is(err, site.ErrBreakerOpen) {
+				// Confirmed changed, but the refresh was fast-failed:
+				// serve the stored (stale) copy rather than nothing.
+				s.mu.Lock()
+				s.counters.StaleServes++
+				s.mu.Unlock()
+				return stored.Tuple, true, nil
+			}
 			return nested.Tuple{}, false, err
 		}
 		s.mu.Lock()

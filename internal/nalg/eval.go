@@ -32,16 +32,27 @@ type Source interface {
 // from the shared cross-query store — to the Source interface.
 type FetcherSource struct {
 	F site.PageSource
+	// Ctx, when non-nil, bounds every page access the source issues: the
+	// caller's request deadline and cancellation propagate through the
+	// evaluator down to the fetch layer.
+	Ctx context.Context
+}
+
+func (s FetcherSource) context() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background() //lint:allow noctxbg context-free Source compatibility
 }
 
 // EntryPage implements Source.
 func (s FetcherSource) EntryPage(scheme, url string) (nested.Tuple, error) {
-	return s.F.FetchCtx(context.Background(), scheme, url)
+	return s.F.FetchCtx(s.context(), scheme, url)
 }
 
 // FollowPages implements Source.
 func (s FetcherSource) FollowPages(scheme string, urls []string) ([]nested.Tuple, error) {
-	return s.F.FetchAllCtx(context.Background(), scheme, urls)
+	return s.F.FetchAllCtx(s.context(), scheme, urls)
 }
 
 // qualifyPage renames a page tuple's attributes to alias-qualified column

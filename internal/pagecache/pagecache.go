@@ -100,6 +100,17 @@ type Stats struct {
 	Evictions int
 	// BytesFetched is the total HTML bytes physically downloaded.
 	BytesFetched int64
+	// Stale is the number of accesses answered from an expired entry
+	// because the origin's circuit breaker was open (stale-serving
+	// degradation; the guard layer must wrap the server for this to occur).
+	Stale int
+	// Hedges is the number of extra (hedged) requests the guard issued for
+	// this store's fetches; HedgeWins is how many answered first.
+	Hedges    int
+	HedgeWins int
+	// BreakerFastFails is the number of access attempts an open breaker
+	// rejected without touching the network.
+	BreakerFastFails int
 }
 
 // entry is one cached page.
@@ -121,6 +132,28 @@ type flight struct {
 	err  error
 }
 
+// netOutcome accumulates what the guard layer did over a retry loop: extra
+// (hedged) requests, hedge wins, breaker fast-fails, and whether a physical
+// HEAD was issued at all.
+type netOutcome struct {
+	hedges    int
+	hedgeWins int
+	fastFails int
+	// heads is 1 when at least one physical HEAD reached the network (a
+	// fast-failed light connection costs nothing and counts nothing).
+	heads int
+}
+
+func (n *netOutcome) add(out site.AccessOutcome) {
+	n.hedges += out.Hedges
+	if out.HedgeWon {
+		n.hedgeWins++
+	}
+	if out.FastFailed {
+		n.fastFails++
+	}
+}
+
 // access is the resolved outcome of one page access: the tuple plus which
 // network traffic resolving it cost. Sessions turn accesses into per-query
 // counters.
@@ -130,10 +163,15 @@ type access struct {
 	fetched bool
 	// revalidated reports a light connection confirmed the cached copy.
 	revalidated bool
+	// stale reports the access was answered from an expired entry because
+	// the origin's breaker was open — a successful but degraded access.
+	stale bool
 	// heads is the number of HEADs issued (0 or 1).
 	heads int
 	// size is the HTML byte size of the page (only when fetched).
 	size int
+	// net is the guard-layer accounting for this access.
+	net netOutcome
 }
 
 // Cache is the shared page store. It is safe for concurrent use by many
@@ -295,12 +333,16 @@ func (c *Cache) access(ctx context.Context, schemeName, url string) (access, err
 // (§8 light connection, re-GET only on change) or fetch a missing page.
 // On any error nothing is cached — a degraded fetch never poisons the
 // store — and an expired-but-unverifiable entry is kept, to be retried by
-// the next access.
+// the next access. When the origin's circuit breaker is open and an
+// expired copy exists, the copy is served marked stale: the guard cannot
+// verify freshness cheaply, and a bounded-staleness answer (the tolerance
+// argued for web data in "Maintaining Consistency of Data on the Web")
+// beats failing the query.
 func (c *Cache) fill(ctx context.Context, schemeName, url string, stale *entry) (access, error) {
 	if stale != nil {
-		meta, err := c.headRetry(ctx, url)
+		meta, n, err := c.headRetry(ctx, url)
 		c.mu.Lock()
-		c.stats.LightConnections++
+		c.stats.LightConnections += n.heads
 		c.mu.Unlock()
 		if err != nil {
 			if errors.Is(err, site.ErrNotFound) {
@@ -311,11 +353,16 @@ func (c *Cache) fill(ctx context.Context, schemeName, url string, stale *entry) 
 					c.removeLocked(cur)
 				}
 				c.mu.Unlock()
-				return access{heads: 1}, err
+				return access{heads: n.heads, net: n}, err
+			}
+			if errors.Is(err, site.ErrBreakerOpen) {
+				// The breaker fast-failed the revalidation: serve the
+				// expired copy, marked stale.
+				return c.serveStale(url, stale, n), nil
 			}
 			// Transient failure: keep the stale entry for a later retry,
 			// fail this access.
-			return access{heads: 1}, err
+			return access{heads: n.heads, net: n}, err
 		}
 		if !meta.LastModified.After(stale.lastMod) {
 			// Unchanged on the site: extend the lease, serve the copy.
@@ -324,16 +371,38 @@ func (c *Cache) fill(ctx context.Context, schemeName, url string, stale *entry) 
 			c.leaseLocked(stale, now)
 			c.lru.MoveToFront(stale.elem)
 			c.stats.Revalidations++
-			res := access{tuple: stale.tuple, revalidated: true, heads: 1}
+			res := access{tuple: stale.tuple, revalidated: true, heads: n.heads, net: n}
 			c.mu.Unlock()
 			return res, nil
 		}
 		// Changed: fall through to a full download.
 		res, err := c.fetch(ctx, schemeName, url)
-		res.heads = 1
+		res.heads += n.heads
+		res.net.hedges += n.hedges
+		res.net.hedgeWins += n.hedgeWins
+		res.net.fastFails += n.fastFails
+		if err != nil && errors.Is(err, site.ErrBreakerOpen) {
+			// The page changed but the breaker opened before the re-GET:
+			// the old copy is the best available answer — serve it stale.
+			return c.serveStale(url, stale, res.net), nil
+		}
 		return res, err
 	}
 	return c.fetch(ctx, schemeName, url)
+}
+
+// serveStale answers an access from an expired entry whose origin the
+// breaker declared sick. The entry's lease is NOT extended — the next
+// access after the breaker closes revalidates for real — but it is touched
+// in the LRU so degradation does not evict the very copies serving it.
+func (c *Cache) serveStale(url string, stale *entry, n netOutcome) access {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.entries[url]; ok && cur == stale {
+		c.lru.MoveToFront(stale.elem)
+	}
+	c.stats.Stale++
+	return access{tuple: stale.tuple, stale: true, heads: n.heads, net: n}
 }
 
 // fetch downloads, wraps and stores the page at url.
@@ -342,18 +411,22 @@ func (c *Cache) fetch(ctx context.Context, schemeName, url string) (access, erro
 	if ps == nil {
 		return access{}, fmt.Errorf("pagecache: unknown page-scheme %q", schemeName)
 	}
-	page, err := c.getRetry(ctx, url)
+	page, n, err := c.getRetry(ctx, url)
 	if err != nil {
 		// A changed-but-now-unfetchable page must not keep serving its old
-		// version as if verified: drop any entry for the URL.
-		c.drop(url)
-		return access{}, err
+		// version as if verified: drop any entry for the URL. A breaker
+		// fast-fail says nothing about the page, so the entry survives it
+		// (fill may serve it stale).
+		if !errors.Is(err, site.ErrBreakerOpen) {
+			c.drop(url)
+		}
+		return access{net: n}, err
 	}
 	t, err := hypertext.WrapPage(ps, url, page.HTML)
 	if err != nil {
 		// A malformed page (e.g. a chaos-truncated body) is an error for
 		// the asking queries, never a cache entry.
-		return access{}, err
+		return access{net: n}, err
 	}
 	c.mu.Lock()
 	now := c.clock()
@@ -369,7 +442,7 @@ func (c *Cache) fetch(ctx context.Context, schemeName, url string) (access, erro
 	c.stats.BytesFetched += int64(e.size)
 	c.evictLocked()
 	c.mu.Unlock()
-	return access{tuple: t, fetched: true, size: e.size}, nil
+	return access{tuple: t, fetched: true, size: e.size, net: n}, nil
 }
 
 // drop removes any entry for url.
@@ -401,58 +474,104 @@ func (c *Cache) evictLocked() {
 	}
 }
 
-// retryable classifies a fetch error: a missing page is permanent,
-// everything else may succeed on a later attempt.
+// retryable classifies a fetch error: a missing page is permanent, an open
+// breaker stays open for the whole retry window, everything else may
+// succeed on a later attempt. Terminating the retry loop on the first
+// fast-fail is what keeps degraded-mode access counts deterministic.
 func retryable(err error) bool {
-	return err != nil && !errors.Is(err, site.ErrNotFound)
+	return err != nil && !errors.Is(err, site.ErrNotFound) && !errors.Is(err, site.ErrBreakerOpen)
 }
 
-// getRetry issues one physical GET under the retry policy.
-func (c *Cache) getRetry(ctx context.Context, url string) (site.Page, error) {
+// noteOutcome folds one guard outcome into the cache-wide stats.
+func (c *Cache) noteOutcome(out site.AccessOutcome) {
+	if out == (site.AccessOutcome{}) {
+		return
+	}
+	c.mu.Lock()
+	c.stats.Hedges += out.Hedges
+	if out.HedgeWon {
+		c.stats.HedgeWins++
+	}
+	if out.FastFailed {
+		c.stats.BreakerFastFails++
+	}
+	c.mu.Unlock()
+}
+
+// getRetry issues one physical GET under the retry policy, preferring the
+// guard layer's outcome-reporting interface so hedges and fast-fails are
+// accounted per access.
+func (c *Cache) getRetry(ctx context.Context, url string) (site.Page, netOutcome, error) {
+	var n netOutcome
 	var last error
 	for attempt := 0; ; attempt++ {
 		var p site.Page
 		var err error
-		if cs, ok := c.server.(site.ContextServer); ok {
+		if os, ok := c.server.(site.OutcomeServer); ok {
+			var out site.AccessOutcome
+			p, out, err = os.GetOutcome(ctx, url)
+			n.add(out)
+			c.noteOutcome(out)
+		} else if cs, ok := c.server.(site.ContextServer); ok {
 			p, err = cs.GetContext(ctx, url)
 		} else {
 			p, err = c.server.Get(url)
 		}
 		if err == nil {
-			return p, nil
+			return p, n, nil
 		}
 		last = err
 		if !retryable(err) || attempt >= c.cfg.Retry.MaxRetries {
-			return site.Page{}, last
+			return site.Page{}, n, last
 		}
 		c.mu.Lock()
 		c.stats.Retries++
 		c.perURL[url]++
 		c.mu.Unlock()
 		if err := c.sleeper.Sleep(ctx, c.cfg.Retry.Backoff(url, attempt)); err != nil {
-			return site.Page{}, last
+			return site.Page{}, n, last
 		}
 	}
 }
 
-// headRetry opens one light connection under the retry policy.
-func (c *Cache) headRetry(ctx context.Context, url string) (site.Meta, error) {
+// headRetry opens one light connection under the retry policy. The returned
+// outcome's heads field reports whether any HEAD physically reached the
+// network (a breaker fast-fail costs no light connection).
+func (c *Cache) headRetry(ctx context.Context, url string) (site.Meta, netOutcome, error) {
+	var n netOutcome
 	var last error
 	for attempt := 0; ; attempt++ {
-		m, err := c.server.Head(url)
+		var m site.Meta
+		var err error
+		switch s := c.server.(type) {
+		case site.OutcomeServer:
+			var out site.AccessOutcome
+			m, out, err = s.HeadOutcome(ctx, url)
+			n.add(out)
+			c.noteOutcome(out)
+			if !out.FastFailed {
+				n.heads = 1
+			}
+		case site.ContextHeadServer:
+			m, err = s.HeadContext(ctx, url)
+			n.heads = 1
+		default:
+			m, err = c.server.Head(url)
+			n.heads = 1
+		}
 		if err == nil {
-			return m, nil
+			return m, n, nil
 		}
 		last = err
 		if !retryable(err) || attempt >= c.cfg.Retry.MaxRetries {
-			return site.Meta{}, last
+			return site.Meta{}, n, last
 		}
 		c.mu.Lock()
 		c.stats.Retries++
 		c.perURL[url]++
 		c.mu.Unlock()
 		if err := c.sleeper.Sleep(ctx, c.cfg.Retry.Backoff(url, attempt)); err != nil {
-			return site.Meta{}, last
+			return site.Meta{}, n, last
 		}
 	}
 }

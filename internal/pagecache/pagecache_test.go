@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ulixes/internal/faults"
+	"ulixes/internal/guard"
 	"ulixes/internal/site"
 	"ulixes/internal/sitegen"
 )
@@ -420,5 +421,83 @@ func TestNotFoundAfterExpiryDropsEntry(t *testing.T) {
 	}
 	if c.Len() != 0 {
 		t.Fatalf("vanished page still cached: %d entries", c.Len())
+	}
+}
+
+// TestStaleServeWhenBreakerOpen drives the full degradation path: a warmed
+// entry expires, the origin goes down, the guard's breaker opens after
+// MinSamples failures, and the store answers from the expired copy with
+// exact deterministic counters — then recovers with a single revalidation
+// once the breaker's window lapses and the origin heals.
+func TestStaleServeWhenBreakerOpen(t *testing.T) {
+	ms, u := testSite(t)
+	clk := newManualClock()
+	chaos := faults.New(ms, 7)
+	g := guard.New(chaos, guard.Config{
+		Clock:          clk.Now,
+		MinSamples:     3,
+		ErrorThreshold: 0.5,
+		OpenFor:        30 * time.Second,
+	})
+	c := New(g, u.Scheme, Config{
+		DefaultTTL: 10 * time.Second,
+		Clock:      clk.Now,
+		Retry:      site.RetryPolicy{MaxRetries: 5, Seed: 7},
+		Sleeper:    &site.InstantSleeper{},
+	})
+	scheme, url := pageOf(t, ms, 0)
+
+	// Warm the cache, pin the answer, and let the lease expire.
+	warm := c.NewSession(SessionOptions{})
+	warmTuple, err := warm.FetchCtx(context.Background(), scheme, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(11 * time.Second)
+
+	// The origin goes down hard: every attempt fails.
+	chaos.SetRules(faults.Rule{Kind: faults.Transient, Rate: 1})
+
+	// First expired access: three physical HEAD failures trip the breaker,
+	// the fourth attempt fast-fails, and the store serves the expired copy.
+	sess := c.NewSession(SessionOptions{Degraded: true})
+	got, err := sess.FetchAllCtx(context.Background(), scheme, []string{url})
+	var pe *site.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("stale batch err = %v, want *site.PartialError", err)
+	}
+	if len(pe.Failures) != 0 || len(pe.Stale) != 1 || pe.Stale[0] != url {
+		t.Fatalf("partial error %+v, want no failures and %s stale", pe, url)
+	}
+	if len(got) != 1 || !got[0].Equal(warmTuple) {
+		t.Fatalf("stale batch returned %d tuples, want the warmed copy", len(got))
+	}
+	st := sess.Stats()
+	if st.Accesses != 1 || st.Stale != 1 || st.Fetches != 0 || st.Revalidations != 0 || st.CacheHits != 0 {
+		t.Fatalf("stale access stats %+v, want exactly one stale serve", st)
+	}
+	if st.BreakerFastFails != 1 || st.LightConnections != 1 {
+		t.Fatalf("stale access stats %+v, want 1 fast-fail and 1 light connection", st)
+	}
+	if got := g.StateOf(guard.HostOf(url)); got != guard.Open {
+		t.Fatalf("breaker state %v, want Open", got)
+	}
+
+	// While the breaker stays open: no network at all, immediate stale serve.
+	st = fetchOne(t, c, scheme, url)
+	if st.Stale != 1 || st.BreakerFastFails != 1 || st.LightConnections != 0 {
+		t.Fatalf("open-breaker access stats %+v, want fast-failed stale serve with no HEAD", st)
+	}
+
+	// The origin heals and the open window lapses: the half-open probe
+	// revalidates the entry with a single light connection.
+	chaos.SetRules()
+	clk.Advance(31 * time.Second)
+	st = fetchOne(t, c, scheme, url)
+	if st.Revalidations != 1 || st.LightConnections != 1 || st.Stale != 0 || st.Fetches != 0 {
+		t.Fatalf("recovery access stats %+v, want one revalidation", st)
+	}
+	if gets := ms.Counters().Gets(); gets != 1 {
+		t.Fatalf("site saw %d GETs, want only the warmup fetch", gets)
 	}
 }

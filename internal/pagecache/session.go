@@ -28,9 +28,10 @@ type SessionOptions struct {
 }
 
 // SessionStats are the per-query access counters. Every distinct page the
-// query touched resolves to exactly one of hit / revalidation / fetch, so
+// query touched resolves to exactly one of hit / revalidation / fetch /
+// stale-serve, so
 //
-//	Accesses = CacheHits + Revalidations + Fetches
+//	Accesses = CacheHits + Revalidations + Fetches + Stale
 //
 // and Accesses is the paper's distinct-page cost C(E) — invariant whether
 // the store was cold or warm — while Fetches is what the query actually
@@ -50,6 +51,16 @@ type SessionStats struct {
 	LightConnections int
 	// Bytes is the HTML bytes of this query's physical fetches.
 	Bytes int64
+	// Stale is the number of accesses answered from an expired entry
+	// because the origin's breaker was open — successful but degraded.
+	Stale int
+	// Hedges is the number of extra (hedged) requests the guard issued for
+	// this query's accesses; HedgeWins is how many answered first.
+	Hedges    int
+	HedgeWins int
+	// BreakerFastFails is the number of access attempts an open breaker
+	// rejected without touching the network for this query.
+	BreakerFastFails int
 }
 
 // Session is one query's handle on the shared store. It implements
@@ -69,6 +80,7 @@ type Session struct {
 	local  map[string]nested.Tuple // URL → pinned tuple (per-query snapshot)
 	seen   map[string]bool         // URLs already charged against the budget
 	failed map[string]error        // URLs degraded batches left out
+	stale  map[string]bool         // URLs answered from an expired entry
 	stats  SessionStats
 }
 
@@ -83,6 +95,7 @@ func (c *Cache) NewSession(opts SessionOptions) *Session {
 		local:  make(map[string]nested.Tuple),
 		seen:   make(map[string]bool),
 		failed: make(map[string]error),
+		stale:  make(map[string]bool),
 	}
 }
 
@@ -119,6 +132,19 @@ func (s *Session) FailedURLs() []string {
 	return out
 }
 
+// StaleURLs returns the sorted URLs this session answered from expired
+// cache entries because the origin's breaker was open.
+func (s *Session) StaleURLs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.stale))
+	for u := range s.stale {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // FetchCtx implements site.PageSource: one page access through the shared
 // store, budget-checked and pinned for the rest of the query.
 func (s *Session) FetchCtx(ctx context.Context, schemeName, url string) (nested.Tuple, error) {
@@ -142,10 +168,16 @@ func (s *Session) FetchCtx(ctx context.Context, schemeName, url string) (nested.
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.LightConnections += res.heads
+	s.stats.Hedges += res.net.hedges
+	s.stats.HedgeWins += res.net.hedgeWins
+	s.stats.BreakerFastFails += res.net.fastFails
 	if err != nil {
 		return nested.Tuple{}, err
 	}
 	switch {
+	case res.stale:
+		s.stats.Stale++
+		s.stale[url] = true
 	case res.fetched:
 		s.stats.Fetches++
 		s.stats.Bytes += int64(res.size)
@@ -231,10 +263,19 @@ producing:
 		s.mu.Unlock()
 		failures = append(failures, site.FetchFailure{URL: urls[i], Err: errs[i], Retries: s.c.RetriesFor(urls[i])})
 	}
-	if len(failures) == 0 {
+	var staleList []string
+	s.mu.Lock()
+	for _, u := range urls {
+		if s.stale[u] {
+			staleList = append(staleList, u)
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(staleList)
+	if len(failures) == 0 && len(staleList) == 0 {
 		return kept, nil
 	}
-	return kept, &site.PartialError{Failures: failures}
+	return kept, &site.PartialError{Failures: failures, Stale: staleList}
 }
 
 // Session implements site.PageSource.

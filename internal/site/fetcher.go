@@ -2,9 +2,11 @@ package site
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"ulixes/internal/adm"
 	"ulixes/internal/nested"
@@ -13,6 +15,13 @@ import (
 // DefaultFetchWorkers bounds the fetcher's concurrent downloads, playing the
 // role of a polite crawler's connection limit.
 const DefaultFetchWorkers = 8
+
+// DefaultNegativeTTL is how long a permanently-failed URL stays in the
+// negative cache before the next fetch gives the network another chance. A
+// 404 is strong evidence but not proof of forever: pages come back (the
+// paper's sites were edited by hand). Measured on the fetcher's injectable
+// clock, so deterministic tests control expiry exactly.
+const DefaultNegativeTTL = 5 * time.Minute
 
 // Fetcher downloads pages from a server and wraps them into nested tuples
 // under the site's web scheme. It caches by URL, so within one query every
@@ -37,24 +46,30 @@ type Fetcher struct {
 	server Server
 	scheme *adm.Scheme
 
-	mu       sync.Mutex
-	workers  int
-	sem      chan struct{} // global bound on in-flight server.Get calls
-	flight   map[string]*flight
-	cache    map[string]nested.Tuple
-	sizes    map[string]int
-	neg      map[string]error // negative cache: permanently-failed URLs
-	failed   map[string]error // URLs a degraded batch had to leave out
-	perURL   map[string]int   // retry attempts per URL (diagnostics)
-	policy   RetryPolicy
-	sleeper  Sleeper
-	degraded bool
-	retries  int
-	fetched  int
-	bytes    int64
-	inflight int
-	peak     int
-	waiting  int // goroutines blocked on another goroutine's flight
+	mu        sync.Mutex
+	workers   int
+	sem       chan struct{} // global bound on in-flight server.Get calls
+	flight    map[string]*flight
+	cache     map[string]nested.Tuple
+	sizes     map[string]int
+	neg       map[string]error     // negative cache: permanently-failed URLs
+	negAt     map[string]time.Time // when each negative entry was recorded
+	negTTL    time.Duration
+	clock     Clock
+	failed    map[string]error // URLs a degraded batch had to leave out
+	perURL    map[string]int   // retry attempts per URL (diagnostics)
+	policy    RetryPolicy
+	sleeper   Sleeper
+	degraded  bool
+	retries   int
+	fetched   int
+	bytes     int64
+	inflight  int
+	peak      int
+	waiting   int // goroutines blocked on another goroutine's flight
+	hedges    int
+	hedgeWins int
+	fastFails int
 }
 
 // flightWaiters reports how many goroutines are blocked waiting on another
@@ -85,10 +100,35 @@ func NewFetcher(server Server, scheme *adm.Scheme) *Fetcher {
 		cache:   make(map[string]nested.Tuple),
 		sizes:   make(map[string]int),
 		neg:     make(map[string]error),
+		negAt:   make(map[string]time.Time),
+		negTTL:  DefaultNegativeTTL,
+		clock:   LogicalClock(),
 		failed:  make(map[string]error),
 		perURL:  make(map[string]int),
 		sleeper: stdSleeper{},
 	}
+}
+
+// SetClock replaces the clock stamping negative-cache entries; tests inject
+// a manual clock to drive expiry deterministically.
+func (f *Fetcher) SetClock(c Clock) {
+	if c == nil {
+		c = LogicalClock()
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.clock = c
+}
+
+// SetNegativeTTL sets how long permanently-failed URLs are remembered
+// before being retried; 0 or negative restores the default.
+func (f *Fetcher) SetNegativeTTL(d time.Duration) {
+	if d <= 0 {
+		d = DefaultNegativeTTL
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.negTTL = d
 }
 
 // SetWorkers sets the concurrent download bound (minimum 1). It must not be
@@ -204,6 +244,30 @@ func (f *Fetcher) PeakInFlight() int {
 	return f.peak
 }
 
+// Hedges returns the number of hedged (extra) requests the guard layer
+// issued for this fetcher's accesses — counted apart from page accesses, so
+// C(E) stays exact.
+func (f *Fetcher) Hedges() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hedges
+}
+
+// HedgeWins returns how many of those hedges answered before the primary.
+func (f *Fetcher) HedgeWins() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hedgeWins
+}
+
+// BreakerFastFails returns how many accesses an open circuit breaker
+// rejected without touching the network.
+func (f *Fetcher) BreakerFastFails() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fastFails
+}
+
 // wrap is defined as a variable boundary so tests can observe fetch errors
 // distinctly from wrap errors.
 func (f *Fetcher) wrapPage(schemeName, url, html string) (nested.Tuple, error) {
@@ -218,7 +282,7 @@ func (f *Fetcher) wrapPage(schemeName, url, html string) (nested.Tuple, error) {
 // page-scheme, consulting the cache first. Concurrent calls for the same
 // URL share a single GET.
 func (f *Fetcher) Fetch(schemeName, url string) (nested.Tuple, error) {
-	return f.FetchCtx(context.Background(), schemeName, url)
+	return f.FetchCtx(context.Background(), schemeName, url) //lint:allow noctxbg context-free API compatibility
 }
 
 // FetchCtx is Fetch under a context: retry backoffs and per-attempt
@@ -230,9 +294,15 @@ func (f *Fetcher) FetchCtx(ctx context.Context, schemeName, url string) (nested.
 		return t, nil
 	}
 	if err, ok := f.neg[url]; ok {
-		// The page is known to be permanently gone: fail without a GET.
-		f.mu.Unlock()
-		return nested.Tuple{}, err
+		// The page is known to be permanently gone: fail without a GET —
+		// unless the entry has outlived its TTL, in which case the page gets
+		// a fresh chance (sites do resurrect pages).
+		if f.clock().Sub(f.negAt[url]) < f.negTTL {
+			f.mu.Unlock()
+			return nested.Tuple{}, err
+		}
+		delete(f.neg, url)
+		delete(f.negAt, url)
 	}
 	if fl, ok := f.flight[url]; ok {
 		// Another goroutine is downloading this URL: wait for its result
@@ -259,9 +329,12 @@ func (f *Fetcher) FetchCtx(ctx context.Context, schemeName, url string) (nested.
 		f.sizes[url] = size
 		f.bytes += int64(size)
 		f.fetched++
-	} else if !retryable(err) {
-		// Permanently gone: remember, so later fetches skip the network.
+	} else if !retryable(err) && !errors.Is(err, ErrBreakerOpen) {
+		// Permanently gone: remember (for the negative TTL), so later
+		// fetches skip the network. A breaker fast-fail is non-retryable
+		// but says nothing about the page itself, so it is not cached.
 		f.neg[url] = err
+		f.negAt[url] = f.clock()
 	}
 	f.mu.Unlock()
 	fl.t, fl.err = t, err
@@ -330,18 +403,56 @@ func (f *Fetcher) attempt(ctx context.Context, schemeName, url string, sem chan 
 	return t, len(p.HTML), nil
 }
 
+// serverGet issues one context-aware GET, preferring the outcome-reporting
+// interface of the guard layer (folding its hedge/fast-fail accounting into
+// the per-query counters), then the plain context-aware server.
+func (f *Fetcher) serverGet(ctx context.Context, url string) (Page, error) {
+	if os, ok := f.server.(OutcomeServer); ok {
+		p, out, err := os.GetOutcome(ctx, url)
+		f.noteOutcome(out)
+		return p, err
+	}
+	if cs, ok := f.server.(ContextServer); ok {
+		return cs.GetContext(ctx, url)
+	}
+	return f.server.Get(url)
+}
+
+// noteOutcome folds a guard outcome into the fetcher's counters.
+func (f *Fetcher) noteOutcome(out AccessOutcome) {
+	if out == (AccessOutcome{}) {
+		return
+	}
+	f.mu.Lock()
+	f.hedges += out.Hedges
+	if out.HedgeWon {
+		f.hedgeWins++
+	}
+	if out.FastFailed {
+		f.fastFails++
+	}
+	f.mu.Unlock()
+}
+
+// ctxAware reports whether the server honors context cancelation (directly
+// or through the guard layer).
+func (f *Fetcher) ctxAware() bool {
+	if _, ok := f.server.(OutcomeServer); ok {
+		return true
+	}
+	_, ok := f.server.(ContextServer)
+	return ok
+}
+
 // getPage issues one GET under the policy's per-attempt deadline. The
 // deadline is driven by the fetcher's sleeper, so deterministic tests make
-// it fire instantly. A ContextServer has its download canceled when the
-// deadline fires; a plain Server is raced in a goroutine and abandoned —
+// it fire instantly. A context-aware server has its download canceled when
+// the deadline fires; a plain Server is raced in a goroutine and abandoned —
 // the goroutine drains when (if) the server finally answers.
 func (f *Fetcher) getPage(ctx context.Context, url string) (Page, error) {
 	pol, slp := f.retryConfig()
 	if pol.AttemptTimeout <= 0 {
-		if cs, ok := f.server.(ContextServer); ok {
-			return cs.GetContext(ctx, url)
-		}
-		return f.server.Get(url)
+		return f.serverGet(ctx, url)
 	}
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -354,8 +465,8 @@ func (f *Fetcher) getPage(ctx context.Context, url string) (Page, error) {
 	}()
 	var p Page
 	var err error
-	if cs, ok := f.server.(ContextServer); ok {
-		p, err = cs.GetContext(actx, url)
+	if f.ctxAware() {
+		p, err = f.serverGet(actx, url)
 	} else {
 		type result struct {
 			p   Page
@@ -392,7 +503,7 @@ func (f *Fetcher) getPage(ctx context.Context, url string) (Page, error) {
 // (SetDegraded) every URL is attempted, the reachable pages are returned,
 // and the unreachable ones are reported in a *PartialError.
 func (f *Fetcher) FetchAll(schemeName string, urls []string) ([]nested.Tuple, error) {
-	return f.FetchAllCtx(context.Background(), schemeName, urls)
+	return f.FetchAllCtx(context.Background(), schemeName, urls) //lint:allow noctxbg context-free API compatibility
 }
 
 // FetchAllCtx is FetchAll under a context.
@@ -505,6 +616,7 @@ func (f *Fetcher) ResetPages() {
 	f.cache = make(map[string]nested.Tuple)
 	f.sizes = make(map[string]int)
 	f.neg = make(map[string]error)
+	f.negAt = make(map[string]time.Time)
 	f.failed = make(map[string]error)
 }
 
@@ -518,6 +630,9 @@ func (f *Fetcher) ResetCounters() {
 	f.bytes = 0
 	f.retries = 0
 	f.peak = 0
+	f.hedges = 0
+	f.hedgeWins = 0
+	f.fastFails = 0
 	f.perURL = make(map[string]int)
 }
 

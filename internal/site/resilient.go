@@ -33,6 +33,45 @@ type ContextServer interface {
 	GetContext(ctx context.Context, url string) (Page, error)
 }
 
+// ContextHeadServer is the context-aware variant of Head. Light
+// connections through it are canceled promptly when the request context
+// ends, which matters once stalls can hit HEADs too.
+type ContextHeadServer interface {
+	HeadContext(ctx context.Context, url string) (Meta, error)
+}
+
+// AccessOutcome reports what the per-host resilience layer (internal/guard)
+// did for one access, beyond the result itself. The counted access paths
+// (Fetcher, pagecache) surface these numbers per query so the paper's
+// distinct-page-access cost stays exact: hedges and fast-fails are reported
+// separately, never folded into the page count.
+type AccessOutcome struct {
+	// Hedges is the number of extra requests issued for the access.
+	Hedges int
+	// HedgeWon reports that the hedge, not the primary, produced the answer.
+	HedgeWon bool
+	// FastFailed reports that an open circuit breaker rejected the access
+	// without any network activity (the error wraps ErrBreakerOpen).
+	FastFailed bool
+}
+
+// OutcomeServer is implemented by the guard layer: downloads and light
+// connections that also report the resilience machinery's actions. Counted
+// access paths type-assert for it, so wrapping a server with a guard
+// transparently enables per-query hedge/fast-fail accounting.
+type OutcomeServer interface {
+	GetOutcome(ctx context.Context, url string) (Page, AccessOutcome, error)
+	HeadOutcome(ctx context.Context, url string) (Meta, AccessOutcome, error)
+}
+
+// ErrBreakerOpen marks a fetch that was fast-failed by an open circuit
+// breaker (internal/guard) without touching the network. It is classified
+// as non-retryable: retrying immediately would hit the same open breaker,
+// and the retry loop terminating on it is what makes degraded-mode access
+// counts deterministic. Callers holding an expired cached copy serve it
+// stale instead (see pagecache).
+var ErrBreakerOpen = errors.New("site: circuit breaker open")
+
 // RetryPolicy configures the fetcher's resilience to a misbehaving site:
 // how many times a failed download is retried, how long to back off between
 // attempts, and how long a single attempt may run. The zero value disables
@@ -154,11 +193,11 @@ func (s *InstantSleeper) Slept() []time.Duration {
 	return out
 }
 
-// retryable classifies an error: a missing page is permanent, everything
-// else (transient injections, timeouts, malformed content) may succeed on a
-// later attempt.
+// retryable classifies an error: a missing page is permanent and an open
+// breaker stays open for the whole retry window, everything else (transient
+// injections, timeouts, malformed content) may succeed on a later attempt.
 func retryable(err error) bool {
-	return err != nil && !errors.Is(err, ErrNotFound)
+	return err != nil && !errors.Is(err, ErrNotFound) && !errors.Is(err, ErrBreakerOpen)
 }
 
 // FetchFailure is one URL a degraded batch could not fetch, with the final
@@ -178,6 +217,12 @@ type FetchFailure struct {
 // navigation evaluator does) treat it as "pages missing", not as failure.
 type PartialError struct {
 	Failures []FetchFailure
+	// Stale lists URLs that WERE answered, but from an expired cached copy
+	// because the origin's circuit breaker was open (stale-serving
+	// degradation). Stale pages are present in the batch's results — they
+	// mark reduced freshness, not missing data — so a PartialError may
+	// carry stale URLs and no failures at all.
+	Stale []string
 }
 
 // Error renders the failed URLs.
@@ -194,6 +239,9 @@ func (e *PartialError) Error() string {
 		} else {
 			fmt.Fprintf(&sb, " %s (%v);", f.URL, f.Err)
 		}
+	}
+	if len(e.Stale) > 0 {
+		fmt.Fprintf(&sb, " (%d served stale)", len(e.Stale))
 	}
 	return sb.String()
 }

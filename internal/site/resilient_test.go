@@ -351,3 +351,70 @@ func TestDefaultHTTPClientHasTimeout(t *testing.T) {
 		t.Errorf("default client timeout = %v, want %v", c.Timeout, DefaultHTTPTimeout)
 	}
 }
+
+// TestNegativeCacheTTLExpiry is the regression test for the negative cache
+// treating every 404 as permanent forever: a page that vanishes is
+// negatively cached, but once the entry outlives its TTL (on the injectable
+// clock) the next fetch goes back to the network and finds the reappeared
+// page.
+func TestNegativeCacheTTLExpiry(t *testing.T) {
+	u, ms := testSite(t)
+	urls := profURLs(t, u)
+	gone := urls[0]
+	cs := newFailNServer(ms, 0)
+	f := NewFetcher(cs, u.Scheme)
+
+	now := time.Date(1998, time.March, 23, 0, 0, 0, 0, time.UTC)
+	var mu sync.Mutex
+	f.SetClock(func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	})
+	f.SetNegativeTTL(time.Minute)
+
+	if !ms.RemovePage(gone) {
+		t.Fatalf("RemovePage(%s) found nothing", gone)
+	}
+	if _, err := f.Fetch(sitegen.ProfPage, gone); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if got := cs.count(gone); got != 1 {
+		t.Fatalf("server saw %d GETs, want 1", got)
+	}
+
+	// Inside the TTL the 404 is served from the negative cache.
+	mu.Lock()
+	now = now.Add(30 * time.Second)
+	mu.Unlock()
+	if _, err := f.Fetch(sitegen.ProfPage, gone); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("within TTL err = %v, want ErrNotFound", err)
+	}
+	if got := cs.count(gone); got != 1 {
+		t.Fatalf("within TTL the server saw %d GETs, want still 1", got)
+	}
+
+	// The site restores the page; past the TTL the fetcher must notice.
+	if err := restorePage(ms, u, gone); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	now = now.Add(31 * time.Second)
+	mu.Unlock()
+	if _, err := f.Fetch(sitegen.ProfPage, gone); err != nil {
+		t.Fatalf("past the TTL the reappeared page must be fetched: %v", err)
+	}
+	if got := cs.count(gone); got != 2 {
+		t.Fatalf("past the TTL the server saw %d GETs, want 2", got)
+	}
+}
+
+// restorePage re-renders the professor page at the URL into the site.
+func restorePage(ms *MemSite, u *sitegen.University, url string) error {
+	for _, tup := range u.Instance.Relation(sitegen.ProfPage).Tuples() {
+		if v, ok := tup.Get("URL"); ok && v.String() == url {
+			return ms.UpdatePage(sitegen.ProfPage, tup)
+		}
+	}
+	return errBadURL
+}

@@ -12,10 +12,14 @@ echo "== ulixes-vet ./..."
 go run ./cmd/ulixes-vet ./...
 echo "== go test -race ./..."
 go test -race ./...
+echo "== guard (race-enabled breaker/bulkhead/hedge suite)"
+go test -race ./internal/guard/
 echo "== chaos (fault-injection determinism check)"
 go run ./cmd/bench -only P3 >/dev/null
 echo "== shared store (multi-query determinism check)"
 go run ./cmd/bench -only P4 >/dev/null
+echo "== site-health guard (partial-outage determinism check)"
+go run ./cmd/bench -only P5 >/dev/null
 echo "== ulixesd smoke (concurrent query server self-test)"
 go run ./cmd/ulixesd -smoke
 echo "verify: OK"

@@ -20,6 +20,7 @@
 package ulixes
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -108,8 +109,19 @@ func (s *System) Stats() *Stats { return s.eng.Stats }
 // live site, reporting the answer and the measured page accesses.
 func (s *System) Query(src string) (*Answer, error) { return s.eng.Query(src) }
 
+// QueryCtx is Query under the caller's context: the request deadline and
+// cancellation propagate through the evaluator down to every page access.
+func (s *System) QueryCtx(ctx context.Context, src string) (*Answer, error) {
+	return s.eng.QueryCtx(ctx, src)
+}
+
 // QueryCQ is Query for an already parsed query.
 func (s *System) QueryCQ(q *Query) (*Answer, error) { return s.eng.QueryCQ(q) }
+
+// QueryCQCtx is QueryCQ under the caller's context.
+func (s *System) QueryCQCtx(ctx context.Context, q *Query) (*Answer, error) {
+	return s.eng.QueryCQCtx(ctx, q)
+}
 
 // Plan optimizes a query without executing it, returning the chosen plan
 // and all candidates (cheapest first).
