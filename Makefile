@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint verify bench experiments chaos serve smoke
+.PHONY: build test race vet lint verify bench bench-json experiments chaos serve smoke
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,15 @@ verify:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# bench-json records the root benchmark suite as a labeled run in the
+# committed trajectory file (ns/op, allocs, and the derived ns/page and
+# bytes/tuple gate metrics). Override BENCH_LABEL to record e.g. "before".
+BENCH_LABEL ?= after
+bench-json:
+	$(GO) test -run=NONE -bench=. -benchmem -benchtime=3x . \
+		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -merge BENCH_P1.json \
+			-desc "root suite: go test -run=NONE -bench=. -benchmem -benchtime=3x ."
 
 # experiments regenerates the tables of EXPERIMENTS.md.
 experiments:

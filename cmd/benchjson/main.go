@@ -1,0 +1,215 @@
+// Command benchjson converts `go test -bench -benchmem` output into a JSON
+// benchmark trajectory, deriving the hot-path gate metrics ns/page and
+// bytes-allocated/tuple from the custom "pages" and "tuples" metrics the
+// repo's benchmarks report.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. -benchmem -benchtime=3x . | benchjson -label after -merge BENCH_P1.json
+//
+// With -merge the labeled run is appended to (or replaces, by label) the
+// runs in an existing trajectory file, so a committed file accumulates
+// before/after pairs across optimization work. Tuple counts are invariant
+// across evaluator configurations (the answer is byte-identical by
+// construction), so when an older run predates the "tuples" metric its
+// bytes/tuple is derived from the tuple count of any newer run of the same
+// benchmark.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: the standard ns/op, B/op and allocs/op
+// plus every custom ReportMetric value, and the derived per-page and
+// per-tuple figures when the inputs for them are present.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"nsPerOp"`
+	BytesPerOp  float64            `json:"bytesPerOp,omitempty"`
+	AllocsPerOp float64            `json:"allocsPerOp,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	// NsPerPage is nsPerOp amortized over the "pages" metric: the cost of
+	// the fetch→wrap→evaluate path per page accessed.
+	NsPerPage float64 `json:"nsPerPage,omitempty"`
+	// BytesPerTuple is bytesPerOp over the "tuples" metric: allocation
+	// pressure per result row.
+	BytesPerTuple float64 `json:"bytesPerTuple,omitempty"`
+}
+
+// Run is one labeled benchmark invocation.
+type Run struct {
+	Label   string   `json:"label"`
+	Note    string   `json:"note,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Trajectory is the committed file format: runs in the order they were
+// recorded.
+type Trajectory struct {
+	Benchmarks string `json:"benchmarks"` // what was run, human-readable
+	Runs       []Run  `json:"runs"`
+}
+
+func main() {
+	label := flag.String("label", "run", "label for this run (e.g. before, after)")
+	note := flag.String("note", "", "free-form note stored with the run")
+	merge := flag.String("merge", "", "trajectory file to merge into (created if absent)")
+	out := flag.String("out", "", "output file (default: the -merge file, else stdout)")
+	desc := flag.String("desc", "", "trajectory description (set when creating a new file)")
+	flag.Parse()
+
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fail(err)
+	}
+	if len(results) == 0 {
+		fail(fmt.Errorf("no benchmark lines on stdin"))
+	}
+	run := Run{Label: *label, Note: *note, Results: results}
+
+	var traj Trajectory
+	if *merge != "" {
+		if raw, err := os.ReadFile(*merge); err == nil {
+			if err := json.Unmarshal(raw, &traj); err != nil {
+				fail(fmt.Errorf("%s: %w", *merge, err))
+			}
+		} else if !os.IsNotExist(err) {
+			fail(err)
+		}
+	}
+	if *desc != "" {
+		traj.Benchmarks = *desc
+	}
+	// Replace a run with the same label in place; append otherwise.
+	replaced := false
+	for i := range traj.Runs {
+		if traj.Runs[i].Label == run.Label {
+			traj.Runs[i] = run
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		traj.Runs = append(traj.Runs, run)
+	}
+	backfillTuples(&traj)
+
+	enc, err := json.MarshalIndent(&traj, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	enc = append(enc, '\n')
+	target := *out
+	if target == "" {
+		target = *merge
+	}
+	if target == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(target, enc, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("benchjson: %s: %d runs, %d results in %q\n", target, len(traj.Runs), len(run.Results), run.Label)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parse extracts benchmark result lines. A line looks like:
+//
+//	BenchmarkName-8  20  618448 ns/op  19.00 pages  422074 B/op  3301 allocs/op
+func parse(sc *bufio.Scanner) ([]Result, error) {
+	var out []Result
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			// Strip the GOMAXPROCS suffix, if numeric.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := Result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q", name, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				r.Metrics[unit] = v
+			}
+		}
+		derive(&r)
+		if len(r.Metrics) == 0 {
+			r.Metrics = nil
+		}
+		out = append(out, r)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, sc.Err()
+}
+
+// derive fills NsPerPage and BytesPerTuple when their inputs are present.
+func derive(r *Result) {
+	if p := r.Metrics["pages"]; p > 0 && r.NsPerOp > 0 {
+		r.NsPerPage = r.NsPerOp / p
+	}
+	if tp := r.Metrics["tuples"]; tp > 0 && r.BytesPerOp > 0 {
+		r.BytesPerTuple = r.BytesPerOp / tp
+	}
+}
+
+// backfillTuples derives bytes/tuple for runs recorded before the "tuples"
+// metric existed, borrowing the tuple count from any other run of the same
+// benchmark (tuple counts are invariant across runs of the same workload).
+func backfillTuples(traj *Trajectory) {
+	tuples := map[string]float64{}
+	for _, run := range traj.Runs {
+		for _, r := range run.Results {
+			if tp := r.Metrics["tuples"]; tp > 0 {
+				tuples[r.Name] = tp
+			}
+		}
+	}
+	for ri := range traj.Runs {
+		for i := range traj.Runs[ri].Results {
+			r := &traj.Runs[ri].Results[i]
+			if r.BytesPerTuple == 0 && r.BytesPerOp > 0 {
+				if tp := tuples[r.Name]; tp > 0 {
+					r.BytesPerTuple = r.BytesPerOp / tp
+				}
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@
 //	        [-max-queries N] [-workers N] [-drain-timeout 10s]
 //	        [-guard] [-breaker-threshold 0.5] [-breaker-open-for 30s]
 //	        [-host-fetches N] [-hedge-after 0]
+//	        [-plan-cache] [-plan-cache-entries N] [-plan-drift 0.25]
 //
 //	POST /query      query text in the body (or GET /query?q=…)
 //	GET  /healthz    liveness (503 while draining; reports open breakers)
@@ -29,6 +30,13 @@
 // ?priority=low) are shed at admission with 503 so capacity goes to
 // must-run work. Request deadlines and disconnects propagate end to end:
 // the HTTP request context cancels the query's page fetches.
+//
+// With -plan-cache (the default) queries repeating an already-seen shape —
+// the same query with different constants — skip Algorithm 1 entirely and
+// reuse the cached typechecked, rewritten, cost-selected plan, specialized
+// with the actual constants. Cached plans are invalidated when the site
+// statistics drift past -plan-drift relative change. Per-query responses
+// report planCached; /stats reports the hit/miss/invalidation counters.
 //
 // With -smoke the server starts on an ephemeral port, runs a deterministic
 // multi-client workload against itself, checks every answer and the exact
@@ -78,6 +86,9 @@ func main() {
 	breakerOpenFor := flag.Duration("breaker-open-for", guard.DefaultOpenFor, "how long an open breaker fast-fails before probing")
 	hostFetches := flag.Int("host-fetches", 0, "per-host bulkhead: max in-flight fetches per host (0 = unbounded)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "hedge straggler GETs after this delay (0 = no hedging)")
+	planCache := flag.Bool("plan-cache", true, "cache prepared plans by query shape (constants parameterized out)")
+	planCacheEntries := flag.Int("plan-cache-entries", 0, "max cached plan shapes (0 = default)")
+	planDrift := flag.Float64("plan-drift", 0, "relative statistics drift that invalidates a cached plan (0 = default, negative = never)")
 	smoke := flag.Bool("smoke", false, "self-test: serve on an ephemeral port, run a concurrent workload, exit")
 	flag.Parse()
 
@@ -122,6 +133,12 @@ func main() {
 		Cache:      cache,
 		PageBudget: *pageBudget,
 	})
+	if *planCache {
+		sys.EnablePlanCache(ulixes.PlanCacheConfig{
+			MaxEntries:     *planCacheEntries,
+			DriftThreshold: *planDrift,
+		})
+	}
 
 	srv := newServer(sys, cache, *maxQueries)
 	srv.guard = g

@@ -66,6 +66,11 @@ type queryStats struct {
 	Stale            int     `json:"stale,omitempty"`
 	Hedges           int     `json:"hedges,omitempty"`
 	BreakerFastFails int     `json:"breakerFastFails,omitempty"`
+	// PlanCached reports that the plan came from the prepared-plan cache
+	// (Algorithm 1 skipped); PlanMs is the time spent obtaining the plan
+	// either way.
+	PlanCached bool    `json:"planCached,omitempty"`
+	PlanMs     float64 `json:"planMs"`
 }
 
 type queryFailure struct {
@@ -161,6 +166,8 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Stale:            st.Stale,
 			Hedges:           st.Hedges,
 			BreakerFastFails: st.BreakerFastFails,
+			PlanCached:       st.PlanCached,
+			PlanMs:           float64(st.PlanWall) / float64(time.Millisecond),
 		},
 		Degraded:   st.Degraded,
 		StalePages: st.StalePages,
@@ -220,23 +227,27 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // server's admission ledger, and (with the guard on) per-host breaker and
 // bulkhead health.
 type storeStats struct {
-	Fetches          int                `json:"fetches"`
-	Hits             int                `json:"hits"`
-	Revalidations    int                `json:"revalidations"`
-	LightConnections int                `json:"lightConnections"`
-	Retries          int                `json:"retries"`
-	Evictions        int                `json:"evictions"`
-	BytesFetched     int64              `json:"bytesFetched"`
-	EntryCount       int                `json:"entryCount"`
-	EntryBytes       int64              `json:"entryBytes"`
-	Inflight         int64              `json:"inflight"`
-	Served           int64              `json:"served"`
-	Rejected         int64              `json:"rejected"`
-	Stale            int                `json:"stale,omitempty"`
-	Hedges           int                `json:"hedges,omitempty"`
-	BreakerFastFails int                `json:"breakerFastFails,omitempty"`
-	Shed             int64              `json:"shed,omitempty"`
-	Hosts            []guard.HostHealth `json:"hosts,omitempty"`
+	Fetches           int                `json:"fetches"`
+	Hits              int                `json:"hits"`
+	Revalidations     int                `json:"revalidations"`
+	LightConnections  int                `json:"lightConnections"`
+	Retries           int                `json:"retries"`
+	Evictions         int                `json:"evictions"`
+	BytesFetched      int64              `json:"bytesFetched"`
+	EntryCount        int                `json:"entryCount"`
+	EntryBytes        int64              `json:"entryBytes"`
+	Inflight          int64              `json:"inflight"`
+	Served            int64              `json:"served"`
+	Rejected          int64              `json:"rejected"`
+	Stale             int                `json:"stale,omitempty"`
+	Hedges            int                `json:"hedges,omitempty"`
+	BreakerFastFails  int                `json:"breakerFastFails,omitempty"`
+	Shed              int64              `json:"shed,omitempty"`
+	PlanHits          uint64             `json:"planHits"`
+	PlanMisses        uint64             `json:"planMisses"`
+	PlanInvalidations uint64             `json:"planInvalidations,omitempty"`
+	PlanEntries       int                `json:"planEntries"`
+	Hosts             []guard.HostHealth `json:"hosts,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -258,6 +269,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Hedges:           cs.Hedges,
 		BreakerFastFails: cs.BreakerFastFails,
 		Shed:             s.shed.Load(),
+	}
+	if pc := s.sys.PlanCache(); pc != nil {
+		pcs := pc.Counters()
+		out.PlanHits = pcs.Hits
+		out.PlanMisses = pcs.Misses
+		out.PlanInvalidations = pcs.Invalidations
+		out.PlanEntries = pcs.Entries
 	}
 	if s.guard != nil {
 		out.Hosts = s.guard.Snapshot()

@@ -243,9 +243,12 @@ func TestDrainRefusesNewQueries(t *testing.T) {
 	}
 }
 
-// TestSmokeWorkload runs the self-test end to end (ephemeral port).
+// TestSmokeWorkload runs the self-test end to end (ephemeral port). The
+// smoke asserts plan-cache behavior, so the test mirrors the binary's
+// default configuration and enables the cache.
 func TestSmokeWorkload(t *testing.T) {
 	srv := newTestServer(t, 8, 0, nil)
+	srv.sys.EnablePlanCache(ulixes.PlanCacheConfig{})
 	if err := runSmoke(srv); err != nil {
 		t.Fatal(err)
 	}

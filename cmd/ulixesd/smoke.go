@@ -51,6 +51,9 @@ func runSmoke(srv *server) error {
 	if len(cold.Rows) == 0 {
 		return fmt.Errorf("cold query returned no rows")
 	}
+	if cold.Stats.PlanCached {
+		return fmt.Errorf("cold query reported a plan-cache hit")
+	}
 
 	// Three concurrent warm queries: same answer, same D, zero GETs.
 	var wg sync.WaitGroup
@@ -82,6 +85,12 @@ func runSmoke(srv *server) error {
 		if len(r.Rows) != len(cold.Rows) {
 			return fmt.Errorf("warm query %d: %d rows, cold run had %d", i, len(r.Rows), len(cold.Rows))
 		}
+		if !r.Stats.PlanCached {
+			return fmt.Errorf("warm query %d: plan not served from the plan cache", i)
+		}
+		if r.Plan != cold.Plan {
+			return fmt.Errorf("warm query %d: cached plan %q differs from cold plan %q", i, r.Plan, cold.Plan)
+		}
 	}
 
 	var st storeStats
@@ -94,8 +103,11 @@ func runSmoke(srv *server) error {
 	if st.Served != 4 {
 		return fmt.Errorf("served %d queries, want 4", st.Served)
 	}
-	fmt.Printf("ulixesd: smoke: 4 queries, %d distinct accesses each, %d total GETs, %d hits, %d revalidations\n",
-		d, st.Fetches, st.Hits, st.Revalidations)
+	if st.PlanHits != 3 || st.PlanMisses != 1 {
+		return fmt.Errorf("plan cache: %d hits / %d misses, want 3 / 1", st.PlanHits, st.PlanMisses)
+	}
+	fmt.Printf("ulixesd: smoke: 4 queries, %d distinct accesses each, %d total GETs, %d hits, %d revalidations, %d plan-cache hits\n",
+		d, st.Fetches, st.Hits, st.Revalidations, st.PlanHits)
 	return nil
 }
 

@@ -196,6 +196,13 @@ func formatStats(st ulixes.ExecStats) string {
 	if st.BreakerFastFails > 0 {
 		s += fmt.Sprintf(", %d breaker fast-fails", st.BreakerFastFails)
 	}
+	if st.PlanWall > 0 {
+		if st.PlanCached {
+			s += fmt.Sprintf(", plan cached (%s)", st.PlanWall.Round(10*time.Microsecond))
+		} else {
+			s += fmt.Sprintf(", planned in %s", st.PlanWall.Round(10*time.Microsecond))
+		}
+	}
 	if st.Degraded {
 		s += fmt.Sprintf(", DEGRADED (%d pages unreachable: %s)",
 			len(st.FailedPages), strings.Join(st.FailedPages, ", "))

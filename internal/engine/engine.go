@@ -14,6 +14,7 @@ import (
 	"ulixes/internal/nested"
 	"ulixes/internal/optimizer"
 	"ulixes/internal/pagecache"
+	"ulixes/internal/plancache"
 	"ulixes/internal/site"
 	"ulixes/internal/stats"
 	"ulixes/internal/view"
@@ -112,6 +113,15 @@ type ExecStats struct {
 	// BreakerFastFails is the number of access attempts an open circuit
 	// breaker rejected without touching the network.
 	BreakerFastFails int
+	// PlanCached reports that the plan came from the prepared-plan cache:
+	// parse, typecheck, rewriting and costing were skipped and the cached
+	// plan was specialized with this query's constants. Always false
+	// without Engine.Plans.
+	PlanCached bool
+	// PlanWall is the time spent producing the executable plan — a full
+	// Algorithm 1 run on a miss, a cache specialization on a hit. Zero for
+	// Execute/ExecuteOpts, which are handed a plan.
+	PlanWall time.Duration
 }
 
 // Engine answers queries over a web site through a relational view.
@@ -122,6 +132,9 @@ type Engine struct {
 	Opt    *optimizer.Optimizer
 	// Exec is the execution configuration used by Query/QueryCQ/Execute.
 	Exec ExecOptions
+	// Plans, when non-nil, caches prepared plans by query shape: repeated
+	// query shapes skip Algorithm 1 entirely (see internal/plancache).
+	Plans *plancache.Cache
 }
 
 // New creates an engine. Statistics may come from stats.CollectSite (a
@@ -173,14 +186,28 @@ func (e *Engine) QueryCQ(q *cq.Query) (*Answer, error) {
 // QueryCQCtx optimizes and executes a parsed conjunctive query under the
 // caller's context.
 func (e *Engine) QueryCQCtx(ctx context.Context, q *cq.Query) (*Answer, error) {
-	res, err := e.Opt.Optimize(q)
+	planStart := time.Now()
+	var res *optimizer.Result
+	var cached bool
+	var err error
+	if e.Plans != nil {
+		// Scope cached plans to the optimizer configuration: an ablation
+		// or beam change must not resurrect plans chosen under other rules.
+		scope := fmt.Sprintf("%+v", e.Opt.Opts)
+		res, cached, err = e.Plans.Prepare(q, e.Stats, scope, e.Opt.Optimize)
+	} else {
+		res, err = e.Opt.Optimize(q)
+	}
 	if err != nil {
 		return nil, err
 	}
+	planWall := time.Since(planStart)
 	rel, st, err := e.ExecuteOptsCtx(ctx, res.Best.Expr, e.Exec)
 	if err != nil {
 		return nil, err
 	}
+	st.PlanCached = cached
+	st.PlanWall = planWall
 	return &Answer{
 		Result:       rel,
 		Plan:         res.Best,

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"ulixes/internal/engine"
@@ -49,19 +50,37 @@ func P1(params sitegen.BibliographyParams, latency time.Duration) (*Table, error
 		ID:    "P1",
 		Title: fmt.Sprintf("Pipelined execution: author sweep, %s simulated RTT per download", latency),
 		Header: []string{
-			"configuration", "pages", "KB", "wall", "peak in-flight", "speedup",
+			"configuration", "pages", "KB", "wall", "ns/page", "B alloc/tuple", "peak in-flight", "speedup",
 		},
 	}
 
-	base, baseStats, err := eng.ExecuteOpts(plan, engine.ExecOptions{Workers: 1, Pipelined: false})
+	// allocRun measures Go-heap bytes allocated across one execution, so the
+	// table reports the evaluator's allocation pressure per result tuple
+	// alongside its latency per page.
+	allocRun := func(opts engine.ExecOptions) (*nested.Relation, engine.ExecStats, uint64, error) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		rel, st, err := eng.ExecuteOpts(plan, opts)
+		runtime.ReadMemStats(&after)
+		return rel, st, after.TotalAlloc - before.TotalAlloc, err
+	}
+	perTuple := func(alloc uint64, rel *nested.Relation) string {
+		if rel.Len() == 0 {
+			return "—"
+		}
+		return fmt.Sprintf("%.0f", float64(alloc)/float64(rel.Len()))
+	}
+
+	base, baseStats, baseAlloc, err := allocRun(engine.ExecOptions{Workers: 1, Pipelined: false})
 	if err != nil {
 		return nil, err
 	}
 	t.AddRow("sequential, 1 worker", d(baseStats.Pages), kb(baseStats.Bytes),
-		ms3(baseStats.Wall), d(baseStats.PeakInFlight), "1.0×")
+		ms3(baseStats.Wall), nsPerPage(baseStats), perTuple(baseAlloc, base),
+		d(baseStats.PeakInFlight), "1.0×")
 
 	for _, w := range []int{1, 2, 4, 8, 16} {
-		rel, st, err := eng.ExecuteOpts(plan, engine.ExecOptions{Workers: w, Pipelined: true})
+		rel, st, alloc, err := allocRun(engine.ExecOptions{Workers: w, Pipelined: true})
 		if err != nil {
 			return nil, err
 		}
@@ -73,13 +92,22 @@ func P1(params sitegen.BibliographyParams, latency time.Duration) (*Table, error
 				st.Pages, w, baseStats.Pages)
 		}
 		t.AddRow(fmt.Sprintf("pipelined, workers=%d", w), d(st.Pages), kb(st.Bytes),
-			ms3(st.Wall), d(st.PeakInFlight), speedup(baseStats.Wall, st.Wall))
+			ms3(st.Wall), nsPerPage(st), perTuple(alloc, rel),
+			d(st.PeakInFlight), speedup(baseStats.Wall, st.Wall))
 	}
 	t.AddNote("latency vs. accesses: parallel fetching overlaps round-trips, so wall time drops with workers while the measured page accesses — the cost the paper's model estimates — stay identical in every row")
 	return t, nil
 }
 
 func kb(b int64) string { return fmt.Sprintf("%.1f", float64(b)/1024) }
+
+// nsPerPage is wall time amortized over the plan's page accesses.
+func nsPerPage(st engine.ExecStats) string {
+	if st.Pages == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%d", st.Wall.Nanoseconds()/int64(st.Pages))
+}
 
 func ms3(d time.Duration) string {
 	return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)

@@ -61,3 +61,35 @@ func BenchmarkTokenize(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkLex isolates the zero-copy lexer: token views are consumed in
+// place, with no []Token materialization (the wrapper's warm path).
+func BenchmarkLex(b *testing.B) {
+	_, _, html := benchPage(b)
+	b.SetBytes(int64(len(html)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := NewLexer(html)
+		for {
+			_, ok, err := l.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkUnescapeNoEntities measures the UnescapeHTML fast path: input
+// without decodable entities must be returned as-is, with zero allocations.
+func BenchmarkUnescapeNoEntities(b *testing.B) {
+	const s = "Introduction to Databases and Information Systems, Fall session"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := UnescapeHTML(s); len(got) != len(s) {
+			b.Fatal("fast path changed the string")
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package hypertext
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer is a streaming HTML tokenizer. It yields the same token stream as
+// Tokenize but without materializing a []Token: every string in a token is
+// a zero-copy view into the source (entity-bearing text pays one decode
+// copy), the attribute buffer is reused between calls, and tag/attribute
+// names are interned so parse trees do not pin page-sized HTML buffers
+// through many tiny substrings.
+type Lexer struct {
+	src   string
+	pos   int
+	attrs []Attr // reused backing for Token.Attrs
+}
+
+// NewLexer returns a lexer over one HTML document.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Next returns the next token; ok is false at end of input. The returned
+// token's Attrs slice aliases a buffer owned by the lexer and is valid
+// only until the following Next call — callers that retain attributes must
+// copy them.
+func (l *Lexer) Next() (tok Token, ok bool, err error) {
+	src := l.src
+	n := len(src)
+	for l.pos < n {
+		i := l.pos
+		if src[i] != '<' {
+			j := strings.IndexByte(src[i:], '<')
+			if j < 0 {
+				j = n - i
+			}
+			text := src[i : i+j]
+			l.pos = i + j
+			if strings.TrimSpace(text) != "" {
+				return Token{Kind: TokenText, Text: UnescapeHTML(text)}, true, nil
+			}
+			continue
+		}
+		// '<' seen.
+		if strings.HasPrefix(src[i:], "<!--") {
+			end := strings.Index(src[i+4:], "-->")
+			if end < 0 {
+				return Token{}, false, fmt.Errorf("hypertext: unterminated comment at offset %d", i)
+			}
+			l.pos = i + 4 + end + 3
+			return Token{Kind: TokenComment, Text: src[i+4 : i+4+end]}, true, nil
+		}
+		if strings.HasPrefix(src[i:], "<!") {
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				return Token{}, false, fmt.Errorf("hypertext: unterminated declaration at offset %d", i)
+			}
+			l.pos = i + end + 1
+			return Token{Kind: TokenDoctype, Text: src[i+2 : i+end]}, true, nil
+		}
+		return l.tag(i)
+	}
+	return Token{}, false, nil
+}
+
+// tag lexes the tag starting at offset i (src[i] == '<').
+func (l *Lexer) tag(i int) (Token, bool, error) {
+	src := l.src
+	n := len(src)
+	closing := false
+	j := i + 1
+	if j < n && src[j] == '/' {
+		closing = true
+		j++
+	}
+	// Tag name.
+	start := j
+	for j < n && isNameByte(src[j]) {
+		j++
+	}
+	if j == start {
+		return Token{}, false, fmt.Errorf("hypertext: malformed tag at offset %d", i)
+	}
+	tag := lowerIntern(src[start:j])
+	tok := Token{Tag: tag}
+	selfClose := false
+	l.attrs = l.attrs[:0]
+	// Attributes.
+	for {
+		for j < n && isSpace(src[j]) {
+			j++
+		}
+		if j >= n {
+			return Token{}, false, fmt.Errorf("hypertext: unterminated tag %q at offset %d", tag, i)
+		}
+		if src[j] == '>' {
+			j++
+			break
+		}
+		if src[j] == '/' && j+1 < n && src[j+1] == '>' {
+			selfClose = true
+			j += 2
+			break
+		}
+		// Attribute name.
+		as := j
+		for j < n && src[j] != '=' && src[j] != '>' && src[j] != '/' && !isSpace(src[j]) {
+			j++
+		}
+		key := lowerIntern(src[as:j])
+		if key == "" {
+			return Token{}, false, fmt.Errorf("hypertext: malformed attribute in tag %q at offset %d", tag, i)
+		}
+		val := ""
+		for j < n && isSpace(src[j]) {
+			j++
+		}
+		if j < n && src[j] == '=' {
+			j++
+			for j < n && isSpace(src[j]) {
+				j++
+			}
+			if j >= n {
+				return Token{}, false, fmt.Errorf("hypertext: unterminated attribute %q at offset %d", key, i)
+			}
+			if src[j] == '"' || src[j] == '\'' {
+				q := src[j]
+				j++
+				vs := j
+				for j < n && src[j] != q {
+					j++
+				}
+				if j >= n {
+					return Token{}, false, fmt.Errorf("hypertext: unterminated quoted value for %q at offset %d", key, i)
+				}
+				val = UnescapeHTML(src[vs:j])
+				j++
+			} else {
+				vs := j
+				for j < n && !isSpace(src[j]) && src[j] != '>' {
+					j++
+				}
+				val = UnescapeHTML(src[vs:j])
+			}
+		}
+		l.attrs = append(l.attrs, Attr{Key: key, Val: val})
+	}
+	switch {
+	case closing:
+		tok.Kind = TokenEndTag
+	case selfClose || voidElements[tag]:
+		tok.Kind = TokenSelfClosing
+		tok.Attrs = l.attrs
+	default:
+		tok.Kind = TokenStartTag
+		tok.Attrs = l.attrs
+	}
+	l.pos = j
+	return tok, true, nil
+}
+
+// internTable maps the tag and attribute names a wrappable site serves to
+// canonical strings. Interning keeps repeated names from pinning the page
+// HTML buffer and makes downstream string comparisons pointer-fast.
+var internTable = map[string]string{}
+
+func init() {
+	for _, s := range []string{
+		// Tags the renderer emits plus common HTML structure.
+		"html", "head", "body", "meta", "title", "ul", "ol", "li", "a",
+		"img", "span", "div", "p", "table", "tr", "td", "th", "h1", "h2",
+		"h3", "br", "hr", "em", "strong", "b", "i", "form", "input", "link",
+		// Attribute names.
+		"name", "content", "href", "src", "class", "id", "rel", "type",
+		"value", "alt", "data-attr", "charset",
+	} {
+		internTable[s] = s
+	}
+}
+
+// lowerIntern returns the canonical lower-case form of an HTML name.
+// Lower-case input — the common case — is returned interned or as a
+// zero-copy view; mixed-case input pays one ToLower copy.
+func lowerIntern(s string) string {
+	if c, ok := internTable[s]; ok {
+		return c
+	}
+	lower := strings.ToLower(s) // returns s unchanged when already lower-case
+	if c, ok := internTable[lower]; ok {
+		return c
+	}
+	return lower
+}

@@ -25,8 +25,13 @@ func (n *Node) Attr(key string) (string, bool) {
 }
 
 // InnerText returns the node's own text joined with the text of all
-// descendants, in document order, whitespace-trimmed.
+// descendants, in document order, whitespace-trimmed. Leaf nodes — the
+// common case for data-carrying attributes — return a view of their text
+// without allocating.
 func (n *Node) InnerText() string {
+	if len(n.Kids) == 0 {
+		return strings.TrimSpace(n.Text)
+	}
 	var sb strings.Builder
 	var walk func(m *Node)
 	walk = func(m *Node) {
@@ -44,23 +49,42 @@ func (n *Node) InnerText() string {
 // Mismatched end tags are tolerated by popping to the nearest matching open
 // element, the way browsers recover.
 func Parse(src string) (*Node, error) {
-	tokens, err := Tokenize(src)
-	if err != nil {
-		return nil, err
-	}
+	l := NewLexer(src)
 	root := &Node{Tag: "#root"}
 	stack := []*Node{root}
 	top := func() *Node { return stack[len(stack)-1] }
-	for _, tok := range tokens {
+	// Attribute arena: token attributes alias the lexer's reused buffer,
+	// so nodes copy them out — into one chunked backing array rather than
+	// one slice per node.
+	var arena []Attr
+	copyAttrs := func(attrs []Attr) []Attr {
+		if len(attrs) == 0 {
+			return nil
+		}
+		if cap(arena)-len(arena) < len(attrs) {
+			arena = make([]Attr, 0, 64+2*len(attrs))
+		}
+		start := len(arena)
+		arena = append(arena, attrs...)
+		return arena[start:len(arena):len(arena)]
+	}
+	for {
+		tok, ok, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
 		switch tok.Kind {
 		case TokenDoctype, TokenComment:
 			// Structure-irrelevant.
 		case TokenText:
 			top().Text += tok.Text
 		case TokenSelfClosing:
-			top().Kids = append(top().Kids, &Node{Tag: tok.Tag, Attrs: tok.Attrs})
+			top().Kids = append(top().Kids, &Node{Tag: tok.Tag, Attrs: copyAttrs(tok.Attrs)})
 		case TokenStartTag:
-			n := &Node{Tag: tok.Tag, Attrs: tok.Attrs}
+			n := &Node{Tag: tok.Tag, Attrs: copyAttrs(tok.Attrs)}
 			top().Kids = append(top().Kids, n)
 			stack = append(stack, n)
 		case TokenEndTag:

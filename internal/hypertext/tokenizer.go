@@ -1,7 +1,6 @@
 package hypertext
 
 import (
-	"fmt"
 	"strings"
 )
 
@@ -53,59 +52,83 @@ var voidElements = map[string]bool{
 	"param": true, "source": true, "track": true, "wbr": true,
 }
 
+// entityAt decodes the entity reference starting at s[i] (s[i] must be
+// '&'). ok reports that a decodable entity starts there; width is the
+// number of input bytes it spans, through the ';'.
+func entityAt(s string, i int) (r rune, width int, ok bool) {
+	semi := strings.IndexByte(s[i:], ';')
+	if semi < 0 || semi > 10 {
+		return 0, 0, false
+	}
+	ent := s[i+1 : i+semi]
+	switch ent {
+	case "amp":
+		return '&', semi + 1, true
+	case "lt":
+		return '<', semi + 1, true
+	case "gt":
+		return '>', semi + 1, true
+	case "quot":
+		return '"', semi + 1, true
+	case "apos":
+		return '\'', semi + 1, true
+	}
+	if strings.HasPrefix(ent, "#") {
+		n := 0
+		valid := len(ent) > 1
+		for _, c := range ent[1:] {
+			if c < '0' || c > '9' {
+				valid = false
+				break
+			}
+			n = n*10 + int(c-'0')
+		}
+		if valid && n > 0 && n < 0x110000 {
+			return rune(n), semi + 1, true
+		}
+	}
+	return 0, 0, false
+}
+
 // UnescapeHTML decodes the five named entities the renderer produces plus
-// decimal numeric references.
+// decimal numeric references. When the input contains no decodable entity
+// — including bare ampersands, as in "AT&T" — it is returned unchanged
+// without allocating.
 func UnescapeHTML(s string) string {
-	if !strings.Contains(s, "&") {
-		return s
+	// Find the first decodable entity; everything before it copies as-is.
+	i := 0
+	for {
+		j := strings.IndexByte(s[i:], '&')
+		if j < 0 {
+			return s
+		}
+		i += j
+		if _, _, ok := entityAt(s, i); ok {
+			break
+		}
+		i++
 	}
 	var sb strings.Builder
-	for i := 0; i < len(s); {
+	sb.Grow(len(s))
+	sb.WriteString(s[:i])
+	for i < len(s) {
 		if s[i] != '&' {
-			sb.WriteByte(s[i])
-			i++
-			continue
-		}
-		semi := strings.IndexByte(s[i:], ';')
-		if semi < 0 || semi > 10 {
-			sb.WriteByte(s[i])
-			i++
-			continue
-		}
-		ent := s[i+1 : i+semi]
-		switch ent {
-		case "amp":
-			sb.WriteByte('&')
-		case "lt":
-			sb.WriteByte('<')
-		case "gt":
-			sb.WriteByte('>')
-		case "quot":
-			sb.WriteByte('"')
-		case "apos":
-			sb.WriteByte('\'')
-		default:
-			if strings.HasPrefix(ent, "#") {
-				n := 0
-				valid := len(ent) > 1
-				for _, c := range ent[1:] {
-					if c < '0' || c > '9' {
-						valid = false
-						break
-					}
-					n = n*10 + int(c-'0')
-				}
-				if valid && n > 0 && n < 0x110000 {
-					sb.WriteRune(rune(n))
-					i += semi + 1
-					continue
-				}
+			j := strings.IndexByte(s[i:], '&')
+			if j < 0 {
+				sb.WriteString(s[i:])
+				break
 			}
-			sb.WriteByte(s[i])
-			i++
+			sb.WriteString(s[i : i+j])
+			i += j
 			continue
 		}
-		i += semi + 1
+		if r, w, ok := entityAt(s, i); ok {
+			sb.WriteRune(r)
+			i += w
+		} else {
+			sb.WriteByte('&')
+			i++
+		}
 	}
 	return sb.String()
 }
@@ -115,131 +138,26 @@ func UnescapeHTML(s string) string {
 // attributes, self-closing syntax and void elements. It is not a full HTML5
 // tokenizer (no script/style raw-text states), which is sufficient for the
 // data-carrying pages a wrappable site serves.
+//
+// Tokenize materializes the whole token stream, copying each token's
+// attributes out of the lexer's reused buffer; allocation-sensitive
+// callers should drive a Lexer directly.
 func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
 	var tokens []Token
-	i := 0
-	n := len(src)
-	for i < n {
-		if src[i] != '<' {
-			j := strings.IndexByte(src[i:], '<')
-			if j < 0 {
-				j = n - i
-			}
-			text := src[i : i+j]
-			if strings.TrimSpace(text) != "" {
-				tokens = append(tokens, Token{Kind: TokenText, Text: UnescapeHTML(text)})
-			}
-			i += j
-			continue
+	for {
+		tok, ok, err := l.Next()
+		if err != nil {
+			return nil, err
 		}
-		// '<' seen.
-		if strings.HasPrefix(src[i:], "<!--") {
-			end := strings.Index(src[i+4:], "-->")
-			if end < 0 {
-				return nil, fmt.Errorf("hypertext: unterminated comment at offset %d", i)
-			}
-			tokens = append(tokens, Token{Kind: TokenComment, Text: src[i+4 : i+4+end]})
-			i += 4 + end + 3
-			continue
+		if !ok {
+			return tokens, nil
 		}
-		if strings.HasPrefix(src[i:], "<!") {
-			end := strings.IndexByte(src[i:], '>')
-			if end < 0 {
-				return nil, fmt.Errorf("hypertext: unterminated declaration at offset %d", i)
-			}
-			tokens = append(tokens, Token{Kind: TokenDoctype, Text: src[i+2 : i+end]})
-			i += end + 1
-			continue
-		}
-		closing := false
-		j := i + 1
-		if j < n && src[j] == '/' {
-			closing = true
-			j++
-		}
-		// Tag name.
-		start := j
-		for j < n && isNameByte(src[j]) {
-			j++
-		}
-		if j == start {
-			return nil, fmt.Errorf("hypertext: malformed tag at offset %d", i)
-		}
-		tag := strings.ToLower(src[start:j])
-		tok := Token{Tag: tag}
-		// Attributes.
-		for {
-			for j < n && isSpace(src[j]) {
-				j++
-			}
-			if j >= n {
-				return nil, fmt.Errorf("hypertext: unterminated tag %q at offset %d", tag, i)
-			}
-			if src[j] == '>' {
-				j++
-				break
-			}
-			if src[j] == '/' && j+1 < n && src[j+1] == '>' {
-				tok.Kind = TokenSelfClosing
-				j += 2
-				break
-			}
-			// Attribute name.
-			as := j
-			for j < n && src[j] != '=' && src[j] != '>' && src[j] != '/' && !isSpace(src[j]) {
-				j++
-			}
-			key := strings.ToLower(src[as:j])
-			if key == "" {
-				return nil, fmt.Errorf("hypertext: malformed attribute in tag %q at offset %d", tag, i)
-			}
-			val := ""
-			for j < n && isSpace(src[j]) {
-				j++
-			}
-			if j < n && src[j] == '=' {
-				j++
-				for j < n && isSpace(src[j]) {
-					j++
-				}
-				if j >= n {
-					return nil, fmt.Errorf("hypertext: unterminated attribute %q at offset %d", key, i)
-				}
-				if src[j] == '"' || src[j] == '\'' {
-					q := src[j]
-					j++
-					vs := j
-					for j < n && src[j] != q {
-						j++
-					}
-					if j >= n {
-						return nil, fmt.Errorf("hypertext: unterminated quoted value for %q at offset %d", key, i)
-					}
-					val = UnescapeHTML(src[vs:j])
-					j++
-				} else {
-					vs := j
-					for j < n && !isSpace(src[j]) && src[j] != '>' {
-						j++
-					}
-					val = UnescapeHTML(src[vs:j])
-				}
-			}
-			tok.Attrs = append(tok.Attrs, Attr{Key: key, Val: val})
-		}
-		switch {
-		case closing:
-			tok.Kind = TokenEndTag
-			tok.Attrs = nil
-		case tok.Kind == TokenSelfClosing || voidElements[tag]:
-			tok.Kind = TokenSelfClosing
-		default:
-			tok.Kind = TokenStartTag
+		if len(tok.Attrs) > 0 {
+			tok.Attrs = append([]Attr(nil), tok.Attrs...)
 		}
 		tokens = append(tokens, tok)
-		i = j
 	}
-	return tokens, nil
 }
 
 func isSpace(c byte) bool {

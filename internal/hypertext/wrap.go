@@ -2,10 +2,50 @@ package hypertext
 
 import (
 	"fmt"
+	"sync"
 
 	"ulixes/internal/adm"
 	"ulixes/internal/nested"
 )
+
+// schemeNames caches, per page-scheme, the tuple attribute-name slice
+// (URL followed by the declared attributes). Every page wrapped under one
+// scheme shares the same names slice — the interning the warm path relies
+// on: millions of tuples, a handful of name arrays.
+var schemeNames sync.Map // *adm.PageScheme -> []string
+
+func namesFor(scheme *adm.PageScheme) []string {
+	if v, ok := schemeNames.Load(scheme); ok {
+		return v.([]string)
+	}
+	names := make([]string, 1+len(scheme.Attrs))
+	names[0] = adm.URLAttr
+	for i, f := range scheme.Attrs {
+		names[i+1] = f.Name
+	}
+	v, _ := schemeNames.LoadOrStore(scheme, names)
+	return v.([]string)
+}
+
+// elemNames caches the element-tuple name slice of a list field, keyed by
+// the identity of the field's element slice.
+var elemNames sync.Map // *nested.Field -> []string
+
+func namesForElems(fields []nested.Field) []string {
+	if len(fields) == 0 {
+		return nil
+	}
+	key := &fields[0]
+	if v, ok := elemNames.Load(key); ok {
+		return v.([]string)
+	}
+	names := make([]string, len(fields))
+	for i, f := range fields {
+		names[i] = f.Name
+	}
+	v, _ := elemNames.LoadOrStore(key, names)
+	return v.([]string)
+}
 
 // WrapPage parses an HTML page and extracts the nested tuple it represents
 // under the given page-scheme. url becomes the implicit URL attribute.
@@ -30,20 +70,17 @@ func WrapPage(scheme *adm.PageScheme, url, html string) (nested.Tuple, error) {
 	if body == nil {
 		body = root
 	}
-	t := nested.T(adm.URLAttr, nested.LinkValue(url))
-	return wrapFields(body, scheme.Attrs, t, scheme.Name)
-}
-
-func wrapFields(container *Node, fields []nested.Field, base nested.Tuple, schemeName string) (nested.Tuple, error) {
-	t := base
-	for _, f := range fields {
-		v, err := wrapField(container, f, schemeName)
+	names := namesFor(scheme)
+	vals := make([]nested.Value, len(names))
+	vals[0] = nested.LinkValue(url)
+	for i, f := range scheme.Attrs {
+		v, err := wrapField(body, f, scheme.Name)
 		if err != nil {
 			return nested.Tuple{}, err
 		}
-		t = t.With(f.Name, v)
+		vals[i+1] = v
 	}
-	return t, nil
+	return nested.TrustedTuple(names, vals), nil
 }
 
 func wrapField(container *Node, f nested.Field, schemeName string) (nested.Value, error) {
@@ -73,16 +110,21 @@ func wrapField(container *Node, f nested.Field, schemeName string) (nested.Value
 		if node.Tag != "ul" {
 			return nil, fmt.Errorf("hypertext: %s: list attribute %q marked on <%s>, expected <ul>", schemeName, f.Name, node.Tag)
 		}
+		names := namesForElems(f.Type.Elem)
 		var list nested.ListValue
 		for _, li := range node.Kids {
 			if li.Tag != "li" {
 				continue
 			}
-			elem, err := wrapFields(li, f.Type.Elem, nested.Tuple{}, schemeName)
-			if err != nil {
-				return nil, err
+			vals := make([]nested.Value, len(names))
+			for i, ef := range f.Type.Elem {
+				v, err := wrapField(li, ef, schemeName)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
 			}
-			list = append(list, elem)
+			list = append(list, nested.TrustedTuple(names, vals))
 		}
 		return list, nil
 	default:

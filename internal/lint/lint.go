@@ -11,7 +11,9 @@
 //   - noprintln: no writes to the process's stdout/stderr from library
 //     packages;
 //   - noctxbg: no context.Background/TODO in request-path packages, so
-//     request deadlines and cancellation propagate to every page access.
+//     request deadlines and cancellation propagate to every page access;
+//   - poolreset: sync.Pool users on the request path must reset pooled
+//     objects before Put, so no request's data leaks into the next.
 //
 // Intentional exemptions are documented in the source with a
 //
@@ -78,7 +80,7 @@ func (f Finding) String() string {
 
 // Analyzers returns the full analyzer suite in deterministic order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{FetchGate, NoWallClock, ChanHygiene, NoPrintln, NoCtxBackground}
+	return []*Analyzer{FetchGate, NoWallClock, ChanHygiene, NoPrintln, NoCtxBackground, PoolReset}
 }
 
 // Run applies the analyzers to the packages and returns the surviving

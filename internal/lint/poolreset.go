@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// pooledPathPkgs are the packages allowed to use sync.Pool on the query
+// request path: the tuple/value layer and the wrapper, plus everything in
+// requestPathPkgs. A pooled object that is returned dirty — without its
+// buffers truncated or its fields cleared — leaks one request's data into
+// the next and turns length-dependent bugs nondeterministic, so every
+// (*sync.Pool).Put must be preceded by visible reset evidence in the same
+// function: an assignment through the pooled variable (e.g. *b = (*b)[:0])
+// or a Reset-style method call on it. Deliberate exceptions carry a
+// //lint:allow poolreset directive.
+var pooledPathPkgs = append([]string{
+	"ulixes/internal/nested",
+	"ulixes/internal/hypertext",
+}, requestPathPkgs...)
+
+// PoolReset enforces reset-before-Put for sync.Pool users on the request
+// path.
+var PoolReset = &Analyzer{
+	Name: "poolreset",
+	Doc: "request-path packages pooling objects with sync.Pool must reset a\n" +
+		"pooled object before (*sync.Pool).Put: truncate its buffers or clear\n" +
+		"its fields in the same function (e.g. *b = (*b)[:0] or x.Reset()), so\n" +
+		"no request's data leaks into the next request's pooled object\n" +
+		"(deliberate exceptions carry //lint:allow poolreset)",
+	Run: runPoolReset,
+}
+
+func runPoolReset(pass *Pass) {
+	if !pathIsOneOf(pass.Pkg.PkgPath, pooledPathPkgs...) && !fixturePackage(pass.Pkg.PkgPath) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, body := enclosingFunc(n)
+			if body == nil {
+				return true
+			}
+			ast.Inspect(body, func(m ast.Node) bool {
+				// Do not descend into nested function literals here; the
+				// outer Inspect visits them as their own scope.
+				if fl, ok := m.(*ast.FuncLit); ok && fl != fn {
+					return false
+				}
+				call, ok := m.(*ast.CallExpr)
+				if !ok || !isPoolPut(pass.Pkg, call) || len(call.Args) != 1 {
+					return true
+				}
+				obj := rootObject(pass.Pkg, call.Args[0])
+				if obj == nil {
+					// Putting a freshly built value (composite literal,
+					// call result) cannot carry stale request data.
+					return true
+				}
+				if !resetBefore(pass.Pkg, body, fn, obj, call.Pos()) {
+					pass.Reportf(call.Pos(), "pooled object %q is not reset before Put; truncate or clear it (e.g. *%s = (*%s)[:0]) so pooled state cannot leak across requests", obj.Name(), obj.Name(), obj.Name())
+				}
+				return true
+			})
+			// Keep descending: nested function literals are analyzed as
+			// their own scopes when the walk reaches them.
+			return true
+		})
+	}
+}
+
+// enclosingFunc returns the function node and body when n opens a function
+// scope (declaration or literal).
+func enclosingFunc(n ast.Node) (ast.Node, *ast.BlockStmt) {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn, fn.Body
+	case *ast.FuncLit:
+		return fn, fn.Body
+	}
+	return nil, nil
+}
+
+// isPoolPut reports whether a call is (*sync.Pool).Put.
+func isPoolPut(pkg *Package, call *ast.CallExpr) bool {
+	obj := calleeObject(pkg, call)
+	if obj == nil || obj.Pkg() == nil || !isMethod(obj) {
+		return false
+	}
+	return obj.Pkg().Path() == "sync" && obj.Name() == "Put"
+}
+
+// rootObject resolves the variable at the root of an expression like x,
+// &x, x.field or (*x), or nil when the expression is not rooted in a
+// variable (fresh composite literals, call results, constants).
+func rootObject(pkg *Package, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[x]; obj != nil {
+				if _, ok := obj.(*types.Var); ok {
+					return obj
+				}
+			}
+			return nil
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// resetBefore reports whether the function body shows reset evidence for
+// obj at a position before pos: an assignment whose left-hand side is
+// rooted in obj, or a method call on obj whose name starts with "Reset" or
+// "Clear".
+func resetBefore(pkg *Package, body *ast.BlockStmt, fn ast.Node, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if fl, ok := n.(*ast.FuncLit); ok && fl != fn {
+			return false
+		}
+		if n == nil || n.Pos() >= pos {
+			return true
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if rootObject(pkg, lhs) == obj {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if (hasPrefix(name, "Reset") || hasPrefix(name, "Clear")) && rootObject(pkg, sel.X) == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func hasPrefix(s, p string) bool {
+	return len(s) >= len(p) && s[:len(p)] == p
+}

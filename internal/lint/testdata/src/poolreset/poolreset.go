@@ -1,0 +1,61 @@
+// Package poolreset is a lint fixture: sync.Pool Put calls with and
+// without reset evidence.
+package poolreset
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+type scratch struct {
+	rows []int
+}
+
+func (s *scratch) Reset() { s.rows = s.rows[:0] }
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// good: the canonical truncate-then-Put idiom.
+func putBuf(b *[]byte) {
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// good: a Reset method call counts as reset evidence.
+func putScratch(s *scratch) {
+	s.Reset()
+	scratchPool.Put(s)
+}
+
+// good: clearing a field through the pooled variable counts.
+func putScratchFieldClear(s *scratch) {
+	s.rows = nil
+	scratchPool.Put(s)
+}
+
+// good: a freshly built value cannot carry stale state.
+func putFresh() {
+	scratchPool.Put(new(scratch))
+}
+
+// bad: the buffer goes back dirty.
+func putDirty(b *[]byte) {
+	bufPool.Put(b) // want `pooled object "b" is not reset before Put`
+}
+
+// bad: resetting after Put is a use-after-free of pooled state.
+func putThenReset(s *scratch) {
+	scratchPool.Put(s) // want `pooled object "s" is not reset before Put`
+	s.Reset()
+}
+
+// bad: a reset inside a nested closure that has not run is not evidence.
+func putResetInClosure(b *[]byte) {
+	reset := func() { *b = (*b)[:0] }
+	_ = reset
+	bufPool.Put(b) // want `pooled object "b" is not reset before Put`
+}
+
+// good: an acknowledged exception is suppressed.
+func putAllowed(b *[]byte) {
+	bufPool.Put(b) //lint:allow poolreset fixture: deliberate dirty Put
+}

@@ -56,13 +56,10 @@ func (s FetcherSource) FollowPages(scheme string, urls []string) ([]nested.Tuple
 }
 
 // qualifyPage renames a page tuple's attributes to alias-qualified column
-// names.
+// names. Stages that qualify many pages share one nested.Qualifier so the
+// qualified names slice is computed once per page shape.
 func qualifyPage(t nested.Tuple, alias string) nested.Tuple {
-	m := make(map[string]string, t.Arity())
-	for _, n := range t.Names() {
-		m[n] = alias + "." + n
-	}
-	return t.Rename(m)
+	return nested.NewQualifier(alias).Apply(t)
 }
 
 // Eval evaluates a computable expression against a page source. The
@@ -166,14 +163,14 @@ func evalFollow(x *Follow, in *nested.Relation, src Source) (*nested.Relation, e
 	if err != nil && !degradedFollow(err) {
 		return nil, fmt.Errorf("nalg: follow %s: %w", x.Link, err)
 	}
-	alias := x.EffAlias()
+	qual := nested.NewQualifier(x.EffAlias())
 	byURL := make(map[string]nested.Tuple, len(pages))
 	for _, p := range pages {
 		u, ok := p.Get(adm.URLAttr)
 		if !ok || u.IsNull() {
 			return nil, fmt.Errorf("nalg: follow %s: target page without URL", x.Link)
 		}
-		byURL[u.String()] = qualifyPage(p, alias)
+		byURL[u.String()] = qual.Apply(p)
 	}
 	out := nested.NewRelation(nil)
 	for _, t := range in.Tuples() {

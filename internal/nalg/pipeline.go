@@ -164,10 +164,11 @@ func (p *pipeline) node(e Expr) <-chan []nested.Tuple {
 
 	case *Unnest, *Select, *Project, *Rename:
 		in := p.node(localInput(e))
+		op := localOp(e)
 		p.spawn(func() {
 			defer close(out)
 			for batch := range in {
-				res, err := applyLocal(e, batch)
+				res, err := op(batch)
 				if err != nil {
 					p.fail(err)
 					return
@@ -208,32 +209,69 @@ func localInput(e Expr) Expr {
 	panic("nalg: not a local operator")
 }
 
-// applyLocal evaluates a tuple-at-a-time operator on one batch. These
-// operators distribute over union, so applying them per batch and deduping
-// at the sink computes the same set as the sequential evaluator.
-func applyLocal(e Expr, batch []nested.Tuple) ([]nested.Tuple, error) {
-	rel := nested.NewRelation(nil)
-	for _, t := range batch {
-		rel.Insert(t)
-	}
-	var res *nested.Relation
-	var err error
+// localOp compiles a tuple-at-a-time operator into a batch transform.
+// These operators distribute over union, so applying them batch by batch
+// and deduping once at the sink computes the same set as the sequential
+// evaluator; intra-batch duplicates are harmless for the same reason, so
+// no relation (with its per-tuple canonical keys) is materialized per
+// batch. Per-stage state — the Unnester's shared output names, the
+// Renamer's renamed names — lives in the returned closure, which the
+// single stage goroutine owns.
+func localOp(e Expr) func(batch []nested.Tuple) ([]nested.Tuple, error) {
 	switch x := e.(type) {
 	case *Unnest:
-		res, err = rel.Unnest(x.Attr)
+		var u nested.Unnester
+		return func(batch []nested.Tuple) ([]nested.Tuple, error) {
+			var out []nested.Tuple
+			var err error
+			for _, t := range batch {
+				out, err = u.Unnest(t, x.Attr, out)
+				if err != nil {
+					return nil, err
+				}
+			}
+			return out, nil
+		}
 	case *Select:
-		res, err = rel.Select(x.Pred)
+		return func(batch []nested.Tuple) ([]nested.Tuple, error) {
+			out := make([]nested.Tuple, 0, len(batch))
+			for _, t := range batch {
+				ok, err := x.Pred.Eval(t)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out = append(out, t)
+				}
+			}
+			return out, nil
+		}
 	case *Project:
-		res, err = rel.Project(x.Cols)
+		return func(batch []nested.Tuple) ([]nested.Tuple, error) {
+			out := make([]nested.Tuple, 0, len(batch))
+			for _, t := range batch {
+				pt, err := t.Project(x.Cols)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, pt)
+			}
+			return out, nil
+		}
 	case *Rename:
-		res, err = rel.Rename(x.Map)
+		r := nested.NewRenamer(x.Map)
+		return func(batch []nested.Tuple) ([]nested.Tuple, error) {
+			out := make([]nested.Tuple, 0, len(batch))
+			for _, t := range batch {
+				out = append(out, r.Apply(t))
+			}
+			return out, nil
+		}
 	default:
-		return nil, fmt.Errorf("nalg: not a local operator: %T", e)
+		return func([]nested.Tuple) ([]nested.Tuple, error) {
+			return nil, fmt.Errorf("nalg: not a local operator: %T", e)
+		}
 	}
-	if err != nil {
-		return nil, err
-	}
-	return res.Tuples(), nil
 }
 
 // pageMap is the shared URL → qualified page tuple map a Follow stage's
@@ -272,6 +310,9 @@ func (p *pipeline) followNode(x *Follow, out chan<- []nested.Tuple) {
 	in := p.node(x.In)
 	tasks := make(chan *followTask, p.opts.Workers)
 	pages := &pageMap{m: make(map[string]nested.Tuple)}
+	// One qualifier for the whole stage: concurrent fetch tasks share the
+	// alias-qualified names slice instead of renaming page by page.
+	qual := nested.NewQualifier(x.EffAlias())
 
 	// Producer: dedup link URLs across batches and launch fetch tasks.
 	p.spawn(func() {
@@ -294,7 +335,7 @@ func (p *pipeline) followNode(x *Follow, out chan<- []nested.Tuple) {
 				}
 			}
 			ft := &followTask{batch: batch, fetched: make(chan struct{})}
-			p.spawn(func() { p.fetchTask(x, urls, pages, ft) })
+			p.spawn(func() { p.fetchTask(x, urls, pages, qual, ft) })
 			select {
 			case tasks <- ft:
 			case <-p.done:
@@ -326,7 +367,7 @@ func (p *pipeline) followNode(x *Follow, out chan<- []nested.Tuple) {
 }
 
 // fetchTask resolves one batch's new URLs into the shared page map.
-func (p *pipeline) fetchTask(x *Follow, urls []string, pages *pageMap, ft *followTask) {
+func (p *pipeline) fetchTask(x *Follow, urls []string, pages *pageMap, qual *nested.Qualifier, ft *followTask) {
 	defer close(ft.fetched)
 	if len(urls) == 0 {
 		return
@@ -342,14 +383,13 @@ func (p *pipeline) fetchTask(x *Follow, urls []string, pages *pageMap, ft *follo
 		p.fail(fmt.Errorf("nalg: follow %s: %w", x.Link, err))
 		return
 	}
-	alias := x.EffAlias()
 	for _, pg := range got {
 		u, ok := pg.Get(adm.URLAttr)
 		if !ok || u.IsNull() {
 			p.fail(fmt.Errorf("nalg: follow %s: target page without URL", x.Link))
 			return
 		}
-		pages.set(u.String(), qualifyPage(pg, alias))
+		pages.set(u.String(), qual.Apply(pg))
 	}
 }
 
@@ -424,13 +464,13 @@ func (p *pipeline) joinNode(x *Join, out chan<- []nested.Tuple) {
 		}
 		probeBatch := func(b []nested.Tuple) bool {
 			var res []nested.Tuple
+			var err error
 			for _, t := range b {
-				joined, err := h.Probe(t)
+				res, err = h.ProbeAppend(t, res)
 				if err != nil {
 					p.fail(err)
 					return false
 				}
-				res = append(res, joined...)
 			}
 			return p.emitChunks(out, res)
 		}

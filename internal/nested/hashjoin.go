@@ -18,8 +18,20 @@ type HashJoiner struct {
 	buildLeft  bool
 	buildAttrs []string
 	probeAttrs []string
-	table      map[string][]Tuple
+	// table buckets rows by join key behind a pointer, so probe lookups
+	// via string(buf) stay allocation-free and appends to a bucket do not
+	// rewrite the map entry.
+	table      map[string]*joinBucket
 	buildCount int
+	// names caches the concatenated (and disjointness-checked) output
+	// names per (left names, right names) slice pair: tuples flowing
+	// through a plan overwhelmingly share name arrays, so the result
+	// tuples of a join can share one names slice too.
+	names concatNames
+}
+
+type joinBucket struct {
+	rows []Tuple
 }
 
 // NewHashJoiner creates a joiner for the given conditions. buildLeft
@@ -43,7 +55,7 @@ func NewHashJoiner(conds []EqCond, buildLeft bool) *HashJoiner {
 		buildLeft:  buildLeft,
 		buildAttrs: buildAttrs,
 		probeAttrs: probeAttrs,
-		table:      make(map[string][]Tuple),
+		table:      make(map[string]*joinBucket),
 	}
 }
 
@@ -55,43 +67,57 @@ func (h *HashJoiner) BuildSize() int { return h.buildCount }
 
 // Build adds one build-side tuple to the hash table.
 func (h *HashJoiner) Build(t Tuple) error {
-	k, null, err := joinKey(t, h.buildAttrs)
-	if err != nil {
-		return err
+	kb := getKeyBuf()
+	k, null, err := appendJoinKey(*kb, t, h.buildAttrs)
+	*kb = k
+	if err != nil || null {
+		putKeyBuf(kb)
+		return err // nulls never join
 	}
-	if null {
-		return nil // nulls never join
+	b, ok := h.table[string(k)]
+	if !ok {
+		b = &joinBucket{}
+		h.table[string(k)] = b
 	}
-	h.table[k] = append(h.table[k], t)
+	b.rows = append(b.rows, t)
 	h.buildCount++
+	putKeyBuf(kb)
 	return nil
 }
 
 // Probe matches one probe-side tuple against the hash table, returning the
 // joined tuples (left concatenated with right) in build-insertion order.
 func (h *HashJoiner) Probe(t Tuple) ([]Tuple, error) {
-	k, null, err := joinKey(t, h.probeAttrs)
-	if err != nil {
-		return nil, err
+	return h.ProbeAppend(t, nil)
+}
+
+// ProbeAppend is Probe appending the joined tuples to dst, so a streaming
+// caller can reuse one output buffer across a batch of probes.
+func (h *HashJoiner) ProbeAppend(t Tuple, dst []Tuple) ([]Tuple, error) {
+	kb := getKeyBuf()
+	k, null, err := appendJoinKey(*kb, t, h.probeAttrs)
+	*kb = k
+	if err != nil || null {
+		putKeyBuf(kb)
+		return dst, err
 	}
-	if null {
-		return nil, nil
+	b := h.table[string(k)]
+	putKeyBuf(kb)
+	if b == nil || len(b.rows) == 0 {
+		return dst, nil
 	}
-	matches := h.table[k]
-	if len(matches) == 0 {
-		return nil, nil
-	}
-	out := make([]Tuple, 0, len(matches))
-	for _, u := range matches {
+	for _, u := range b.rows {
 		left, right := t, u
 		if h.buildLeft {
 			left, right = u, t
 		}
-		c, err := left.Concat(right)
+		names, err := h.names.concat(left.names, right.names)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
-		out = append(out, c)
+		vals := make([]Value, 0, len(left.vals)+len(right.vals))
+		vals = append(append(vals, left.vals...), right.vals...)
+		dst = append(dst, Tuple{names: names, vals: vals})
 	}
-	return out, nil
+	return dst, nil
 }

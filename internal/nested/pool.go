@@ -1,0 +1,23 @@
+package nested
+
+import "sync"
+
+// keyBufPool recycles the byte buffers used to render canonical tuple and
+// value keys. Key construction dominates allocation in set-semantics
+// operators (Insert dedup, hash joins, distinct), so buffers are pooled and
+// reset to zero length before being returned.
+var keyBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	},
+}
+
+func getKeyBuf() *[]byte { return keyBufPool.Get().(*[]byte) }
+
+// putKeyBuf resets the buffer (keeping grown capacity) and returns it to
+// the pool. Callers must not retain aliases of the buffer after Put.
+func putKeyBuf(b *[]byte) {
+	*b = (*b)[:0]
+	keyBufPool.Put(b)
+}

@@ -44,19 +44,30 @@ func (r *Relation) Len() int { return len(r.tuples) }
 func (r *Relation) Tuples() []Tuple { return r.tuples }
 
 // Insert adds a tuple unless an equal tuple is already present. It reports
-// whether the tuple was added.
+// whether the tuple was added. The duplicate check renders the canonical
+// key into a pooled buffer and looks it up via string(buf), so only the
+// first occurrence of a key pays a string allocation.
 func (r *Relation) Insert(t Tuple) bool {
-	k := t.Key()
-	if r.index[k] {
-		return false
+	b := getKeyBuf()
+	*b = t.appendKey(*b)
+	added := false
+	if !r.index[string(*b)] {
+		r.index[string(*b)] = true
+		r.tuples = append(r.tuples, t)
+		added = true
 	}
-	r.index[k] = true
-	r.tuples = append(r.tuples, t)
-	return true
+	putKeyBuf(b)
+	return added
 }
 
 // Contains reports whether an equal tuple is present.
-func (r *Relation) Contains(t Tuple) bool { return r.index[t.Key()] }
+func (r *Relation) Contains(t Tuple) bool {
+	b := getKeyBuf()
+	*b = t.appendKey(*b)
+	ok := r.index[string(*b)]
+	putKeyBuf(b)
+	return ok
+}
 
 // Names returns the attribute names: from the type if present, otherwise
 // from the first tuple.
@@ -188,32 +199,35 @@ func (r *Relation) Join(s *Relation, conds []EqCond) (*Relation, error) {
 			return nil, err
 		}
 	}
+	var buf []Tuple
 	for _, t := range probe.tuples {
-		joined, err := h.Probe(t)
+		joined, err := h.ProbeAppend(t, buf[:0])
 		if err != nil {
 			return nil, err
 		}
 		for _, c := range joined {
 			out.Insert(c)
 		}
+		buf = joined
 	}
 	return out, nil
 }
 
-func joinKey(t Tuple, attrs []string) (key string, hasNull bool, err error) {
-	var sb strings.Builder
+// appendJoinKey appends the join key of t over attrs to dst. hasNull
+// reports that a condition attribute was null (such tuples never join).
+func appendJoinKey(dst []byte, t Tuple, attrs []string) (key []byte, hasNull bool, err error) {
 	for _, a := range attrs {
 		v, ok := t.Get(a)
 		if !ok {
-			return "", false, fmt.Errorf("nested: join on missing attribute %q", a)
+			return dst, false, fmt.Errorf("nested: join on missing attribute %q", a)
 		}
 		if v.IsNull() {
-			return "", true, nil
+			return dst, true, nil
 		}
-		v.key(&sb)
-		sb.WriteByte('|')
+		dst = v.appendKey(dst)
+		dst = append(dst, '|')
 	}
-	return sb.String(), false, nil
+	return dst, false, nil
 }
 
 // Unnest implements the unnest operator μ_A (written R ◦ A in the paper):
@@ -250,24 +264,13 @@ func (r *Relation) Unnest(attr string) (*Relation, error) {
 		}
 	}
 	out := NewRelation(tt)
+	var u Unnester
 	for _, t := range r.tuples {
-		v, ok := t.Get(attr)
-		if !ok {
-			return nil, fmt.Errorf("nested: unnest on missing attribute %q", attr)
+		rows, err := u.Unnest(t, attr, nil)
+		if err != nil {
+			return nil, err
 		}
-		if v.IsNull() {
-			continue
-		}
-		lv, ok := v.(ListValue)
-		if !ok {
-			return nil, fmt.Errorf("nested: unnest on non-list value for %q", attr)
-		}
-		base := t.Without(attr)
-		for _, elem := range lv {
-			row := base
-			for _, n := range elem.Names() {
-				row = row.With(attr+"."+n, elem.MustGet(n))
-			}
+		for _, row := range rows {
 			out.Insert(row)
 		}
 	}

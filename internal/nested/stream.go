@@ -1,0 +1,212 @@
+package nested
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file holds streaming helpers for hot evaluation paths: operators
+// that process tuples one batch at a time want to avoid re-deriving the
+// output attribute names per tuple. All helpers exploit the same
+// invariant: tuples flowing through one operator overwhelmingly share a
+// single names slice (pages wrapped from one scheme, join outputs from one
+// joiner), so name-level work can be cached per distinct input slice and
+// the cached output slice shared — tuples are immutable by convention, so
+// sharing is safe.
+
+// sameNames reports whether two name slices are the same array (pointer
+// identity) or element-wise equal. The pointer check makes the common case
+// O(1); the content fallback keeps caches correct for equal-but-distinct
+// arrays.
+func sameNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 || &a[0] == &b[0] {
+		return true
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// concatNames caches the concatenation of a (left, right) names pair,
+// validating disjointness once per distinct pair instead of once per
+// output tuple.
+type concatNames struct {
+	left, right []string
+	out         []string
+}
+
+func (c *concatNames) concat(left, right []string) ([]string, error) {
+	if c.out != nil && sameNames(c.left, left) && sameNames(c.right, right) {
+		return c.out, nil
+	}
+	out := make([]string, 0, len(left)+len(right))
+	out = append(append(out, left...), right...)
+	seen := make(map[string]bool, len(out))
+	for i, n := range out {
+		if n == "" {
+			return nil, fmt.Errorf("nested: empty attribute name at position %d", i)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("nested: duplicate attribute %q", n)
+		}
+		seen[n] = true
+	}
+	c.left, c.right, c.out = left, right, out
+	return out, nil
+}
+
+// Qualifier prefixes every attribute name of a tuple with "alias.",
+// sharing the value slice with the input and caching the prefixed names
+// for repeated name arrays. It replaces per-tuple Rename calls when pages
+// of one scheme are qualified with a navigation alias. A Qualifier is safe
+// for concurrent use (page fetches qualify concurrently).
+type Qualifier struct {
+	alias string
+
+	mu  sync.Mutex
+	in  []string
+	out []string
+}
+
+// NewQualifier creates a qualifier for one alias.
+func NewQualifier(alias string) *Qualifier { return &Qualifier{alias: alias} }
+
+// Apply returns the tuple with every attribute renamed to "alias.name".
+func (q *Qualifier) Apply(t Tuple) Tuple {
+	q.mu.Lock()
+	if !sameNames(q.in, t.names) {
+		out := make([]string, len(t.names))
+		for i, n := range t.names {
+			out[i] = q.alias + "." + n
+		}
+		q.in, q.out = t.names, out
+	}
+	names := q.out
+	q.mu.Unlock()
+	return Tuple{names: names, vals: t.vals}
+}
+
+// Renamer applies a rename map to tuples, caching the renamed names slice
+// for repeated name arrays (Tuple.Rename allocates names and consults the
+// map per tuple).
+type Renamer struct {
+	m   map[string]string
+	in  []string
+	out []string
+}
+
+// NewRenamer creates a renamer for one rename map.
+func NewRenamer(m map[string]string) *Renamer { return &Renamer{m: m} }
+
+// Apply returns the tuple with attributes renamed per the map; attributes
+// absent from the map keep their names.
+func (r *Renamer) Apply(t Tuple) Tuple {
+	if !sameNames(r.in, t.names) {
+		out := make([]string, len(t.names))
+		for i, n := range t.names {
+			if nn, ok := r.m[n]; ok {
+				out[i] = nn
+			} else {
+				out[i] = n
+			}
+		}
+		r.in, r.out = t.names, out
+	}
+	return Tuple{names: r.out, vals: t.vals}
+}
+
+// Unnester expands list attributes tuple by tuple, sharing one output
+// names slice across all rows produced while the input tuple shape and
+// element shape stay the same. The zero value is ready to use; an
+// Unnester is not safe for concurrent use.
+type Unnester struct {
+	attr      string
+	inNames   []string
+	elemNames []string
+	keep      []int    // indices of input attributes other than attr
+	rowNames  []string // kept names followed by "attr.field" names
+	ok        bool     // rowNames passed the uniqueness check
+}
+
+// Unnest appends one row per element of t's list attribute attr to dst,
+// with element fields promoted to "attr.field". Null lists produce no
+// rows; a missing attribute or non-list value is an error, matching
+// Relation.Unnest.
+func (u *Unnester) Unnest(t Tuple, attr string, dst []Tuple) ([]Tuple, error) {
+	ai := -1
+	for i, n := range t.names {
+		if n == attr {
+			ai = i
+			break
+		}
+	}
+	if ai < 0 {
+		return dst, fmt.Errorf("nested: unnest on missing attribute %q", attr)
+	}
+	v := t.vals[ai]
+	if v.IsNull() {
+		return dst, nil
+	}
+	lv, ok := v.(ListValue)
+	if !ok {
+		return dst, fmt.Errorf("nested: unnest on non-list value for %q", attr)
+	}
+	for _, elem := range lv {
+		if u.attr != attr || !sameNames(u.inNames, t.names) || !sameNames(u.elemNames, elem.names) {
+			u.reshape(t, attr, elem.names)
+		}
+		if !u.ok {
+			// A prefixed element name collides with a kept attribute.
+			// Fall back to the override semantics of Tuple.With.
+			row := t.Without(attr)
+			for i, n := range elem.names {
+				row = row.With(attr+"."+n, elem.vals[i])
+			}
+			dst = append(dst, row)
+			continue
+		}
+		vals := make([]Value, 0, len(u.rowNames))
+		for _, i := range u.keep {
+			vals = append(vals, t.vals[i])
+		}
+		vals = append(vals, elem.vals...)
+		dst = append(dst, Tuple{names: u.rowNames, vals: vals})
+	}
+	return dst, nil
+}
+
+// reshape recomputes the cached projection for a new (input, element)
+// shape. rowNames is always a fresh slice: rows already emitted share the
+// previous one.
+func (u *Unnester) reshape(t Tuple, attr string, elemNames []string) {
+	u.attr = attr
+	u.inNames = t.names
+	u.elemNames = elemNames
+	u.keep = u.keep[:0]
+	rowNames := make([]string, 0, len(t.names)-1+len(elemNames))
+	for i, n := range t.names {
+		if n != attr {
+			u.keep = append(u.keep, i)
+			rowNames = append(rowNames, n)
+		}
+	}
+	for _, n := range elemNames {
+		rowNames = append(rowNames, attr+"."+n)
+	}
+	u.rowNames = rowNames
+	seen := make(map[string]bool, len(rowNames))
+	u.ok = true
+	for _, n := range rowNames {
+		if seen[n] {
+			u.ok = false
+			break
+		}
+		seen[n] = true
+	}
+}

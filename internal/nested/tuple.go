@@ -33,6 +33,16 @@ func NewTuple(names []string, vals []Value) (Tuple, error) {
 	return Tuple{names: names, vals: vals}, nil
 }
 
+// TrustedTuple wraps parallel name/value slices into a tuple without
+// validation or copying. The caller guarantees what NewTuple would check:
+// equal lengths, unique non-empty names, no nil values — and that neither
+// slice is mutated afterwards. It exists for hot paths (page wrapping,
+// streaming operators) that build many tuples sharing one names slice, so
+// the per-tuple cost is a single value-slice allocation.
+func TrustedTuple(names []string, vals []Value) Tuple {
+	return Tuple{names: names, vals: vals}
+}
+
 // MustTuple is NewTuple that panics on error.
 func MustTuple(names []string, vals []Value) Tuple {
 	t, err := NewTuple(names, vals)
@@ -162,7 +172,24 @@ func (t Tuple) Concat(u Tuple) (Tuple, error) {
 // Key returns a canonical string form of the tuple, independent of attribute
 // order, usable as a map key for set semantics.
 func (t Tuple) Key() string {
-	idx := make([]int, len(t.names))
+	b := getKeyBuf()
+	*b = t.appendKey(*b)
+	s := string(*b)
+	putKeyBuf(b)
+	return s
+}
+
+// appendKey appends the canonical form to dst and returns the extended
+// slice, so callers holding a reusable buffer can perform map lookups via
+// string(buf) without materializing the key.
+func (t Tuple) appendKey(dst []byte) []byte {
+	var stack [16]int
+	var idx []int
+	if len(t.names) <= len(stack) {
+		idx = stack[:len(t.names)]
+	} else {
+		idx = make([]int, len(t.names))
+	}
 	for i := range idx {
 		idx[i] = i
 	}
@@ -172,14 +199,13 @@ func (t Tuple) Key() string {
 			idx[j-1], idx[j] = idx[j], idx[j-1]
 		}
 	}
-	var sb strings.Builder
 	for _, i := range idx {
-		sb.WriteString(t.names[i])
-		sb.WriteByte('=')
-		t.vals[i].key(&sb)
-		sb.WriteByte('|')
+		dst = append(dst, t.names[i]...)
+		dst = append(dst, '=')
+		dst = t.vals[i].appendKey(dst)
+		dst = append(dst, '|')
 	}
-	return sb.String()
+	return dst
 }
 
 // Equal reports whether two tuples have the same attributes with equal

@@ -1,0 +1,4 @@
+// Package race exposes whether the race detector is active, so tests with
+// allocation caps (testing.AllocsPerRun budgets) can skip themselves under
+// -race, where the detector's own bookkeeping inflates every measurement.
+package race

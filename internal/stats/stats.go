@@ -8,6 +8,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -118,6 +119,66 @@ func joinKey(a, b adm.AttrRef) string {
 		ka, kb = kb, ka
 	}
 	return ka + "|" + kb
+}
+
+// Snapshot is a frozen copy of the statistics, taken when a derived
+// artifact (a cached plan) is produced, so later drift can be measured.
+type Snapshot struct {
+	maps []map[string]float64
+}
+
+// Snapshot captures the current statistics.
+func (s *Stats) Snapshot() Snapshot {
+	src := []map[string]float64{s.Card, s.Fanout, s.Distinct, s.Occurrences, s.JoinSel, s.PageBytes}
+	out := make([]map[string]float64, len(src))
+	for i, m := range src {
+		c := make(map[string]float64, len(m))
+		for k, v := range m {
+			c[k] = v
+		}
+		out[i] = c
+	}
+	return Snapshot{maps: out}
+}
+
+// DriftFrom returns the maximum relative change of any parameter since the
+// snapshot: |new−old| / max(|old|, 1), with parameters present on only one
+// side compared against zero. A plan cache invalidates entries whose
+// snapshot has drifted past its threshold, since the cost ranking that
+// selected the plan may no longer hold.
+func (s *Stats) DriftFrom(snap Snapshot) float64 {
+	cur := []map[string]float64{s.Card, s.Fanout, s.Distinct, s.Occurrences, s.JoinSel, s.PageBytes}
+	if len(snap.maps) != len(cur) {
+		return math.Inf(1)
+	}
+	drift := 0.0
+	rel := func(old, new float64) float64 {
+		d := math.Abs(new - old)
+		if d == 0 {
+			return 0
+		}
+		den := math.Abs(old)
+		if den < 1 {
+			den = 1
+		}
+		return d / den
+	}
+	for i, m := range cur {
+		old := snap.maps[i]
+		for k, v := range m {
+			if r := rel(old[k], v); r > drift {
+				drift = r
+			}
+		}
+		for k, v := range old {
+			if _, ok := m[k]; !ok {
+				if r := rel(v, 0); r > drift {
+					drift = r
+				}
+			}
+		}
+	}
+	return drift
 }
 
 // CollectInstance derives exact statistics from an ADM instance. It is the

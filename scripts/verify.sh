@@ -12,6 +12,8 @@ echo "== ulixes-vet ./..."
 go run ./cmd/ulixes-vet ./...
 echo "== go test -race ./..."
 go test -race ./...
+echo "== bench smoke (every benchmark compiles and runs once)"
+go test -run=NONE -bench=. -benchtime=1x ./... >/dev/null
 echo "== guard (race-enabled breaker/bulkhead/hedge suite)"
 go test -race ./internal/guard/
 echo "== chaos (fault-injection determinism check)"

@@ -31,6 +31,7 @@ import (
 	"ulixes/internal/nalg"
 	"ulixes/internal/nested"
 	"ulixes/internal/optimizer"
+	"ulixes/internal/plancache"
 	"ulixes/internal/site"
 	"ulixes/internal/stats"
 	"ulixes/internal/view"
@@ -62,6 +63,14 @@ type (
 	ExecOptions = engine.ExecOptions
 	// ExecStats are the measured per-query execution counters.
 	ExecStats = engine.ExecStats
+	// PlanCache caches prepared plans by query shape (constants
+	// parameterized out), so repeated shapes skip Algorithm 1.
+	PlanCache = plancache.Cache
+	// PlanCacheConfig tunes the prepared-plan cache (entry bound and the
+	// statistics-drift invalidation threshold).
+	PlanCacheConfig = plancache.Config
+	// PlanCacheCounters are the cache's hit/miss/invalidation counters.
+	PlanCacheCounters = plancache.Counters
 )
 
 // ParseQuery parses the conjunctive-query concrete syntax
@@ -104,6 +113,19 @@ func (s *System) SetExec(opts ExecOptions) { s.eng.Exec = opts }
 
 // Stats returns the site statistics in use.
 func (s *System) Stats() *Stats { return s.eng.Stats }
+
+// EnablePlanCache attaches a prepared-plan cache: queries repeating an
+// already-seen shape (same query with different constants) reuse the
+// typechecked, rewritten, cost-selected plan instead of re-running
+// Algorithm 1. The cache is returned for counter inspection.
+func (s *System) EnablePlanCache(cfg PlanCacheConfig) *PlanCache {
+	c := plancache.New(cfg)
+	s.eng.Plans = c
+	return c
+}
+
+// PlanCache returns the attached prepared-plan cache, or nil.
+func (s *System) PlanCache() *PlanCache { return s.eng.Plans }
 
 // Query parses, optimizes and executes a conjunctive query against the
 // live site, reporting the answer and the measured page accesses.
