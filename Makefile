@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint verify bench bench-json experiments chaos serve smoke
+.PHONY: build test race vet lint verify fuzz-smoke bench bench-json experiments chaos serve smoke
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,16 @@ lint:
 # verify is the full gate: build + vet + lint + race-enabled tests.
 verify:
 	sh scripts/verify.sh
+
+# fuzz-smoke runs each fuzz target briefly (seed corpus plus a short burst
+# of generated inputs) so a regression in the lexer/tokenizer agreement or
+# the entity-decoding inverse is caught without a long fuzzing session.
+# Override FUZZTIME for longer local runs, e.g. FUZZTIME=30s.
+FUZZTIME ?= 5s
+fuzz-smoke:
+	$(GO) test ./internal/hypertext/ -run=NONE -fuzz=FuzzTokenize$$ -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/hypertext/ -run=NONE -fuzz=FuzzLexer$$ -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/hypertext/ -run=NONE -fuzz=FuzzUnescapeHTML$$ -fuzztime=$(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -4,10 +4,25 @@
 //
 //	go run ./cmd/ulixes-vet ./...
 //	go run ./cmd/ulixes-vet -list
+//	go run ./cmd/ulixes-vet -json ./... > findings.json
 //	go run ./cmd/ulixes-vet -only fetchgate,nowallclock ./internal/...
+//
+// Exit codes form the contract CI and scripts rely on:
+//
+//	0 — the analyzed packages are clean (no non-allowed findings)
+//	1 — at least one finding was reported
+//	2 — the tool could not run: bad flags, unknown analyzer, packages
+//	    that fail to load or type-check
+//
+// With -json, findings are emitted to stdout as a single JSON array of
+// {analyzer, file, line, col, message} objects (an empty array when clean);
+// diagnostics about the run itself still go to stderr. The exit codes are
+// unchanged, so `ulixes-vet -json || true` pipelines can parse findings
+// without losing the pass/fail signal.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,11 +31,22 @@ import (
 	"ulixes/internal/lint"
 )
 
+// jsonFinding is the -json wire form of one finding. It flattens
+// token.Position so consumers need no knowledge of go/token.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ulixes-vet [-list] [-only names] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: ulixes-vet [-list] [-json] [-only names] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -28,7 +54,7 @@ func main() {
 	analyzers := lint.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, strings.ReplaceAll(a.Doc, "\n", "\n             "))
+			fmt.Printf("%-16s %s\n", a.Name, strings.ReplaceAll(a.Doc, "\n", "\n                 "))
 		}
 		return
 	}
@@ -69,8 +95,27 @@ func main() {
 	}
 
 	findings := lint.Run(pkgs, analyzers)
-	for _, f := range findings {
-		fmt.Printf("%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "ulixes-vet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+		}
 	}
 	if len(findings) > 0 {
 		os.Exit(1)

@@ -6,10 +6,12 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"ulixes"
+	"ulixes/internal/engine"
 	"ulixes/internal/guard"
 	"ulixes/internal/pagecache"
 )
@@ -31,6 +33,12 @@ type server struct {
 	served   atomic.Int64
 	rejected atomic.Int64
 	shed     atomic.Int64
+
+	mu sync.Mutex
+	// totals accumulates every served query's ExecStats via ExecStats.Add,
+	// so /stats can report the query-side cost ledger (the paper's C(E)
+	// summed over the workload) next to the store's own counters.
+	totals engine.ExecStats // guarded by mu
 }
 
 func newServer(sys *ulixes.System, cache *pagecache.Cache, maxQueries int) *server {
@@ -151,6 +159,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.served.Add(1)
 
 	st := ans.Exec
+	s.mu.Lock()
+	s.totals.Add(st)
+	s.mu.Unlock()
 	resp := queryResponse{
 		Plan:          ans.Plan.Expr.String(),
 		EstimatedCost: ans.Plan.Cost,
@@ -247,7 +258,26 @@ type storeStats struct {
 	PlanMisses        uint64             `json:"planMisses"`
 	PlanInvalidations uint64             `json:"planInvalidations,omitempty"`
 	PlanEntries       int                `json:"planEntries"`
+	Totals            *queryTotals       `json:"queryTotals,omitempty"`
 	Hosts             []guard.HostHealth `json:"hosts,omitempty"`
+}
+
+// queryTotals is the sum of every served query's per-query stats — the
+// workload-level view of the same cost ledger queryStats reports per
+// request. Accesses is the summed distinct-access cost C(E).
+type queryTotals struct {
+	Accesses         int     `json:"accesses"`
+	Pages            int     `json:"pages"`
+	CacheHits        int     `json:"cacheHits"`
+	Revalidations    int     `json:"revalidations"`
+	LightConnections int     `json:"lightConnections"`
+	Bytes            int64   `json:"bytes"`
+	WallMs           float64 `json:"wallMs"`
+	Stale            int     `json:"stale,omitempty"`
+	Hedges           int     `json:"hedges,omitempty"`
+	BreakerFastFails int     `json:"breakerFastFails,omitempty"`
+	PlanMs           float64 `json:"planMs"`
+	PeakInFlight     int     `json:"peakInFlight"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -269,6 +299,25 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Hedges:           cs.Hedges,
 		BreakerFastFails: cs.BreakerFastFails,
 		Shed:             s.shed.Load(),
+	}
+	s.mu.Lock()
+	tot := s.totals
+	s.mu.Unlock()
+	if served := s.served.Load(); served > 0 {
+		out.Totals = &queryTotals{
+			Accesses:         tot.Pages + tot.CacheHits + tot.Revalidations + tot.Stale,
+			Pages:            tot.Pages,
+			CacheHits:        tot.CacheHits,
+			Revalidations:    tot.Revalidations,
+			LightConnections: tot.LightConnections,
+			Bytes:            tot.Bytes,
+			WallMs:           float64(tot.Wall) / float64(time.Millisecond),
+			Stale:            tot.Stale,
+			Hedges:           tot.Hedges,
+			BreakerFastFails: tot.BreakerFastFails,
+			PlanMs:           float64(tot.PlanWall) / float64(time.Millisecond),
+			PeakInFlight:     tot.PeakInFlight,
+		}
 	}
 	if pc := s.sys.PlanCache(); pc != nil {
 		pcs := pc.Counters()

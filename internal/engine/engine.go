@@ -124,6 +124,35 @@ type ExecStats struct {
 	PlanWall time.Duration
 }
 
+// Add folds another execution's statistics into s: counters and byte/time
+// totals accumulate, failure lists concatenate, flags OR, and PeakInFlight
+// takes the maximum (peaks do not sum across executions). It is how a server
+// maintains running totals across queries. The statsexhaustive analyzer
+// holds this method to mentioning every ExecStats field, so a new counter
+// cannot be silently dropped from aggregation.
+func (s *ExecStats) Add(o ExecStats) {
+	s.Pages += o.Pages
+	s.Bytes += o.Bytes
+	s.Wall += o.Wall
+	if o.PeakInFlight > s.PeakInFlight {
+		s.PeakInFlight = o.PeakInFlight
+	}
+	s.Retries += o.Retries
+	s.FailedPages = append(s.FailedPages, o.FailedPages...)
+	s.Failures = append(s.Failures, o.Failures...)
+	s.Degraded = s.Degraded || o.Degraded
+	s.CacheHits += o.CacheHits
+	s.Revalidations += o.Revalidations
+	s.LightConnections += o.LightConnections
+	s.Stale += o.Stale
+	s.StalePages = append(s.StalePages, o.StalePages...)
+	s.Hedges += o.Hedges
+	s.HedgeWins += o.HedgeWins
+	s.BreakerFastFails += o.BreakerFastFails
+	s.PlanCached = s.PlanCached || o.PlanCached
+	s.PlanWall += o.PlanWall
+}
+
 // Engine answers queries over a web site through a relational view.
 type Engine struct {
 	Views  *view.Registry

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"ulixes/internal/site"
+)
+
+// TestExecStatsAdd pins the aggregation semantics the ulixesd server relies
+// on for its running totals: counters sum, PeakInFlight takes the maximum,
+// failure lists concatenate, and flags OR. The statsexhaustive analyzer
+// guarantees no field is missing from Add; this test guarantees each field
+// is folded with the right operator.
+func TestExecStatsAdd(t *testing.T) {
+	errA := errors.New("a down")
+	total := ExecStats{
+		Pages:        3,
+		Bytes:        100,
+		Wall:         2 * time.Second,
+		PeakInFlight: 4,
+		Retries:      1,
+		FailedPages:  []string{"http://a/1"},
+		Failures:     []site.FetchFailure{{URL: "http://a/1", Err: errA, Retries: 1}},
+		Degraded:     true,
+		CacheHits:    2,
+		PlanWall:     5 * time.Millisecond,
+	}
+	total.Add(ExecStats{
+		Pages:            2,
+		Bytes:            50,
+		Wall:             time.Second,
+		PeakInFlight:     2, // below current peak: must not lower it
+		Retries:          2,
+		FailedPages:      []string{"http://b/2"},
+		Failures:         []site.FetchFailure{{URL: "http://b/2", Err: errA}},
+		CacheHits:        1,
+		Revalidations:    3,
+		LightConnections: 4,
+		Stale:            1,
+		StalePages:       []string{"http://c/3"},
+		Hedges:           2,
+		HedgeWins:        1,
+		BreakerFastFails: 1,
+		PlanCached:       true,
+		PlanWall:         time.Millisecond,
+	})
+
+	want := ExecStats{
+		Pages:            5,
+		Bytes:            150,
+		Wall:             3 * time.Second,
+		PeakInFlight:     4,
+		Retries:          3,
+		FailedPages:      []string{"http://a/1", "http://b/2"},
+		Failures:         []site.FetchFailure{{URL: "http://a/1", Err: errA, Retries: 1}, {URL: "http://b/2", Err: errA}},
+		Degraded:         true,
+		CacheHits:        3,
+		Revalidations:    3,
+		LightConnections: 4,
+		Stale:            1,
+		StalePages:       []string{"http://c/3"},
+		Hedges:           2,
+		HedgeWins:        1,
+		BreakerFastFails: 1,
+		PlanCached:       true,
+		PlanWall:         6 * time.Millisecond,
+	}
+	if !reflect.DeepEqual(total, want) {
+		t.Errorf("Add result mismatch:\n got %+v\nwant %+v", total, want)
+	}
+}
+
+// TestExecStatsAddPeakRaises covers the opposite max direction: a later
+// execution with a higher peak raises the total.
+func TestExecStatsAddPeakRaises(t *testing.T) {
+	var total ExecStats
+	total.Add(ExecStats{PeakInFlight: 2})
+	total.Add(ExecStats{PeakInFlight: 7})
+	total.Add(ExecStats{PeakInFlight: 3})
+	if total.PeakInFlight != 7 {
+		t.Errorf("PeakInFlight = %d, want 7", total.PeakInFlight)
+	}
+}

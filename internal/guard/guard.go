@@ -155,19 +155,19 @@ type HostHealth struct {
 type hostState struct {
 	host string
 
-	state       State
-	errRate     float64
-	latency     float64 // EWMA of successful-attempt latency, in seconds
-	samples     int
-	openedAt    time.Time
-	probing     bool // a half-open probe is in flight
-	closeStreak int
+	state       State     // guarded by Guard.mu
+	errRate     float64   // guarded by Guard.mu
+	latency     float64   // EWMA of successful-attempt latency, in seconds; guarded by Guard.mu
+	samples     int       // guarded by Guard.mu
+	openedAt    time.Time // guarded by Guard.mu
+	probing     bool      // a half-open probe is in flight; guarded by Guard.mu
+	closeStreak int       // guarded by Guard.mu
 
-	inflight  int
-	fastFails int
-	hedges    int
-	hedgeWins int
-	trips     int
+	inflight  int // guarded by Guard.mu
+	fastFails int // guarded by Guard.mu
+	hedges    int // guarded by Guard.mu
+	hedgeWins int // guarded by Guard.mu
+	trips     int // guarded by Guard.mu
 
 	sem chan struct{}
 }
@@ -185,7 +185,7 @@ type Guard struct {
 	sleeper site.Sleeper
 
 	mu    sync.Mutex
-	hosts map[string]*hostState
+	hosts map[string]*hostState // guarded by mu
 }
 
 // The guard is a drop-in server for every access path in the stack.
@@ -300,7 +300,7 @@ func (h *hostState) recordLocked(failure bool, lat time.Duration, probe bool, no
 	switch h.state {
 	case HalfOpen:
 		if failure {
-			h.trip(now)
+			h.tripLocked(now)
 		} else {
 			h.closeStreak++
 			if h.closeStreak >= cfg.CloseAfter {
@@ -311,13 +311,13 @@ func (h *hostState) recordLocked(failure bool, lat time.Duration, probe bool, no
 		}
 	case Closed:
 		if h.samples >= cfg.MinSamples && h.errRate >= cfg.ErrorThreshold {
-			h.trip(now)
+			h.tripLocked(now)
 		}
 	}
 }
 
-// trip opens the breaker.
-func (h *hostState) trip(now time.Time) {
+// tripLocked opens the breaker; g.mu held.
+func (h *hostState) tripLocked(now time.Time) {
 	h.state = Open
 	h.openedAt = now
 	h.trips++

@@ -1,6 +1,9 @@
 package hypertext
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // FuzzTokenize checks the HTML tokenizer never panics on arbitrary input.
 func FuzzTokenize(f *testing.F) {
@@ -25,9 +28,64 @@ func FuzzTokenize(f *testing.F) {
 	})
 }
 
-// FuzzUnescape checks entity decoding never panics and is the inverse of
-// escaping on the escape image.
-func FuzzUnescape(f *testing.F) {
+// FuzzLexer checks the zero-copy Lexer against the materializing Tokenize
+// on arbitrary (often malformed) HTML: neither may panic, both must agree
+// on error/success, and driving the Lexer with attributes copied out per
+// generation must reproduce Tokenize's stream exactly. This pins the
+// contract the viewescape analyzer enforces statically: a token's views are
+// only valid until the next Next, and copying within the generation loses
+// nothing.
+func FuzzLexer(f *testing.F) {
+	for _, seed := range []string{
+		`<a href="x">text</a><b>bold</b><br>`,
+		`<ul data-attr="L"><li><span data-attr=A>x</span></li></ul>`,
+		`<div a='q' b=c d>`,
+		`<!DOCTYPE html><!-- c --><p>&amp;</p>`,
+		`<<a <b=">' &#x41;`,
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		want, wantErr := Tokenize(src)
+
+		l := NewLexer(src)
+		var got []Token
+		var gotErr error
+		for {
+			tok, ok, err := l.Next()
+			if err != nil {
+				gotErr = err
+				break
+			}
+			if !ok {
+				break
+			}
+			// Copy the generation-scoped views before the next Next
+			// invalidates them — the laundering idiom Tokenize uses.
+			if len(tok.Attrs) > 0 {
+				tok.Attrs = append([]Attr(nil), tok.Attrs...)
+			} else {
+				tok.Attrs = nil
+			}
+			got = append(got, tok)
+		}
+
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("error disagreement: Lexer=%v Tokenize=%v", gotErr, wantErr)
+		}
+		if gotErr != nil {
+			return
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("token stream disagreement for %q:\nlexer:    %+v\ntokenize: %+v", src, got, want)
+		}
+	})
+}
+
+// FuzzUnescapeHTML checks entity decoding never panics and is the inverse
+// of escaping on the escape image.
+func FuzzUnescapeHTML(f *testing.F) {
 	f.Add("a&amp;b")
 	f.Add("&#65;&#x41;&bogus;&")
 	f.Add("")

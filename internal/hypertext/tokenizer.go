@@ -155,6 +155,10 @@ func Tokenize(src string) ([]Token, error) {
 		}
 		if len(tok.Attrs) > 0 {
 			tok.Attrs = append([]Attr(nil), tok.Attrs...)
+		} else {
+			// An empty Attrs slice still aliases the lexer's reused buffer
+			// (zero length, shared capacity); drop the alias entirely.
+			tok.Attrs = nil
 		}
 		tokens = append(tokens, tok)
 	}

@@ -1,0 +1,249 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+
+	"ulixes/internal/lint"
+)
+
+// loadDataflowFixture loads the dataflow fixture package once per test
+// binary and returns it with a lookup for its function declarations.
+func loadDataflowFixture(t *testing.T) (*lint.Package, func(name string) *ast.FuncDecl) {
+	t.Helper()
+	pkgs, err := lint.Load(".", "./testdata/src/dataflow")
+	if err != nil {
+		t.Fatalf("loading dataflow fixture: %v", err)
+	}
+	var pkg *lint.Package
+	for _, p := range pkgs {
+		for _, e := range p.Errors {
+			t.Fatalf("fixture does not type-check: %v", e)
+		}
+		if strings.HasSuffix(p.PkgPath, "dataflow") {
+			pkg = p
+		}
+	}
+	if pkg == nil {
+		t.Fatal("dataflow fixture package not loaded")
+	}
+	fn := func(name string) *ast.FuncDecl {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+					return fd
+				}
+			}
+		}
+		t.Fatalf("fixture function %q not found", name)
+		return nil
+	}
+	return pkg, fn
+}
+
+// reachable returns the set of blocks reachable from the entry.
+func reachable(g *lint.CFG) map[*lint.Block]bool {
+	seen := map[*lint.Block]bool{g.Entry: true}
+	work := []*lint.Block{g.Entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+// blockContaining finds the block holding a node whose position range covers
+// pos.
+func blockContaining(g *lint.CFG, pos token.Pos) *lint.Block {
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if n.Pos() <= pos && pos <= n.End() {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// findStmtPos locates the first occurrence of a source fragment inside the
+// function and returns a position within it.
+func findStmtPos(t *testing.T, pkg *lint.Package, fd *ast.FuncDecl, fragment string) token.Pos {
+	t.Helper()
+	var found token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found != token.NoPos {
+			return false
+		}
+		if stmt, ok := n.(ast.Stmt); ok {
+			if nodeText(pkg, stmt) == fragment {
+				found = stmt.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	if found == token.NoPos {
+		t.Fatalf("statement %q not found in %s", fragment, fd.Name.Name)
+	}
+	return found
+}
+
+// nodeText renders a statement's source span for fragment matching.
+func nodeText(pkg *lint.Package, n ast.Node) string {
+	pos := pkg.Fset.Position(n.Pos())
+	end := pkg.Fset.Position(n.End())
+	if pos.Filename != end.Filename {
+		return ""
+	}
+	src := fixtureSource(pos.Filename)
+	if src == "" || end.Offset > len(src) {
+		return ""
+	}
+	return src[pos.Offset:end.Offset]
+}
+
+var fixtureSources = map[string]string{}
+
+func fixtureSource(filename string) string {
+	if s, ok := fixtureSources[filename]; ok {
+		return s
+	}
+	b, err := os.ReadFile(filename)
+	if err != nil {
+		return ""
+	}
+	fixtureSources[filename] = string(b)
+	return fixtureSources[filename]
+}
+
+func TestCFGIfElseJoins(t *testing.T) {
+	_, fn := loadDataflowFixture(t)
+	g := lint.BuildCFG(fn("ifElse").Body)
+	seen := reachable(g)
+	if !seen[g.Exit] {
+		t.Fatalf("exit unreachable:\n%s", g.String())
+	}
+	// Both arms must be present and converge: the exit's predecessor count
+	// through the return is one, but the then/else blocks both appear.
+	var thenb, elseb bool
+	for b := range seen {
+		switch b.Comment {
+		case "if.then":
+			thenb = true
+		case "if.else":
+			elseb = true
+		}
+	}
+	if !thenb || !elseb {
+		t.Fatalf("if/else arms missing from reachable set:\n%s", g.String())
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	_, fn := loadDataflowFixture(t)
+	g := lint.BuildCFG(fn("loop").Body)
+	if !hasBackEdge(g) {
+		t.Fatalf("for loop has no back edge:\n%s", g.String())
+	}
+}
+
+func TestCFGRangeBackEdge(t *testing.T) {
+	_, fn := loadDataflowFixture(t)
+	g := lint.BuildCFG(fn("rangeLoop").Body)
+	if !hasBackEdge(g) {
+		t.Fatalf("range loop has no back edge:\n%s", g.String())
+	}
+	// The RangeStmt node itself sits in the loop head with two successors
+	// (body and after).
+	var head *lint.Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				head = b
+			}
+		}
+	}
+	if head == nil {
+		t.Fatalf("RangeStmt not placed in any block:\n%s", g.String())
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("range head has %d successors, want 2 (body, after):\n%s", len(head.Succs), g.String())
+	}
+}
+
+func hasBackEdge(g *lint.CFG) bool {
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s.Index <= b.Index {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestCFGEarlyReturn(t *testing.T) {
+	_, fn := loadDataflowFixture(t)
+	g := lint.BuildCFG(fn("earlyReturn").Body)
+	// Two returns: both must lead to Exit, so Exit has two predecessors.
+	preds := 0
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s == g.Exit {
+				preds++
+			}
+		}
+	}
+	if preds != 2 {
+		t.Fatalf("exit has %d predecessors, want 2 (early and final return):\n%s", preds, g.String())
+	}
+}
+
+func TestCFGDefersCollected(t *testing.T) {
+	_, fn := loadDataflowFixture(t)
+	g := lint.BuildCFG(fn("deferred").Body)
+	if len(g.Defers) != 2 {
+		t.Fatalf("collected %d defers, want 2", len(g.Defers))
+	}
+}
+
+func TestCFGFallthrough(t *testing.T) {
+	pkg, fn := loadDataflowFixture(t)
+	fd := fn("fallthroughSwitch")
+	g := lint.BuildCFG(fd.Body)
+	case0 := blockContaining(g, findStmtPos(t, pkg, fd, "x = 1"))
+	case1 := blockContaining(g, findStmtPos(t, pkg, fd, "x = x + 10"))
+	if case0 == nil || case1 == nil {
+		t.Fatalf("case bodies not found in CFG:\n%s", g.String())
+	}
+	// Fallthrough: case 0's block must have case 1's block as a successor.
+	found := false
+	for _, s := range case0.Succs {
+		if s == case1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fallthrough edge b%d->b%d missing:\n%s", case0.Index, case1.Index, g.String())
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	_, fn := loadDataflowFixture(t)
+	g := lint.BuildCFG(fn("gotoLabel").Body)
+	if !hasBackEdge(g) {
+		t.Fatalf("goto loop has no back edge:\n%s", g.String())
+	}
+	if !reachable(g)[g.Exit] {
+		t.Fatalf("exit unreachable through goto loop:\n%s", g.String())
+	}
+}

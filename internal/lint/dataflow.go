@@ -1,0 +1,497 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is the value-flow half of the dataflow layer: a generic forward
+// worklist solver over the CFG, reaching-definition def-use chains, and the
+// escape lattice (local → stored → escaped) the flow-sensitive analyzers
+// share.
+
+// Fact is one analysis's abstract state at a program point. Facts are
+// treated as immutable by the solver: Transfer and Join return fresh (or
+// unchanged) values.
+type Fact interface{}
+
+// FlowClient defines one forward dataflow analysis over a CFG.
+type FlowClient interface {
+	// Entry is the fact at function entry.
+	Entry() Fact
+	// Transfer applies one CFG node (statement or control expression) to a
+	// fact, returning the fact after the node.
+	Transfer(f Fact, n ast.Node) Fact
+	// Join merges the facts of two incoming edges.
+	Join(a, b Fact) Fact
+	// Equal reports whether two facts are the same (fixpoint test).
+	Equal(a, b Fact) bool
+}
+
+// FlowResult carries the solved facts: In[b] holds at block entry, Out[b]
+// after the block's last node.
+type FlowResult struct {
+	In, Out map[*Block]Fact
+}
+
+// Forward runs the client's analysis to fixpoint and returns the per-block
+// facts. Unreachable blocks have nil facts. The solver is deterministic:
+// blocks are processed in index order from a sorted worklist.
+func (g *CFG) Forward(c FlowClient) *FlowResult {
+	res := &FlowResult{In: map[*Block]Fact{}, Out: map[*Block]Fact{}}
+	res.In[g.Entry] = c.Entry()
+	work := []*Block{g.Entry}
+	inWork := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		sort.Slice(work, func(i, j int) bool { return work[i].Index < work[j].Index })
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+
+		f := res.In[b]
+		for _, n := range b.Nodes {
+			f = c.Transfer(f, n)
+		}
+		res.Out[b] = f
+		for _, s := range b.Succs {
+			var next Fact
+			if old, ok := res.In[s]; ok {
+				next = c.Join(old, f)
+				if c.Equal(old, next) {
+					continue
+				}
+			} else {
+				next = f
+			}
+			res.In[s] = next
+			if !inWork[s] {
+				work = append(work, s)
+				inWork[s] = true
+			}
+		}
+	}
+	return res
+}
+
+// EachFact replays the transfer function inside every reachable block,
+// calling visit with the fact holding immediately BEFORE each node. This is
+// how analyzers inspect individual statements after solving.
+func (g *CFG) EachFact(c FlowClient, res *FlowResult, visit func(f Fact, n ast.Node)) {
+	for _, b := range g.Blocks {
+		f, ok := res.In[b]
+		if !ok {
+			continue // unreachable
+		}
+		for _, n := range b.Nodes {
+			visit(f, n)
+			f = c.Transfer(f, n)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Def-use chains (reaching definitions)
+
+// DefUse holds the def-use chains of one function body: for every use of a
+// variable, the set of definitions that may reach it.
+type DefUse struct {
+	pkg *Package
+	cfg *CFG
+	// Chains maps each use identifier to the definition nodes that reach
+	// it. A nil entry means the variable's value may come from outside the
+	// body (parameter, captured variable, package-level state).
+	Chains map[*ast.Ident][]ast.Node
+	// Defs maps each variable to all its definition nodes in the body.
+	Defs map[*types.Var][]ast.Node
+}
+
+// duFact maps variable → set of reaching def nodes. The special def node
+// value nil marks "defined outside the body".
+type duFact map[*types.Var]map[ast.Node]bool
+
+func (f duFact) clone() duFact {
+	out := make(duFact, len(f))
+	for v, defs := range f {
+		ds := make(map[ast.Node]bool, len(defs))
+		for d := range defs {
+			ds[d] = true
+		}
+		out[v] = ds
+	}
+	return out
+}
+
+type duClient struct{ pkg *Package }
+
+func (c duClient) Entry() Fact { return duFact{} }
+
+func (c duClient) Join(a, b Fact) Fact {
+	fa, fb := a.(duFact), b.(duFact)
+	out := fa.clone()
+	for v, defs := range fb {
+		ds := out[v]
+		if ds == nil {
+			ds = map[ast.Node]bool{}
+			out[v] = ds
+		}
+		for d := range defs {
+			ds[d] = true
+		}
+	}
+	return out
+}
+
+func (c duClient) Equal(a, b Fact) bool {
+	fa, fb := a.(duFact), b.(duFact)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for v, da := range fa {
+		db, ok := fb[v]
+		if !ok || len(da) != len(db) {
+			return false
+		}
+		for d := range da {
+			if !db[d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (c duClient) Transfer(f Fact, n ast.Node) Fact {
+	df := f.(duFact)
+	vars := definedVars(c.pkg, n)
+	if len(vars) == 0 {
+		return df
+	}
+	out := df.clone()
+	for _, v := range vars {
+		out[v] = map[ast.Node]bool{n: true}
+	}
+	return out
+}
+
+// definedVars returns the variables a node (re)defines.
+func definedVars(pkg *Package, n ast.Node) []*types.Var {
+	var out []*types.Var
+	addIdent := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+			out = append(out, v)
+		} else if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+			out = append(out, v)
+		}
+	}
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			addIdent(lhs)
+		}
+	case *ast.RangeStmt:
+		addIdent(s.Key)
+		if s.Value != nil {
+			addIdent(s.Value)
+		}
+	case *ast.IncDecStmt:
+		addIdent(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						addIdent(name)
+					}
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		// handled via its Assign statement placed in clause bodies
+	}
+	return out
+}
+
+// BuildDefUse computes the def-use chains of fn's body.
+func BuildDefUse(pkg *Package, body *ast.BlockStmt) *DefUse {
+	cfg := BuildCFG(body)
+	client := duClient{pkg: pkg}
+	res := cfg.Forward(client)
+	du := &DefUse{
+		pkg:    pkg,
+		cfg:    cfg,
+		Chains: map[*ast.Ident][]ast.Node{},
+		Defs:   map[*types.Var][]ast.Node{},
+	}
+	// Collect all defs.
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			for _, v := range definedVars(pkg, n) {
+				du.Defs[v] = append(du.Defs[v], n)
+			}
+		}
+	}
+	// Walk every reachable node and link its use identifiers to the defs
+	// reaching the node.
+	cfg.EachFact(client, res, func(f Fact, n ast.Node) {
+		df := f.(duFact)
+		defined := map[*ast.Ident]bool{}
+		// LHS identifiers of a define (:=) are defs, not uses.
+		if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					defined[id] = true
+				}
+			}
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			id, ok := m.(*ast.Ident)
+			if !ok || defined[id] {
+				return true
+			}
+			v, ok := pkg.Info.Uses[id].(*types.Var)
+			if !ok || v.IsField() {
+				return true
+			}
+			if defs, ok := df[v]; ok {
+				nodes := make([]ast.Node, 0, len(defs))
+				for d := range defs {
+					nodes = append(nodes, d)
+				}
+				sort.Slice(nodes, func(i, j int) bool { return nodes[i].Pos() < nodes[j].Pos() })
+				du.Chains[id] = nodes
+			} else {
+				du.Chains[id] = nil // from outside the body
+			}
+			return true
+		})
+	})
+	return du
+}
+
+// ---------------------------------------------------------------------------
+// Escape lattice
+
+// EscapeClass classifies how far a local variable's value travels.
+type EscapeClass int
+
+const (
+	// EscLocal values never leave the function's frame.
+	EscLocal EscapeClass = iota
+	// EscStored values are written into a heap structure reachable from a
+	// local variable (field, slice element, map entry) but the structure
+	// itself stays local as far as this function can see.
+	EscStored
+	// EscEscaped values leave the function: returned, assigned through a
+	// parameter/receiver/global, sent on a channel, or captured by a
+	// function literal that itself escapes (go/defer/stored).
+	EscEscaped
+)
+
+func (c EscapeClass) String() string {
+	switch c {
+	case EscLocal:
+		return "local"
+	case EscStored:
+		return "stored"
+	default:
+		return "escaped"
+	}
+}
+
+// EscapeInfo is one variable's escape classification with the nodes that
+// raised it above local.
+type EscapeInfo struct {
+	Class EscapeClass
+	// Sites are the nodes where the variable was stored or escaped.
+	Sites []ast.Node
+}
+
+// basicValued reports whether an expression's type is a basic value (int,
+// bool, float, string): copying it cannot alias the source's memory.
+func basicValued(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, basic := tv.Type.Underlying().(*types.Basic)
+	return basic
+}
+
+// Escapes computes the escape class of every local variable of a function
+// body, intra-procedurally and flow-insensitively: stores build edges in a
+// small alias graph (v stored into w), and a variable escapes when its
+// value can reach a return, a channel send, a non-local store target, or an
+// escaping closure. Passing a variable as a plain call argument does NOT
+// escape it here — visible retention is the stores and returns this
+// function performs; analyzers that distrust callees add their own rules.
+func Escapes(pkg *Package, fnType *ast.FuncType, body *ast.BlockStmt) map[*types.Var]*EscapeInfo {
+	out := map[*types.Var]*EscapeInfo{}
+	get := func(v *types.Var) *EscapeInfo {
+		e := out[v]
+		if e == nil {
+			e = &EscapeInfo{Class: EscLocal}
+			out[v] = e
+		}
+		return e
+	}
+	// storedInto[v] = set of vars whose structures v was stored into.
+	storedInto := map[*types.Var]map[*types.Var]bool{}
+	raise := func(v *types.Var, c EscapeClass, site ast.Node) {
+		e := get(v)
+		if c > e.Class {
+			e.Class = c
+		}
+		e.Sites = append(e.Sites, site)
+	}
+	// params marks parameters and receivers: storing into their structure
+	// escapes the stored value.
+	params := map[*types.Var]bool{}
+	if fnType != nil && fnType.Params != nil {
+		for _, f := range fnType.Params.List {
+			for _, name := range f.Names {
+				if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+					params[v] = true
+				}
+			}
+		}
+	}
+
+	rootVar := func(e ast.Expr) *types.Var {
+		obj := rootObject(pkg, e)
+		if v, ok := obj.(*types.Var); ok {
+			return v
+		}
+		return nil
+	}
+
+	// escapingFuncLits are literals used in go/defer statements or stored;
+	// their captured variables escape. Immediately-invoked or locally-
+	// called literals keep captures local.
+	escapingLits := map[*ast.FuncLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.GoStmt:
+			if fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+				escapingLits[fl] = true
+			}
+		case *ast.DeferStmt:
+			if fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+				escapingLits[fl] = true
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if fl, ok := ast.Unparen(r).(*ast.FuncLit); ok {
+					escapingLits[fl] = true
+				}
+			}
+		}
+		return true
+	})
+
+	litStack := []*ast.FuncLit{}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			litStack = append(litStack, s)
+			ast.Inspect(s.Body, walk)
+			litStack = litStack[:len(litStack)-1]
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if basicValued(pkg, r) {
+					// A basic-typed result (int, bool, string) is a value
+					// copy: returning *b.v does not leak b.
+					continue
+				}
+				if v := rootVar(r); v != nil {
+					raise(v, EscEscaped, s)
+				}
+			}
+		case *ast.SendStmt:
+			if !basicValued(pkg, s.Value) {
+				if v := rootVar(s.Value); v != nil {
+					raise(v, EscEscaped, s)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				var rhs ast.Expr
+				if len(s.Rhs) == len(s.Lhs) {
+					rhs = s.Rhs[i]
+				} else if len(s.Rhs) == 1 {
+					rhs = s.Rhs[0]
+				}
+				rv := (*types.Var)(nil)
+				if rhs != nil {
+					rv = rootVar(rhs)
+				}
+				switch ast.Unparen(lhs).(type) {
+				case *ast.Ident:
+					// plain rebinding: no escape
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					lv := rootVar(lhs)
+					if rv == nil {
+						continue
+					}
+					switch {
+					case lv == nil:
+						// store through a global or complex expression
+						raise(rv, EscEscaped, s)
+					case params[lv] || get(lv).Class == EscEscaped:
+						raise(rv, EscEscaped, s)
+					default:
+						raise(rv, EscStored, s)
+						set := storedInto[rv]
+						if set == nil {
+							set = map[*types.Var]bool{}
+							storedInto[rv] = set
+						}
+						set[lv] = true
+					}
+				}
+			}
+		case *ast.Ident:
+			// A variable declared outside an escaping literal but used
+			// inside it is captured and escapes with the closure.
+			for _, lit := range litStack {
+				if !escapingLits[lit] {
+					continue
+				}
+				if v, ok := pkg.Info.Uses[s].(*types.Var); ok && !v.IsField() && v.Pos() < lit.Pos() {
+					raise(v, EscEscaped, s)
+					break
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+
+	// Propagate: if v was stored into w and w later escapes, v escapes.
+	for changed := true; changed; {
+		changed = false
+		for v, targets := range storedInto {
+			if get(v).Class == EscEscaped {
+				continue
+			}
+			for w := range targets {
+				if params[w] || get(w).Class == EscEscaped {
+					get(v).Class = EscEscaped
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}

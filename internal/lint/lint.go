@@ -1,7 +1,7 @@
 // Package lint is a small static-analysis framework for the engine's own
 // invariants, in the spirit of golang.org/x/tools/go/analysis but built only
 // on the standard library's go/ast and go/types (the repository carries no
-// module dependencies). It ships five analyzers:
+// module dependencies). It ships ten analyzers:
 //
 //   - fetchgate: every page access must flow through the counted fetcher in
 //     internal/site, so ExecStats page counts stay sound;
@@ -13,7 +13,20 @@
 //   - noctxbg: no context.Background/TODO in request-path packages, so
 //     request deadlines and cancellation propagate to every page access;
 //   - poolreset: sync.Pool users on the request path must reset pooled
-//     objects before Put, so no request's data leaks into the next.
+//     objects before Put, so no request's data leaks into the next;
+//   - viewescape: zero-copy views (lexer token attrs, pooled buffers,
+//     TrustedTuple shared slices) must not outlive their generation —
+//     flow-checked against the next Next/Put call, stores, and returns;
+//   - lostcancel: every context cancel function on the request path is
+//     called (or deferred, or handed off) on all paths to return;
+//   - mutexguard: fields annotated "// guarded by mu" are only accessed
+//     with the mutex held, flow-checked through Lock/Unlock/defer paths;
+//   - statsexhaustive: Add/Merge methods on Stats/Counters structs mention
+//     every field, so new counters can't be silently dropped from merges.
+//
+// The last four are flow-sensitive: they run on a per-function basic-block
+// CFG (cfg.go) with a forward dataflow solver, def-use chains, and an
+// escape lattice (dataflow.go) shared by all analyzers.
 //
 // Intentional exemptions are documented in the source with a
 //
@@ -80,7 +93,10 @@ func (f Finding) String() string {
 
 // Analyzers returns the full analyzer suite in deterministic order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{FetchGate, NoWallClock, ChanHygiene, NoPrintln, NoCtxBackground, PoolReset}
+	return []*Analyzer{
+		FetchGate, NoWallClock, ChanHygiene, NoPrintln, NoCtxBackground,
+		PoolReset, ViewEscape, LostCancel, MutexGuard, StatsExhaustive,
+	}
 }
 
 // Run applies the analyzers to the packages and returns the surviving

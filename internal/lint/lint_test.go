@@ -14,6 +14,11 @@ func TestNoPrintln(t *testing.T)   { linttest.Run(t, lint.NoPrintln, "noprintln"
 func TestNoCtxBg(t *testing.T)     { linttest.Run(t, lint.NoCtxBackground, "noctxbg") }
 func TestPoolReset(t *testing.T)   { linttest.Run(t, lint.PoolReset, "poolreset") }
 
+func TestViewEscape(t *testing.T)      { linttest.Run(t, lint.ViewEscape, "viewescape") }
+func TestLostCancel(t *testing.T)      { linttest.Run(t, lint.LostCancel, "lostcancel") }
+func TestMutexGuard(t *testing.T)      { linttest.Run(t, lint.MutexGuard, "mutexguard") }
+func TestStatsExhaustive(t *testing.T) { linttest.Run(t, lint.StatsExhaustive, "statsexhaustive") }
+
 // TestRepoClean asserts the invariant the PR establishes: the repo's own
 // packages produce no findings (intentional bypasses carry //lint:allow).
 func TestRepoClean(t *testing.T) {

@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// cancelPathPkgs are the packages where a leaked cancel func leaks a
+// goroutine (or an unbounded context subtree) per request: the request-path
+// packages plus the query server.
+var cancelPathPkgs = append([]string{
+	"ulixes/cmd/ulixesd",
+}, requestPathPkgs...)
+
+// ctxCancelFuncs are the context constructors whose CancelFunc result must
+// be called on every path.
+var ctxCancelFuncs = map[string]bool{
+	"WithCancel":   true,
+	"WithTimeout":  true,
+	"WithDeadline": true,
+}
+
+// LostCancel verifies that every context cancel function obtained on the
+// request path is called (or deferred, or handed off) on all paths to every
+// function exit. A dropped cancel leaks the context's timer goroutine and —
+// for guard/hedged fetches and pipelined evaluation — the goroutines
+// blocked on that context, unboundedly under load.
+var LostCancel = &Analyzer{
+	Name: "lostcancel",
+	Doc: "the cancel function returned by context.WithCancel/WithTimeout/\n" +
+		"WithDeadline must be called on every path in request-path packages\n" +
+		"(call it, defer it, return it, or store it for a documented later\n" +
+		"call); a lost cancel leaks the context's resources and any goroutine\n" +
+		"hedged or pipelined work parked on it",
+	Run: runLostCancel,
+}
+
+func runLostCancel(pass *Pass) {
+	if !pathIsOneOf(pass.Pkg.PkgPath, cancelPathPkgs...) && !fixturePackage(pass.Pkg.PkgPath) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			_, body := enclosingFunc(n)
+			if body == nil {
+				return true
+			}
+			checkLostCancel(pass, body)
+			return true
+		})
+	}
+}
+
+// cancelFact maps each cancel variable to whether it has been handled
+// (called, deferred, escaped) on the current path.
+type cancelFact map[*types.Var]bool
+
+func (f cancelFact) clone() cancelFact {
+	out := make(cancelFact, len(f))
+	for v, h := range f {
+		out[v] = h
+	}
+	return out
+}
+
+type cancelClient struct {
+	pass *Pass
+	body *ast.BlockStmt
+	// defs maps cancel vars to their WithCancel call position (report site).
+	defs map[*types.Var]token.Pos
+}
+
+func (c *cancelClient) Entry() Fact { return cancelFact{} }
+
+func (c *cancelClient) Join(a, b Fact) Fact {
+	fa, fb := a.(cancelFact), b.(cancelFact)
+	out := fa.clone()
+	for v, h := range fb {
+		if have, ok := out[v]; ok {
+			out[v] = have && h // handled only when handled on both paths
+		} else {
+			out[v] = h
+		}
+	}
+	// A var known on one path only: keep the known value (the other path
+	// predates its definition).
+	return out
+}
+
+func (c *cancelClient) Equal(a, b Fact) bool {
+	fa, fb := a.(cancelFact), b.(cancelFact)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for v, h := range fa {
+		if hb, ok := fb[v]; !ok || hb != h {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *cancelClient) Transfer(f Fact, n ast.Node) Fact {
+	cf := f.(cancelFact)
+	out := cf
+	cloned := false
+	mut := func() cancelFact {
+		if !cloned {
+			out = cf.clone()
+			cloned = true
+		}
+		return out
+	}
+
+	// New cancel definitions: ctx, cancel := context.WithCancel(...)
+	// (the discarded-cancel case, ctx, _ :=, is reported by a one-shot scan
+	// in checkLostCancel — Transfer runs to fixpoint and must not report).
+	if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && isCtxCancelCall(c.pass.Pkg, call) {
+			if len(as.Lhs) == 2 {
+				if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+					if v := identVar(c.pass.Pkg, id); v != nil {
+						mut()[v] = false
+						c.defs[v] = call.Pos()
+					}
+				}
+			}
+		}
+	}
+
+	// Handling evidence anywhere in the node: a call of the cancel var, a
+	// defer of it, returning it, storing it, or passing it along. A
+	// RangeStmt node carries its whole body, but the body statements live in
+	// their own CFG blocks (a cancel() inside the body must not count as
+	// handled at the head — the body may run zero times).
+	scan := n
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		scan = ast.Node(rs.X)
+	}
+	ast.Inspect(scan, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.CallExpr:
+			// Direct call: cancel()
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if v := identVar(c.pass.Pkg, id); v != nil {
+					if _, tracked := cf[v]; tracked {
+						mut()[v] = true
+					}
+				}
+			}
+			// Passed as an argument: the callee owns it now.
+			for _, arg := range x.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					if v := identVar(c.pass.Pkg, id); v != nil {
+						if _, tracked := cf[v]; tracked {
+							mut()[v] = true
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if id, ok := ast.Unparen(r).(*ast.Ident); ok {
+					if v := identVar(c.pass.Pkg, id); v != nil {
+						if _, tracked := cf[v]; tracked {
+							mut()[v] = true
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// Stored (s.cancel = cancel; m[k] = cancel): handed off.
+			for i, rhs := range x.Rhs {
+				id, ok := ast.Unparen(rhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v := identVar(c.pass.Pkg, id)
+				if v == nil {
+					continue
+				}
+				if _, tracked := cf[v]; !tracked {
+					continue
+				}
+				if i < len(x.Lhs) {
+					if _, isIdent := ast.Unparen(x.Lhs[i]).(*ast.Ident); !isIdent {
+						mut()[v] = true
+					}
+				}
+			}
+		case *ast.FuncLit:
+			// A closure that uses the cancel var owns a reference; the
+			// closure's fate (go, defer, stored) decides when it runs.
+			ast.Inspect(x.Body, func(k ast.Node) bool {
+				if id, ok := k.(*ast.Ident); ok {
+					if v := identVar(c.pass.Pkg, id); v != nil {
+						if _, tracked := cf[v]; tracked {
+							mut()[v] = true
+						}
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+// checkLostCancel analyzes one function body.
+func checkLostCancel(pass *Pass, body *ast.BlockStmt) {
+	// Fast path: no cancel constructor in this body.
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isCtxCancelCall(pass.Pkg, call) {
+			found = true
+		}
+		// Don't descend into nested literals: they are analyzed as their
+		// own scope by the enclosing walk... except the constructor search
+		// must still see them to skip cheaply; keep descending.
+		return !found
+	})
+	if !found {
+		return
+	}
+
+	// One-shot scan: a cancel func assigned to the blank identifier can
+	// never be called. Nested literals are checked as their own scope.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isCtxCancelCall(pass.Pkg, call) {
+			return true
+		}
+		if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(call.Pos(), "the cancel function of context.%s is discarded; a context that can never be canceled leaks its resources", ctxCallName(pass.Pkg, call))
+		}
+		return true
+	})
+
+	cfg := BuildCFG(body)
+	client := &cancelClient{pass: pass, body: body, defs: map[*types.Var]token.Pos{}}
+	res := cfg.Forward(client)
+
+	// Defers run at exit: a deferred cancel() handles every path that
+	// reaches Exit after the defer was registered. The Transfer already
+	// treats the defer's call expression as handling evidence (the
+	// DeferStmt node contains the call), so nothing extra is needed here.
+
+	// Report any cancel var that reaches Exit unhandled.
+	exitFact, ok := res.In[cfg.Exit]
+	if !ok {
+		return
+	}
+	ef := exitFact.(cancelFact)
+	reported := map[*types.Var]bool{}
+	for v, handled := range ef {
+		if !handled && !reported[v] {
+			reported[v] = true
+			pass.Reportf(client.defs[v], "cancel function %q is not called on every path to return; call it, defer it, or hand it off so the context's resources are released", v.Name())
+		}
+	}
+}
+
+// isCtxCancelCall reports whether call is context.WithCancel/Timeout/Deadline.
+func isCtxCancelCall(pkg *Package, call *ast.CallExpr) bool {
+	obj := calleeObject(pkg, call)
+	if obj == nil || obj.Pkg() == nil || isMethod(obj) {
+		return false
+	}
+	return obj.Pkg().Path() == "context" && ctxCancelFuncs[obj.Name()]
+}
+
+func ctxCallName(pkg *Package, call *ast.CallExpr) string {
+	if obj := calleeObject(pkg, call); obj != nil {
+		return obj.Name()
+	}
+	return "WithCancel"
+}
+
+// identVar resolves an identifier to its variable object.
+func identVar(pkg *Package, id *ast.Ident) *types.Var {
+	if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}

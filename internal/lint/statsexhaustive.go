@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// statsPkgs are the packages whose counter structs feed the paper's cost
+// accounting (C(E) = page fetches + cache interactions): a field dropped
+// from a merge silently under-reports cost.
+var statsPkgs = []string{
+	"ulixes/internal/engine",
+	"ulixes/internal/pagecache",
+	"ulixes/internal/matview",
+	"ulixes/internal/plancache",
+	"ulixes/cmd/ulixesd",
+}
+
+// statsTypeRe matches the counter struct names whose Add/Merge methods are
+// checked automatically.
+var statsTypeRe = regexp.MustCompile(`(Stats|Counters)$`)
+
+// exhaustiveRe extracts the type name from a //lint:exhaustive directive.
+var exhaustiveRe = regexp.MustCompile(`//lint:exhaustive\s+([A-Za-z_][A-Za-z0-9_]*)`)
+
+// StatsExhaustive verifies that aggregation functions over counter structs
+// mention every field: an Add/Merge method on a *Stats/*Counters struct (or
+// any function carrying a "//lint:exhaustive TypeName" directive) must
+// reference each field of the struct, so adding a counter without updating
+// the merge path is caught at vet time instead of as silently wrong numbers.
+var StatsExhaustive = &Analyzer{
+	Name: "statsexhaustive",
+	Doc: "Add/Merge methods on Stats/Counters structs (and functions marked\n" +
+		"//lint:exhaustive TypeName) must mention every field of the struct;\n" +
+		"a field that is deliberately not aggregated needs a\n" +
+		"//lint:allow statsexhaustive exemption naming why",
+	IncludeTests: true,
+	Run:          runStatsExhaustive,
+}
+
+func runStatsExhaustive(pass *Pass) {
+	if !pathIsOneOf(pass.Pkg.PkgPath, statsPkgs...) && !fixturePackage(pass.Pkg.PkgPath) {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			st, name := exhaustiveTarget(pass, fd)
+			if st == nil {
+				continue
+			}
+			checkExhaustive(pass, fd, st, name)
+		}
+	}
+}
+
+// exhaustiveTarget decides whether a function is subject to the check and
+// returns the struct type it must cover.
+func exhaustiveTarget(pass *Pass, fd *ast.FuncDecl) (*types.Struct, string) {
+	// Explicit directive wins: //lint:exhaustive TypeName.
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if m := exhaustiveRe.FindStringSubmatch(c.Text); m != nil {
+				obj := pass.Pkg.Types.Scope().Lookup(m[1])
+				if obj == nil {
+					pass.Reportf(c.Pos(), "//lint:exhaustive names unknown type %q", m[1])
+					return nil, ""
+				}
+				if st, ok := obj.Type().Underlying().(*types.Struct); ok {
+					return st, m[1]
+				}
+				pass.Reportf(c.Pos(), "//lint:exhaustive target %q is not a struct", m[1])
+				return nil, ""
+			}
+		}
+	}
+	// Auto-detection: Add/Merge methods on *Stats/*Counters receivers.
+	name := fd.Name.Name
+	if name != "Add" && name != "Merge" && name != "add" && name != "merge" {
+		return nil, ""
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil, ""
+	}
+	rt := pass.Pkg.Info.TypeOf(fd.Recv.List[0].Type)
+	if rt == nil {
+		return nil, ""
+	}
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || !statsTypeRe.MatchString(named.Obj().Name()) {
+		return nil, ""
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, ""
+	}
+	return st, named.Obj().Name()
+}
+
+// checkExhaustive reports each struct field never mentioned in the body.
+func checkExhaustive(pass *Pass, fd *ast.FuncDecl, st *types.Struct, typeName string) {
+	want := map[*types.Var]bool{}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() && f.Pkg() != pass.Pkg.Types {
+			continue // unreachable from here anyway
+		}
+		want[f] = true
+	}
+	if len(want) == 0 {
+		return
+	}
+	// A field counts as covered when any identifier in the body resolves to
+	// it: selector reads/writes (s.Fetches), struct-literal keys
+	// (Stats{Fetches: n}), even a bare mention.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+			if v, ok := obj.(*types.Var); ok {
+				delete(want, v)
+			}
+		}
+		return true
+	})
+	if len(want) == 0 {
+		return
+	}
+	// Deterministic order: report in declaration order.
+	var missing []string
+	for i := 0; i < st.NumFields(); i++ {
+		if want[st.Field(i)] {
+			missing = append(missing, st.Field(i).Name())
+		}
+	}
+	pass.Reportf(fd.Name.Pos(), "%s does not aggregate field%s %s of %s; merge %s or exempt with //lint:allow statsexhaustive <why>",
+		fd.Name.Name, plural(len(missing)), strings.Join(missing, ", "), typeName, itThem(len(missing)))
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}
+
+func itThem(n int) string {
+	if n == 1 {
+		return "it"
+	}
+	return "them"
+}

@@ -1,0 +1,100 @@
+// Package lostcancel is a lint fixture: context cancel functions handled and
+// dropped along various control-flow paths.
+package lostcancel
+
+import (
+	"context"
+	"time"
+)
+
+func work(ctx context.Context) error { return nil }
+
+type server struct{ cancel context.CancelFunc }
+
+// good: the canonical defer.
+func deferred(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return work(ctx)
+}
+
+// good: called on both branches.
+func bothBranches(ctx context.Context, fast bool) error {
+	ctx, cancel := context.WithCancel(ctx)
+	if fast {
+		err := work(ctx)
+		cancel()
+		return err
+	}
+	cancel()
+	return nil
+}
+
+// good: returned to the caller, which owns it now.
+func handedOff(ctx context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(ctx)
+	return ctx, cancel
+}
+
+// good: stored for a documented later call.
+func stored(ctx context.Context, s *server) context.Context {
+	ctx, cancel := context.WithCancel(ctx)
+	s.cancel = cancel
+	return ctx
+}
+
+// good: passed to a function that takes ownership.
+func delegated(ctx context.Context, own func(context.CancelFunc)) error {
+	ctx, cancel := context.WithCancel(ctx)
+	own(cancel)
+	return work(ctx)
+}
+
+// good: a closure holding the cancel decides when it runs.
+func viaClosure(ctx context.Context) func() {
+	ctx, cancel := context.WithCancel(ctx)
+	_ = ctx
+	return func() { cancel() }
+}
+
+// bad: the early-return path never cancels.
+func earlyReturnLeak(ctx context.Context, fast bool) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second) // want `cancel function "cancel" is not called on every path`
+	if fast {
+		return work(ctx)
+	}
+	cancel()
+	return nil
+}
+
+// bad: no path cancels at all.
+func neverCanceled(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx) // want `cancel function "cancel" is not called on every path`
+	_ = cancel
+	return work(ctx)
+}
+
+// bad: a loop's break path skips the cancel.
+func loopBreakLeak(ctx context.Context, items []int) error {
+	for range items {
+		ctx2, cancel := context.WithTimeout(ctx, time.Second) // want `cancel function "cancel" is not called on every path`
+		if err := work(ctx2); err != nil {
+			break
+		}
+		cancel()
+	}
+	return nil
+}
+
+// bad: discarding the cancel makes the context uncancelable.
+func discarded(ctx context.Context) error {
+	ctx, _ = context.WithTimeout(ctx, time.Second) // want `the cancel function of context.WithTimeout is discarded`
+	return work(ctx)
+}
+
+// good: an acknowledged exemption is suppressed.
+func allowed(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx) //lint:allow lostcancel fixture: deliberate leak
+	_ = cancel
+	return work(ctx)
+}

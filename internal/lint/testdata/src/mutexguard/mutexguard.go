@@ -1,0 +1,122 @@
+// Package mutexguard is a lint fixture: "guarded by" annotated fields
+// accessed with and without their mutex held.
+package mutexguard
+
+import "sync"
+
+type Cache struct {
+	mu sync.Mutex
+	// guarded by mu
+	entries map[string]int
+	bytes   int // guarded by mu
+
+	hits int // not annotated: unchecked
+}
+
+func use(...any) {}
+
+// good: the canonical lock/access/unlock.
+func (c *Cache) Get(k string) int {
+	c.mu.Lock()
+	v := c.entries[k]
+	c.mu.Unlock()
+	return v
+}
+
+// good: defer keeps the lock held to every return.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// good: the *Locked naming convention declares the caller holds the lock.
+func (c *Cache) evictLocked(k string) {
+	delete(c.entries, k)
+	c.bytes--
+}
+
+// good: construction-time initialization of an object nothing else can see.
+func NewCache() *Cache {
+	c := &Cache{}
+	c.entries = make(map[string]int)
+	c.bytes = 0
+	return c
+}
+
+// good: unannotated fields are not checked.
+func (c *Cache) Hits() int { return c.hits }
+
+// bad: no lock at all.
+func (c *Cache) Peek(k string) int {
+	return c.entries[k] // want `field "entries" \(guarded by mu\) accessed without holding the mutex`
+}
+
+// bad: the access happens after the unlock.
+func (c *Cache) PutThenTouch(k string, v int) {
+	c.mu.Lock()
+	c.entries[k] = v
+	c.mu.Unlock()
+	c.bytes++ // want `field "bytes" \(guarded by mu\) accessed without holding the mutex`
+}
+
+// bad: one branch unlocks early, so the merge point is unprotected.
+func (c *Cache) BranchyUnlock(flush bool, k string) {
+	c.mu.Lock()
+	if flush {
+		c.mu.Unlock()
+	}
+	delete(c.entries, k) // want `field "entries" \(guarded by mu\) accessed without holding the mutex`
+	if !flush {
+		c.mu.Unlock()
+	}
+}
+
+// bad: a goroutine body inherits no lock state from its creator.
+func (c *Cache) Async(k string, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.entries[k] = v // want `field "entries" \(guarded by mu\) accessed without holding the mutex`
+	}()
+}
+
+// good: the goroutine takes the lock itself.
+func (c *Cache) AsyncLocked(k string, v int) {
+	go func() {
+		c.mu.Lock()
+		c.entries[k] = v
+		c.mu.Unlock()
+	}()
+}
+
+// good: an acknowledged lock-free read is suppressed.
+func (c *Cache) Racy() int {
+	return c.bytes //lint:allow mutexguard fixture: racy stat read is fine
+}
+
+// Cross-object annotation: the owner's mutex guards the children's fields,
+// mirroring guard.hostState's "guarded by Guard.mu".
+
+type Owner struct {
+	mu sync.Mutex
+	// guarded by mu
+	hosts map[string]*child
+}
+
+type child struct {
+	fails int // guarded by Owner.mu
+}
+
+// good: the owner's lock sanctions child-field access.
+func (o *Owner) Fail(h string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ch := o.hosts[h]
+	ch.fails++
+}
+
+// bad: touching the child without the owner's lock.
+func (o *Owner) PeekFails(ch *child) int {
+	return ch.fails // want `field "fails" \(guarded by mu\) accessed without holding the mutex`
+}

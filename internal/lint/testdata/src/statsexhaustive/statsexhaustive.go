@@ -1,0 +1,87 @@
+// Package statsexhaustive is a lint fixture: counter-struct merge functions
+// that cover every field, miss some, or are exempted.
+package statsexhaustive
+
+import "time"
+
+type ExecStats struct {
+	Fetches   int
+	CacheHits int
+	Bytes     int64
+	Wall      time.Duration
+	Degraded  bool
+}
+
+// good: every field is aggregated.
+func (s *ExecStats) Add(o ExecStats) {
+	s.Fetches += o.Fetches
+	s.CacheHits += o.CacheHits
+	s.Bytes += o.Bytes
+	s.Wall += o.Wall
+	s.Degraded = s.Degraded || o.Degraded
+}
+
+type Counters struct {
+	Hits   int
+	Misses int
+	Evicts int
+}
+
+// bad: Evicts is silently dropped from the merge.
+func (c *Counters) Merge(o Counters) { // want `Merge does not aggregate field Evicts of Counters`
+	c.Hits += o.Hits
+	c.Misses += o.Misses
+}
+
+type SessionStats struct {
+	Pages int
+	Stale int
+	Local int
+}
+
+// bad: two fields missing reports them together.
+func (s *SessionStats) Add(o SessionStats) { // want `Add does not aggregate fields Stale, Local of SessionStats`
+	s.Pages += o.Pages
+}
+
+type snapshot struct {
+	Rows  int
+	Bytes int
+}
+
+// good: the directive opts an arbitrary function in; struct-literal keys
+// count as coverage.
+//
+//lint:exhaustive snapshot
+func mergeSnapshots(a, b snapshot) snapshot {
+	return snapshot{Rows: a.Rows + b.Rows, Bytes: a.Bytes + b.Bytes}
+}
+
+// bad: directive-marked function missing a field.
+//
+//lint:exhaustive snapshot
+func partialSnapshot(a, b snapshot) snapshot { // want `partialSnapshot does not aggregate field Bytes of snapshot`
+	return snapshot{Rows: a.Rows + b.Rows}
+}
+
+// bad: the directive must name a real type; the diagnostic lands on the
+// directive line itself.
+//
+//lint:exhaustive missingType want `names unknown type "missingType"`
+func badDirective() {}
+
+type gauges struct {
+	Depth int
+	Peak  int
+}
+
+// good: an acknowledged partial merge is suppressed.
+//
+//lint:exhaustive gauges
+//lint:allow statsexhaustive fixture: Peak is recomputed, not merged
+func mergeGauges(a, b gauges) gauges {
+	return gauges{Depth: a.Depth + b.Depth}
+}
+
+// good: a non-Add/Merge method on a stats struct is not auto-checked.
+func (c *Counters) Reset() { c.Hits = 0 }

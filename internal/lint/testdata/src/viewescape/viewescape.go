@@ -1,0 +1,201 @@
+// Package viewescape is a lint fixture: zero-copy views (lexer tokens,
+// pooled buffers, TrustedTuple shared slices) used within and beyond their
+// generation.
+package viewescape
+
+import "sync"
+
+// The shapes mirror internal/hypertext and internal/nested: a Lexer whose
+// Next hands out tokens aliasing a reused buffer, get/put pooled key
+// buffers, and a TrustedTuple constructor sharing its slice arguments.
+
+type Attr struct{ Key, Val string }
+
+type Token struct {
+	Kind  int
+	Tag   string
+	Attrs []Attr
+}
+
+type Lexer struct{ attrs []Attr }
+
+func (l *Lexer) Next() (Token, bool, error) {
+	l.attrs = l.attrs[:0]
+	return Token{Attrs: l.attrs}, true, nil
+}
+
+var keyBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+func getKeyBuf() *[]byte { return keyBufPool.Get().(*[]byte) }
+
+func putKeyBuf(b *[]byte) {
+	*b = (*b)[:0]
+	keyBufPool.Put(b)
+}
+
+type Tuple struct{ names []string }
+
+func TrustedTuple(names []string, vals []string) Tuple { return Tuple{names: names} }
+
+func use(...any) {}
+
+var sink []Attr
+
+// ---- lexer token views ----------------------------------------------------
+
+// good: a token is used freely within its generation.
+func tokenWithinGeneration(l *Lexer) {
+	tok, ok, _ := l.Next()
+	if !ok {
+		return
+	}
+	for _, a := range tok.Attrs {
+		use(a.Key, a.Val) // element loads copy the Attr value: clean
+	}
+	use(tok.Tag) // Tag/Text project owned strings: clean
+}
+
+// good: laundering Attrs with a fresh copy ends the aliasing.
+func tokenLaundered(l *Lexer) []Token {
+	var out []Token
+	for {
+		tok, ok, _ := l.Next()
+		if !ok {
+			return out
+		}
+		tok.Attrs = append([]Attr(nil), tok.Attrs...)
+		out = append(out, tok)
+	}
+}
+
+// bad: the view is read after the next Next call reused its buffer.
+func tokenUsedAcrossNext(l *Lexer) {
+	tok, _, _ := l.Next()
+	tok2, _, _ := l.Next()
+	use(tok.Attrs) // want `zero-copy view "tok" is used after the next Next call`
+	use(tok2.Attrs)
+}
+
+// bad: returning the attrs hands the caller a buffer Next will overwrite.
+func tokenAttrsReturned(l *Lexer) []Attr {
+	tok, _, _ := l.Next()
+	return tok.Attrs // want `a zero-copy view is returned to the caller`
+}
+
+// bad: the un-laundered token is retained in a longer-lived slice.
+func tokenRetained(l *Lexer) []Token {
+	var out []Token
+	for {
+		tok, ok, _ := l.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, tok) // want `a zero-copy view is appended into a longer-lived slice`
+	}
+}
+
+// bad: storing the attrs into a heap structure outlives the generation.
+func tokenStored(l *Lexer) {
+	tok, _, _ := l.Next()
+	sink = tok.Attrs // want `a zero-copy view is stored into a heap structure`
+}
+
+// bad: a goroutine can still read the view after the generation ends.
+func tokenInGoroutine(l *Lexer) {
+	tok, _, _ := l.Next()
+	go func() {
+		use(tok.Attrs) // want `zero-copy view "tok" is captured by a goroutine`
+	}()
+}
+
+// bad: the view survives through an alias.
+func tokenAliasAcrossNext(l *Lexer) {
+	tok, _, _ := l.Next()
+	attrs := tok.Attrs
+	l.Next()
+	use(attrs) // want `zero-copy view "attrs" is used after the next Next call`
+}
+
+// good: an acknowledged exemption is suppressed.
+func tokenAllowed(l *Lexer) []Attr {
+	tok, _, _ := l.Next()
+	return tok.Attrs //lint:allow viewescape fixture: deliberate escape
+}
+
+// ---- pooled buffers -------------------------------------------------------
+
+// good: the canonical borrow/extend/lookup/return cycle.
+func pooledCycle(m map[string]int) int {
+	b := getKeyBuf()
+	*b = append(*b, "key"...)
+	n := m[string(*b)] // string(...) copies: clean
+	putKeyBuf(b)
+	return n
+}
+
+// good: a deferred put keeps the buffer valid for the whole function.
+func pooledDeferredPut(m map[string]int) int {
+	b := getKeyBuf()
+	defer putKeyBuf(b)
+	*b = append(*b, "key"...)
+	return m[string(*b)]
+}
+
+// bad: the buffer is read after it went back to the pool.
+func pooledUseAfterPut() {
+	b := getKeyBuf()
+	*b = append(*b, 'k')
+	putKeyBuf(b)
+	use(*b) // want `zero-copy view "b" is used after Put returning it to the pool`
+}
+
+// bad: a derived view dies with its source buffer.
+func pooledDerivedUseAfterPut() {
+	b := getKeyBuf()
+	k := append(*b, 'k')
+	putKeyBuf(b)
+	use(k) // want `zero-copy view "k" is used after Put returning it to the pool`
+}
+
+// bad: returning the pooled buffer leaks it out of the borrow scope.
+func pooledReturned() *[]byte {
+	b := getKeyBuf()
+	return b // want `a zero-copy view is returned to the caller`
+}
+
+// ---- TrustedTuple shared slices -------------------------------------------
+
+// good: building tuples from a shared names slice without mutating it.
+func trustedShared(vals [][]string) []Tuple {
+	names := []string{"a", "b"}
+	var out []Tuple
+	for _, v := range vals {
+		out = append(out, TrustedTuple(names, v))
+	}
+	return out
+}
+
+// good: rebinding to a fresh slice unfreezes the variable.
+func trustedRebound() Tuple {
+	names := []string{"a"}
+	t := TrustedTuple(names, []string{"1"})
+	names = []string{"b"} // fresh backing array: not shared
+	names[0] = "c"
+	return t
+}
+
+// bad: writing an element corrupts tuples already built from the slice.
+func trustedMutated() Tuple {
+	names := []string{"a"}
+	t := TrustedTuple(names, []string{"1"})
+	names[0] = "b" // want `slice "names" was handed to TrustedTuple`
+	return t
+}
+
+// bad: append may write into the shared backing array.
+func trustedAppended() Tuple {
+	names := make([]string, 1, 8)
+	t := TrustedTuple(names, []string{"1"})
+	names = append(names, "b") // want `slice "names" was handed to TrustedTuple`
+	return t
+}

@@ -1,0 +1,33 @@
+package matview
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCountersAdd pins Counters.Add as a straight field-wise sum, so
+// maintenance counters from several stores can be rolled up. statsexhaustive
+// keeps the field list complete; this test keeps the fold additive.
+func TestCountersAdd(t *testing.T) {
+	total := Counters{
+		LightConnections: 1,
+		Downloads:        2,
+	}
+	total.Add(Counters{
+		LightConnections: 3,
+		Downloads:        4,
+		UpdatesApplied:   5,
+		DeletionsApplied: 6,
+		StaleServes:      7,
+	})
+	want := Counters{
+		LightConnections: 4,
+		Downloads:        6,
+		UpdatesApplied:   5,
+		DeletionsApplied: 6,
+		StaleServes:      7,
+	}
+	if !reflect.DeepEqual(total, want) {
+		t.Errorf("Add result mismatch:\n got %+v\nwant %+v", total, want)
+	}
+}

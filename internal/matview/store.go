@@ -79,6 +79,17 @@ type Counters struct {
 	StaleServes int
 }
 
+// Add folds another store's maintenance counters into c, for aggregating
+// across stores or over sampling intervals. The statsexhaustive analyzer
+// holds it to covering every field.
+func (c *Counters) Add(o Counters) {
+	c.LightConnections += o.LightConnections
+	c.Downloads += o.Downloads
+	c.UpdatesApplied += o.UpdatesApplied
+	c.DeletionsApplied += o.DeletionsApplied
+	c.StaleServes += o.StaleServes
+}
+
 // DefaultCheckWorkers bounds the concurrent URLCheck light connections a
 // batched FollowPages issues.
 const DefaultCheckWorkers = 8
@@ -94,20 +105,21 @@ type Store struct {
 	server site.Server
 
 	mu       sync.Mutex
-	workers  int
-	pages    map[string]*StoredPage
-	status   map[string]Status
-	missing  map[string]bool          // CheckMissing: deferred deletion queue
-	checking map[string]chan struct{} // per-URL in-flight checks (singleflight)
-	counters Counters
+	workers  int                      // guarded by mu
+	pages    map[string]*StoredPage   // guarded by mu
+	status   map[string]Status        // guarded by mu
+	missing  map[string]bool          // CheckMissing: deferred deletion queue; guarded by mu
+	checking map[string]chan struct{} // per-URL in-flight checks (singleflight); guarded by mu
+	counters Counters                 // guarded by mu
 	// scoped is non-nil when only a subset of the page-schemes is
 	// materialized (§8: "materialize views over portions of the Web");
-	// pages of other schemes are fetched live on every use.
+	// pages of other schemes are fetched live on every use. Written once
+	// during construction and immutable afterwards, so reads are lock-free.
 	scoped map[string]bool
 	// liveSrc, when set, serves the live fetches of non-materialized
 	// schemes (e.g. from a shared cross-query page store) instead of
 	// direct server GETs; those accesses are then accounted by the source,
-	// not by the store's Downloads counter.
+	// not by the store's Downloads counter. guarded by mu
 	liveSrc site.PageSource
 }
 

@@ -113,6 +113,23 @@ type Stats struct {
 	BreakerFastFails int
 }
 
+// Add folds another store's counters into s, for aggregating statistics
+// across shards or over sampling intervals. The statsexhaustive analyzer
+// holds it to covering every field.
+func (s *Stats) Add(o Stats) {
+	s.Fetches += o.Fetches
+	s.Hits += o.Hits
+	s.Revalidations += o.Revalidations
+	s.LightConnections += o.LightConnections
+	s.Retries += o.Retries
+	s.Evictions += o.Evictions
+	s.BytesFetched += o.BytesFetched
+	s.Stale += o.Stale
+	s.Hedges += o.Hedges
+	s.HedgeWins += o.HedgeWins
+	s.BreakerFastFails += o.BreakerFastFails
+}
+
 // entry is one cached page.
 type entry struct {
 	url     string
@@ -183,13 +200,13 @@ type Cache struct {
 	cfg    Config
 
 	mu      sync.Mutex
-	entries map[string]*entry
-	lru     *list.List // front = most recently used
-	bytes   int64
-	flights map[string]*flight
-	perURL  map[string]int // retry attempts per URL (diagnostics)
+	entries map[string]*entry  // guarded by mu
+	lru     *list.List         // front = most recently used; guarded by mu
+	bytes   int64              // guarded by mu
+	flights map[string]*flight // guarded by mu
+	perURL  map[string]int     // retry attempts per URL (diagnostics); guarded by mu
 	sleeper site.Sleeper
-	stats   Stats
+	stats   Stats // guarded by mu
 }
 
 // New creates a shared page store over a server and web scheme.

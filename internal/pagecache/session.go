@@ -77,11 +77,11 @@ type Session struct {
 	opts SessionOptions
 
 	mu     sync.Mutex
-	local  map[string]nested.Tuple // URL → pinned tuple (per-query snapshot)
-	seen   map[string]bool         // URLs already charged against the budget
-	failed map[string]error        // URLs degraded batches left out
-	stale  map[string]bool         // URLs answered from an expired entry
-	stats  SessionStats
+	local  map[string]nested.Tuple // URL → pinned tuple (per-query snapshot); guarded by mu
+	seen   map[string]bool         // URLs already charged against the budget; guarded by mu
+	failed map[string]error        // URLs degraded batches left out; guarded by mu
+	stale  map[string]bool         // URLs answered from an expired entry; guarded by mu
+	stats  SessionStats            // guarded by mu
 }
 
 // NewSession opens a per-query view of the store.

@@ -1,0 +1,47 @@
+package pagecache
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStatsAdd pins Stats.Add as a straight field-wise sum. The
+// statsexhaustive analyzer keeps the method covering every field; this test
+// keeps each field summing rather than, say, overwriting.
+func TestStatsAdd(t *testing.T) {
+	total := Stats{
+		Fetches:       1,
+		Hits:          2,
+		Revalidations: 3,
+		BytesFetched:  10,
+	}
+	total.Add(Stats{
+		Fetches:          4,
+		Hits:             5,
+		Revalidations:    6,
+		LightConnections: 7,
+		Retries:          8,
+		Evictions:        9,
+		BytesFetched:     20,
+		Stale:            1,
+		Hedges:           2,
+		HedgeWins:        1,
+		BreakerFastFails: 3,
+	})
+	want := Stats{
+		Fetches:          5,
+		Hits:             7,
+		Revalidations:    9,
+		LightConnections: 7,
+		Retries:          8,
+		Evictions:        9,
+		BytesFetched:     30,
+		Stale:            1,
+		Hedges:           2,
+		HedgeWins:        1,
+		BreakerFastFails: 3,
+	}
+	if !reflect.DeepEqual(total, want) {
+		t.Errorf("Add result mismatch:\n got %+v\nwant %+v", total, want)
+	}
+}

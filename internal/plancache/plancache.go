@@ -73,11 +73,11 @@ type Cache struct {
 	cfg Config
 
 	mu      sync.Mutex
-	entries map[string]*entry
-	clock   uint64 // logical LRU clock
-	hits    uint64
-	misses  uint64
-	invals  uint64
+	entries map[string]*entry // guarded by mu
+	clock   uint64            // logical LRU clock; guarded by mu
+	hits    uint64            // guarded by mu
+	misses  uint64            // guarded by mu
+	invals  uint64            // guarded by mu
 }
 
 // New creates a cache.

@@ -12,6 +12,10 @@ echo "== ulixes-vet ./..."
 go run ./cmd/ulixes-vet ./...
 echo "== go test -race ./..."
 go test -race ./...
+echo "== fuzz smoke (seed corpora plus a short generated burst)"
+go test ./internal/hypertext/ -run=NONE -fuzz='FuzzTokenize$' -fuzztime=2s >/dev/null
+go test ./internal/hypertext/ -run=NONE -fuzz='FuzzLexer$' -fuzztime=2s >/dev/null
+go test ./internal/hypertext/ -run=NONE -fuzz='FuzzUnescapeHTML$' -fuzztime=2s >/dev/null
 echo "== bench smoke (every benchmark compiles and runs once)"
 go test -run=NONE -bench=. -benchtime=1x ./... >/dev/null
 echo "== guard (race-enabled breaker/bulkhead/hedge suite)"
