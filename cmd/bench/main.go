@@ -57,6 +57,7 @@ func main() {
 		{"P3", func() (*exp.Table, error) { return exp.P3(univ, nil, *chaosSeed) }},
 		{"P4", func() (*exp.Table, error) { return exp.P4(univ) }},
 		{"P5", func() (*exp.Table, error) { return exp.P5(univ) }},
+		{"P6", func() (*exp.Table, error) { return exp.P6(univ) }},
 	}
 
 	selected := make(map[string]bool)

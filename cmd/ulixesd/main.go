@@ -11,6 +11,8 @@
 //	        [-guard] [-breaker-threshold 0.5] [-breaker-open-for 30s]
 //	        [-host-fetches N] [-hedge-after 0]
 //	        [-plan-cache] [-plan-cache-entries N] [-plan-drift 0.25]
+//	        [-views-auto] [-views-budget N] [-views-horizon 5m]
+//	        [-views-stale] [-views-every 50]
 //
 //	POST /query      query text in the body (or GET /query?q=…)
 //	GET  /healthz    liveness (503 while draining; reports open breakers)
@@ -38,6 +40,15 @@
 // statistics drift past -plan-drift relative change. Per-query responses
 // report planCached; /stats reports the hit/miss/invalidation counters.
 //
+// With -views-auto every query's canonicalized shape and measured cost is
+// recorded, and every -views-every served queries a benefit-per-byte
+// selector re-decides which view extents to materialize under -views-budget
+// bytes. Queries a materialized view answers soundly (its binding pattern
+// implied by the query's constants, within -views-horizon) skip navigation
+// entirely and report fromView; anything else falls back to the live plan.
+// /stats reports viewHits/viewMisses/viewBytes/selectorRuns and the backing
+// store's maintenance counters.
+//
 // With -smoke the server starts on an ephemeral port, runs a deterministic
 // multi-client workload against itself, checks every answer and the exact
 // page-access accounting, and exits non-zero on any mismatch (used by
@@ -58,11 +69,13 @@ import (
 	"time"
 
 	"ulixes"
+	"ulixes/internal/cost"
 	"ulixes/internal/guard"
 	"ulixes/internal/pagecache"
 	"ulixes/internal/site"
 	"ulixes/internal/sitegen"
 	"ulixes/internal/view"
+	"ulixes/internal/vselect"
 )
 
 func main() {
@@ -89,6 +102,11 @@ func main() {
 	planCache := flag.Bool("plan-cache", true, "cache prepared plans by query shape (constants parameterized out)")
 	planCacheEntries := flag.Int("plan-cache-entries", 0, "max cached plan shapes (0 = default)")
 	planDrift := flag.Float64("plan-drift", 0, "relative statistics drift that invalidates a cached plan (0 = default, negative = never)")
+	viewsAuto := flag.Bool("views-auto", false, "record the workload and materialize the most beneficial views automatically")
+	viewsBudget := flag.Int64("views-budget", 0, "storage budget in bytes for materialized view extents (0 = unlimited)")
+	viewsHorizon := flag.Duration("views-horizon", 0, "freshness horizon: views older than this stop answering (0 = never expire)")
+	viewsStale := flag.Bool("views-stale", false, "serve views past the freshness horizon instead of navigating live")
+	viewsEvery := flag.Int("views-every", 50, "re-run view selection every N served queries")
 	smoke := flag.Bool("smoke", false, "self-test: serve on an ephemeral port, run a concurrent workload, exit")
 	flag.Parse()
 
@@ -142,6 +160,24 @@ func main() {
 
 	srv := newServer(sys, cache, *maxQueries)
 	srv.guard = g
+	if *viewsAuto {
+		// Workload-driven view answering: record every query's shape and
+		// cost, and let the benefit/byte selector re-decide the materialized
+		// view set as the workload drifts. The first selection crawls the
+		// site into the backing store; until then every query misses to the
+		// live planner.
+		sys.EnableWorkload(0)
+		sys.EnableViewAnswering(ulixes.ViewManagerConfig{
+			Rewriter: ulixes.ViewRewriterConfig{Horizon: *viewsHorizon, AllowStale: *viewsStale},
+			Budget:   *viewsBudget,
+		})
+		srv.selector = vselect.New(vselect.Config{
+			Budget: *viewsBudget,
+			Views:  views,
+			Model:  &cost.Model{Scheme: ws, Stats: sys.Stats()},
+		})
+		srv.viewsEvery = *viewsEvery
+	}
 
 	if *smoke {
 		if err := runSmoke(srv); err != nil {

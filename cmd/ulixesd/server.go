@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"log"
 	"net/http"
 	"strings"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"ulixes/internal/engine"
 	"ulixes/internal/guard"
 	"ulixes/internal/pagecache"
+	"ulixes/internal/vselect"
 )
 
 // server is the HTTP face of one shared query system: a semaphore admits at
@@ -27,12 +29,19 @@ type server struct {
 	cache *pagecache.Cache
 	guard *guard.Guard // nil when -guard=false
 
-	sem      chan struct{}
-	draining atomic.Bool
-	inflight atomic.Int64
-	served   atomic.Int64
-	rejected atomic.Int64
-	shed     atomic.Int64
+	// selector, when non-nil (-views-auto), re-decides the materialized
+	// view set every viewsEvery served queries from the recorded workload;
+	// selecting keeps concurrent re-decisions from stacking up.
+	selector   *vselect.Selector
+	viewsEvery int
+
+	sem       chan struct{}
+	draining  atomic.Bool
+	inflight  atomic.Int64
+	served    atomic.Int64
+	rejected  atomic.Int64
+	shed      atomic.Int64
+	selecting atomic.Bool
 
 	mu sync.Mutex
 	// totals accumulates every served query's ExecStats via ExecStats.Add,
@@ -79,6 +88,9 @@ type queryStats struct {
 	// either way.
 	PlanCached bool    `json:"planCached,omitempty"`
 	PlanMs     float64 `json:"planMs"`
+	// FromView reports that the answer came from materialized views: no
+	// plan was built and no page was accessed.
+	FromView bool `json:"fromView,omitempty"`
 }
 
 type queryFailure struct {
@@ -157,14 +169,20 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.served.Add(1)
+	s.maybeReselect()
 
 	st := ans.Exec
 	s.mu.Lock()
 	s.totals.Add(st)
 	s.mu.Unlock()
+	// A view answer never built a plan; Answer.Plan is nil on that path.
+	planText, planCost := "(answered from materialized views)", 0.0
+	if !ans.FromView {
+		planText, planCost = ans.Plan.Expr.String(), ans.Plan.Cost
+	}
 	resp := queryResponse{
-		Plan:          ans.Plan.Expr.String(),
-		EstimatedCost: ans.Plan.Cost,
+		Plan:          planText,
+		EstimatedCost: planCost,
 		Columns:       ans.Result.Names(),
 		Stats: queryStats{
 			Accesses:         st.Pages + st.CacheHits + st.Revalidations + st.Stale,
@@ -179,6 +197,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			BreakerFastFails: st.BreakerFastFails,
 			PlanCached:       st.PlanCached,
 			PlanMs:           float64(st.PlanWall) / float64(time.Millisecond),
+			FromView:         st.AnsweredFromView,
 		},
 		Degraded:   st.Degraded,
 		StalePages: st.StalePages,
@@ -196,6 +215,45 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// maybeReselect re-runs benefit-driven view selection every viewsEvery
+// served queries: snapshot the recorded workload, ask the drift gate whether
+// the mix has shifted enough to matter, and if so apply the new decision
+// through the view manager (which enforces the storage budget on measured
+// extent bytes). At most one re-selection runs at a time; overlapping
+// triggers are dropped, not queued — the next multiple tries again.
+func (s *server) maybeReselect() {
+	if s.selector == nil || s.viewsEvery <= 0 {
+		return
+	}
+	if s.served.Load()%int64(s.viewsEvery) != 0 {
+		return
+	}
+	rec, vm := s.sys.Workload(), s.sys.ViewManager()
+	if rec == nil || vm == nil {
+		return
+	}
+	if !s.selecting.CompareAndSwap(false, true) {
+		return
+	}
+	defer s.selecting.Store(false)
+	sums := rec.Snapshot()
+	if !s.selector.ShouldRun(sums) {
+		return
+	}
+	d := s.selector.Decide(sums)
+	kept, err := vm.Apply(d.Defs())
+	if err != nil {
+		log.Printf("ulixesd: view selection: %v", err)
+		return
+	}
+	keys := make([]string, len(kept))
+	for i, def := range kept {
+		keys[i] = def.Key()
+	}
+	log.Printf("ulixesd: view selection run %d materialized %d views (%s), %d bytes",
+		s.selector.Runs(), len(kept), strings.Join(keys, ", "), vm.Bytes())
 }
 
 // healthResponse is the /healthz payload. The server stays alive (200)
@@ -258,8 +316,24 @@ type storeStats struct {
 	PlanMisses        uint64             `json:"planMisses"`
 	PlanInvalidations uint64             `json:"planInvalidations,omitempty"`
 	PlanEntries       int                `json:"planEntries"`
+	ViewHits          int                `json:"viewHits,omitempty"`
+	ViewMisses        int                `json:"viewMisses,omitempty"`
+	ViewBytes         int64              `json:"viewBytes,omitempty"`
+	SelectorRuns      int                `json:"selectorRuns,omitempty"`
+	Matview           *matviewStats      `json:"matview,omitempty"`
 	Totals            *queryTotals       `json:"queryTotals,omitempty"`
 	Hosts             []guard.HostHealth `json:"hosts,omitempty"`
+}
+
+// matviewStats surfaces the backing materialized store's maintenance
+// counters (§8's lazy-maintenance ledger, including stale serves under open
+// breakers) once view answering has materialized anything.
+type matviewStats struct {
+	LightConnections int `json:"lightConnections"`
+	Downloads        int `json:"downloads"`
+	UpdatesApplied   int `json:"updatesApplied"`
+	DeletionsApplied int `json:"deletionsApplied"`
+	StaleServes      int `json:"staleServes,omitempty"`
 }
 
 // queryTotals is the sum of every served query's per-query stats — the
@@ -325,6 +399,25 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		out.PlanMisses = pcs.Misses
 		out.PlanInvalidations = pcs.Invalidations
 		out.PlanEntries = pcs.Entries
+	}
+	if vm := s.sys.ViewManager(); vm != nil {
+		vc := vm.Counters()
+		out.ViewHits = vc.Hits
+		out.ViewMisses = vc.Misses
+		out.ViewBytes = vm.Bytes()
+		if vm.Store() != nil {
+			mc := vm.StoreCounters()
+			out.Matview = &matviewStats{
+				LightConnections: mc.LightConnections,
+				Downloads:        mc.Downloads,
+				UpdatesApplied:   mc.UpdatesApplied,
+				DeletionsApplied: mc.DeletionsApplied,
+				StaleServes:      mc.StaleServes,
+			}
+		}
+	}
+	if s.selector != nil {
+		out.SelectorRuns = s.selector.Runs()
 	}
 	if s.guard != nil {
 		out.Hosts = s.guard.Snapshot()

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"ulixes"
+	"ulixes/internal/pagecache"
+	"ulixes/internal/site"
+	"ulixes/internal/sitegen"
+	"ulixes/internal/view"
+	"ulixes/internal/vselect"
+)
+
+// newViewsServer builds a test server with -views-auto semantics: workload
+// recording, view answering, and a selector re-deciding every N queries.
+func newViewsServer(t *testing.T, every int) *server {
+	t.Helper()
+	u, err := sitegen.GenerateUniversity(sitegen.UniversityParams{Courses: 12, Profs: 6, Depts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := site.NewMemSite(u.Instance, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := view.UniversityView(u.Scheme)
+	cache := pagecache.New(ms, u.Scheme, pagecache.Config{
+		DefaultTTL: 0, // revalidate on every re-access, so live queries keep costing
+		Clock:      site.LogicalClock(),
+	})
+	sys, err := ulixes.Open(ms, u.Scheme, views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetExec(ulixes.ExecOptions{Cache: cache})
+	sys.EnableWorkload(0)
+	sys.EnableViewAnswering(ulixes.ViewManagerConfig{})
+	srv := newServer(sys, cache, 4)
+	srv.selector = vselect.New(vselect.Config{Views: views})
+	srv.viewsEvery = every
+	return srv
+}
+
+// TestViewAnsweringEndToEnd drives the full -views-auto loop over HTTP: the
+// early queries run live, the selector kicks in at the configured multiple,
+// and later identical queries are answered from the materialized view with
+// byte-identical rows, zero page accesses, and the new /stats counters.
+func TestViewAnsweringEndToEnd(t *testing.T) {
+	srv := newViewsServer(t, 3)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	const q = "SELECT p.PName FROM Professor p WHERE p.Rank = 'Full'"
+	var first, last queryResponse
+	for i := 0; i < 6; i++ {
+		resp, out := doQuery(t, ts, q)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: status %d", i, resp.StatusCode)
+		}
+		if i == 0 {
+			first = out
+		}
+		last = out
+	}
+	if first.Stats.FromView {
+		t.Error("first query claims fromView before anything was materialized")
+	}
+	if !last.Stats.FromView {
+		t.Fatal("last query still live; selector never materialized the view")
+	}
+	if last.Stats.Pages != 0 || last.Stats.Accesses != 0 {
+		t.Errorf("view answer cost pages=%d accesses=%d, want 0/0", last.Stats.Pages, last.Stats.Accesses)
+	}
+	if last.Plan != "(answered from materialized views)" || last.EstimatedCost != 0 {
+		t.Errorf("view answer plan %q cost %v", last.Plan, last.EstimatedCost)
+	}
+	if !reflect.DeepEqual(first.Columns, last.Columns) || !reflect.DeepEqual(first.Rows, last.Rows) {
+		t.Errorf("view answer differs from live answer:\nlive %v %v\nview %v %v",
+			first.Columns, first.Rows, last.Columns, last.Rows)
+	}
+
+	res, err := ts.Client().Get(ts.URL + "/stats") //lint:allow fetchgate client of our own stats API, not a page fetch
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var st storeStats
+	if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ViewHits == 0 || st.ViewMisses == 0 {
+		t.Errorf("viewHits=%d viewMisses=%d, want both > 0", st.ViewHits, st.ViewMisses)
+	}
+	if st.ViewBytes <= 0 {
+		t.Errorf("viewBytes = %d, want > 0", st.ViewBytes)
+	}
+	if st.SelectorRuns == 0 {
+		t.Error("selectorRuns = 0, want at least one decision")
+	}
+	if st.Matview == nil || st.Matview.Downloads == 0 {
+		t.Errorf("matview counters %+v, want the materialization crawl visible", st.Matview)
+	}
+}

@@ -161,7 +161,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("-- plan cost: estimated %.1f, measured %d page accesses\n", ans.Plan.Cost, ans.PagesFetched)
+	if ans.FromView {
+		fmt.Printf("-- answered from materialized views (no plan built, no page accessed)\n")
+	} else {
+		fmt.Printf("-- plan cost: estimated %.1f, measured %d page accesses\n", ans.Plan.Cost, ans.PagesFetched)
+	}
 	fmt.Printf("-- %s\n", formatStats(ans.Exec))
 	printRelation(ans.Result)
 }
@@ -184,6 +188,9 @@ func checkPlan(expr nalg.Expr, ws *adm.Scheme) {
 func formatStats(st ulixes.ExecStats) string {
 	s := fmt.Sprintf("%d pages, %.1f KB, %s wall, peak %d in-flight",
 		st.Pages, float64(st.Bytes)/1024, st.Wall.Round(10*time.Microsecond), st.PeakInFlight)
+	if st.AnsweredFromView {
+		s += ", answered from view"
+	}
 	if st.Retries > 0 {
 		s += fmt.Sprintf(", %d retries", st.Retries)
 	}

@@ -18,6 +18,7 @@ import (
 	"ulixes/internal/site"
 	"ulixes/internal/stats"
 	"ulixes/internal/view"
+	"ulixes/internal/workload"
 )
 
 // ExecOptions tunes plan execution.
@@ -122,6 +123,11 @@ type ExecStats struct {
 	// Algorithm 1 run on a miss, a cache specialization on a hit. Zero for
 	// Execute/ExecuteOpts, which are handed a plan.
 	PlanWall time.Duration
+	// AnsweredFromView reports that the query never navigated at all: a
+	// sound rewrite over materialized views answered it locally (see
+	// internal/vanswer), so Pages and every other network counter are zero.
+	// Always false without Engine.ViewAnswers.
+	AnsweredFromView bool
 }
 
 // Add folds another execution's statistics into s: counters and byte/time
@@ -151,6 +157,7 @@ func (s *ExecStats) Add(o ExecStats) {
 	s.BreakerFastFails += o.BreakerFastFails
 	s.PlanCached = s.PlanCached || o.PlanCached
 	s.PlanWall += o.PlanWall
+	s.AnsweredFromView = s.AnsweredFromView || o.AnsweredFromView
 }
 
 // Engine answers queries over a web site through a relational view.
@@ -164,6 +171,23 @@ type Engine struct {
 	// Plans, when non-nil, caches prepared plans by query shape: repeated
 	// query shapes skip Algorithm 1 entirely (see internal/plancache).
 	Plans *plancache.Cache
+	// ViewAnswers, when non-nil, is consulted before planning: a query it
+	// answers soundly from materialized views skips navigation entirely
+	// (Answer.FromView, ExecStats.AnsweredFromView). A decline or an error
+	// falls back to the live plan — view answering can only save work,
+	// never change an answer.
+	ViewAnswers ViewAnswerer
+	// Workload, when non-nil, records every query's canonicalized shape
+	// and measured cost — the input to benefit-driven view selection (see
+	// internal/workload and internal/vselect).
+	Workload *workload.Recorder
+}
+
+// ViewAnswerer is the view-rewriting hook (implemented by
+// vanswer.Manager/Rewriter): TryAnswer returns the query's full answer and
+// ok=true only when a sound rewrite over materialized views exists.
+type ViewAnswerer interface {
+	TryAnswer(q *cq.Query) (*nested.Relation, bool, error)
 }
 
 // New creates an engine. Statistics may come from stats.CollectSite (a
@@ -189,6 +213,9 @@ type Answer struct {
 	// Exec carries the full execution counters (pages, bytes, wall time,
 	// peak in-flight downloads).
 	Exec ExecStats
+	// FromView reports that the answer came from materialized views: no
+	// plan was built (Plan is zero) and no page was accessed.
+	FromView bool
 }
 
 // Query parses, optimizes and executes a conjunctive query.
@@ -216,6 +243,15 @@ func (e *Engine) QueryCQ(q *cq.Query) (*Answer, error) {
 // caller's context.
 func (e *Engine) QueryCQCtx(ctx context.Context, q *cq.Query) (*Answer, error) {
 	planStart := time.Now()
+	if e.ViewAnswers != nil {
+		// A decline (ok=false) or a local-evaluation error both fall back
+		// to the live plan below; view answering never loses a query.
+		if rel, ok, verr := e.ViewAnswers.TryAnswer(q); verr == nil && ok {
+			st := ExecStats{Wall: time.Since(planStart), AnsweredFromView: true}
+			e.record(q, st)
+			return &Answer{Result: rel, Exec: st, FromView: true}, nil
+		}
+	}
 	var res *optimizer.Result
 	var cached bool
 	var err error
@@ -237,6 +273,7 @@ func (e *Engine) QueryCQCtx(ctx context.Context, q *cq.Query) (*Answer, error) {
 	}
 	st.PlanCached = cached
 	st.PlanWall = planWall
+	e.record(q, st)
 	return &Answer{
 		Result:       rel,
 		Plan:         res.Best,
@@ -244,6 +281,19 @@ func (e *Engine) QueryCQCtx(ctx context.Context, q *cq.Query) (*Answer, error) {
 		PagesFetched: st.Pages,
 		Exec:         st,
 	}, nil
+}
+
+// record feeds the workload recorder, when one is attached.
+func (e *Engine) record(q *cq.Query, st ExecStats) {
+	if e.Workload == nil {
+		return
+	}
+	e.Workload.Record(q, workload.Observed{
+		Pages:    st.Pages,
+		Accesses: st.Pages + st.CacheHits + st.Revalidations + st.Stale,
+		Wall:     st.Wall,
+		FromView: st.AnsweredFromView,
+	})
 }
 
 // Execute evaluates a computable plan against the site with a fresh

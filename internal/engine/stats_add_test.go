@@ -46,6 +46,7 @@ func TestExecStatsAdd(t *testing.T) {
 		BreakerFastFails: 1,
 		PlanCached:       true,
 		PlanWall:         time.Millisecond,
+		AnsweredFromView: true,
 	})
 
 	want := ExecStats{
@@ -67,6 +68,7 @@ func TestExecStatsAdd(t *testing.T) {
 		BreakerFastFails: 1,
 		PlanCached:       true,
 		PlanWall:         6 * time.Millisecond,
+		AnsweredFromView: true,
 	}
 	if !reflect.DeepEqual(total, want) {
 		t.Errorf("Add result mismatch:\n got %+v\nwant %+v", total, want)

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"ulixes/internal/cq"
+	"ulixes/internal/nested"
+	"ulixes/internal/workload"
+)
+
+// fakeAnswerer scripts the view-answering hook.
+type fakeAnswerer struct {
+	rel   *nested.Relation
+	ok    bool
+	err   error
+	calls int
+}
+
+func (f *fakeAnswerer) TryAnswer(q *cq.Query) (*nested.Relation, bool, error) {
+	f.calls++
+	return f.rel, f.ok, f.err
+}
+
+// TestViewHitSkipsNavigation: a view answer short-circuits planning and
+// execution entirely — zero network counters, AnsweredFromView set, and the
+// workload sample marked FromView.
+func TestViewHitSkipsNavigation(t *testing.T) {
+	_, ms, e := univEngine(t)
+	canned := nested.NewRelation(nested.MustTupleType(nested.Field{Name: "PName", Type: nested.Text()}))
+	fake := &fakeAnswerer{rel: canned, ok: true}
+	e.ViewAnswers = fake
+	rec := workload.NewRecorder(0)
+	e.Workload = rec
+
+	gets := ms.Counters().Gets()
+	ans, err := e.Query("SELECT p.PName FROM Professor p WHERE p.Rank = 'Full'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fake.calls != 1 {
+		t.Fatalf("TryAnswer called %d times, want 1", fake.calls)
+	}
+	if !ans.FromView || !ans.Exec.AnsweredFromView {
+		t.Errorf("FromView=%v AnsweredFromView=%v, want both true", ans.FromView, ans.Exec.AnsweredFromView)
+	}
+	if ans.Result != canned {
+		t.Error("answer is not the view relation")
+	}
+	if ans.Exec.Pages != 0 || ans.Exec.LightConnections != 0 {
+		t.Errorf("view hit cost pages=%d lights=%d, want 0/0", ans.Exec.Pages, ans.Exec.LightConnections)
+	}
+	if got := ms.Counters().Gets(); got != gets {
+		t.Errorf("view hit cost %d GETs, want 0", got-gets)
+	}
+	sums := rec.Snapshot()
+	if len(sums) != 1 || sums[0].FromView != 1 || sums[0].LivePages != 0 {
+		t.Errorf("workload snapshot %+v, want one FromView sample", sums)
+	}
+}
+
+// TestViewDeclineFallsBackLive: a decline (ok=false) or an evaluation error
+// from the hook runs the live plan; the workload records the live cost.
+func TestViewDeclineFallsBackLive(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fake *fakeAnswerer
+	}{
+		{"decline", &fakeAnswerer{ok: false}},
+		{"error", &fakeAnswerer{ok: true, err: errors.New("extent gone")}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, e := univEngine(t)
+			e.ViewAnswers = tc.fake
+			rec := workload.NewRecorder(0)
+			e.Workload = rec
+			ans, err := e.Query("SELECT p.PName FROM Professor p WHERE p.Rank = 'Full'")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ans.FromView || ans.Exec.AnsweredFromView {
+				t.Error("fallback answer claims to come from a view")
+			}
+			if ans.Exec.Pages == 0 {
+				t.Error("live fallback downloaded nothing")
+			}
+			sums := rec.Snapshot()
+			if len(sums) != 1 || sums[0].FromView != 0 || sums[0].LivePages != ans.Exec.Pages {
+				t.Errorf("workload snapshot %+v, want one live sample with %d pages", sums, ans.Exec.Pages)
+			}
+		})
+	}
+}
+
+// TestWorkloadRecordsWithoutViews: the recorder alone (no view hook) captures
+// live executions.
+func TestWorkloadRecordsWithoutViews(t *testing.T) {
+	_, _, e := univEngine(t)
+	rec := workload.NewRecorder(0)
+	e.Workload = rec
+	for i := 0; i < 2; i++ {
+		if _, err := e.Query("SELECT d.DName FROM Dept d"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sums := rec.Snapshot()
+	if len(sums) != 1 || sums[0].Freq != 2 || sums[0].LivePages == 0 {
+		t.Errorf("workload snapshot %+v, want one shape with 2 live samples", sums)
+	}
+}

@@ -1,0 +1,188 @@
+package exp
+
+import (
+	"fmt"
+
+	"ulixes/internal/cost"
+	"ulixes/internal/cq"
+	"ulixes/internal/engine"
+	"ulixes/internal/site"
+	"ulixes/internal/sitegen"
+	"ulixes/internal/stats"
+	"ulixes/internal/vanswer"
+	"ulixes/internal/view"
+	"ulixes/internal/vselect"
+	"ulixes/internal/workload"
+)
+
+// p6Pass is one pass of the skewed 20-query workload: the first ten queries
+// cover every shape once (plus cheap repeats), so the selector sees the whole
+// mix at its first trigger; the back ten are the hot repeats the materialized
+// views then absorb.
+var p6Pass = []string{
+	// Queries 1–10: every shape appears, heavy shapes once.
+	"SELECT d.DName, d.Address FROM Dept d",
+	"SELECT p.PName, p.Email FROM Professor p WHERE p.Rank = 'Full'",
+	"SELECT ci.CName, ci.PName FROM CourseInstructor ci",
+	"SELECT c.CName, c.Description FROM Course c WHERE c.Session = 'Fall'",
+	"SELECT d.DName, d.Address FROM Dept d",
+	"SELECT pd.PName, pd.DName FROM ProfDept pd",
+	"SELECT p.PName, p.Email FROM Professor p WHERE p.Rank = 'Assistant'",
+	"SELECT p.PName, p.Email FROM Professor p WHERE p.Rank = 'Full'",
+	"SELECT d.DName, d.Address FROM Dept d",
+	"SELECT ci.CName, ci.PName FROM CourseInstructor ci",
+	// Queries 11–20: the skewed hot tail.
+	"SELECT p.PName, p.Email FROM Professor p WHERE p.Rank = 'Full'",
+	"SELECT ci.CName, ci.PName FROM CourseInstructor ci",
+	"SELECT c.CName, c.Description FROM Course c WHERE c.Session = 'Fall'",
+	"SELECT p.PName, p.Email FROM Professor p WHERE p.Rank = 'Full'",
+	"SELECT ci.CName, ci.PName FROM CourseInstructor ci",
+	"SELECT c.CName, c.Description FROM Course c WHERE c.Session = 'Fall'",
+	"SELECT p.PName, p.Email FROM Professor p WHERE p.Rank = 'Full'",
+	"SELECT ci.CName, ci.PName FROM CourseInstructor ci",
+	"SELECT c.CName, c.Description FROM Course c WHERE c.Session = 'Fall'",
+	"SELECT p.PName, p.Email FROM Professor p WHERE p.Rank = 'Full'",
+}
+
+// p6Passes repeats the pass so the recurring workload dominates one-time
+// costs (the selection crawl) the way it would on a long-running server.
+const p6Passes = 3
+
+// p6Every triggers the selector every N served queries, as ulixesd's
+// -views-every does.
+const p6Every = 10
+
+// P6 measures benefit-driven view answering on a skewed workload. The
+// baseline runs every query live (no views, no cross-query store: each query
+// pays its full navigation). The views-auto configuration runs the SAME
+// queries in the same order with the workload recorder, the view-answering
+// manager and the greedy benefit/byte selector wired together exactly as in
+// `ulixesd -views-auto`: after the first p6Every queries the selector
+// materializes the profitable extents (one site crawl, charged to this
+// configuration), and every later query a view covers soundly never touches
+// the network again.
+//
+// Two invariants are asserted per query: the answer is byte-identical to the
+// live baseline's, and a view answer costs zero page accesses. The headline
+// claim — the reason to materialize at all — is a ≥3× cut in live GETs
+// including the crawl's own cost.
+func P6(params sitegen.UniversityParams) (*Table, error) {
+	u, err := sitegen.GenerateUniversity(params)
+	if err != nil {
+		return nil, err
+	}
+	st := stats.CollectInstance(u.Instance)
+
+	queries := make([]*cq.Query, 0, len(p6Pass)*p6Passes)
+	for r := 0; r < p6Passes; r++ {
+		for _, src := range p6Pass {
+			q, err := cq.Parse(src)
+			if err != nil {
+				return nil, fmt.Errorf("P6: %w", err)
+			}
+			queries = append(queries, q)
+		}
+	}
+
+	// Baseline: every query navigates live.
+	liveSite, err := site.NewMemSite(u.Instance, nil)
+	if err != nil {
+		return nil, err
+	}
+	eng := engine.New(view.UniversityView(u.Scheme), liveSite, st)
+	answers := make([]string, len(queries))
+	for i, q := range queries {
+		ans, err := eng.QueryCQ(q)
+		if err != nil {
+			return nil, fmt.Errorf("P6 live query %d: %w", i, err)
+		}
+		answers[i] = ans.Result.String()
+	}
+	liveGets := liveSite.Counters().Gets()
+
+	t := &Table{
+		ID: "P6",
+		Title: fmt.Sprintf("Answering from materialized views: skewed %d-query workload (%d passes × %d), selector every %d queries",
+			len(queries), p6Passes, len(p6Pass), p6Every),
+		Header: []string{"configuration", "GETs", "view hits", "selector runs", "views kept", "GET reduction"},
+	}
+	t.AddRow("live navigation per query", d(liveGets), "0", "0", "—", "1.0×")
+
+	for _, cfg := range []struct {
+		name   string
+		budget int64
+	}{
+		{"views-auto, unlimited budget", 0},
+		{"views-auto, 4 KB budget", 4 << 10},
+	} {
+		gets, hits, runs, kept, err := p6Auto(u, st, queries, answers, cfg.budget)
+		if err != nil {
+			return nil, fmt.Errorf("P6 %s: %w", cfg.name, err)
+		}
+		t.AddRow(cfg.name, d(gets), d(hits), d(runs), kept,
+			fmt.Sprintf("%.1f×", float64(liveGets)/float64(gets)))
+		if hits == 0 {
+			return nil, fmt.Errorf("P6 %s: no query was answered from a view", cfg.name)
+		}
+		if cfg.budget == 0 && gets*3 > liveGets {
+			return nil, fmt.Errorf("P6 %s: %d GETs is less than a 3× cut of the live %d", cfg.name, gets, liveGets)
+		}
+	}
+	t.AddNote("every configuration answers every query byte-identically to the live baseline, and every view answer costs zero page accesses; the views-auto GET counts include the selection crawl that builds the backing store")
+	t.AddNote("under the 4 KB budget the selector still picks the extents with the best benefit per byte; queries whose views did not fit keep navigating live")
+	return t, nil
+}
+
+// p6Auto replays the workload with recorder + manager + selector wired as in
+// ulixesd -views-auto, and returns the network and view-answering ledger.
+func p6Auto(u *sitegen.University, st *stats.Stats, queries []*cq.Query,
+	answers []string, budget int64) (gets, hits, runs int, kept string, err error) {
+
+	ms, err := site.NewMemSite(u.Instance, nil)
+	if err != nil {
+		return 0, 0, 0, "", err
+	}
+	views := view.UniversityView(u.Scheme)
+	eng := engine.New(views, ms, st)
+	rec := workload.NewRecorder(0)
+	eng.Workload = rec
+	mgr := vanswer.NewManager(ms, views, vanswer.ManagerConfig{Budget: budget})
+	eng.ViewAnswers = mgr
+	sel := vselect.New(vselect.Config{
+		Budget: budget,
+		Views:  views,
+		Model:  &cost.Model{Scheme: u.Scheme, Stats: st},
+	})
+
+	for i, q := range queries {
+		ans, err := eng.QueryCQ(q)
+		if err != nil {
+			return 0, 0, 0, "", fmt.Errorf("query %d: %w", i, err)
+		}
+		if ans.Result.String() != answers[i] {
+			return 0, 0, 0, "", fmt.Errorf("query %d: views-auto answer differs from live", i)
+		}
+		if ans.FromView && ans.Exec.Pages != 0 {
+			return 0, 0, 0, "", fmt.Errorf("query %d: view answer downloaded %d pages", i, ans.Exec.Pages)
+		}
+		if (i+1)%p6Every == 0 {
+			sums := rec.Snapshot()
+			if sel.ShouldRun(sums) {
+				if _, err := mgr.Apply(sel.Decide(sums).Defs()); err != nil {
+					return 0, 0, 0, "", fmt.Errorf("after query %d: %w", i, err)
+				}
+			}
+		}
+	}
+	kept = "—"
+	if defs := mgr.Applied(); len(defs) > 0 {
+		kept = ""
+		for i, def := range defs {
+			if i > 0 {
+				kept += " "
+			}
+			kept += def.Key()
+		}
+	}
+	return ms.Counters().Gets(), mgr.Counters().Hits, sel.Runs(), kept, nil
+}

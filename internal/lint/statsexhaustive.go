@@ -15,6 +15,8 @@ var statsPkgs = []string{
 	"ulixes/internal/pagecache",
 	"ulixes/internal/matview",
 	"ulixes/internal/plancache",
+	"ulixes/internal/vanswer",
+	"ulixes/internal/workload",
 	"ulixes/cmd/ulixesd",
 }
 

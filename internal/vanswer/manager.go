@@ -1,0 +1,245 @@
+package vanswer
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/cq"
+	"ulixes/internal/matview"
+	"ulixes/internal/nalg"
+	"ulixes/internal/nested"
+	"ulixes/internal/site"
+	"ulixes/internal/view"
+)
+
+// ManagerConfig tunes the manager.
+type ManagerConfig struct {
+	// Rewriter is the freshness/stale policy passed through to the
+	// rewriter.
+	Rewriter Config
+	// Budget caps the summed extent bytes of the applied views; 0 means
+	// unlimited. Apply keeps the given order (callers pass candidates best
+	// first) and skips views that would exceed the budget.
+	Budget int64
+	// Schemes, when non-empty, scopes the backing matview store to those
+	// page-schemes (§8's "views over portions of the Web"); nil materializes
+	// the whole site.
+	Schemes []string
+}
+
+// Manager owns the machinery behind view answering: a lazily created
+// matview.Store (the §8 materialization, crawled on first use), the extents
+// it derives from store snapshots — one per applied view definition — and
+// the Rewriter serving queries from them. It executes the selector's
+// materialize/drop decisions and the refresh path.
+type Manager struct {
+	server site.Server
+	scheme *adm.Scheme
+	views  *view.Registry
+	cfg    ManagerConfig
+	rw     *Rewriter
+
+	mu      sync.Mutex
+	store   *matview.Store // created on first Apply; guarded by mu
+	applied []Def          // current view definitions, in benefit order; guarded by mu
+}
+
+// NewManager creates a manager with no materialized views: every query
+// misses until Apply installs some.
+func NewManager(server site.Server, views *view.Registry, cfg ManagerConfig) *Manager {
+	return &Manager{
+		server: server,
+		scheme: views.Scheme,
+		views:  views,
+		cfg:    cfg,
+		rw:     NewRewriter(views, cfg.Rewriter),
+	}
+}
+
+// TryAnswer implements the engine's view-answering hook.
+func (m *Manager) TryAnswer(q *cq.Query) (*nested.Relation, bool, error) {
+	return m.rw.TryAnswer(q)
+}
+
+// Counters returns the rewriter's decision counters.
+func (m *Manager) Counters() Counters { return m.rw.Counters() }
+
+// Bytes returns the summed storage footprint of the current extents.
+func (m *Manager) Bytes() int64 { return m.rw.Bytes() }
+
+// Applied returns the currently applied view definitions.
+func (m *Manager) Applied() []Def {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Def(nil), m.applied...)
+}
+
+// Store exposes the backing matview store (nil before the first Apply), for
+// maintenance counters and tests.
+func (m *Manager) Store() *matview.Store {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.store
+}
+
+// StoreCounters returns the backing store's maintenance counters (zero
+// before the first Apply).
+func (m *Manager) StoreCounters() matview.Counters {
+	m.mu.Lock()
+	st := m.store
+	m.mu.Unlock()
+	if st == nil {
+		return matview.Counters{}
+	}
+	return st.Counters()
+}
+
+func (m *Manager) now() time.Time {
+	if m.cfg.Rewriter.Clock != nil {
+		return m.cfg.Rewriter.Clock()
+	}
+	return time.Now()
+}
+
+// ensureStore crawls the site into the backing store on first use.
+func (m *Manager) ensureStore() (*matview.Store, error) {
+	m.mu.Lock()
+	st := m.store
+	m.mu.Unlock()
+	if st != nil {
+		return st, nil
+	}
+	st, err := matview.MaterializeSchemes(m.server, m.scheme, m.cfg.Schemes)
+	if err != nil {
+		return nil, fmt.Errorf("vanswer: materialization crawl: %w", err)
+	}
+	m.mu.Lock()
+	if m.store == nil {
+		m.store = st
+	}
+	st = m.store
+	m.mu.Unlock()
+	return st, nil
+}
+
+// normalize sorts a definition's bindings (canonical form) and validates it
+// against the registry.
+func (m *Manager) normalize(d Def) (Def, error) {
+	rel := m.views.Relation(d.Relation)
+	if rel == nil {
+		return Def{}, fmt.Errorf("vanswer: unknown external relation %q", d.Relation)
+	}
+	attrs := make(map[string]bool, len(rel.Attrs))
+	for _, a := range rel.Attrs {
+		attrs[a] = true
+	}
+	out := Def{Relation: d.Relation, Bindings: append([]Binding(nil), d.Bindings...)}
+	for _, b := range out.Bindings {
+		if !attrs[b.Attr] {
+			return Def{}, fmt.Errorf("vanswer: relation %q has no attribute %q", d.Relation, b.Attr)
+		}
+	}
+	sort.Slice(out.Bindings, func(i, j int) bool { return out.Bindings[i].Attr < out.Bindings[j].Attr })
+	return out, nil
+}
+
+// buildExtent computes one view's extent from a store snapshot: the
+// relation's first default navigation evaluated purely locally, projected
+// and renamed to the external attributes, then filtered by the binding
+// pattern. No network is touched; an *matview.ErrNotMaterialized error
+// means the snapshot does not cover the navigation.
+func (m *Manager) buildExtent(sn *matview.Snapshot, d Def) (*View, error) {
+	rel := m.views.Relation(d.Relation)
+	nav := rel.Navs[0]
+	raw, err := nalg.Eval(nav.Expr, m.scheme, sn.Source())
+	if err != nil {
+		return nil, fmt.Errorf("vanswer: extent of %s: %w", d.Key(), err)
+	}
+	cols := make([]string, len(rel.Attrs))
+	ren := make(map[string]string, len(rel.Attrs))
+	for i, a := range rel.Attrs {
+		cols[i] = nav.ColMap[a]
+		ren[nav.ColMap[a]] = a
+	}
+	ext, err := raw.Project(dedupCols(cols))
+	if err != nil {
+		return nil, fmt.Errorf("vanswer: extent of %s: %w", d.Key(), err)
+	}
+	ext, err = ext.Rename(ren)
+	if err != nil {
+		return nil, fmt.Errorf("vanswer: extent of %s: %w", d.Key(), err)
+	}
+	for _, b := range d.Bindings {
+		ext, err = ext.Select(nested.Eq(b.Attr, b.Val))
+		if err != nil {
+			return nil, fmt.Errorf("vanswer: extent of %s: %w", d.Key(), err)
+		}
+	}
+	var bytes int64
+	for _, t := range ext.Tuples() {
+		bytes += int64(len(t.Key()))
+	}
+	return &View{Def: d, Rel: ext, RefreshedAt: m.now(), Bytes: bytes}, nil
+}
+
+// Apply installs a new desired view set, in the given (best-first) order:
+// the site is crawled into the backing store if this is the first call,
+// each definition's extent is built from one consistent snapshot, and
+// definitions whose ACTUAL extent bytes would exceed the budget are
+// skipped — the budget is enforced on measured bytes, not estimates.
+// Previously applied views not in the new set are dropped. It returns the
+// definitions actually materialized.
+func (m *Manager) Apply(defs []Def) ([]Def, error) {
+	st, err := m.ensureStore()
+	if err != nil {
+		return nil, err
+	}
+	sn := st.Snapshot()
+	var views []*View
+	var kept []Def
+	var total int64
+	for _, d := range defs {
+		nd, err := m.normalize(d)
+		if err != nil {
+			return nil, err
+		}
+		v, err := m.buildExtent(sn, nd)
+		if err != nil {
+			return nil, err
+		}
+		if m.cfg.Budget > 0 && total+v.Bytes > m.cfg.Budget {
+			continue
+		}
+		total += v.Bytes
+		views = append(views, v)
+		kept = append(kept, nd)
+	}
+	m.rw.SetAll(views)
+	m.mu.Lock()
+	m.applied = kept
+	m.mu.Unlock()
+	return kept, nil
+}
+
+// Refresh runs the store's full consistency pass (§8's periodic refresh:
+// one light connection per page, downloads only for changed pages) and
+// rebuilds every applied extent from the refreshed snapshot, renewing the
+// freshness horizon. It returns the store's refresh report.
+func (m *Manager) Refresh() (updated, deleted int, stale []string, err error) {
+	m.mu.Lock()
+	st := m.store
+	defs := append([]Def(nil), m.applied...)
+	m.mu.Unlock()
+	if st == nil {
+		return 0, 0, nil, nil // nothing materialized yet
+	}
+	updated, deleted, stale, err = st.Refresh()
+	if err != nil {
+		return updated, deleted, stale, err
+	}
+	_, err = m.Apply(defs)
+	return updated, deleted, stale, err
+}

@@ -26,6 +26,8 @@ echo "== shared store (multi-query determinism check)"
 go run ./cmd/bench -only P4 >/dev/null
 echo "== site-health guard (partial-outage determinism check)"
 go run ./cmd/bench -only P5 >/dev/null
+echo "== view answering (byte-identity and GET-cut check)"
+go run ./cmd/bench -only P6 >/dev/null
 echo "== ulixesd smoke (concurrent query server self-test)"
 go run ./cmd/ulixesd -smoke
 echo "verify: OK"

@@ -34,7 +34,9 @@ import (
 	"ulixes/internal/plancache"
 	"ulixes/internal/site"
 	"ulixes/internal/stats"
+	"ulixes/internal/vanswer"
 	"ulixes/internal/view"
+	"ulixes/internal/workload"
 )
 
 // Re-exported types, so downstream users interact with one package.
@@ -71,6 +73,20 @@ type (
 	PlanCacheConfig = plancache.Config
 	// PlanCacheCounters are the cache's hit/miss/invalidation counters.
 	PlanCacheCounters = plancache.Counters
+	// ViewManager materializes views and answers matching queries from
+	// them (see internal/vanswer).
+	ViewManager = vanswer.Manager
+	// ViewManagerConfig tunes view answering: storage budget, freshness
+	// horizon, stale policy.
+	ViewManagerConfig = vanswer.ManagerConfig
+	// ViewRewriterConfig is the freshness/stale policy inside a
+	// ViewManagerConfig.
+	ViewRewriterConfig = vanswer.Config
+	// ViewCounters are the view-answering hit/miss/rejection counters.
+	ViewCounters = vanswer.Counters
+	// WorkloadRecorder records query shapes, frequencies and measured
+	// costs (see internal/workload).
+	WorkloadRecorder = workload.Recorder
 )
 
 // ParseQuery parses the conjunctive-query concrete syntax
@@ -126,6 +142,37 @@ func (s *System) EnablePlanCache(cfg PlanCacheConfig) *PlanCache {
 
 // PlanCache returns the attached prepared-plan cache, or nil.
 func (s *System) PlanCache() *PlanCache { return s.eng.Plans }
+
+// EnableWorkload attaches a workload recorder: every query's canonicalized
+// shape and measured cost is kept in a ring of the given capacity (0 = the
+// default), as input for benefit-driven view selection.
+func (s *System) EnableWorkload(capacity int) *WorkloadRecorder {
+	r := workload.NewRecorder(capacity)
+	s.eng.Workload = r
+	return r
+}
+
+// Workload returns the attached workload recorder, or nil.
+func (s *System) Workload() *WorkloadRecorder { return s.eng.Workload }
+
+// EnableViewAnswering attaches a view manager: queries a materialized view
+// set answers soundly (binding pattern implied, within the freshness
+// horizon) skip navigation entirely and report Answer.FromView. The manager
+// starts empty — ViewManager.Apply (usually driven by a vselect.Selector
+// over the recorded workload) materializes the chosen views.
+func (s *System) EnableViewAnswering(cfg ViewManagerConfig) *ViewManager {
+	m := vanswer.NewManager(s.eng.Server, s.eng.Views, cfg)
+	s.eng.ViewAnswers = m
+	return m
+}
+
+// ViewManager returns the attached view manager, or nil.
+func (s *System) ViewManager() *ViewManager {
+	if m, ok := s.eng.ViewAnswers.(*ViewManager); ok {
+		return m
+	}
+	return nil
+}
 
 // Query parses, optimizes and executes a conjunctive query against the
 // live site, reporting the answer and the measured page accesses.
