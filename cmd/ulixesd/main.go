@@ -210,6 +210,7 @@ func main() {
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Fatalf("ulixesd: drain: %v", err)
 	}
+	srv.selectWG.Wait() // let an in-flight background view selection settle
 	log.Printf("ulixesd: drained; %d queries served", srv.served.Load())
 }
 

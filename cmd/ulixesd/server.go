@@ -42,6 +42,9 @@ type server struct {
 	rejected  atomic.Int64
 	shed      atomic.Int64
 	selecting atomic.Bool
+	// selectWG tracks the in-flight background reselection, so shutdown and
+	// tests can wait for it to settle.
+	selectWG sync.WaitGroup
 
 	mu sync.Mutex
 	// totals accumulates every served query's ExecStats via ExecStats.Add,
@@ -168,8 +171,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
-	s.served.Add(1)
-	s.maybeReselect()
+	// The value returned by Add is this request's exact serial number;
+	// re-reading the counter could skip the viewsEvery multiple when two
+	// requests increment before either reads.
+	s.maybeReselect(s.served.Add(1))
 
 	st := ans.Exec
 	s.mu.Lock()
@@ -218,16 +223,18 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // maybeReselect re-runs benefit-driven view selection every viewsEvery
-// served queries: snapshot the recorded workload, ask the drift gate whether
-// the mix has shifted enough to matter, and if so apply the new decision
-// through the view manager (which enforces the storage budget on measured
-// extent bytes). At most one re-selection runs at a time; overlapping
+// served queries (served is this request's exact serial number, so the
+// multiple test is race-free). The work — including the initial
+// materialization crawl and the pre-apply store revalidation, both of which
+// touch the whole site — runs in a background goroutine, NOT on the request
+// path: the triggering query's response and its admission slot are not held
+// hostage to a crawl. At most one re-selection runs at a time; overlapping
 // triggers are dropped, not queued — the next multiple tries again.
-func (s *server) maybeReselect() {
+func (s *server) maybeReselect(served int64) {
 	if s.selector == nil || s.viewsEvery <= 0 {
 		return
 	}
-	if s.served.Load()%int64(s.viewsEvery) != 0 {
+	if served%int64(s.viewsEvery) != 0 {
 		return
 	}
 	rec, vm := s.sys.Workload(), s.sys.ViewManager()
@@ -237,10 +244,32 @@ func (s *server) maybeReselect() {
 	if !s.selecting.CompareAndSwap(false, true) {
 		return
 	}
-	defer s.selecting.Store(false)
+	s.selectWG.Add(1)
+	go func() {
+		defer s.selectWG.Done()
+		defer s.selecting.Store(false)
+		s.reselect(rec, vm)
+	}()
+}
+
+// reselect is the background body of one selection run: snapshot the
+// recorded workload, ask the drift gate whether the mix has shifted enough
+// to matter, and if so revalidate the backing store and apply the new
+// decision through the view manager (which enforces the storage budget on
+// measured extent bytes).
+func (s *server) reselect(rec *ulixes.WorkloadRecorder, vm *ulixes.ViewManager) {
 	sums := rec.Snapshot()
 	if !s.selector.ShouldRun(sums) {
 		return
+	}
+	// Revalidate before re-deciding: extents built by Apply inherit the
+	// store's last verification time, so without this pass a reselection
+	// would re-serve the original crawl until it ages past -views-horizon.
+	// The first selection has no store yet — its crawl is fresh by itself.
+	if _, _, stale, err := vm.RefreshStore(); err != nil {
+		log.Printf("ulixesd: view refresh: %v", err)
+	} else if len(stale) > 0 {
+		log.Printf("ulixesd: view refresh: %d pages unreachable, freshness horizon not renewed", len(stale))
 	}
 	d := s.selector.Decide(sums)
 	kept, err := vm.Apply(d.Defs())

@@ -42,9 +42,19 @@ type Manager struct {
 	cfg    ManagerConfig
 	rw     *Rewriter
 
+	// applyMu serializes Apply, Refresh and RefreshStore end to end, so the
+	// served view set and the applied record always reflect one decision —
+	// concurrent callers cannot interleave extent building with SetAll.
+	applyMu sync.Mutex
+
 	mu      sync.Mutex
 	store   *matview.Store // created on first Apply; guarded by mu
 	applied []Def          // current view definitions, in benefit order; guarded by mu
+	// verifiedAt is the last instant every stored page is known to have been
+	// verified against the live site: the initial materialization crawl, then
+	// each fully successful Refresh. Extents are stamped with it, so merely
+	// re-applying a view set does NOT renew the freshness horizon. guarded by mu
+	verifiedAt time.Time
 }
 
 // NewManager creates a manager with no materialized views: every query
@@ -112,6 +122,7 @@ func (m *Manager) ensureStore() (*matview.Store, error) {
 	if st != nil {
 		return st, nil
 	}
+	at := m.now()
 	st, err := matview.MaterializeSchemes(m.server, m.scheme, m.cfg.Schemes)
 	if err != nil {
 		return nil, fmt.Errorf("vanswer: materialization crawl: %w", err)
@@ -119,6 +130,9 @@ func (m *Manager) ensureStore() (*matview.Store, error) {
 	m.mu.Lock()
 	if m.store == nil {
 		m.store = st
+		// Every page was just downloaded: verified no earlier than the
+		// instant the crawl started.
+		m.verifiedAt = at
 	}
 	st = m.store
 	m.mu.Unlock()
@@ -150,8 +164,10 @@ func (m *Manager) normalize(d Def) (Def, error) {
 // relation's first default navigation evaluated purely locally, projected
 // and renamed to the external attributes, then filtered by the binding
 // pattern. No network is touched; an *matview.ErrNotMaterialized error
-// means the snapshot does not cover the navigation.
-func (m *Manager) buildExtent(sn *matview.Snapshot, d Def) (*View, error) {
+// means the snapshot does not cover the navigation. refreshedAt is the
+// snapshot's verification bound, NOT the build time: rebuilding an extent
+// from unrevalidated pages must not renew the freshness horizon.
+func (m *Manager) buildExtent(sn *matview.Snapshot, d Def, refreshedAt time.Time) (*View, error) {
 	rel := m.views.Relation(d.Relation)
 	nav := rel.Navs[0]
 	raw, err := nalg.Eval(nav.Expr, m.scheme, sn.Source())
@@ -182,7 +198,7 @@ func (m *Manager) buildExtent(sn *matview.Snapshot, d Def) (*View, error) {
 	for _, t := range ext.Tuples() {
 		bytes += int64(len(t.Key()))
 	}
-	return &View{Def: d, Rel: ext, RefreshedAt: m.now(), Bytes: bytes}, nil
+	return &View{Def: d, Rel: ext, RefreshedAt: refreshedAt, Bytes: bytes}, nil
 }
 
 // Apply installs a new desired view set, in the given (best-first) order:
@@ -192,11 +208,26 @@ func (m *Manager) buildExtent(sn *matview.Snapshot, d Def) (*View, error) {
 // skipped — the budget is enforced on measured bytes, not estimates.
 // Previously applied views not in the new set are dropped. It returns the
 // definitions actually materialized.
+//
+// Extents are stamped with the store's last verification time, not the
+// call time: Apply rebuilds from whatever the store holds, so only a
+// Refresh (or the initial crawl) renews the freshness horizon — re-applying
+// a never-revalidated store keeps aging toward the horizon.
 func (m *Manager) Apply(defs []Def) ([]Def, error) {
+	m.applyMu.Lock()
+	defer m.applyMu.Unlock()
+	return m.applyLocked(defs)
+}
+
+// applyLocked is Apply's body; callers hold applyMu.
+func (m *Manager) applyLocked(defs []Def) ([]Def, error) {
 	st, err := m.ensureStore()
 	if err != nil {
 		return nil, err
 	}
+	m.mu.Lock()
+	refreshedAt := m.verifiedAt
+	m.mu.Unlock()
 	sn := st.Snapshot()
 	var views []*View
 	var kept []Def
@@ -206,7 +237,7 @@ func (m *Manager) Apply(defs []Def) ([]Def, error) {
 		if err != nil {
 			return nil, err
 		}
-		v, err := m.buildExtent(sn, nd)
+		v, err := m.buildExtent(sn, nd, refreshedAt)
 		if err != nil {
 			return nil, err
 		}
@@ -224,11 +255,45 @@ func (m *Manager) Apply(defs []Def) ([]Def, error) {
 	return kept, nil
 }
 
-// Refresh runs the store's full consistency pass (§8's periodic refresh:
-// one light connection per page, downloads only for changed pages) and
-// rebuilds every applied extent from the refreshed snapshot, renewing the
-// freshness horizon. It returns the store's refresh report.
+// RefreshStore runs the store's full consistency pass (§8's periodic
+// refresh: one light connection per page, downloads only for changed pages)
+// WITHOUT rebuilding extents — callers about to Apply a new view set use it
+// to revalidate first, so the extents they build count as fresh. The
+// verification clock advances only when every page was actually verified
+// (no error, no stale leftovers); a partial pass keeps the old bound, since
+// the unverified pages are only as fresh as the previous one. A nil store
+// (nothing materialized yet) is a no-op.
+func (m *Manager) RefreshStore() (updated, deleted int, stale []string, err error) {
+	m.applyMu.Lock()
+	defer m.applyMu.Unlock()
+	return m.refreshStoreLocked()
+}
+
+// refreshStoreLocked is RefreshStore's body; callers hold applyMu.
+func (m *Manager) refreshStoreLocked() (updated, deleted int, stale []string, err error) {
+	m.mu.Lock()
+	st := m.store
+	m.mu.Unlock()
+	if st == nil {
+		return 0, 0, nil, nil // nothing materialized yet
+	}
+	at := m.now() // every page is verified no earlier than the pass's start
+	updated, deleted, stale, err = st.Refresh()
+	if err != nil || len(stale) > 0 {
+		return updated, deleted, stale, err
+	}
+	m.mu.Lock()
+	m.verifiedAt = at
+	m.mu.Unlock()
+	return updated, deleted, stale, nil
+}
+
+// Refresh revalidates the store (RefreshStore) and rebuilds every applied
+// extent from the refreshed snapshot, renewing the freshness horizon when
+// the pass verified everything. It returns the store's refresh report.
 func (m *Manager) Refresh() (updated, deleted int, stale []string, err error) {
+	m.applyMu.Lock()
+	defer m.applyMu.Unlock()
 	m.mu.Lock()
 	st := m.store
 	defs := append([]Def(nil), m.applied...)
@@ -236,10 +301,10 @@ func (m *Manager) Refresh() (updated, deleted int, stale []string, err error) {
 	if st == nil {
 		return 0, 0, nil, nil // nothing materialized yet
 	}
-	updated, deleted, stale, err = st.Refresh()
+	updated, deleted, stale, err = m.refreshStoreLocked()
 	if err != nil {
 		return updated, deleted, stale, err
 	}
-	_, err = m.Apply(defs)
+	_, err = m.applyLocked(defs)
 	return updated, deleted, stale, err
 }

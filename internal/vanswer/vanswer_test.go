@@ -1,6 +1,7 @@
 package vanswer
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -210,6 +211,116 @@ func TestStalePastHorizonRejected(t *testing.T) {
 	}
 	if _, ok, err := m.TryAnswer(parse(t, src)); !ok || err != nil {
 		t.Fatalf("refreshed view: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestReapplyDoesNotRenewHorizon pins the guarantee behind -views-horizon:
+// rebuilding extents from a never-revalidated store must NOT renew the
+// freshness horizon — otherwise a periodic reselection would keep serving
+// the original crawl as fresh forever. Only an actual store revalidation
+// advances the clock.
+func TestReapplyDoesNotRenewHorizon(t *testing.T) {
+	clock := newManualClock()
+	_, _, m := fixture(t, ManagerConfig{
+		Rewriter: Config{Horizon: time.Hour, Clock: clock.Now},
+	})
+	defs := []Def{{Relation: "Professor"}}
+	if _, err := m.Apply(defs); err != nil {
+		t.Fatal(err)
+	}
+	src := "SELECT p.PName FROM Professor p WHERE p.Rank = 'Full'"
+	clock.Advance(2 * time.Hour)
+
+	// Re-applying the same decision rebuilds the extent, but from the same
+	// unrevalidated crawl: still past the horizon.
+	if _, err := m.Apply(defs); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := m.TryAnswer(parse(t, src)); ok || err != nil {
+		t.Fatalf("re-applied stale view answered: ok=%v err=%v, want a decline", ok, err)
+	}
+
+	// A store revalidation, by contrast, renews the horizon for the next Apply.
+	if _, _, stale, err := m.RefreshStore(); err != nil || len(stale) > 0 {
+		t.Fatalf("refresh store: stale=%v err=%v", stale, err)
+	}
+	if _, err := m.Apply(defs); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := m.TryAnswer(parse(t, src)); !ok || err != nil {
+		t.Fatalf("revalidated view: ok=%v err=%v, want an answer", ok, err)
+	}
+}
+
+// flakyHead wraps a site server, failing HEAD for chosen URLs — the
+// unreachable-page case of a refresh pass.
+type flakyHead struct {
+	site.Server
+	mu   sync.Mutex
+	fail map[string]bool
+}
+
+func (s *flakyHead) setFail(url string, bad bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fail == nil {
+		s.fail = make(map[string]bool)
+	}
+	s.fail[url] = bad
+}
+
+func (s *flakyHead) Head(url string) (site.Meta, error) {
+	s.mu.Lock()
+	bad := s.fail[url]
+	s.mu.Unlock()
+	if bad {
+		return site.Meta{}, errors.New("flaky head")
+	}
+	return s.Server.Head(url) //lint:allow fetchgate test fault injector delegating to the wrapped server
+}
+
+// TestPartialRefreshKeepsHorizon: a refresh pass that left pages unverified
+// (source unreachable) must not advance the verification clock — those pages
+// are only as fresh as the previous full pass, so the rebuilt extents stay
+// past the horizon until a pass verifies everything.
+func TestPartialRefreshKeepsHorizon(t *testing.T) {
+	clock := newManualClock()
+	u, err := sitegen.GenerateUniversity(sitegen.PaperUniversityParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := site.NewMemSite(u.Instance, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh := &flakyHead{Server: ms}
+	m := NewManager(fh, view.UniversityView(u.Scheme), ManagerConfig{
+		Rewriter: Config{Horizon: time.Hour, Clock: clock.Now},
+	})
+	if _, err := m.Apply([]Def{{Relation: "Professor"}}); err != nil {
+		t.Fatal(err)
+	}
+	src := "SELECT p.PName FROM Professor p WHERE p.Rank = 'Full'"
+
+	// Break one materialized page's HEAD and age past the horizon: the
+	// refresh reports the page stale and must not renew the horizon.
+	url := m.Store().Snapshot().URLs()[0]
+	fh.setFail(url, true)
+	clock.Advance(2 * time.Hour)
+	if _, _, stale, err := m.Refresh(); err != nil || len(stale) == 0 {
+		t.Fatalf("partial refresh: stale=%v err=%v, want stale pages and no error", stale, err)
+	}
+	if _, ok, err := m.TryAnswer(parse(t, src)); ok || err != nil {
+		t.Fatalf("partially refreshed view answered: ok=%v err=%v, want a decline", ok, err)
+	}
+
+	// Once the page is reachable again, a full pass renews the horizon.
+	fh.setFail(url, false)
+	if _, _, stale, err := m.Refresh(); err != nil || len(stale) != 0 {
+		t.Fatalf("full refresh: stale=%v err=%v", stale, err)
+	}
+	if _, ok, err := m.TryAnswer(parse(t, src)); !ok || err != nil {
+		t.Fatalf("fully refreshed view: ok=%v err=%v, want an answer", ok, err)
 	}
 }
 

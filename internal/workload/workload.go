@@ -81,7 +81,6 @@ type Recorder struct {
 	mu    sync.Mutex
 	ring  []Sample // guarded by mu
 	next  int      // guarded by mu
-	full  bool     // guarded by mu
 	stats Stats    // guarded by mu
 }
 
@@ -144,7 +143,6 @@ func (r *Recorder) Record(q *cq.Query, obs Observed) {
 	}
 	r.ring[r.next] = s
 	r.next = (r.next + 1) % cap(r.ring)
-	r.full = true
 	r.stats.Evicted++
 }
 
