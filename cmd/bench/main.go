@@ -58,6 +58,7 @@ func main() {
 		{"P4", func() (*exp.Table, error) { return exp.P4(univ) }},
 		{"P5", func() (*exp.Table, error) { return exp.P5(univ) }},
 		{"P6", func() (*exp.Table, error) { return exp.P6(univ) }},
+		{"P7", func() (*exp.Table, error) { return exp.P7(univ) }},
 	}
 
 	selected := make(map[string]bool)

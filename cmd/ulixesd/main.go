@@ -13,10 +13,16 @@
 //	        [-plan-cache] [-plan-cache-entries N] [-plan-drift 0.25]
 //	        [-views-auto] [-views-budget N] [-views-horizon 5m]
 //	        [-views-stale] [-views-every 50]
+//	        [-feed off|hook|poll] [-feed-budget N] [-feed-interval 10s]
+//	        [-watch-max N] [-mutate-seed N]
 //
 //	POST /query      query text in the body (or GET /query?q=…)
 //	GET  /healthz    liveness (503 while draining; reports open breakers)
 //	GET  /stats      shared-store, admission and per-host guard counters
+//	POST /subscribe  register a standing query (body or ?q=…); returns its id
+//	DELETE /subscribe?id=N   cancel a standing query
+//	GET  /watch?id=N&after=M deltas with seq>M: long-poll JSON, SSE with &sse=1
+//	POST /mutate?n=K apply K deterministic site mutations (university + -feed)
 //
 // Admission control is strict: at most -max-queries queries run at once and
 // excess requests are rejected immediately with 429 rather than queued, so
@@ -49,6 +55,19 @@
 // /stats reports viewHits/viewMisses/viewBytes/selectorRuns and the backing
 // store's maintenance counters.
 //
+// With -feed the server runs a push-based consistency pipeline (see
+// internal/changefeed): page mutations become feed events that invalidate
+// exactly the affected store entries, incrementally refresh exactly the
+// changed materialized-view rows (with -views-auto), and re-answer exactly
+// the standing queries whose footprint was touched. "hook" taps the
+// in-process site's mutation hook (zero network traffic); "poll" sweeps
+// every page with adaptive light connections every -feed-interval, at most
+// -feed-budget HEADs per sweep. Standing queries are registered on
+// /subscribe (at most -watch-max at once) and consumed on /watch as
+// long-poll JSON or an SSE stream; /mutate applies a seeded, deterministic
+// mutation workload to the university site so the pipeline can be exercised
+// end to end. /stats reports the feed and standing-query ledgers.
+//
 // With -smoke the server starts on an ephemeral port, runs a deterministic
 // multi-client workload against itself, checks every answer and the exact
 // page-access accounting, and exits non-zero on any mismatch (used by
@@ -65,15 +84,18 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"ulixes"
+	"ulixes/internal/changefeed"
 	"ulixes/internal/cost"
 	"ulixes/internal/guard"
 	"ulixes/internal/pagecache"
 	"ulixes/internal/site"
 	"ulixes/internal/sitegen"
+	"ulixes/internal/standing"
 	"ulixes/internal/view"
 	"ulixes/internal/vselect"
 )
@@ -107,6 +129,11 @@ func main() {
 	viewsHorizon := flag.Duration("views-horizon", 0, "freshness horizon: views older than this stop answering (0 = never expire)")
 	viewsStale := flag.Bool("views-stale", false, "serve views past the freshness horizon instead of navigating live")
 	viewsEvery := flag.Int("views-every", 50, "re-run view selection every N served queries")
+	feedMode := flag.String("feed", "off", "push feed: off, hook (site mutation hook) or poll (adaptive HEAD sweeps)")
+	feedBudget := flag.Int("feed-budget", 0, "poll feed: max light connections per sweep (0 = unlimited)")
+	feedInterval := flag.Duration("feed-interval", 10*time.Second, "poll feed: sweep period and minimum per-URL check cadence")
+	watchMax := flag.Int("watch-max", standing.DefaultMaxSubs, "max concurrent standing-query subscriptions")
+	mutateSeed := flag.Int64("mutate-seed", 1, "seed for the /mutate mutation workload")
 	smoke := flag.Bool("smoke", false, "self-test: serve on an ephemeral port, run a concurrent workload, exit")
 	flag.Parse()
 
@@ -115,7 +142,7 @@ func main() {
 		log.Fatalf("ulixesd: %v", err)
 	}
 
-	ms, ws, views, err := buildSite(*siteName, *courses, *profs, *depts, *authors)
+	ms, ws, views, univ, err := buildSite(*siteName, *courses, *profs, *depts, *authors)
 	if err != nil {
 		log.Fatalf("ulixesd: %v", err)
 	}
@@ -179,8 +206,103 @@ func main() {
 		srv.viewsEvery = *viewsEvery
 	}
 
+	// Push-based consistency: one monitor, three sinks. Every observed page
+	// mutation invalidates exactly the affected store entry, refreshes exactly
+	// the changed materialized-view row, and re-answers exactly the standing
+	// queries whose footprint it touches. The monitor and the view horizon
+	// share wall time (vanswer stamps verifications with time.Now), unlike the
+	// page store's logical TTL clock — the two ledgers never exchange instants.
+	feedCtx, stopFeed := context.WithCancel(context.Background())
+	defer stopFeed()
+	var feedWG sync.WaitGroup
+	if *feedMode != "off" {
+		if *feedMode != "hook" && *feedMode != "poll" {
+			log.Fatalf("ulixesd: bad -feed %q (off, hook or poll)", *feedMode)
+		}
+		mon := changefeed.New(server, changefeed.Config{
+			Clock:       time.Now,
+			Budget:      *feedBudget,
+			MinInterval: *feedInterval,
+		})
+		// Sink 1: targeted page-store invalidation. A touch only bumps the
+		// date, so the entry stays and the next access revalidates; anything
+		// else drops the entry so the next access re-downloads.
+		mon.Subscribe(changefeed.SinkFunc(func(ev changefeed.Event) {
+			if ev.Kind == site.ChangeTouched {
+				cache.MarkStale(ev.URL)
+				return
+			}
+			cache.Invalidate(ev.URL)
+		}))
+		// Sink 2: incremental view maintenance. Each event re-wraps (or
+		// drops) one page in the materialized store and rebuilds the applied
+		// extents — no full crawl. In hook mode every mutation is observed,
+		// so after applying one the whole extent is consistent through "now"
+		// and the freshness horizon advances with it; in poll mode only a
+		// clean full sweep proves that, via the sweep report below.
+		if *viewsAuto {
+			hooked := *feedMode == "hook"
+			mon.Subscribe(changefeed.SinkFunc(func(ev changefeed.Event) {
+				vm := sys.ViewManager()
+				if vm == nil {
+					return
+				}
+				if _, err := vm.ApplyChange(ev.URL, ev.Scheme, ev.Kind == site.ChangeRemoved); err != nil {
+					log.Printf("ulixesd: feed: view refresh of %s: %v", ev.URL, err)
+					return
+				}
+				if hooked {
+					if at, ok := mon.VerifiedBound(); ok {
+						vm.AdvanceHorizon(at)
+					}
+				}
+			}))
+			mon.SubscribeSweep(changefeed.SweepFunc(func(rep changefeed.SweepReport) {
+				if !rep.Clean || rep.OldestVerified.IsZero() {
+					return
+				}
+				if vm := sys.ViewManager(); vm != nil {
+					vm.AdvanceHorizon(rep.OldestVerified)
+				}
+			}))
+		}
+		// Sink 3: standing queries, re-answered through the shared system so
+		// deltas price in the plan cache, the page store and view answering.
+		reg := standing.New(standing.Config{
+			Views:   views,
+			MaxSubs: *watchMax,
+			Clock:   time.Now,
+			Answer: func(q *ulixes.Query) (*ulixes.Relation, error) {
+				ans, err := sys.QueryCQ(q)
+				if err != nil {
+					return nil, err
+				}
+				return ans.Result, nil
+			},
+		})
+		mon.Subscribe(reg)
+		srv.feed = mon
+		srv.standing = reg
+		if univ != nil {
+			srv.mutator = sitegen.NewMutator(univ, ms, *mutateSeed)
+		}
+		if *feedMode == "hook" {
+			mon.AttachMemSite(ms)
+		} else {
+			mon.WatchMemSite(ms)
+			feedWG.Add(1)
+			go func() {
+				defer feedWG.Done()
+				_ = mon.Run(feedCtx, *feedInterval, nil) // returns on cancel
+			}()
+		}
+	}
+
 	if *smoke {
-		if err := runSmoke(srv); err != nil {
+		err := runSmoke(srv)
+		stopFeed()
+		feedWG.Wait()
+		if err != nil {
 			log.Fatalf("ulixesd: smoke: %v", err)
 		}
 		fmt.Println("ulixesd: smoke OK")
@@ -210,6 +332,8 @@ func main() {
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Fatalf("ulixesd: drain: %v", err)
 	}
+	stopFeed()
+	feedWG.Wait()       // stop the poll-mode sweeper
 	srv.selectWG.Wait() // let an in-flight background view selection settle
 	log.Printf("ulixesd: drained; %d queries served", srv.served.Load())
 }
@@ -229,32 +353,34 @@ func parseTTL(s string) (time.Duration, error) {
 	return d, nil
 }
 
-// buildSite generates one of the paper's sites in memory.
-func buildSite(name string, courses, profs, depts, authors int) (*site.MemSite, *ulixes.Scheme, *ulixes.Views, error) {
+// buildSite generates one of the paper's sites in memory. The university
+// comes back with its generator handle, so a /mutate driver can be seeded
+// over it; the bibliography has no mutation workload (u is nil).
+func buildSite(name string, courses, profs, depts, authors int) (*site.MemSite, *ulixes.Scheme, *ulixes.Views, *sitegen.University, error) {
 	switch name {
 	case "university":
 		u, err := sitegen.GenerateUniversity(sitegen.UniversityParams{
 			Courses: courses, Profs: profs, Depts: depts,
 		})
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		ms, err := site.NewMemSite(u.Instance, nil)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
-		return ms, u.Scheme, view.UniversityView(u.Scheme), nil
+		return ms, u.Scheme, view.UniversityView(u.Scheme), u, nil
 	case "bibliography":
 		b, err := sitegen.GenerateBibliography(sitegen.BibliographyParams{Authors: authors})
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		ms, err := site.NewMemSite(b.Instance, nil)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
-		return ms, b.Scheme, view.BibliographyView(b.Scheme), nil
+		return ms, b.Scheme, view.BibliographyView(b.Scheme), nil, nil
 	default:
-		return nil, nil, nil, fmt.Errorf("unknown site %q (university or bibliography)", name)
+		return nil, nil, nil, nil, fmt.Errorf("unknown site %q (university or bibliography)", name)
 	}
 }

@@ -1,20 +1,26 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ulixes"
+	"ulixes/internal/changefeed"
 	"ulixes/internal/engine"
 	"ulixes/internal/guard"
 	"ulixes/internal/pagecache"
+	"ulixes/internal/sitegen"
+	"ulixes/internal/standing"
 	"ulixes/internal/vselect"
 )
 
@@ -34,6 +40,20 @@ type server struct {
 	// selecting keeps concurrent re-decisions from stacking up.
 	selector   *vselect.Selector
 	viewsEvery int
+
+	// feed and standing, when non-nil (-feed), are the push-consistency
+	// pipeline: the monitor feeding mutation events and the standing-query
+	// registry served by /subscribe and /watch. mutator (university sites
+	// only) backs /mutate; mutMu serializes its steps.
+	feed     *changefeed.Monitor
+	standing *standing.Registry
+	mutator  *sitegen.Mutator
+	mutMu    sync.Mutex
+	// watchCtx ends open /watch streams on drain: http.Server.Shutdown waits
+	// for active requests, and a long-poll would otherwise hold it until the
+	// drain deadline.
+	watchCtx  context.Context
+	stopWatch context.CancelFunc
 
 	sem       chan struct{}
 	draining  atomic.Bool
@@ -57,7 +77,9 @@ func newServer(sys *ulixes.System, cache *pagecache.Cache, maxQueries int) *serv
 	if maxQueries < 1 {
 		maxQueries = 1
 	}
-	return &server{sys: sys, cache: cache, sem: make(chan struct{}, maxQueries)}
+	s := &server{sys: sys, cache: cache, sem: make(chan struct{}, maxQueries)}
+	s.watchCtx, s.stopWatch = context.WithCancel(context.Background())
+	return s
 }
 
 func (s *server) handler() http.Handler {
@@ -65,11 +87,18 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/subscribe", s.handleSubscribe)
+	mux.HandleFunc("/watch", s.handleWatch)
+	mux.HandleFunc("/mutate", s.handleMutate)
 	return mux
 }
 
-// drain stops admitting queries; in-flight ones finish normally.
-func (s *server) drain() { s.draining.Store(true) }
+// drain stops admitting queries; in-flight ones finish normally. Open
+// /watch streams are ended so shutdown does not wait out their long-polls.
+func (s *server) drain() {
+	s.draining.Store(true)
+	s.stopWatch()
+}
 
 // queryStats is the per-query accounting exposed to clients. Pages +
 // CacheHits + Revalidations + Stale is the paper's distinct-access cost
@@ -285,6 +314,180 @@ func (s *server) reselect(rec *ulixes.WorkloadRecorder, vm *ulixes.ViewManager) 
 		s.selector.Runs(), len(kept), strings.Join(keys, ", "), vm.Bytes())
 }
 
+// subscribeResponse acknowledges a standing-query registration: the id
+// addresses /watch and DELETE /subscribe, the footprint is the set of
+// page-schemes whose mutations re-answer the query.
+type subscribeResponse struct {
+	ID        int      `json:"id"`
+	Query     string   `json:"query"`
+	Footprint []string `json:"footprint"`
+}
+
+// handleSubscribe registers (POST) or cancels (DELETE ?id=) a standing
+// query. The initial snapshot arrives as the subscription's first delta on
+// /watch, so a client that subscribes and immediately watches from after=0
+// misses nothing.
+func (s *server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	if s.standing == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "push feed disabled; restart with -feed hook or -feed poll"})
+		return
+	}
+	switch r.Method {
+	case http.MethodDelete:
+		id, err := intParam(r, "id", -1)
+		if err != nil || id < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "DELETE /subscribe needs ?id=N"})
+			return
+		}
+		if !s.standing.Unsubscribe(id) {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown subscription %d", id)})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"unsubscribed": id})
+	case http.MethodPost:
+		text, err := queryText(r)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		id, err := s.standing.Subscribe(text)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, subscribeResponse{
+			ID: id, Query: text, Footprint: s.standing.Footprint(id),
+		})
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST to subscribe, DELETE ?id= to cancel"})
+	}
+}
+
+// handleWatch delivers a subscription's deltas with seq > after. The default
+// shape is one long-poll: block until at least one delta exists, return them
+// all as a JSON array (the client acks by passing the last seq back). With
+// ?sse=1 (or Accept: text/event-stream) the connection stays open and every
+// delta is pushed as a server-sent event whose id is its seq, so a client
+// that reconnects with after=<Last-Event-ID> — or a browser EventSource,
+// which resends the id as the Last-Event-ID header — resumes exactly where
+// it broke.
+func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	if s.standing == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "push feed disabled; restart with -feed hook or -feed poll"})
+		return
+	}
+	id, err := intParam(r, "id", -1)
+	if err != nil || id < 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "GET /watch needs ?id=N"})
+		return
+	}
+	after, err := intParam(r, "after", 0)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad ?after="})
+		return
+	}
+	// An explicit ?after= wins; otherwise an EventSource reconnect's
+	// Last-Event-ID header carries the last seq the client saw.
+	if r.URL.Query().Get("after") == "" {
+		if n, err := strconv.Atoi(r.Header.Get("Last-Event-ID")); err == nil && n > after {
+			after = n
+		}
+	}
+	// A drain ends the stream as if the client disconnected.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	defer context.AfterFunc(s.watchCtx, cancel)()
+
+	sse := r.URL.Query().Get("sse") != "" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if !sse {
+		ds, err := s.standing.Next(ctx, id, after)
+		if err != nil {
+			code := http.StatusNotFound
+			if ctx.Err() != nil {
+				code = http.StatusServiceUnavailable // drained or disconnected
+			}
+			writeJSON(w, code, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, ds)
+		return
+	}
+
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		ds, err := s.standing.Next(ctx, id, after)
+		if err != nil {
+			if ctx.Err() == nil {
+				// Unsubscribed underneath the stream: tell the client before
+				// closing, so it knows not to reconnect.
+				fmt.Fprintf(w, "event: gone\ndata: %s\n\n", err.Error())
+				fl.Flush()
+			}
+			return
+		}
+		for _, d := range ds {
+			b, err := json.Marshal(d)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: delta\ndata: %s\n\n", d.Seq, b)
+			after = d.Seq
+		}
+		fl.Flush()
+	}
+}
+
+// mutationResponse reports the applied steps of one /mutate call.
+type mutationResponse struct {
+	Op   string   `json:"op"`
+	URLs []string `json:"urls"`
+}
+
+// handleMutate applies n deterministic mutation steps to the served site —
+// the driver that lets clients (and the smoke test) exercise the push
+// pipeline end to end. Only the university site has a mutation workload.
+func (s *server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if s.mutator == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no mutation workload: requires -site university and -feed hook or poll"})
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST /mutate?n=K"})
+		return
+	}
+	n, err := intParam(r, "n", 1)
+	if err != nil || n < 1 || n > 10000 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "?n= must be 1..10000"})
+		return
+	}
+	s.mutMu.Lock()
+	muts := s.mutator.Steps(n)
+	s.mutMu.Unlock()
+	out := make([]mutationResponse, len(muts))
+	for i, m := range muts {
+		out[i] = mutationResponse{Op: m.Op.String(), URLs: m.URLs}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// intParam reads an optional integer query parameter.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	return strconv.Atoi(v)
+}
+
 // healthResponse is the /healthz payload. The server stays alive (200)
 // while breakers are open — queries degrade to stale serves rather than
 // fail — but reports itself "degraded" with the affected hosts so probes
@@ -340,6 +543,8 @@ type storeStats struct {
 	Stale             int                `json:"stale,omitempty"`
 	Hedges            int                `json:"hedges,omitempty"`
 	BreakerFastFails  int                `json:"breakerFastFails,omitempty"`
+	Invalidations     int                `json:"invalidations,omitempty"`
+	PushStale         int                `json:"pushStale,omitempty"`
 	Shed              int64              `json:"shed,omitempty"`
 	PlanHits          uint64             `json:"planHits"`
 	PlanMisses        uint64             `json:"planMisses"`
@@ -350,8 +555,42 @@ type storeStats struct {
 	ViewBytes         int64              `json:"viewBytes,omitempty"`
 	SelectorRuns      int                `json:"selectorRuns,omitempty"`
 	Matview           *matviewStats      `json:"matview,omitempty"`
+	Feed              *feedStats         `json:"feed,omitempty"`
+	Standing          *standingStats     `json:"standing,omitempty"`
 	Totals            *queryTotals       `json:"queryTotals,omitempty"`
 	Hosts             []guard.HostHealth `json:"hosts,omitempty"`
+}
+
+// feedStats is the change monitor's ledger (-feed): how many mutation
+// events were pushed, by kind, and what poll-mode sweeps cost the network.
+type feedStats struct {
+	Events       int `json:"events"`
+	Updates      int `json:"updates,omitempty"`
+	Additions    int `json:"additions,omitempty"`
+	Removals     int `json:"removals,omitempty"`
+	Touches      int `json:"touches,omitempty"`
+	Heads        int `json:"heads,omitempty"`
+	Sweeps       int `json:"sweeps,omitempty"`
+	CleanSweeps  int `json:"cleanSweeps,omitempty"`
+	Deferred     int `json:"deferred,omitempty"`
+	BreakerSkips int `json:"breakerSkips,omitempty"`
+	Errors       int `json:"errors,omitempty"`
+	Watched      int `json:"watched,omitempty"`
+}
+
+// standingStats is the standing-query registry's ledger (-feed): live and
+// lifetime subscriptions, and the delta traffic pushed to watchers.
+type standingStats struct {
+	Live          int `json:"live"`
+	Subscribes    int `json:"subscribes"`
+	Unsubscribes  int `json:"unsubscribes,omitempty"`
+	Rejections    int `json:"rejections,omitempty"`
+	Events        int `json:"events"`
+	Reanswers     int `json:"reanswers"`
+	AnswerErrors  int `json:"answerErrors,omitempty"`
+	Deltas        int `json:"deltas"`
+	AddedTuples   int `json:"addedTuples"`
+	RemovedTuples int `json:"removedTuples"`
 }
 
 // matviewStats surfaces the backing materialized store's maintenance
@@ -401,7 +640,41 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Stale:            cs.Stale,
 		Hedges:           cs.Hedges,
 		BreakerFastFails: cs.BreakerFastFails,
+		Invalidations:    cs.Invalidations,
+		PushStale:        cs.PushStale,
 		Shed:             s.shed.Load(),
+	}
+	if s.feed != nil {
+		fc := s.feed.Counters()
+		out.Feed = &feedStats{
+			Events:       fc.Events,
+			Updates:      fc.Updates,
+			Additions:    fc.Additions,
+			Removals:     fc.Removals,
+			Touches:      fc.Touches,
+			Heads:        fc.Heads,
+			Sweeps:       fc.Sweeps,
+			CleanSweeps:  fc.CleanSweeps,
+			Deferred:     fc.Deferred,
+			BreakerSkips: fc.BreakerSkips,
+			Errors:       fc.Errors,
+			Watched:      s.feed.Watched(),
+		}
+	}
+	if s.standing != nil {
+		sc := s.standing.Counters()
+		out.Standing = &standingStats{
+			Live:          s.standing.Len(),
+			Subscribes:    sc.Subscribes,
+			Unsubscribes:  sc.Unsubscribes,
+			Rejections:    sc.Rejections,
+			Events:        sc.Events,
+			Reanswers:     sc.Reanswers,
+			AnswerErrors:  sc.AnswerErrors,
+			Deltas:        sc.Deltas,
+			AddedTuples:   sc.AddedTuples,
+			RemovedTuples: sc.RemovedTuples,
+		}
 	}
 	s.mu.Lock()
 	tot := s.totals

@@ -1,13 +1,19 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/url"
+	"strings"
 	"sync"
+	"time"
+
+	"ulixes/internal/standing"
 )
 
 // smokeQuery touches several page-schemes through an index page, so the
@@ -108,7 +114,200 @@ func runSmoke(srv *server) error {
 	}
 	fmt.Printf("ulixesd: smoke: 4 queries, %d distinct accesses each, %d total GETs, %d hits, %d revalidations, %d plan-cache hits\n",
 		d, st.Fetches, st.Hits, st.Revalidations, st.PlanHits)
+
+	// With -feed on, also exercise the push pipeline end to end: subscribe a
+	// standing query, stream its deltas over SSE, drive the site's mutation
+	// workload, and check that exactly the right deltas arrive.
+	if srv.standing != nil && srv.mutator != nil {
+		if err := smokeFeed(base); err != nil {
+			return fmt.Errorf("feed: %w", err)
+		}
+	}
 	return nil
+}
+
+// smokeFeed subscribes a standing query over the professor pages, opens its
+// SSE stream, applies deterministic mutations until one edits a rank, and
+// requires the stream to deliver the initial snapshot and then exactly the
+// one-added/one-removed delta that rank edit causes. It ends by checking the
+// /stats ledgers and that unsubscribing closes the stream.
+func smokeFeed(base string) error {
+	sub, err := postSubscribe(base, "SELECT p.PName, p.Rank FROM Professor p")
+	if err != nil {
+		return err
+	}
+	if len(sub.Footprint) == 0 {
+		return fmt.Errorf("subscription %d has an empty footprint", sub.ID)
+	}
+
+	// Open the SSE stream before mutating, so nothing can slip past it.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/watch?id=%d&after=0&sse=1", base, sub.ID), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req) //lint:allow fetchgate client of our own query API, not a page fetch
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("watch: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		return fmt.Errorf("watch: content-type %q, want text/event-stream", ct)
+	}
+	deltas := make(chan standing.Delta, 16)
+	go func() {
+		defer close(deltas)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var d standing.Delta
+			if json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &d) == nil {
+				deltas <- d
+			}
+		}
+	}()
+	next := func() (standing.Delta, error) {
+		select {
+		case d, ok := <-deltas:
+			if !ok {
+				return standing.Delta{}, fmt.Errorf("SSE stream closed early")
+			}
+			return d, nil
+		case <-ctx.Done():
+			return standing.Delta{}, fmt.Errorf("no delta within the deadline")
+		}
+	}
+
+	// Seq 1 is the initial snapshot: every professor, nothing removed.
+	d, err := next()
+	if err != nil {
+		return fmt.Errorf("initial snapshot: %w", err)
+	}
+	if d.Seq != 1 || len(d.Added) == 0 || len(d.Removed) != 0 {
+		return fmt.Errorf("initial snapshot = seq %d, %d added, %d removed", d.Seq, len(d.Added), len(d.Removed))
+	}
+	profCount := len(d.Added)
+
+	// The workload is deterministic, so walk it until a rank edit lands on
+	// the subscription's footprint. Touches and course edits along the way
+	// must not produce deltas — the answer is unchanged.
+	edited := false
+	for i := 0; i < 50 && !edited; i++ {
+		muts, err := postMutate(base, 1)
+		if err != nil {
+			return err
+		}
+		for _, m := range muts {
+			if m.Op == "edit-rank" {
+				edited = true
+			}
+		}
+	}
+	if !edited {
+		return fmt.Errorf("no edit-rank in 50 deterministic steps; workload mix changed?")
+	}
+	d, err = next()
+	if err != nil {
+		return fmt.Errorf("rank-edit delta: %w", err)
+	}
+	if d.Seq < 2 || len(d.Added) != 1 || len(d.Removed) != 1 {
+		return fmt.Errorf("rank-edit delta = seq %d, %d added, %d removed; want exactly 1/1", d.Seq, len(d.Added), len(d.Removed))
+	}
+
+	var st storeStats
+	if err := getJSON(base+"/stats", http.StatusOK, &st); err != nil {
+		return err
+	}
+	if st.Feed == nil || st.Feed.Events == 0 {
+		return fmt.Errorf("stats: no feed events after the mutation workload")
+	}
+	if st.Standing == nil || st.Standing.Live != 1 || st.Standing.Deltas < 2 {
+		return fmt.Errorf("stats: standing ledger %+v, want 1 live sub and ≥2 deltas", st.Standing)
+	}
+	if st.Invalidations == 0 && st.PushStale == 0 {
+		return fmt.Errorf("stats: mutations invalidated nothing in the page store")
+	}
+
+	// Unsubscribing must end the stream promptly.
+	if err := deleteSubscribe(base, sub.ID); err != nil {
+		return err
+	}
+	for {
+		if _, ok := <-deltas; !ok {
+			break
+		}
+	}
+	fmt.Printf("ulixesd: smoke: feed: %d-prof snapshot then 1+/1- delta over SSE, %d feed events, %d invalidations\n",
+		profCount, st.Feed.Events, st.Invalidations)
+	return nil
+}
+
+// postSubscribe registers a standing query through the HTTP API.
+func postSubscribe(base, q string) (*subscribeResponse, error) {
+	resp, err := http.Post(base+"/subscribe", "text/plain", strings.NewReader(q)) //lint:allow fetchgate client of our own query API, not a page fetch
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("subscribe: status %d: %s", resp.StatusCode, body)
+	}
+	var out subscribeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// deleteSubscribe cancels a standing query through the HTTP API.
+func deleteSubscribe(base string, id int) error {
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/subscribe?id=%d", base, id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req) //lint:allow fetchgate client of our own query API, not a page fetch
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("unsubscribe: status %d: %s", resp.StatusCode, body)
+	}
+	return nil
+}
+
+// postMutate applies n mutation-workload steps through the HTTP API.
+func postMutate(base string, n int) ([]mutationResponse, error) {
+	resp, err := http.Post(fmt.Sprintf("%s/mutate?n=%d", base, n), "", nil) //lint:allow fetchgate client of our own query API, not a page fetch
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("mutate: status %d: %s", resp.StatusCode, body)
+	}
+	var out []mutationResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // runQuery posts a query to the server's own API. This client talks to the

@@ -269,3 +269,30 @@ func TestX1PartialMaterialization(t *testing.T) {
 		t.Error("portion should be smaller than the full view")
 	}
 }
+
+func TestP7PushDominatesPull(t *testing.T) {
+	tab, err := P7(sitegen.PaperUniversityParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Row order: pull forever, pull ttl, pull 0, push. Columns: name, GETs,
+	// HEADs, ops, stale. P7 itself enforces the dominance invariants; the
+	// test pins the qualitative shape so a regression reads as a failure
+	// here, not as silently weaker numbers in EXPERIMENTS.md.
+	pullForever, pullZero, push := tab.Rows[0], tab.Rows[2], tab.Rows[3]
+	if cellInt(t, push[4]) != 0 {
+		t.Errorf("push served stale answers: %v", push)
+	}
+	if cellInt(t, pullForever[4]) == 0 {
+		t.Errorf("ttl=forever pull should go stale under mutations: %v", pullForever)
+	}
+	if cellInt(t, push[1]) > cellInt(t, pullZero[1]) {
+		t.Errorf("push used more GETs than always-revalidate pull: %v vs %v", push, pullZero)
+	}
+	if cellInt(t, push[3]) >= cellInt(t, pullZero[3]) {
+		t.Errorf("push should cost fewer network ops than always-revalidate pull: %v vs %v", push, pullZero)
+	}
+}

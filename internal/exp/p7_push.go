@@ -1,0 +1,185 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"ulixes/internal/changefeed"
+	"ulixes/internal/cq"
+	"ulixes/internal/engine"
+	"ulixes/internal/pagecache"
+	"ulixes/internal/site"
+	"ulixes/internal/sitegen"
+	"ulixes/internal/stats"
+	"ulixes/internal/view"
+)
+
+// p7Shapes is the standing workload: two rank-bound professor queries (rank
+// edits change their answers) and a course sweep (description edits change
+// it), so most mutation rounds shift at least one answer.
+var p7Shapes = []string{
+	"SELECT p.PName FROM Professor p WHERE p.Rank = 'Full'",
+	"SELECT p.PName, p.Rank FROM Professor p",
+	"SELECT c.CName, c.Description FROM Course c WHERE c.Session = 'Fall'",
+}
+
+const (
+	// p7Rounds is the number of mutate-then-query rounds per configuration,
+	// cycling through p7Shapes, 10s of store-clock time apart.
+	p7Rounds = 12
+	// p7MutPerRound is how many mutation-workload steps land between
+	// consecutive queries.
+	p7MutPerRound = 3
+	// p7Seed seeds the mutation workload, so every configuration replays the
+	// exact same site history.
+	p7Seed = 1998
+	// p7TTL is the mid-range pull cadence: pages expire after 4–5 rounds, so
+	// pull-with-TTL pays light connections and still serves a staleness
+	// window.
+	p7TTL = 45 * time.Second
+)
+
+// P7 compares pull and push consistency on a site that keeps changing: the
+// same seeded mutation workload runs under every configuration, and after
+// each round the shared-store answer is compared against the live site's
+// ground truth (a direct engine over the same mutated site, bypassing the
+// store).
+//
+//	pull ttl=forever — never revalidates: cheapest, and stale forever;
+//	pull ttl=45s     — revalidates on expiry: bounded staleness, light
+//	                   connections plus re-downloads of changed pages;
+//	pull ttl=0       — revalidates every access: always fresh, one HEAD per
+//	                   access;
+//	push (hook)      — ttl=forever plus the change feed: every mutation
+//	                   invalidates exactly the affected entry, so answers
+//	                   are always fresh with no sweep traffic at all.
+//
+// The experiment holds push to the paper-level claim: zero stale answers
+// (byte-identical to ground truth after every round) at no more GETs than
+// the freshest pull configuration — and it requires every pull configuration
+// to be worse on at least one axis, staleness or traffic.
+func P7(params sitegen.UniversityParams) (*Table, error) {
+	queries := make([]*cq.Query, len(p7Shapes))
+	for i, src := range p7Shapes {
+		q, err := cq.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("P7: %w", err)
+		}
+		queries[i] = q
+	}
+
+	type outcome struct {
+		name  string
+		push  bool
+		ttl   time.Duration
+		gets  int
+		heads int
+		stale int
+	}
+	runs := []outcome{
+		{name: "pull, ttl=forever", ttl: pagecache.Forever},
+		{name: fmt.Sprintf("pull, ttl=%s", p7TTL), ttl: p7TTL},
+		{name: "pull, ttl=0 (revalidate every access)", ttl: 0},
+		{name: "push (mutation hook, ttl=forever)", ttl: pagecache.Forever, push: true},
+	}
+	for i := range runs {
+		gets, heads, stale, err := p7Run(params, queries, runs[i].ttl, runs[i].push)
+		if err != nil {
+			return nil, fmt.Errorf("P7 %s: %w", runs[i].name, err)
+		}
+		runs[i].gets, runs[i].heads, runs[i].stale = gets, heads, stale
+	}
+
+	t := &Table{
+		ID: "P7",
+		Title: fmt.Sprintf("Push vs. pull consistency: %d rounds of %d mutations + 1 query (seed %d), 10s apart",
+			p7Rounds, p7MutPerRound, p7Seed),
+		Header: []string{"configuration", "GETs", "HEADs", "network ops", "stale answers"},
+	}
+	push := runs[len(runs)-1]
+	if push.stale != 0 {
+		return nil, fmt.Errorf("P7: push served %d stale answers, want 0", push.stale)
+	}
+	for _, r := range runs {
+		t.AddRow(r.name, d(r.gets), d(r.heads), d(r.gets+r.heads), d(r.stale))
+		if r.push {
+			continue
+		}
+		// Push must dominate every pull configuration: anything as fresh must
+		// cost more network traffic, anything as cheap must serve stale.
+		if r.stale == 0 && r.gets+r.heads <= push.gets+push.heads {
+			return nil, fmt.Errorf("P7: pull %q is as fresh and as cheap as push (%d ops vs %d)",
+				r.name, r.gets+r.heads, push.gets+push.heads)
+		}
+		if r.stale == 0 && push.gets > r.gets {
+			return nil, fmt.Errorf("P7: push used %d GETs, fresh pull %q only %d", push.gets, r.name, r.gets)
+		}
+	}
+	t.AddNote("stale answers counts rounds whose shared-store answer differs from a live query over the same mutated site at the same instant; push answers are byte-identical to live after every round")
+	t.AddNote("push invalidation drops exactly the mutated entries, so the only GETs beyond the initial crawl re-download pages that actually changed — the freshness of ttl=0 without its per-access light connections")
+	return t, nil
+}
+
+// p7Run replays the seeded mutate-and-query history through one shared store
+// and reports its network counters and how many rounds served a stale
+// answer. Ground truth comes from a direct engine over the same site,
+// outside the store, so its traffic never lands in the store's ledger.
+func p7Run(params sitegen.UniversityParams, queries []*cq.Query, ttl time.Duration, push bool) (gets, heads, stale int, err error) {
+	u, err := sitegen.GenerateUniversity(params)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ms, err := site.NewMemSite(u.Instance, nil)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	st := stats.CollectInstance(u.Instance)
+	views := view.UniversityView(u.Scheme)
+	now := time.Date(1998, time.March, 23, 0, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	cache := pagecache.New(ms, u.Scheme, pagecache.Config{DefaultTTL: ttl, Clock: clock})
+	eng := engine.New(views, ms, st)
+	eng.Exec = engine.ExecOptions{Cache: cache}
+	truth := engine.New(views, ms, st)
+
+	if push {
+		mon := changefeed.New(ms, changefeed.Config{Clock: clock})
+		mon.Subscribe(changefeed.SinkFunc(func(ev changefeed.Event) {
+			if ev.Kind == site.ChangeTouched {
+				cache.MarkStale(ev.URL)
+				return
+			}
+			cache.Invalidate(ev.URL)
+		}))
+		mon.AttachMemSite(ms)
+	}
+	mut := sitegen.NewMutator(u, ms, p7Seed)
+
+	// Warm pass: the initial crawl every configuration pays identically.
+	for i, q := range queries {
+		if _, err := eng.QueryCQ(q); err != nil {
+			return 0, 0, 0, fmt.Errorf("warm query %d: %w", i, err)
+		}
+	}
+	for r := 0; r < p7Rounds; r++ {
+		mut.Steps(p7MutPerRound)
+		now = now.Add(10 * time.Second)
+		q := queries[r%len(queries)]
+		got, err := eng.QueryCQ(q)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("round %d: %w", r, err)
+		}
+		want, err := truth.QueryCQ(q)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("round %d live: %w", r, err)
+		}
+		if got.Result.String() != want.Result.String() {
+			if push {
+				return 0, 0, 0, fmt.Errorf("round %d: push answer diverged from live", r)
+			}
+			stale++
+		}
+	}
+	cs := cache.Stats()
+	return cs.Fetches, cs.LightConnections, stale, nil
+}

@@ -21,6 +21,8 @@ var guardedPkgs = []string{
 	"ulixes/internal/vanswer",
 	"ulixes/internal/workload",
 	"ulixes/internal/vselect",
+	"ulixes/internal/changefeed",
+	"ulixes/internal/standing",
 	"ulixes/cmd/ulixesd",
 }
 

@@ -12,6 +12,7 @@ import (
 // context-free compatibility shims carry a //lint:allow noctxbg directive.
 var requestPathPkgs = []string{
 	"ulixes",
+	"ulixes/internal/changefeed",
 	"ulixes/internal/engine",
 	"ulixes/internal/faults",
 	"ulixes/internal/guard",
@@ -19,6 +20,7 @@ var requestPathPkgs = []string{
 	"ulixes/internal/nalg",
 	"ulixes/internal/pagecache",
 	"ulixes/internal/site",
+	"ulixes/internal/standing",
 }
 
 // ctxRootFuncs are the context package entry points that mint a fresh,

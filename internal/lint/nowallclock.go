@@ -9,12 +9,14 @@ import (
 // depend on when they ran. Timing belongs to the callers that own the
 // measurement (the engine's ExecStats).
 var measuredPkgs = []string{
+	"ulixes/internal/changefeed",
 	"ulixes/internal/cost",
 	"ulixes/internal/faults",
 	"ulixes/internal/guard",
 	"ulixes/internal/nalg",
 	"ulixes/internal/pagecache",
 	"ulixes/internal/rewrite",
+	"ulixes/internal/standing",
 }
 
 // wallClockFuncs are the time package entry points that read or depend on

@@ -17,6 +17,8 @@ var statsPkgs = []string{
 	"ulixes/internal/plancache",
 	"ulixes/internal/vanswer",
 	"ulixes/internal/workload",
+	"ulixes/internal/changefeed",
+	"ulixes/internal/standing",
 	"ulixes/cmd/ulixesd",
 }
 

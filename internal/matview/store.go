@@ -696,6 +696,65 @@ func (s *Store) ProcessMissing() (int, error) {
 	return deleted, nil
 }
 
+// RefreshURL applies one push event to the materialization: the page at url
+// is re-verified immediately — one light connection, plus a download iff the
+// site reports it changed — instead of waiting for the next query or full
+// Refresh pass to touch it. scheme may be empty when the page is already
+// stored (the stored scheme is reused); it is required for pages not yet
+// materialized (Added events). It reports whether the local row changed
+// (re-wrapped, added or deleted). When the origin's breaker is open the
+// stale row is kept and the deferral surfaces as a site.ErrBreakerOpen
+// wrapped error, so callers know the verification did not happen.
+func (s *Store) RefreshURL(url, scheme string) (changed bool, err error) {
+	s.mu.Lock()
+	p, had := s.pages[url]
+	if had {
+		scheme = p.Scheme
+	}
+	s.mu.Unlock()
+	if scheme == "" {
+		return false, fmt.Errorf("matview: RefreshURL(%s): unknown page-scheme", url)
+	}
+	if !s.Materialized(scheme) {
+		return false, nil // live-fetched on use; nothing stored to maintain
+	}
+	s.acquireCheck(url)
+	defer s.releaseCheck(url)
+	s.mu.Lock()
+	before := s.counters
+	st := s.status[url]
+	s.mu.Unlock()
+	_, _, cerr := s.runCheck(url, scheme, st)
+	s.mu.Lock()
+	after := s.counters
+	_, has := s.pages[url]
+	s.mu.Unlock()
+	if cerr != nil {
+		return false, cerr
+	}
+	if after.StaleServes > before.StaleServes {
+		return false, fmt.Errorf("matview: refresh of %s deferred: %w", url, site.ErrBreakerOpen)
+	}
+	return had != has || after.UpdatesApplied > before.UpdatesApplied, nil
+}
+
+// RemoveURL drops the materialized row for url in response to a push
+// Removed event — no probe needed, the feed already observed the deletion.
+// It reports whether a row was removed (and counts the deletion if so).
+func (s *Store) RemoveURL(url string) bool {
+	s.acquireCheck(url)
+	defer s.releaseCheck(url)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.pages[url]; !ok {
+		return false
+	}
+	delete(s.pages, url)
+	delete(s.missing, url)
+	s.counters.DeletionsApplied++
+	return true
+}
+
 // Refresh re-checks every materialized page (the periodic full-view
 // consistency pass the paper mentions at the end of §8). It returns how
 // many pages were updated or deleted, plus the sorted URLs that could not

@@ -111,6 +111,15 @@ type Stats struct {
 	// BreakerFastFails is the number of access attempts an open breaker
 	// rejected without touching the network.
 	BreakerFastFails int
+	// Invalidations is the number of entries dropped by push invalidation
+	// (a change feed reported the page changed or removed); PushStale is the
+	// number of entries force-expired by MarkStale (the page was touched —
+	// the next access revalidates with one light connection instead of
+	// re-downloading). Neither is an access: they only change how the NEXT
+	// access classifies, so the per-query invariant
+	// Accesses = Fetches + Hits + Revalidations + Stale is untouched.
+	Invalidations int
+	PushStale     int
 }
 
 // Add folds another store's counters into s, for aggregating statistics
@@ -128,6 +137,8 @@ func (s *Stats) Add(o Stats) {
 	s.Hedges += o.Hedges
 	s.HedgeWins += o.HedgeWins
 	s.BreakerFastFails += o.BreakerFastFails
+	s.Invalidations += o.Invalidations
+	s.PushStale += o.PushStale
 }
 
 // entry is one cached page.
@@ -264,8 +275,11 @@ func (c *Cache) RetriesFor(url string) int {
 	return c.perURL[url]
 }
 
-// Invalidate drops the entry for a URL (a client learned out-of-band that
-// the page changed). It reports whether an entry was dropped.
+// Invalidate drops the entry for a URL — the targeted-eviction half of push
+// consistency: a change feed (or any out-of-band signal) reported the page
+// changed or disappeared, so the next access pays one full GET instead of
+// waiting out the TTL on a wrong answer. It reports whether an entry was
+// dropped and counts Stats.Invalidations.
 func (c *Cache) Invalidate(url string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -274,6 +288,27 @@ func (c *Cache) Invalidate(url string) bool {
 		return false
 	}
 	c.removeLocked(e)
+	c.stats.Invalidations++
+	return true
+}
+
+// MarkStale force-expires the entry for a URL without dropping it: the next
+// access revalidates with a §8 light connection and re-downloads only if the
+// page really changed. It is the right response to a Touched feed event —
+// the modification date moved but the content may not have — where a full
+// invalidation would waste a GET. It reports whether an entry was marked and
+// counts Stats.PushStale.
+func (c *Cache) MarkStale(url string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[url]
+	if !ok {
+		return false
+	}
+	// Stamping "now" (not zero: zero means never-expires) ends the lease
+	// immediately, even for Forever entries.
+	e.expires = c.clock()
+	c.stats.PushStale++
 	return true
 }
 

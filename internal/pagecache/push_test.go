@@ -1,0 +1,135 @@
+package pagecache
+
+import (
+	"context"
+	"testing"
+
+	"ulixes/internal/nested"
+)
+
+// TestMarkStaleForcesRevalidation pins the Touched-event response: a
+// force-expired entry is NOT dropped — the next access pays one light
+// connection and, with the content unchanged, serves the stored copy.
+func TestMarkStaleForcesRevalidation(t *testing.T) {
+	ms, u := testSite(t)
+	c := New(ms, u.Scheme, Config{DefaultTTL: Forever, Clock: newManualClock().Now})
+	scheme, url := pageOf(t, ms, 0)
+	fetchOne(t, c, scheme, url)
+
+	if c.MarkStale("http://ghost/") {
+		t.Fatal("MarkStale of an uncached URL should report false")
+	}
+	if !c.MarkStale(url) {
+		t.Fatal("MarkStale found nothing")
+	}
+	gets := ms.Counters().Gets()
+	st := fetchOne(t, c, scheme, url)
+	if st.Revalidations != 1 || st.Fetches != 0 {
+		t.Fatalf("post-MarkStale access = %+v, want one revalidation", st)
+	}
+	if ms.Counters().Gets() != gets {
+		t.Fatal("an unchanged page must not be re-downloaded")
+	}
+	// The lease was renewed by the revalidation: the next access is a hit.
+	if st := fetchOne(t, c, scheme, url); st.CacheHits != 1 {
+		t.Fatalf("post-revalidation access = %+v, want a hit", st)
+	}
+	cs := c.Stats()
+	if cs.PushStale != 1 || cs.Invalidations != 0 {
+		t.Fatalf("stats = %+v, want PushStale 1", cs)
+	}
+}
+
+// TestInvalidateAfterChange pins the Updated-event response: the entry is
+// dropped and the next access re-downloads the new content directly, no
+// light connection spent.
+func TestInvalidateAfterChange(t *testing.T) {
+	ms, u := testSite(t)
+	c := New(ms, u.Scheme, Config{DefaultTTL: Forever, Clock: newManualClock().Now})
+	scheme, url := pageOf(t, ms, 0)
+	before, err := c.Access(context.Background(), scheme, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate the page on the site; the TTL-forever cache would serve the old
+	// copy indefinitely without the push signal.
+	tup, ok := u.Instance.Page(scheme, url)
+	if !ok {
+		t.Fatalf("no instance tuple for %s", url)
+	}
+	if err := ms.UpdatePage(scheme, tup.With("Description", nested.TextValue("Revised description."))); err != nil {
+		t.Fatal(err)
+	}
+	if st := fetchOne(t, c, scheme, url); st.CacheHits != 1 {
+		t.Fatalf("pre-invalidation access = %+v, want a (stale) hit", st)
+	}
+
+	if !c.Invalidate(url) {
+		t.Fatal("Invalidate found nothing")
+	}
+	heads := ms.Counters().Heads()
+	st := fetchOne(t, c, scheme, url)
+	if st.Fetches != 1 || st.Revalidations != 0 {
+		t.Fatalf("post-invalidate access = %+v, want one fetch", st)
+	}
+	if ms.Counters().Heads() != heads {
+		t.Fatal("invalidation path should not spend a light connection")
+	}
+	after, err := c.Access(context.Background(), scheme, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.String() == after.String() {
+		t.Fatal("post-invalidation answer still serves the old content")
+	}
+	cs := c.Stats()
+	if cs.Invalidations != 1 || cs.PushStale != 0 {
+		t.Fatalf("stats = %+v, want Invalidations 1", cs)
+	}
+}
+
+// TestPushOpsPreserveAccessInvariant pins that push operations are not
+// accesses: after any mix of Invalidate/MarkStale, every session still
+// classifies each access into exactly one of fetched/hit/revalidated/stale.
+func TestPushOpsPreserveAccessInvariant(t *testing.T) {
+	ms, u := testSite(t)
+	c := New(ms, u.Scheme, Config{DefaultTTL: Forever, Clock: newManualClock().Now})
+
+	// Warm four pages in one query.
+	warm := c.NewSession(SessionOptions{})
+	var urls []string
+	for i := 0; i < 4; i++ {
+		scheme, url := pageOf(t, ms, i)
+		if _, err := warm.FetchCtx(context.Background(), scheme, url); err != nil {
+			t.Fatal(err)
+		}
+		urls = append(urls, url)
+	}
+	// Push operations between queries: one eviction, one forced expiry.
+	c.Invalidate(urls[0])
+	c.MarkStale(urls[1])
+
+	// A fresh query re-accesses all four.
+	next := c.NewSession(SessionOptions{})
+	for i := 0; i < 4; i++ {
+		scheme, url := pageOf(t, ms, i)
+		if _, err := next.FetchCtx(context.Background(), scheme, url); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, st := range []SessionStats{warm.Stats(), next.Stats()} {
+		if st.Accesses != st.Fetches+st.CacheHits+st.Revalidations+st.Stale {
+			t.Fatalf("invariant broken: %+v", st)
+		}
+	}
+	// The second query: 4 accesses = 1 re-fetch (invalidated) + 1
+	// revalidation (marked stale, content unchanged) + 2 hits.
+	st := next.Stats()
+	if st.Accesses != 4 || st.Fetches != 1 || st.Revalidations != 1 || st.CacheHits != 2 || st.Stale != 0 {
+		t.Fatalf("post-push stats = %+v", st)
+	}
+	if cs := c.Stats(); cs.Invalidations != 1 || cs.PushStale != 1 {
+		t.Fatalf("cache stats = %+v", cs)
+	}
+}

@@ -27,6 +27,8 @@ func TestStatsAdd(t *testing.T) {
 		Hedges:           2,
 		HedgeWins:        1,
 		BreakerFastFails: 3,
+		Invalidations:    4,
+		PushStale:        5,
 	})
 	want := Stats{
 		Fetches:          5,
@@ -40,6 +42,8 @@ func TestStatsAdd(t *testing.T) {
 		Hedges:           2,
 		HedgeWins:        1,
 		BreakerFastFails: 3,
+		Invalidations:    4,
+		PushStale:        5,
 	}
 	if !reflect.DeepEqual(total, want) {
 		t.Errorf("Add result mismatch:\n got %+v\nwant %+v", total, want)

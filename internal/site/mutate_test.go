@@ -1,0 +1,115 @@
+package site
+
+import (
+	"testing"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/nested"
+	"ulixes/internal/sitegen"
+)
+
+func TestOnMutateHook(t *testing.T) {
+	u, ms := testSite(t)
+	type ev struct {
+		url  string
+		kind ChangeKind
+	}
+	var events []ev
+	ms.OnMutate(func(url string, kind ChangeKind) {
+		events = append(events, ev{url, kind})
+	})
+
+	profURL := "http://univ.example.edu/prof/0.html"
+	tup, ok := u.Instance.Page(sitegen.ProfPage, profURL)
+	if !ok {
+		t.Fatal("prof 0 page missing from instance")
+	}
+	// Update an existing page.
+	edited := tup.With("Rank", nested.TextValue("Emeritus"))
+	if err := ms.UpdatePage(sitegen.ProfPage, edited); err != nil {
+		t.Fatal(err)
+	}
+	// Touch it.
+	if !ms.Touch(profURL) {
+		t.Fatal("Touch of served URL should succeed")
+	}
+	// Insert a brand-new page.
+	newURL := "http://univ.example.edu/prof/999.html"
+	added := tup.With(adm.URLAttr, nested.LinkValue(newURL))
+	if err := ms.UpdatePage(sitegen.ProfPage, added); err != nil {
+		t.Fatal(err)
+	}
+	// Remove it again.
+	if !ms.RemovePage(newURL) {
+		t.Fatal("RemovePage of served URL should succeed")
+	}
+	// Misses fire nothing.
+	if ms.Touch("http://ghost/") || ms.RemovePage("http://ghost/") {
+		t.Fatal("mutating an absent URL should report false")
+	}
+
+	want := []ev{
+		{profURL, ChangeUpdated},
+		{profURL, ChangeTouched},
+		{newURL, ChangeAdded},
+		{newURL, ChangeRemoved},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("got %d events, want %d: %v", len(events), len(want), events)
+	}
+	for i, w := range want {
+		if events[i] != w {
+			t.Errorf("event %d = %v, want %v", i, events[i], w)
+		}
+	}
+}
+
+// The hook must run outside the site lock, so sinks may call straight back
+// into the site (a change-feed monitor reads the new Last-Modified date via
+// PeekMeta, a cache revalidates via Head).
+func TestOnMutateHookMayReenterSite(t *testing.T) {
+	_, ms := testSite(t)
+	profURL := "http://univ.example.edu/prof/1.html"
+	var sawMeta bool
+	ms.OnMutate(func(url string, kind ChangeKind) {
+		if kind == ChangeRemoved {
+			if _, ok := ms.PeekMeta(url); ok {
+				t.Error("PeekMeta should miss after removal")
+			}
+			return
+		}
+		meta, ok := ms.PeekMeta(url)
+		if !ok || meta.LastModified.IsZero() {
+			t.Errorf("PeekMeta(%s) = %v %v inside hook", url, meta, ok)
+		}
+		if _, err := ms.Head(url); err != nil {
+			t.Errorf("Head inside hook: %v", err)
+		}
+		sawMeta = true
+	})
+	heads := ms.Counters().Heads()
+	if !ms.Touch(profURL) {
+		t.Fatal("Touch failed")
+	}
+	if !sawMeta {
+		t.Fatal("hook did not run")
+	}
+	if got := ms.Counters().Heads(); got != heads+1 {
+		t.Errorf("Heads = %d, want %d (PeekMeta must not count)", got, heads+1)
+	}
+	if !ms.RemovePage(profURL) {
+		t.Fatal("RemovePage failed")
+	}
+}
+
+func TestChangeKindString(t *testing.T) {
+	for k, want := range map[ChangeKind]string{
+		ChangeAdded: "added", ChangeUpdated: "updated",
+		ChangeRemoved: "removed", ChangeTouched: "touched",
+		ChangeKind(42): "ChangeKind(42)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

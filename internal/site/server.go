@@ -111,6 +111,36 @@ func (c *Counters) Reset() {
 	c.distinct = make(map[string]bool)
 }
 
+// ChangeKind classifies one site-side page mutation, as reported by the
+// MemSite mutation hook and by change-feed monitors.
+type ChangeKind int
+
+// Change kinds. Touched is a modification-date bump with unchanged content
+// (a cosmetic edit): consumers may revalidate cheaply instead of
+// re-downloading.
+const (
+	ChangeAdded ChangeKind = iota
+	ChangeUpdated
+	ChangeRemoved
+	ChangeTouched
+)
+
+// String renders the change kind.
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeAdded:
+		return "added"
+	case ChangeUpdated:
+		return "updated"
+	case ChangeRemoved:
+		return "removed"
+	case ChangeTouched:
+		return "touched"
+	default:
+		return fmt.Sprintf("ChangeKind(%d)", int(k))
+	}
+}
+
 // Clock supplies the site's notion of time, injectable for deterministic
 // tests of view maintenance.
 type Clock func() time.Time
@@ -143,9 +173,22 @@ type MemSite struct {
 	clock    Clock
 	counters *Counters
 
-	mu      sync.RWMutex
-	pages   map[string]*storedPage
-	latency time.Duration
+	mu       sync.RWMutex
+	pages    map[string]*storedPage
+	latency  time.Duration
+	onMutate func(url string, kind ChangeKind)
+}
+
+// OnMutate registers a hook fired synchronously after every page mutation
+// (update, insertion, deletion, touch) — the cheap change signal a co-located
+// change-feed monitor taps instead of sweeping the site with HEADs. The hook
+// runs OUTSIDE the site lock, so it may call back into the site (Get, Head,
+// PeekMeta) freely; it must be registered before mutations start and is not
+// itself synchronized against them. A nil fn removes the hook.
+func (s *MemSite) OnMutate(fn func(url string, kind ChangeKind)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onMutate = fn
 }
 
 // SetLatency makes every successful network access (GET and HEAD) sleep for
@@ -200,9 +243,19 @@ func (s *MemSite) putTuple(ps *adm.PageScheme, tup nested.Tuple) error {
 	if err != nil {
 		return err
 	}
+	url := urlV.String()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.pages[urlV.String()] = &storedPage{scheme: ps.Name, html: html, modified: s.clock()}
+	_, existed := s.pages[url]
+	s.pages[url] = &storedPage{scheme: ps.Name, html: html, modified: s.clock()}
+	fn := s.onMutate
+	s.mu.Unlock()
+	if fn != nil {
+		kind := ChangeAdded
+		if existed {
+			kind = ChangeUpdated
+		}
+		fn(url, kind)
+	}
 	return nil
 }
 
@@ -291,11 +344,16 @@ func (s *MemSite) UpdatePage(schemeName string, tup nested.Tuple) error {
 // removed.
 func (s *MemSite) RemovePage(url string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.pages[url]; !ok {
+		s.mu.Unlock()
 		return false
 	}
 	delete(s.pages, url)
+	fn := s.onMutate
+	s.mu.Unlock()
+	if fn != nil {
+		fn(url, ChangeRemoved)
+	}
 	return true
 }
 
@@ -303,11 +361,30 @@ func (s *MemSite) RemovePage(url string) bool {
 // modeling a cosmetic edit.
 func (s *MemSite) Touch(url string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	p, ok := s.pages[url]
 	if !ok {
+		s.mu.Unlock()
 		return false
 	}
 	p.modified = s.clock()
+	fn := s.onMutate
+	s.mu.Unlock()
+	if fn != nil {
+		fn(url, ChangeTouched)
+	}
 	return true
+}
+
+// PeekMeta returns a page's metadata without counting a network access: the
+// site-side instrumentation the mutation hook's consumers use to learn the
+// new Last-Modified date without paying for a light connection. Remote
+// monitors without hook access must use Head instead.
+func (s *MemSite) PeekMeta(url string) (Meta, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.pages[url]
+	if !ok {
+		return Meta{}, false
+	}
+	return Meta{LastModified: p.modified}, true
 }

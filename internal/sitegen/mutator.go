@@ -1,0 +1,286 @@
+package sitegen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ulixes/internal/adm"
+	"ulixes/internal/nested"
+)
+
+// MutableSite is the mutation surface of site.MemSite the driver needs,
+// declared here so sitegen stays independent of the site package.
+type MutableSite interface {
+	UpdatePage(scheme string, tup nested.Tuple) error
+	RemovePage(url string) bool
+	Touch(url string) bool
+}
+
+// MutOp names one kind of site mutation the driver can apply.
+type MutOp int
+
+// Mutation kinds. Experiments pick the mix: pull-vs-push comparisons use
+// content edits and touches (every page keeps existing, so TTL-only
+// configurations never 404); structural churn adds removals and restores.
+const (
+	// OpEditRank cycles a professor's rank — a content edit that changes
+	// the answer of rank-bound queries.
+	OpEditRank MutOp = iota
+	// OpEditCourse bumps a course's description revision — a content edit
+	// no standard query projects, i.e. pure maintenance traffic.
+	OpEditCourse
+	// OpTouch bumps a page's Last-Modified without changing its content.
+	OpTouch
+	// OpRemoveCourse unlists and deletes an active course page, updating
+	// the instructor's and the session's course lists consistently.
+	OpRemoveCourse
+	// OpRestoreCourse re-adds a previously removed course and re-lists it.
+	OpRestoreCourse
+)
+
+// String renders the op name.
+func (o MutOp) String() string {
+	switch o {
+	case OpEditRank:
+		return "edit-rank"
+	case OpEditCourse:
+		return "edit-course"
+	case OpTouch:
+		return "touch"
+	case OpRemoveCourse:
+		return "remove-course"
+	case OpRestoreCourse:
+		return "restore-course"
+	default:
+		return fmt.Sprintf("MutOp(%d)", int(o))
+	}
+}
+
+// Mutation reports one applied step: the op and the page URLs it updated,
+// removed or touched, in application order.
+type Mutation struct {
+	Op   MutOp
+	URLs []string
+}
+
+// Mutator applies a deterministic, seeded stream of consistent mutations to
+// a generated university living in a MutableSite: every edit keeps the
+// site's cross-page invariants (course lists on professor and session pages
+// always match the course pages that exist), so queries over the mutated
+// site remain well-defined at every step. Two mutators built from
+// same-seeded universities with the same seed and op mix produce the exact
+// same state sequence — the basis for comparing pull and push configurations
+// against identical site histories.
+type Mutator struct {
+	u   *University
+	ms  MutableSite
+	rng *rand.Rand
+	ops []MutOp
+
+	pages   map[string]pageState // url → current scheme + tuple
+	rankIdx []int                // current rank index per professor
+	rev     []int                // description revision per course
+	active  []bool               // course currently on the site
+	removed []int                // removed course indices, restore pool
+}
+
+type pageState struct {
+	scheme string
+	tup    nested.Tuple
+}
+
+// NewMutator builds a driver over the university and its site. The op list
+// picks the mutation mix (uniform over the list, duplicates weight); an
+// empty list defaults to content-only churn: edit-rank, edit-course, touch.
+func NewMutator(u *University, ms MutableSite, seed int64, ops ...MutOp) *Mutator {
+	if len(ops) == 0 {
+		ops = []MutOp{OpEditRank, OpEditCourse, OpTouch}
+	}
+	m := &Mutator{
+		u:       u,
+		ms:      ms,
+		rng:     rand.New(rand.NewSource(seed)),
+		ops:     append([]MutOp(nil), ops...),
+		pages:   make(map[string]pageState),
+		rankIdx: make([]int, u.Params.Profs),
+		rev:     make([]int, u.Params.Courses),
+		active:  make([]bool, u.Params.Courses),
+	}
+	for _, scheme := range []string{
+		HomePage, DeptListPage, ProfListPage, SessionListPage,
+		DeptPage, ProfPage, SessionPage, CoursePage,
+	} {
+		for _, tup := range u.Instance.Relation(scheme).Tuples() {
+			m.pages[tup.MustGet(adm.URLAttr).String()] = pageState{scheme, tup}
+		}
+	}
+	for i, r := range u.RankOf {
+		for j, name := range ranks {
+			if name == r {
+				m.rankIdx[i] = j
+			}
+		}
+	}
+	for c := range m.active {
+		m.active[c] = true
+	}
+	return m
+}
+
+// Step applies one mutation and reports it. Ops that are momentarily
+// impossible (restore with nothing removed, remove with one course left)
+// deterministically degrade to their counterpart, then to a course edit, so
+// Step always makes progress.
+func (m *Mutator) Step() Mutation {
+	op := m.ops[m.rng.Intn(len(m.ops))]
+	switch op {
+	case OpRestoreCourse:
+		if len(m.removed) == 0 {
+			op = OpRemoveCourse
+		}
+	}
+	if op == OpRemoveCourse && m.activeCount() <= 1 {
+		op = OpEditCourse
+	}
+	switch op {
+	case OpEditRank:
+		return m.editRank()
+	case OpEditCourse:
+		return m.editCourse()
+	case OpTouch:
+		return m.touch()
+	case OpRemoveCourse:
+		return m.removeCourse()
+	default:
+		return m.restoreCourse()
+	}
+}
+
+// Steps applies n mutations and returns them.
+func (m *Mutator) Steps(n int) []Mutation {
+	out := make([]Mutation, n)
+	for i := range out {
+		out[i] = m.Step()
+	}
+	return out
+}
+
+// ActiveCourses returns how many course pages currently exist.
+func (m *Mutator) ActiveCourses() int { return m.activeCount() }
+
+func (m *Mutator) activeCount() int {
+	n := 0
+	for _, a := range m.active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *Mutator) pickActive() int {
+	idx := m.rng.Intn(m.activeCount())
+	for c, a := range m.active {
+		if !a {
+			continue
+		}
+		if idx == 0 {
+			return c
+		}
+		idx--
+	}
+	panic("sitegen: no active course")
+}
+
+// update rewrites one tracked page both locally and on the site.
+func (m *Mutator) update(url string, tup nested.Tuple) {
+	ps := m.pages[url]
+	ps.tup = tup
+	m.pages[url] = ps
+	if err := m.ms.UpdatePage(ps.scheme, tup); err != nil {
+		panic(fmt.Sprintf("sitegen: mutator update of %s: %v", url, err))
+	}
+}
+
+func (m *Mutator) editRank() Mutation {
+	i := m.rng.Intn(m.u.Params.Profs)
+	m.rankIdx[i] = (m.rankIdx[i] + 1) % len(ranks)
+	url := profURL(i)
+	m.update(url, m.pages[url].tup.With("Rank", nested.TextValue(ranks[m.rankIdx[i]])))
+	return Mutation{Op: OpEditRank, URLs: []string{url}}
+}
+
+func (m *Mutator) editCourse() Mutation {
+	c := m.pickActive()
+	m.rev[c]++
+	url := courseURL(c)
+	desc := fmt.Sprintf("Description of course %03d (rev %d).", c, m.rev[c])
+	m.update(url, m.pages[url].tup.With("Description", nested.TextValue(desc)))
+	return Mutation{Op: OpEditCourse, URLs: []string{url}}
+}
+
+func (m *Mutator) touch() Mutation {
+	var url string
+	if n := m.u.Params.Profs; m.rng.Intn(2) == 0 {
+		url = profURL(m.rng.Intn(n))
+	} else {
+		url = courseURL(m.pickActive())
+	}
+	m.ms.Touch(url)
+	return Mutation{Op: OpTouch, URLs: []string{url}}
+}
+
+// dropCourseEntry filters a CourseList down to entries not linking to url.
+func dropCourseEntry(list nested.Value, url string) nested.ListValue {
+	lv, _ := list.(nested.ListValue)
+	out := make(nested.ListValue, 0, len(lv))
+	for _, e := range lv {
+		if e.MustGet("ToCourse").String() != url {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (m *Mutator) removeCourse() Mutation {
+	c := m.pickActive()
+	url := courseURL(c)
+	profPage := profURL(m.u.InstructorOf[c])
+	sesPage := sessionURL(m.u.SessionOf[c])
+
+	pt := m.pages[profPage].tup
+	pl, _ := pt.Get("CourseList")
+	m.update(profPage, pt.With("CourseList", dropCourseEntry(pl, url)))
+
+	st := m.pages[sesPage].tup
+	sl, _ := st.Get("CourseList")
+	m.update(sesPage, st.With("CourseList", dropCourseEntry(sl, url)))
+
+	m.ms.RemovePage(url)
+	m.active[c] = false
+	m.removed = append(m.removed, c)
+	return Mutation{Op: OpRemoveCourse, URLs: []string{profPage, sesPage, url}}
+}
+
+func (m *Mutator) restoreCourse() Mutation {
+	idx := m.rng.Intn(len(m.removed))
+	c := m.removed[idx]
+	m.removed = append(m.removed[:idx], m.removed[idx+1:]...)
+	url := courseURL(c)
+	// Re-add the page first so the re-listed link never dangles.
+	m.update(url, m.pages[url].tup)
+	entry := nested.T("CName", nested.TextValue(CourseName(c)), "ToCourse", nested.LinkValue(url))
+
+	profPage := profURL(m.u.InstructorOf[c])
+	pt := m.pages[profPage].tup
+	pl, _ := pt.Get("CourseList")
+	m.update(profPage, pt.With("CourseList", append(append(nested.ListValue{}, pl.(nested.ListValue)...), entry)))
+
+	sesPage := sessionURL(m.u.SessionOf[c])
+	st := m.pages[sesPage].tup
+	sl, _ := st.Get("CourseList")
+	m.update(sesPage, st.With("CourseList", append(append(nested.ListValue{}, sl.(nested.ListValue)...), entry)))
+
+	m.active[c] = true
+	return Mutation{Op: OpRestoreCourse, URLs: []string{url, profPage, sesPage}}
+}

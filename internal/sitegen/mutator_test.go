@@ -1,0 +1,89 @@
+package sitegen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ulixes/internal/site"
+)
+
+func mutatorFixture(t *testing.T, seed int64, ops ...MutOp) (*University, *site.MemSite, *Mutator) {
+	t.Helper()
+	u, err := GenerateUniversity(PaperUniversityParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := site.NewMemSite(u.Instance, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, ms, NewMutator(u, ms, seed, ops...)
+}
+
+// TestMutatorDeterministic: same university, same seed, same op mix — the
+// exact same mutation sequence and final site state, the property that lets
+// experiments replay one site history against several configurations.
+func TestMutatorDeterministic(t *testing.T) {
+	ops := []MutOp{OpEditRank, OpEditCourse, OpTouch, OpRemoveCourse, OpRestoreCourse}
+	_, ms1, m1 := mutatorFixture(t, 42, ops...)
+	_, ms2, m2 := mutatorFixture(t, 42, ops...)
+	s1 := m1.Steps(150)
+	s2 := m2.Steps(150)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("same-seeded mutators diverged")
+	}
+	urls1, urls2 := ms1.URLs(), ms2.URLs()
+	if !reflect.DeepEqual(urls1, urls2) {
+		t.Fatal("site URL sets diverged")
+	}
+	for _, u := range urls1 {
+		p1, err1 := ms1.Get(u) //lint:allow fetchgate comparing raw fake-site state, not querying
+		p2, err2 := ms2.Get(u) //lint:allow fetchgate comparing raw fake-site state, not querying
+		if err1 != nil || err2 != nil {
+			t.Fatalf("get %s: %v %v", u, err1, err2)
+		}
+		if p1.HTML != p2.HTML {
+			t.Fatalf("page %s diverged", u)
+		}
+	}
+
+	// A different seed takes a different path.
+	_, _, m3 := mutatorFixture(t, 43, ops...)
+	if reflect.DeepEqual(s1, m3.Steps(150)) {
+		t.Fatal("differently-seeded mutators coincided")
+	}
+}
+
+// TestMutatorKeepsSiteConsistent: after heavy structural churn every course
+// link on professor and session pages resolves, and every active course is
+// listed exactly where it should be.
+func TestMutatorKeepsSiteConsistent(t *testing.T) {
+	u, ms, m := mutatorFixture(t, 7, OpRemoveCourse, OpRestoreCourse, OpEditRank, OpEditCourse)
+	m.Steps(200)
+	if m.ActiveCourses() == 0 {
+		t.Fatal("all courses vanished")
+	}
+	active := 0
+	for c := 0; c < u.Params.Courses; c++ {
+		url := courseURL(c)
+		_, err := ms.Get(url) //lint:allow fetchgate probing raw fake-site state, not querying
+		prof := profURL(u.InstructorOf[c])
+		pp, perr := ms.Get(prof) //lint:allow fetchgate probing raw fake-site state, not querying
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		listed := strings.Contains(pp.HTML, url)
+		if err == nil {
+			active++
+			if !listed {
+				t.Fatalf("active course %d missing from its instructor's page", c)
+			}
+		} else if listed {
+			t.Fatalf("removed course %d still listed on %s", c, prof)
+		}
+	}
+	if active != m.ActiveCourses() {
+		t.Fatalf("mutator counts %d active courses, site has %d", m.ActiveCourses(), active)
+	}
+}

@@ -255,6 +255,56 @@ func (m *Manager) applyLocked(defs []Def) ([]Def, error) {
 	return kept, nil
 }
 
+// ApplyChange applies one push-feed event to the materialization: the
+// touched page alone is re-verified (or its row dropped, for removals), and
+// when the local row actually changed the applied extents are rebuilt from
+// the new snapshot. The freshness horizon is deliberately NOT renewed — one
+// page being fresh says nothing about the rest; only a clean full sweep
+// (AdvanceHorizon) or a full Refresh moves it. A nil store (nothing
+// materialized yet) is a no-op. It reports whether the materialization
+// changed.
+func (m *Manager) ApplyChange(url, scheme string, removed bool) (bool, error) {
+	m.applyMu.Lock()
+	defer m.applyMu.Unlock()
+	m.mu.Lock()
+	st := m.store
+	defs := append([]Def(nil), m.applied...)
+	m.mu.Unlock()
+	if st == nil {
+		return false, nil
+	}
+	var changed bool
+	var err error
+	if removed {
+		changed = st.RemoveURL(url)
+	} else {
+		changed, err = st.RefreshURL(url, scheme)
+	}
+	if err != nil || !changed {
+		return changed, err
+	}
+	_, aerr := m.applyLocked(defs)
+	return true, aerr
+}
+
+// AdvanceHorizon records that every stored page was verified against the
+// live site no earlier than at — the push feed's clean-sweep (or hook-mode
+// verified-bound) signal. The freshness horizon renews and every current
+// extent is restamped WITHOUT rebuilding: targeted ApplyChange calls already
+// kept the rows current, so renewal is a metadata update, not a crawl.
+// Instants not after the current bound are still forwarded to the rewriter
+// (restamping is monotonic per view) but cannot move the bound backwards.
+func (m *Manager) AdvanceHorizon(at time.Time) {
+	m.applyMu.Lock()
+	defer m.applyMu.Unlock()
+	m.mu.Lock()
+	if at.After(m.verifiedAt) {
+		m.verifiedAt = at
+	}
+	m.mu.Unlock()
+	m.rw.AdvanceRefreshed(at)
+}
+
 // RefreshStore runs the store's full consistency pass (§8's periodic
 // refresh: one light connection per page, downloads only for changed pages)
 // WITHOUT rebuilding extents — callers about to Apply a new view set use it

@@ -159,6 +159,30 @@ func (r *Rewriter) SetAll(views []*View) {
 	r.byRel = byRel
 }
 
+// AdvanceRefreshed restamps every current view as refreshed no earlier than
+// the given instant — the push feed's clean-sweep signal: every stored page
+// was just verified against the site, so the extents are exactly as fresh as
+// a full Refresh would have made them, without rebuilding anything. Fresh
+// View values and slices are installed rather than mutating the current ones
+// in place, because TryAnswer iterates its candidate slice outside the lock.
+func (r *Rewriter) AdvanceRefreshed(at time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	byRel := make(map[string][]*View, len(r.byRel))
+	for rel, vs := range r.byRel {
+		nvs := make([]*View, len(vs))
+		for i, v := range vs {
+			nv := *v
+			if at.After(nv.RefreshedAt) {
+				nv.RefreshedAt = at
+			}
+			nvs[i] = &nv
+		}
+		byRel[rel] = nvs
+	}
+	r.byRel = byRel
+}
+
 // Views returns the current views, grouped by relation (shared slices; do
 // not mutate).
 func (r *Rewriter) Views() []*View {

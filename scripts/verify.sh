@@ -28,6 +28,11 @@ echo "== site-health guard (partial-outage determinism check)"
 go run ./cmd/bench -only P5 >/dev/null
 echo "== view answering (byte-identity and GET-cut check)"
 go run ./cmd/bench -only P6 >/dev/null
+echo "== push consistency (staleness-vs-traffic under a mutating site)"
+go run ./cmd/bench -only P7 >/dev/null
 echo "== ulixesd smoke (concurrent query server self-test)"
 go run ./cmd/ulixesd -smoke
+echo "== ulixesd push smoke (standing-query SSE self-test, hook and poll feeds)"
+go run ./cmd/ulixesd -smoke -feed hook
+go run ./cmd/ulixesd -smoke -feed poll -feed-interval 50ms
 echo "verify: OK"
