@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint verify fuzz-smoke bench bench-json experiments chaos serve smoke
+.PHONY: build test race vet lint verify fuzz-smoke bench bench-json experiments chaos overload serve smoke
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,15 @@ chaos:
 	$(GO) test -race ./internal/engine/ ./internal/pagecache/ ./internal/matview/ ./cmd/ulixesd/ -run 'Chaos|Breaker|Stale|Shed|Drain'
 	$(GO) run ./cmd/bench -only P3
 	$(GO) run ./cmd/bench -only P5
+
+# overload runs the admission/deadline/memory-governance suite under the
+# race detector, then the P8 overload experiment: 10x bursty arrivals on a
+# chaotic site, asserting goodput, bounded sojourn, exact access accounting
+# and a leak-free drain.
+overload:
+	$(GO) test -race ./internal/overload/
+	$(GO) test -race ./cmd/ulixesd/ -run 'Queue|Deadline|Panic|Watch|Drain|Stats'
+	$(GO) run ./cmd/bench -only P8
 
 # serve starts the long-running query server over the shared page store.
 serve:

@@ -59,6 +59,7 @@ func main() {
 		{"P5", func() (*exp.Table, error) { return exp.P5(univ) }},
 		{"P6", func() (*exp.Table, error) { return exp.P6(univ) }},
 		{"P7", func() (*exp.Table, error) { return exp.P7(univ) }},
+		{"P8", func() (*exp.Table, error) { return exp.P8(univ) }},
 	}
 
 	selected := make(map[string]bool)

@@ -8,13 +8,16 @@
 //	ulixesd [-addr 127.0.0.1:8099] [-site university|bibliography]
 //	        [-ttl 30s|forever] [-cache-bytes N] [-page-budget N]
 //	        [-max-queries N] [-workers N] [-drain-timeout 10s]
+//	        [-queue N] [-queue-wait 2s] [-capacity-pages N]
+//	        [-deadline 0] [-deadline-max 0]
 //	        [-guard] [-breaker-threshold 0.5] [-breaker-open-for 30s]
 //	        [-host-fetches N] [-hedge-after 0]
 //	        [-plan-cache] [-plan-cache-entries N] [-plan-drift 0.25]
 //	        [-views-auto] [-views-budget N] [-views-horizon 5m]
 //	        [-views-stale] [-views-every 50]
 //	        [-feed off|hook|poll] [-feed-budget N] [-feed-interval 10s]
-//	        [-watch-max N] [-mutate-seed N]
+//	        [-watch-max N] [-ring-bytes N] [-watch-write-timeout 10s]
+//	        [-mutate-seed N]
 //
 //	POST /query      query text in the body (or GET /query?q=…)
 //	GET  /healthz    liveness (503 while draining; reports open breakers)
@@ -24,10 +27,27 @@
 //	GET  /watch?id=N&after=M deltas with seq>M: long-poll JSON, SSE with &sse=1
 //	POST /mutate?n=K apply K deterministic site mutations (university + -feed)
 //
-// Admission control is strict: at most -max-queries queries run at once and
-// excess requests are rejected immediately with 429 rather than queued, so
-// an overloaded server stays responsive. On SIGINT/SIGTERM the server stops
+// Admission control is cost-aware and bounded: at most -max-queries queries
+// run at once, up to -queue more wait FIFO, and a waiter whose sojourn
+// exceeds -queue-wait is dropped (429, Retry-After) even if a slot frees —
+// so queueing delay is bounded by construction, not by luck. With -queue 0
+// (the default) excess requests are rejected immediately with 429, the
+// historical behavior. With -capacity-pages, queries whose plan-cache page
+// estimate exceeds the remaining capacity are refused at the door (429, or
+// 422 when the estimate exceeds total capacity and could never fit) before
+// they cost anything. Per-query deadline budgets bound latency the same
+// way: a client's ?deadline= (clamped to -deadline-max) or the -deadline
+// default turns into a context timeout plus degraded execution, so an
+// expired query returns the partial answer it has (deadlineExpired in the
+// response) instead of holding a slot. On SIGINT/SIGTERM the server stops
 // admitting (503) and drains in-flight queries up to -drain-timeout.
+//
+// Memory is governed by one shared byte ledger: the page store, the
+// standing-query delta rings (bounded by -ring-bytes, oldest dropped
+// first), materialized view extents and /watch SSE buffers all report into
+// it, and /stats exposes the per-subsystem bytes and peaks (memLedger).
+// Slow /watch clients are disconnected after -watch-write-timeout per
+// write rather than pinning buffers forever.
 //
 // With -guard (the default) every fetch runs through a per-host site-health
 // guard: an EWMA-driven circuit breaker fast-fails requests to sick hosts
@@ -92,6 +112,7 @@ import (
 	"ulixes/internal/changefeed"
 	"ulixes/internal/cost"
 	"ulixes/internal/guard"
+	"ulixes/internal/overload"
 	"ulixes/internal/pagecache"
 	"ulixes/internal/site"
 	"ulixes/internal/sitegen"
@@ -108,7 +129,12 @@ func main() {
 	depts := flag.Int("depts", 3, "university: number of departments")
 	authors := flag.Int("authors", 500, "bibliography: number of authors")
 	workers := flag.Int("workers", 0, "per-query bound on concurrent page downloads (0 = default)")
-	maxQueries := flag.Int("max-queries", 8, "max in-flight queries; excess requests get 429")
+	maxQueries := flag.Int("max-queries", 8, "max in-flight queries; excess requests queue or get 429")
+	queueLen := flag.Int("queue", 0, "admission queue length beyond -max-queries (0 = reject immediately)")
+	queueWait := flag.Duration("queue-wait", 2*time.Second, "max queue sojourn; overdue waiters are dropped with 429")
+	capacityPages := flag.Float64("capacity-pages", 0, "estimated-page capacity across in-flight queries (0 = unlimited)")
+	deadline := flag.Duration("deadline", 0, "default per-query deadline when the client sends none (0 = none)")
+	deadlineMax := flag.Duration("deadline-max", 0, "hard ceiling on any per-query deadline (0 = no ceiling)")
 	pageBudget := flag.Int("page-budget", 0, "max distinct pages one query may access (0 = unlimited)")
 	ttl := flag.String("ttl", "forever", "page TTL: a duration, 0 (revalidate every re-access) or forever")
 	cacheBytes := flag.Int64("cache-bytes", 0, "shared store byte bound (0 = unbounded)")
@@ -133,6 +159,8 @@ func main() {
 	feedBudget := flag.Int("feed-budget", 0, "poll feed: max light connections per sweep (0 = unlimited)")
 	feedInterval := flag.Duration("feed-interval", 10*time.Second, "poll feed: sweep period and minimum per-URL check cadence")
 	watchMax := flag.Int("watch-max", standing.DefaultMaxSubs, "max concurrent standing-query subscriptions")
+	ringBytes := flag.Int("ring-bytes", 0, "per-subscription delta-ring byte bound; oldest dropped first (0 = count bound only)")
+	watchWriteTimeout := flag.Duration("watch-write-timeout", defaultWatchWrite, "per-write /watch deadline; slow clients are disconnected (0 = none)")
 	mutateSeed := flag.Int64("mutate-seed", 1, "seed for the /mutate mutation workload")
 	smoke := flag.Bool("smoke", false, "self-test: serve on an ephemeral port, run a concurrent workload, exit")
 	flag.Parse()
@@ -160,12 +188,16 @@ func main() {
 		})
 		server = g
 	}
+	// One ledger spans every byte-holding subsystem, so /stats can answer
+	// "where is the memory" with a single consistent snapshot.
+	ledger := overload.NewLedger()
 	cache := pagecache.New(server, ws, pagecache.Config{
 		MaxBytes:   *cacheBytes,
 		DefaultTTL: ttlDur,
 		Clock:      site.LogicalClock(),
 		Retry:      site.RetryPolicy{MaxRetries: *retries},
 		Workers:    *workers,
+		Meter:      ledger.Account("pagecache"),
 	})
 	sys, err := ulixes.Open(server, ws, views)
 	if err != nil {
@@ -187,6 +219,15 @@ func main() {
 
 	srv := newServer(sys, cache, *maxQueries)
 	srv.guard = g
+	srv.ledger = ledger
+	srv.queue = overload.NewQueue(overload.QueueConfig{
+		Slots:         *maxQueries,
+		MaxQueue:      *queueLen,
+		MaxWait:       *queueWait,
+		CapacityPages: *capacityPages,
+	})
+	srv.deadlines = overload.DeadlineBudget{Default: *deadline, Max: *deadlineMax}
+	srv.watchWrite = *watchWriteTimeout
 	if *viewsAuto {
 		// Workload-driven view answering: record every query's shape and
 		// cost, and let the benefit/byte selector re-decide the materialized
@@ -204,6 +245,14 @@ func main() {
 			Model:  &cost.Model{Scheme: ws, Stats: sys.Stats()},
 		})
 		srv.viewsEvery = *viewsEvery
+		// Matview bytes are already tracked by the manager; the ledger polls
+		// them as a gauge instead of double-charging every row mutation.
+		ledger.Gauge("matview", func() int64 {
+			if vm := sys.ViewManager(); vm != nil {
+				return vm.Bytes()
+			}
+			return 0
+		})
 	}
 
 	// Push-based consistency: one monitor, three sinks. Every observed page
@@ -269,9 +318,11 @@ func main() {
 		// Sink 3: standing queries, re-answered through the shared system so
 		// deltas price in the plan cache, the page store and view answering.
 		reg := standing.New(standing.Config{
-			Views:   views,
-			MaxSubs: *watchMax,
-			Clock:   time.Now,
+			Views:        views,
+			MaxSubs:      *watchMax,
+			MaxRingBytes: *ringBytes,
+			Meter:        ledger.Account("standingRings"),
+			Clock:        time.Now,
 			Answer: func(q *ulixes.Query) (*ulixes.Relation, error) {
 				ans, err := sys.QueryCQ(q)
 				if err != nil {

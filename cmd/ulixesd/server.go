@@ -18,18 +18,24 @@ import (
 	"ulixes/internal/changefeed"
 	"ulixes/internal/engine"
 	"ulixes/internal/guard"
+	"ulixes/internal/overload"
 	"ulixes/internal/pagecache"
 	"ulixes/internal/sitegen"
 	"ulixes/internal/standing"
 	"ulixes/internal/vselect"
 )
 
-// server is the HTTP face of one shared query system: a semaphore admits at
-// most maxQueries concurrent queries (excess is rejected with 429, never
-// queued), and a draining flag refuses new work during graceful shutdown.
-// When a site-health guard is attached, low-priority queries are shed at
-// admission (503) while any host's breaker is open, so the remaining
-// capacity goes to must-run work.
+// server is the HTTP face of one shared query system. Admission runs
+// through a cost-aware bounded queue (internal/overload): at most Slots
+// queries run at once, up to -queue more wait FIFO bounded by -queue-wait
+// sojourn (CoDel-style: overdue waiters are dropped even when a slot
+// frees), and queries whose estimated page cost exceeds the remaining
+// -capacity-pages are refused at the door. A draining flag refuses new work
+// during graceful shutdown. When a site-health guard is attached,
+// low-priority queries are shed at admission (503) while any host's breaker
+// is open, so the remaining capacity goes to must-run work. Every handler
+// runs under a recover middleware: a panic (a wrapper bug on hostile HTML)
+// becomes one 500 and a counter, not a dead server.
 type server struct {
 	sys   *ulixes.System
 	cache *pagecache.Cache
@@ -55,13 +61,27 @@ type server struct {
 	watchCtx  context.Context
 	stopWatch context.CancelFunc
 
-	sem       chan struct{}
-	draining  atomic.Bool
-	inflight  atomic.Int64
-	served    atomic.Int64
-	rejected  atomic.Int64
-	shed      atomic.Int64
-	selecting atomic.Bool
+	// queue is the admission layer; deadlines clamps per-query budgets
+	// (?deadline= up to -deadline-max, -deadline when the client is
+	// silent); ledger is the shared byte ledger /stats reports per
+	// subsystem.
+	queue     *overload.Queue
+	deadlines overload.DeadlineBudget
+	ledger    *overload.Ledger
+	// watchWrite bounds each /watch write+flush: a client that stops
+	// reading is disconnected (watchDropped) instead of pinning the
+	// stream goroutine and its buffered deltas forever.
+	watchWrite time.Duration
+
+	draining        atomic.Bool
+	inflight        atomic.Int64
+	served          atomic.Int64
+	rejected        atomic.Int64
+	shed            atomic.Int64
+	deadlineExpired atomic.Int64
+	panics          atomic.Int64
+	watchDropped    atomic.Int64
+	selecting       atomic.Bool
 	// selectWG tracks the in-flight background reselection, so shutdown and
 	// tests can wait for it to settle.
 	selectWG sync.WaitGroup
@@ -73,24 +93,93 @@ type server struct {
 	totals engine.ExecStats // guarded by mu
 }
 
+// defaultWatchWrite is the per-write /watch deadline when main does not
+// configure one.
+const defaultWatchWrite = 10 * time.Second
+
 func newServer(sys *ulixes.System, cache *pagecache.Cache, maxQueries int) *server {
 	if maxQueries < 1 {
 		maxQueries = 1
 	}
-	s := &server{sys: sys, cache: cache, sem: make(chan struct{}, maxQueries)}
+	// MaxQueue 0 preserves the historical instant-429 admission; main (and
+	// tests) swap in a configured queue for bounded waiting.
+	s := &server{
+		sys:        sys,
+		cache:      cache,
+		queue:      overload.NewQueue(overload.QueueConfig{Slots: maxQueries}),
+		ledger:     overload.NewLedger(),
+		watchWrite: defaultWatchWrite,
+	}
 	s.watchCtx, s.stopWatch = context.WithCancel(context.Background())
 	return s
 }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/subscribe", s.handleSubscribe)
-	mux.HandleFunc("/watch", s.handleWatch)
-	mux.HandleFunc("/mutate", s.handleMutate)
+	mux.HandleFunc("/query", s.protect(s.handleQuery))
+	mux.HandleFunc("/healthz", s.protect(s.handleHealthz))
+	mux.HandleFunc("/stats", s.protect(s.handleStats))
+	mux.HandleFunc("/subscribe", s.protect(s.handleSubscribe))
+	mux.HandleFunc("/watch", s.protect(s.handleWatch))
+	mux.HandleFunc("/mutate", s.protect(s.handleMutate))
 	return mux
+}
+
+// recoveringWriter tracks whether a handler already committed a response,
+// so the recover middleware knows whether a 500 can still be written. It
+// forwards Flush and exposes Unwrap so http.ResponseController reaches the
+// underlying writer's write-deadline support.
+type recoveringWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (rw *recoveringWriter) WriteHeader(code int) {
+	rw.wrote = true
+	rw.ResponseWriter.WriteHeader(code)
+}
+
+func (rw *recoveringWriter) Write(b []byte) (int, error) {
+	rw.wrote = true
+	return rw.ResponseWriter.Write(b)
+}
+
+func (rw *recoveringWriter) Flush() {
+	if f, ok := rw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// FlushError exists because ResponseController.Flush prefers it over plain
+// Flush: without it the controller would stop at this wrapper's Flusher and
+// swallow the underlying write error — exactly the error the /watch
+// write-deadline machinery needs to see to disconnect a stalled client.
+func (rw *recoveringWriter) FlushError() error {
+	return http.NewResponseController(rw.ResponseWriter).Flush()
+}
+
+func (rw *recoveringWriter) Unwrap() http.ResponseWriter { return rw.ResponseWriter }
+
+// protect is the panic-isolation middleware: a panic anywhere under a
+// handler — most plausibly the wrapper choking on hostile HTML — is
+// recovered into a 500 and a counter. One query dies; the server, its
+// store, and every other in-flight query keep running. Deferred releases
+// (admission tickets, inflight gauges) run normally during the unwind.
+func (s *server) protect(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rw := &recoveringWriter{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Add(1)
+				log.Printf("ulixesd: recovered panic in %s: %v", r.URL.Path, p)
+				if !rw.wrote {
+					writeJSON(rw, http.StatusInternalServerError,
+						errorResponse{Error: fmt.Sprintf("internal error: %v", p)})
+				}
+			}
+		}()
+		h(rw, r)
+	}
 }
 
 // drain stops admitting queries; in-flight ones finish normally. Open
@@ -132,14 +221,17 @@ type queryFailure struct {
 }
 
 type queryResponse struct {
-	Plan          string         `json:"plan"`
-	EstimatedCost float64        `json:"estimatedCost"`
-	Columns       []string       `json:"columns"`
-	Rows          [][]string     `json:"rows"`
-	Stats         queryStats     `json:"stats"`
-	Degraded      bool           `json:"degraded,omitempty"`
-	Failures      []queryFailure `json:"failures,omitempty"`
-	StalePages    []string       `json:"stalePages,omitempty"`
+	Plan          string     `json:"plan"`
+	EstimatedCost float64    `json:"estimatedCost"`
+	Columns       []string   `json:"columns"`
+	Rows          [][]string `json:"rows"`
+	Stats         queryStats `json:"stats"`
+	Degraded      bool       `json:"degraded,omitempty"`
+	// DeadlineExpired marks an answer cut short by the per-query deadline
+	// budget: what was reached is returned, the rest is in Failures.
+	DeadlineExpired bool           `json:"deadlineExpired,omitempty"`
+	Failures        []queryFailure `json:"failures,omitempty"`
+	StalePages      []string       `json:"stalePages,omitempty"`
 }
 
 type errorResponse struct {
@@ -169,17 +261,8 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "degraded: low-priority queries shed while a circuit breaker is open"})
 		return
 	}
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		s.rejected.Add(1)
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "too many in-flight queries"})
-		return
-	}
-	defer func() { <-s.sem }()
-	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
-
+	// Parse before admission: it is cheap, it rejects garbage without
+	// spending a slot, and it gives the admission queue a shape to price.
 	text, err := queryText(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
@@ -190,15 +273,61 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	ans, err := s.sys.QueryCQCtx(r.Context(), q)
+	reqDeadline, err := durParam(r, "deadline")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad ?deadline=: want a Go duration like 500ms or 5s"})
+		return
+	}
+
+	pri := overload.Normal
+	if lowPriority(r) {
+		pri = overload.Low
+	}
+	// The estimate is advisory: a never-seen shape prices as 0 ("unknown,
+	// admit on slots alone"); a cached shape's plan cost gates it against
+	// the page capacity the admitted set already holds.
+	est, _ := s.sys.EstimatedPages(q)
+	ticket, err := s.queue.Acquire(r.Context(), pri, est)
+	if err != nil {
+		s.refuse(w, err)
+		return
+	}
+	defer ticket.Release()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	ctx := r.Context()
+	opts := s.sys.ExecOpts()
+	if d := s.deadlines.Resolve(reqDeadline); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+		// A deadline implies degraded execution: at expiry the query
+		// returns the pages it reached as a partial answer (the failures
+		// listed per URL) instead of hanging or failing outright.
+		opts.Degraded = true
+	}
+	ans, err := s.sys.QueryCQOptsCtx(ctx, q, opts)
 	switch {
 	case err == nil:
 	case errors.Is(err, pagecache.ErrBudgetExceeded):
 		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
 		return
+	case ctx.Err() != nil && r.Context().Err() == nil:
+		// The per-query budget expired (the client is still there): the
+		// degraded evaluator could not salvage a partial answer in time.
+		s.deadlineExpired.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: fmt.Sprintf("deadline exceeded: %v", err)})
+		return
 	default:
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
+	}
+	// A query that answered inside its budget but saw the deadline expire
+	// mid-flight returns what it reached, marked: partial beats hung.
+	expired := ctx.Err() != nil && r.Context().Err() == nil
+	if expired {
+		s.deadlineExpired.Add(1)
 	}
 	// The value returned by Add is this request's exact serial number;
 	// re-reading the counter could skip the viewsEvery multiple when two
@@ -233,8 +362,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			PlanMs:           float64(st.PlanWall) / float64(time.Millisecond),
 			FromView:         st.AnsweredFromView,
 		},
-		Degraded:   st.Degraded,
-		StalePages: st.StalePages,
+		Degraded:        st.Degraded,
+		DeadlineExpired: expired,
+		StalePages:      st.StalePages,
 	}
 	for _, t := range ans.Result.Sorted() {
 		row := make([]string, t.Arity())
@@ -249,6 +379,42 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// refuse maps an admission error to its HTTP status: queue-full and
+// no-capacity-now are retryable (429 with Retry-After), an overdue sojourn
+// or a shed low-priority request is 503, a query too expensive to ever fit
+// the configured capacity is 422, and a client that vanished while queued
+// gets a best-effort 503 it will never read.
+func (s *server) refuse(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, overload.ErrShed):
+		s.shed.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case errors.Is(err, overload.ErrOverdue):
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case errors.Is(err, overload.ErrTooExpensive):
+		s.rejected.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+	case errors.Is(err, overload.ErrQueueFull), errors.Is(err, overload.ErrNoCapacity):
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	default: // context canceled/expired while queued
+		s.rejected.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	}
+}
+
+// durParam reads an optional duration query parameter.
+func durParam(r *http.Request, name string) (time.Duration, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, nil
+	}
+	return time.ParseDuration(v)
 }
 
 // maybeReselect re-runs benefit-driven view selection every viewsEvery
@@ -398,6 +564,16 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	defer context.AfterFunc(s.watchCtx, cancel)()
 
+	// Every write below runs under a per-write deadline: a client that
+	// stops reading blocks the write until the deadline, is counted as
+	// dropped, and the stream goroutine exits — it cannot pin the server
+	// (or, via the buffered deltas it never drains, its memory) forever.
+	rc := http.NewResponseController(w)
+	armWrite := func() {
+		if s.watchWrite > 0 {
+			_ = rc.SetWriteDeadline(time.Now().Add(s.watchWrite))
+		}
+	}
 	sse := r.URL.Query().Get("sse") != "" ||
 		strings.Contains(r.Header.Get("Accept"), "text/event-stream")
 	if !sse {
@@ -407,30 +583,54 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 			if ctx.Err() != nil {
 				code = http.StatusServiceUnavailable // drained or disconnected
 			}
+			armWrite()
 			writeJSON(w, code, errorResponse{Error: err.Error()})
 			return
 		}
+		armWrite()
 		writeJSON(w, http.StatusOK, ds)
 		return
 	}
 
-	fl, ok := w.(http.Flusher)
-	if !ok {
+	if _, ok := w.(http.Flusher); !ok {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "streaming unsupported"})
 		return
 	}
+	// watchBuf accounts the bytes sitting between us and a (possibly slow)
+	// client for the duration of each write, so /stats memLedger shows
+	// where stalled-subscriber memory is.
+	watchBuf := s.ledger.Account("watchBuffers")
+	send := func(payload string) bool {
+		watchBuf.Add(int64(len(payload)))
+		defer watchBuf.Add(-int64(len(payload)))
+		armWrite()
+		if _, err := io.WriteString(w, payload); err != nil {
+			s.watchDropped.Add(1)
+			return false
+		}
+		if err := rc.Flush(); err != nil {
+			s.watchDropped.Add(1)
+			return false
+		}
+		return true
+	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
+	armWrite()
 	w.WriteHeader(http.StatusOK)
-	fl.Flush()
+	if err := rc.Flush(); err != nil {
+		// The client cannot even take the headers within the write
+		// deadline: drop it now, before a delta is buffered for it.
+		s.watchDropped.Add(1)
+		return
+	}
 	for {
 		ds, err := s.standing.Next(ctx, id, after)
 		if err != nil {
 			if ctx.Err() == nil {
 				// Unsubscribed underneath the stream: tell the client before
 				// closing, so it knows not to reconnect.
-				fmt.Fprintf(w, "event: gone\ndata: %s\n\n", err.Error())
-				fl.Flush()
+				send(fmt.Sprintf("event: gone\ndata: %s\n\n", err.Error()))
 			}
 			return
 		}
@@ -439,10 +639,11 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return
 			}
-			fmt.Fprintf(w, "id: %d\nevent: delta\ndata: %s\n\n", d.Seq, b)
+			if !send(fmt.Sprintf("id: %d\nevent: delta\ndata: %s\n\n", d.Seq, b)) {
+				return
+			}
 			after = d.Seq
 		}
-		fl.Flush()
 	}
 }
 
@@ -528,24 +729,40 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // server's admission ledger, and (with the guard on) per-host breaker and
 // bulkhead health.
 type storeStats struct {
-	Fetches           int                `json:"fetches"`
-	Hits              int                `json:"hits"`
-	Revalidations     int                `json:"revalidations"`
-	LightConnections  int                `json:"lightConnections"`
-	Retries           int                `json:"retries"`
-	Evictions         int                `json:"evictions"`
-	BytesFetched      int64              `json:"bytesFetched"`
-	EntryCount        int                `json:"entryCount"`
-	EntryBytes        int64              `json:"entryBytes"`
-	Inflight          int64              `json:"inflight"`
-	Served            int64              `json:"served"`
-	Rejected          int64              `json:"rejected"`
-	Stale             int                `json:"stale,omitempty"`
-	Hedges            int                `json:"hedges,omitempty"`
-	BreakerFastFails  int                `json:"breakerFastFails,omitempty"`
-	Invalidations     int                `json:"invalidations,omitempty"`
-	PushStale         int                `json:"pushStale,omitempty"`
-	Shed              int64              `json:"shed,omitempty"`
+	Fetches          int   `json:"fetches"`
+	Hits             int   `json:"hits"`
+	Revalidations    int   `json:"revalidations"`
+	LightConnections int   `json:"lightConnections"`
+	Retries          int   `json:"retries"`
+	Evictions        int   `json:"evictions"`
+	BytesFetched     int64 `json:"bytesFetched"`
+	EntryCount       int   `json:"entryCount"`
+	EntryBytes       int64 `json:"entryBytes"`
+	Inflight         int64 `json:"inflight"`
+	Served           int64 `json:"served"`
+	Rejected         int64 `json:"rejected"`
+	Stale            int   `json:"stale,omitempty"`
+	Hedges           int   `json:"hedges,omitempty"`
+	BreakerFastFails int   `json:"breakerFastFails,omitempty"`
+	Invalidations    int   `json:"invalidations,omitempty"`
+	PushStale        int   `json:"pushStale,omitempty"`
+	Shed             int64 `json:"shed,omitempty"`
+	// Overload-resilience ledger: the admission queue's live depth and
+	// drop totals, expired per-query deadline budgets, recovered panics
+	// (handler middleware + wrapper), dropped slow /watch clients, and the
+	// shared memory ledger by subsystem.
+	QueueDepth        int                `json:"queueDepth"`
+	QueueDropped      int                `json:"queueDropped"`
+	QueueAdmitted     int                `json:"queueAdmitted,omitempty"`
+	QueueSojournDrops int                `json:"queueSojournDropped,omitempty"`
+	QueueCostRejected int                `json:"queueCostRejected,omitempty"`
+	QueuePeakDepth    int                `json:"queuePeakDepth,omitempty"`
+	DeadlineExpired   int64              `json:"deadlineExpired"`
+	PanicsRecovered   int64              `json:"panicsRecovered"`
+	WrapPanics        int                `json:"wrapPanics,omitempty"`
+	WatchDropped      int64              `json:"watchDropped,omitempty"`
+	MemLedger         map[string]int64   `json:"memLedger,omitempty"`
+	MemBytes          int64              `json:"memBytes,omitempty"`
 	PlanHits          uint64             `json:"planHits"`
 	PlanMisses        uint64             `json:"planMisses"`
 	PlanInvalidations uint64             `json:"planInvalidations,omitempty"`
@@ -581,16 +798,18 @@ type feedStats struct {
 // standingStats is the standing-query registry's ledger (-feed): live and
 // lifetime subscriptions, and the delta traffic pushed to watchers.
 type standingStats struct {
-	Live          int `json:"live"`
-	Subscribes    int `json:"subscribes"`
-	Unsubscribes  int `json:"unsubscribes,omitempty"`
-	Rejections    int `json:"rejections,omitempty"`
-	Events        int `json:"events"`
-	Reanswers     int `json:"reanswers"`
-	AnswerErrors  int `json:"answerErrors,omitempty"`
-	Deltas        int `json:"deltas"`
-	AddedTuples   int `json:"addedTuples"`
-	RemovedTuples int `json:"removedTuples"`
+	Live          int   `json:"live"`
+	Subscribes    int   `json:"subscribes"`
+	Unsubscribes  int   `json:"unsubscribes,omitempty"`
+	Rejections    int   `json:"rejections,omitempty"`
+	Events        int   `json:"events"`
+	Reanswers     int   `json:"reanswers"`
+	AnswerErrors  int   `json:"answerErrors,omitempty"`
+	Deltas        int   `json:"deltas"`
+	AddedTuples   int   `json:"addedTuples"`
+	RemovedTuples int   `json:"removedTuples"`
+	RingDropped   int   `json:"ringDropped,omitempty"`
+	RingBytes     int64 `json:"ringBytes,omitempty"`
 }
 
 // matviewStats surfaces the backing materialized store's maintenance
@@ -643,6 +862,24 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Invalidations:    cs.Invalidations,
 		PushStale:        cs.PushStale,
 		Shed:             s.shed.Load(),
+		WrapPanics:       cs.WrapPanics,
+		DeadlineExpired:  s.deadlineExpired.Load(),
+		PanicsRecovered:  s.panics.Load(),
+		WatchDropped:     s.watchDropped.Load(),
+	}
+	qc := s.queue.Counters()
+	out.QueueDepth = s.queue.Depth()
+	out.QueueDropped = qc.Dropped()
+	out.QueueAdmitted = qc.Admitted
+	out.QueueSojournDrops = qc.SojournDropped
+	out.QueueCostRejected = qc.CostRejected
+	out.QueuePeakDepth = qc.PeakDepth
+	if usages := s.ledger.Snapshot(); len(usages) > 0 {
+		out.MemLedger = make(map[string]int64, len(usages))
+		for _, u := range usages {
+			out.MemLedger[u.Name] = u.Bytes
+			out.MemBytes += u.Bytes
+		}
 	}
 	if s.feed != nil {
 		fc := s.feed.Counters()
@@ -674,6 +911,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Deltas:        sc.Deltas,
 			AddedTuples:   sc.AddedTuples,
 			RemovedTuples: sc.RemovedTuples,
+			RingDropped:   sc.RingDropped,
+			RingBytes:     s.standing.RingBytes(),
 		}
 	}
 	s.mu.Lock()

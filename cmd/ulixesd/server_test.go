@@ -2,9 +2,12 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -13,11 +16,38 @@ import (
 	"ulixes"
 	"ulixes/internal/faults"
 	"ulixes/internal/guard"
+	"ulixes/internal/overload"
 	"ulixes/internal/pagecache"
 	"ulixes/internal/site"
 	"ulixes/internal/sitegen"
+	"ulixes/internal/standing"
 	"ulixes/internal/view"
 )
+
+// leakCheck snapshots the goroutine count and returns a check that waits
+// (with grace, for http keep-alive teardown) for the count to drain back to
+// the baseline. Register it before the deferred ts.Close(), so the check
+// runs after the server is fully shut down: a query goroutine that outlives
+// its request — or a /watch stream pinned by a gone client — fails here.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if n := runtime.NumGoroutine(); n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d > baseline %d\n%s",
+					runtime.NumGoroutine(), base, buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
 
 // gateServer wraps a site and, when armed, blocks every GET until released
 // — it lets a test hold a query in flight deterministically.
@@ -71,16 +101,20 @@ func newTestServer(t *testing.T, maxQueries, pageBudget int, wrap func(*site.Mem
 	if wrap != nil {
 		sv = wrap(ms)
 	}
+	ledger := overload.NewLedger()
 	cache := pagecache.New(sv, u.Scheme, pagecache.Config{
 		DefaultTTL: pagecache.Forever,
 		Clock:      site.LogicalClock(),
+		Meter:      ledger.Account("pagecache"),
 	})
 	sys, err := ulixes.Open(ms, u.Scheme, view.UniversityView(u.Scheme))
 	if err != nil {
 		t.Fatal(err)
 	}
 	sys.SetExec(ulixes.ExecOptions{Cache: cache, PageBudget: pageBudget})
-	return newServer(sys, cache, maxQueries)
+	srv := newServer(sys, cache, maxQueries)
+	srv.ledger = ledger
+	return srv
 }
 
 func doQuery(t *testing.T, ts *httptest.Server, q string) (*http.Response, queryResponse) {
@@ -202,6 +236,7 @@ func TestParseErrorIs400(t *testing.T) {
 // TestDrainRefusesNewQueries: draining flips /query and /healthz to 503
 // while in-flight queries run to completion.
 func TestDrainRefusesNewQueries(t *testing.T) {
+	defer leakCheck(t)()
 	var gs *gateServer
 	srv := newTestServer(t, 4, 0, func(ms *site.MemSite) site.Server {
 		gs = &gateServer{MemSite: ms}
@@ -350,6 +385,7 @@ func guardedFixture(t *testing.T) (*server, *faults.Server, *headGate, func(time
 // the drain refuses new work immediately and the in-flight queries finish
 // 200, degraded, answered from the store's expired copies.
 func TestDrainCompletesDegradedQueriesAgainstFaultySite(t *testing.T) {
+	defer leakCheck(t)()
 	srv, chaos, hg, advance := guardedFixture(t)
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
@@ -488,4 +524,262 @@ func getTestJSON(t *testing.T, ts *httptest.Server, path string, v any) error {
 	}
 	defer resp.Body.Close()
 	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// TestQueueAdmissionQueuesThenServes: with a bounded queue configured, a
+// request beyond the slot count waits its turn and is served — not 429'd —
+// while a request beyond the queue bound is still rejected immediately.
+func TestQueueAdmissionQueuesThenServes(t *testing.T) {
+	defer leakCheck(t)()
+	var gs *gateServer
+	srv := newTestServer(t, 1, 0, func(ms *site.MemSite) site.Server {
+		gs = &gateServer{MemSite: ms}
+		return gs
+	})
+	srv.queue = overload.NewQueue(overload.QueueConfig{
+		Slots: 1, MaxQueue: 1, MaxWait: 30 * time.Second,
+	})
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	gs.arm()
+	first := make(chan int, 1)
+	go func() {
+		resp, _ := doQuery(t, ts, "SELECT d.DName FROM Dept d")
+		first <- resp.StatusCode
+	}()
+	select {
+	case <-gs.blocked:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first query never reached the site")
+	}
+
+	// The second query queues instead of failing.
+	second := make(chan int, 1)
+	go func() {
+		resp, _ := doQuery(t, ts, "SELECT d.DName FROM Dept d")
+		second <- resp.StatusCode
+	}()
+	waitQueued := time.Now().Add(10 * time.Second)
+	for srv.queue.Depth() != 1 {
+		if time.Now().After(waitQueued) {
+			t.Fatal("second query never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The third finds slot and queue full: immediate 429.
+	resp, _ := doQuery(t, ts, "SELECT d.DName FROM Dept d")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third query status %d, want 429", resp.StatusCode)
+	}
+
+	gs.release()
+	if code := <-first; code != http.StatusOK {
+		t.Fatalf("first query status %d, want 200", code)
+	}
+	if code := <-second; code != http.StatusOK {
+		t.Fatalf("queued query status %d, want 200", code)
+	}
+
+	var st storeStats
+	if err := getTestJSON(t, ts, "/stats", &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.QueueDepth != 0 || st.QueueDropped != 1 || st.QueueAdmitted != 2 {
+		t.Fatalf("queue stats depth=%d dropped=%d admitted=%d, want 0/1/2",
+			st.QueueDepth, st.QueueDropped, st.QueueAdmitted)
+	}
+	if st.QueuePeakDepth != 1 {
+		t.Fatalf("queue peak depth = %d, want 1", st.QueuePeakDepth)
+	}
+}
+
+// TestDeadlineBudget: a client deadline that expires mid-query yields a
+// partial (degraded-mode) answer marked deadlineExpired rather than an
+// error; a malformed deadline is a 400.
+func TestDeadlineBudget(t *testing.T) {
+	srv := newTestServer(t, 4, 0, nil)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	const q = "SELECT p.PName FROM Professor p WHERE p.Rank = 'Full'"
+	resp, err := ts.Client().Get(ts.URL + "/query?deadline=banana&q=" + url.QueryEscape(q)) //lint:allow fetchgate client of our own query API, not a page fetch
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad deadline status %d, want 400", resp.StatusCode)
+	}
+
+	// A deadline that has effectively already passed: the query still
+	// answers (degraded execution tolerates the expired context) and the
+	// response says the budget ran out.
+	resp2, err := ts.Client().Get(ts.URL + "/query?deadline=1ns&q=" + url.QueryEscape(q)) //lint:allow fetchgate client of our own query API, not a page fetch
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("expired-deadline query status %d, want 200", resp2.StatusCode)
+	}
+	var out queryResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.DeadlineExpired {
+		t.Fatal("response should be marked deadlineExpired")
+	}
+	if got := srv.deadlineExpired.Load(); got != 1 {
+		t.Fatalf("deadlineExpired counter = %d, want 1", got)
+	}
+
+	// A generous deadline leaves the answer untouched.
+	resp3, body := doQuery(t, ts, q)
+	if resp3.StatusCode != http.StatusOK || body.DeadlineExpired {
+		t.Fatalf("generous deadline: status %d expired %v", resp3.StatusCode, body.DeadlineExpired)
+	}
+}
+
+// TestPanicMiddlewareRecovers: a panicking handler becomes one 500 and a
+// counter; a panic after the response was committed is swallowed without a
+// second write. The server keeps serving either way.
+func TestPanicMiddlewareRecovers(t *testing.T) {
+	srv := newTestServer(t, 4, 0, nil)
+
+	h := srv.protect(func(w http.ResponseWriter, r *http.Request) {
+		panic("synthetic wrapper failure")
+	})
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/query", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler status %d, want 500", rec.Code)
+	}
+	if got := srv.panics.Load(); got != 1 {
+		t.Fatalf("panics counter = %d, want 1", got)
+	}
+
+	late := srv.protect(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		panic("after commit")
+	})
+	rec2 := httptest.NewRecorder()
+	late(rec2, httptest.NewRequest("GET", "/query", nil))
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("committed response rewritten to %d", rec2.Code)
+	}
+	if got := srv.panics.Load(); got != 2 {
+		t.Fatalf("panics counter = %d, want 2", got)
+	}
+
+	// The real handler chain still works after recoveries.
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	if resp, _ := doQuery(t, ts, "SELECT d.DName FROM Dept d"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-panic query status %d, want 200", resp.StatusCode)
+	}
+}
+
+// standingFixture wires a standing-query registry into a test server the
+// way main does with -feed, answering through the shared system.
+func standingFixture(t *testing.T) (*server, *standing.Registry) {
+	t.Helper()
+	u, err := sitegen.GenerateUniversity(sitegen.UniversityParams{Courses: 12, Profs: 6, Depts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := site.NewMemSite(u.Instance, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := view.UniversityView(u.Scheme)
+	cache := pagecache.New(ms, u.Scheme, pagecache.Config{
+		DefaultTTL: pagecache.Forever,
+		Clock:      site.LogicalClock(),
+	})
+	sys, err := ulixes.Open(ms, u.Scheme, views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetExec(ulixes.ExecOptions{Cache: cache})
+	srv := newServer(sys, cache, 4)
+	reg := standing.New(standing.Config{
+		Views: views,
+		Answer: func(q *ulixes.Query) (*ulixes.Relation, error) {
+			ans, err := sys.QueryCQ(q)
+			if err != nil {
+				return nil, err
+			}
+			return ans.Result, nil
+		},
+	})
+	srv.standing = reg
+	return srv, reg
+}
+
+// TestWatchSlowClientDisconnected: a /watch SSE write that cannot complete
+// within the per-write deadline disconnects the stream and is counted, so a
+// stalled subscriber cannot pin its goroutine and buffers forever.
+func TestWatchSlowClientDisconnected(t *testing.T) {
+	defer leakCheck(t)()
+	srv, reg := standingFixture(t)
+	// A deadline that is already past when armed: every write fails the
+	// way a stalled client's writes do, without needing to fill socket
+	// buffers in a test.
+	srv.watchWrite = time.Nanosecond
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	id, err := reg.Subscribe("SELECT d.DName FROM Dept d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The initial snapshot delta is waiting, so the stream tries to write
+	// immediately and hits the expired deadline.
+	resp, err := ts.Client().Get(ts.URL + "/watch?sse=1&after=0&id=" + strconv.Itoa(id)) //lint:allow fetchgate client of our own query API, not a page fetch
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.watchDropped.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("watchDropped never incremented")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The buffered-delta bytes charged during the failed write were
+	// refunded when the stream died.
+	if got := srv.ledger.Account("watchBuffers").Bytes(); got != 0 {
+		t.Fatalf("watchBuffers ledger = %d after disconnect, want 0", got)
+	}
+}
+
+// TestStatsExposesOverloadSurface: /stats reports the admission queue, the
+// deadline/panic counters and the per-subsystem memory ledger.
+func TestStatsExposesOverloadSurface(t *testing.T) {
+	srv := newTestServer(t, 4, 0, nil)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	if resp, _ := doQuery(t, ts, "SELECT p.PName FROM Professor p"); resp.StatusCode != http.StatusOK {
+		t.Fatal("query failed")
+	}
+	var st storeStats
+	if err := getTestJSON(t, ts, "/stats", &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.QueueDepth != 0 || st.QueueAdmitted == 0 {
+		t.Fatalf("queue stats %+v, want admitted > 0, depth 0", st)
+	}
+	if st.DeadlineExpired != 0 || st.PanicsRecovered != 0 {
+		t.Fatalf("counters %+v, want zero deadline/panic", st)
+	}
+	if st.MemLedger["pagecache"] == 0 || st.MemBytes == 0 {
+		t.Fatalf("memLedger %v (total %d), want pagecache bytes accounted", st.MemLedger, st.MemBytes)
+	}
+	if st.MemLedger["pagecache"] != st.EntryBytes {
+		t.Fatalf("ledger pagecache %d != store bytes %d", st.MemLedger["pagecache"], st.EntryBytes)
+	}
 }

@@ -7,12 +7,20 @@
 //	webq [-site university|bibliography] [-explain] [-candidates] [-mat] 'SELECT …'
 //	webq -site university -relations        # list the external view
 //	webq -url http://host:8098 -scheme-file site.adm -views-file site.views 'SELECT …'
+//	webq -workload queries.txt              # run a whole file of queries
 //
 // With -mat the query runs against a materialized view (§8 of the paper),
 // reporting light connections and downloads instead of page fetches. With
 // -url the queries run against a real HTTP endpoint (for example one
 // started with `sitegen -serve`), using scheme and view definitions loaded
-// from the given files.
+// from the given files; 429/503 responses are waited out and retried up to
+// -http-retries times, honoring the server's Retry-After hint, so a shed
+// request delays one query instead of killing the run.
+//
+// With -workload the argument file holds one query per line (blank lines
+// and # comments skipped). Every query runs even when earlier ones fail —
+// each failure is reported and counted, and the exit status reflects
+// whether any query failed, not the first one.
 package main
 
 import (
@@ -56,6 +64,8 @@ func main() {
 	breakerOpenFor := flag.Duration("breaker-open-for", guard.DefaultOpenFor, "how long an open breaker rejects before probing")
 	hostFetches := flag.Int("host-fetches", 0, "bulkhead: max concurrent fetches per host (0 = default)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "issue a hedged GET if the first hasn't answered in this long (0 = off)")
+	workloadFile := flag.String("workload", "", "file of queries, one per line; run all, continuing past failures")
+	httpRetries := flag.Int("http-retries", 3, "with -url: extra attempts on 429/503, honoring Retry-After")
 	flag.Parse()
 
 	var server site.Server
@@ -63,7 +73,7 @@ func main() {
 	var views *ulixes.Views
 	var err error
 	if *baseURL != "" {
-		server, ws, views, err = openRemote(*baseURL, *schemeFile, *viewsFile)
+		server, ws, views, err = openRemote(*baseURL, *schemeFile, *viewsFile, *httpRetries)
 	} else {
 		server, ws, views, err = open(*siteName, *courses, *profs, *depts, *authors)
 	}
@@ -96,6 +106,11 @@ func main() {
 		}
 		return
 	}
+	if *workloadFile != "" {
+		runWorkload(sys, *workloadFile)
+		return
+	}
+
 	query := strings.TrimSpace(strings.Join(flag.Args(), " "))
 	if query == "" {
 		fail(fmt.Errorf("no query given; try:\n  webq \"SELECT p.PName FROM Professor p WHERE p.Rank = 'Full'\"\n  webq -nav \"ProfListPage / ProfList -> ToProf [Rank='Full']\""))
@@ -170,6 +185,38 @@ func main() {
 	printRelation(ans.Result)
 }
 
+// runWorkload executes every query in the file (one per line, blank lines
+// and # comments skipped). A failing query is reported and counted but
+// never aborts the rest: with HTTPServer's Retry-After backoff upstream,
+// transient overload delays a query, and only a genuine failure marks the
+// line — the run always covers the whole file. Exits non-zero when any
+// query failed.
+func runWorkload(sys *ulixes.System, path string) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	var ran, failed int
+	for i, line := range strings.Split(string(src), "\n") {
+		q := strings.TrimSpace(line)
+		if q == "" || strings.HasPrefix(q, "#") {
+			continue
+		}
+		ran++
+		ans, err := sys.Query(q)
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "webq: line %d: %v\n", i+1, err)
+			continue
+		}
+		fmt.Printf("line %d: %d tuples -- %s\n", i+1, ans.Result.Len(), formatStats(ans.Exec))
+	}
+	fmt.Printf("workload: %d/%d queries succeeded\n", ran-failed, ran)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
 // checkPlan prints the static diagnostics for a plan and exits non-zero if
 // any were found (the -check mode: no page is ever accessed).
 func checkPlan(expr nalg.Expr, ws *adm.Scheme) {
@@ -220,7 +267,7 @@ func formatStats(st ulixes.ExecStats) string {
 // openRemote loads the scheme and views from files and targets a real HTTP
 // endpoint serving the site (e.g. `sitegen -serve :8098`). It returns the
 // raw server so main can layer the health guard before opening the system.
-func openRemote(base, schemeFile, viewsFile string) (site.Server, *adm.Scheme, *ulixes.Views, error) {
+func openRemote(base, schemeFile, viewsFile string, retries int) (site.Server, *adm.Scheme, *ulixes.Views, error) {
 	if schemeFile == "" || viewsFile == "" {
 		return nil, nil, nil, fmt.Errorf("-url requires -scheme-file and -views-file")
 	}
@@ -240,7 +287,7 @@ func openRemote(base, schemeFile, viewsFile string) (site.Server, *adm.Scheme, *
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	return &site.HTTPServer{Base: base}, ws, views, nil
+	return &site.HTTPServer{Base: base, Retries: retries}, ws, views, nil
 }
 
 func open(name string, courses, profs, depts, authors int) (site.Server, *adm.Scheme, *ulixes.Views, error) {

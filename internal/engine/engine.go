@@ -242,6 +242,27 @@ func (e *Engine) QueryCQ(q *cq.Query) (*Answer, error) {
 // QueryCQCtx optimizes and executes a parsed conjunctive query under the
 // caller's context.
 func (e *Engine) QueryCQCtx(ctx context.Context, q *cq.Query) (*Answer, error) {
+	return e.QueryCQOptsCtx(ctx, q, e.Exec)
+}
+
+// EstimatedPages returns the prepared-plan cache's page-cost estimate for
+// q's shape, when the engine has a plan cache and has already planned that
+// shape. It never optimizes: a cold shape returns ok=false and admission
+// control treats its cost as unknown rather than paying Algorithm 1 at the
+// door.
+func (e *Engine) EstimatedPages(q *cq.Query) (float64, bool) {
+	if e.Plans == nil {
+		return 0, false
+	}
+	scope := fmt.Sprintf("%+v", e.Opt.Opts)
+	return e.Plans.Peek(q, scope)
+}
+
+// QueryCQOptsCtx is QueryCQCtx with per-query execution options: the server
+// uses it to force degraded mode on deadline-bounded queries (so expiry
+// yields a partial answer instead of an error) without changing the
+// engine-wide configuration other callers share.
+func (e *Engine) QueryCQOptsCtx(ctx context.Context, q *cq.Query, opts ExecOptions) (*Answer, error) {
 	planStart := time.Now()
 	if e.ViewAnswers != nil {
 		// A decline (ok=false) or a local-evaluation error both fall back
@@ -267,7 +288,7 @@ func (e *Engine) QueryCQCtx(ctx context.Context, q *cq.Query) (*Answer, error) {
 		return nil, err
 	}
 	planWall := time.Since(planStart)
-	rel, st, err := e.ExecuteOptsCtx(ctx, res.Best.Expr, e.Exec)
+	rel, st, err := e.ExecuteOptsCtx(ctx, res.Best.Expr, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -296,3 +296,37 @@ func TestP7PushDominatesPull(t *testing.T) {
 		t.Errorf("push should cost fewer network ops than always-revalidate pull: %v vs %v", push, pullZero)
 	}
 }
+
+func TestP8OverloadBoundedAndExact(t *testing.T) {
+	tab, err := P8(sitegen.PaperUniversityParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Row order: instant 429, bounded queue, cost gate. Columns: admission,
+	// offered, answered, dropped, goodput, p99 sojourn, peak depth. P8
+	// itself enforces the hard invariants (goodput floor, sojourn bound,
+	// access exactness, counter conservation, leak-free drain); the test
+	// pins the qualitative shape.
+	instant, queued, gate := tab.Rows[0], tab.Rows[1], tab.Rows[2]
+	if got := cellInt(t, instant[1]); got != p8Bursts*p8Clients {
+		t.Errorf("instant offered = %d, want %d", got, p8Bursts*p8Clients)
+	}
+	if got := cellInt(t, queued[1]); got != p8Bursts*p8Clients {
+		t.Errorf("queued offered = %d, want %d", got, p8Bursts*p8Clients)
+	}
+	if cellInt(t, queued[2]) <= cellInt(t, instant[2]) {
+		t.Errorf("bounded queue should answer more than instant reject: %v vs %v", queued, instant)
+	}
+	if min := p8Bursts * (p8Slots + p8Queue); cellInt(t, queued[2]) < min {
+		t.Errorf("bounded queue answered %d, structural floor is %d", cellInt(t, queued[2]), min)
+	}
+	if cellInt(t, queued[6]) == 0 {
+		t.Errorf("bounded queue never queued anybody under 10x overload: %v", queued)
+	}
+	if cellInt(t, gate[3]) != 1 {
+		t.Errorf("cost gate row should record the one refusal: %v", gate)
+	}
+}

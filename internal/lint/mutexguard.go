@@ -22,6 +22,7 @@ var guardedPkgs = []string{
 	"ulixes/internal/workload",
 	"ulixes/internal/vselect",
 	"ulixes/internal/changefeed",
+	"ulixes/internal/overload",
 	"ulixes/internal/standing",
 	"ulixes/cmd/ulixesd",
 }

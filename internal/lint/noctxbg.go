@@ -18,6 +18,7 @@ var requestPathPkgs = []string{
 	"ulixes/internal/guard",
 	"ulixes/internal/matview",
 	"ulixes/internal/nalg",
+	"ulixes/internal/overload",
 	"ulixes/internal/pagecache",
 	"ulixes/internal/site",
 	"ulixes/internal/standing",

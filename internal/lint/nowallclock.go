@@ -14,6 +14,7 @@ var measuredPkgs = []string{
 	"ulixes/internal/faults",
 	"ulixes/internal/guard",
 	"ulixes/internal/nalg",
+	"ulixes/internal/overload",
 	"ulixes/internal/pagecache",
 	"ulixes/internal/rewrite",
 	"ulixes/internal/standing",

@@ -18,6 +18,7 @@ var statsPkgs = []string{
 	"ulixes/internal/vanswer",
 	"ulixes/internal/workload",
 	"ulixes/internal/changefeed",
+	"ulixes/internal/overload",
 	"ulixes/internal/standing",
 	"ulixes/cmd/ulixesd",
 }

@@ -77,6 +77,18 @@ type Config struct {
 	// Workers bounds the concurrent physical fetches a single FetchAll
 	// batch issues (0 means site.DefaultFetchWorkers).
 	Workers int
+	// Meter, when non-nil, is charged the retained HTML bytes of every
+	// entry as it is inserted and refunded as it is removed (eviction,
+	// invalidation, replacement) — the store's row in a process-wide
+	// memory ledger (see internal/overload.Ledger).
+	Meter ByteMeter
+}
+
+// ByteMeter is the minimal ledger-account surface the store charges;
+// satisfied by overload.Account without importing it.
+type ByteMeter interface {
+	// Add charges (positive) or refunds (negative) retained bytes.
+	Add(delta int64)
 }
 
 // Stats are the cache-wide counters, accumulated across every query that
@@ -120,6 +132,11 @@ type Stats struct {
 	// Accesses = Fetches + Hits + Revalidations + Stale is untouched.
 	Invalidations int
 	PushStale     int
+	// WrapPanics is the number of fetched pages whose wrapper panicked
+	// (hostile or pathological HTML): the panic is recovered and converted
+	// to a per-query fetch error, so one bad page fails one access instead
+	// of the process.
+	WrapPanics int
 }
 
 // Add folds another store's counters into s, for aggregating statistics
@@ -139,6 +156,7 @@ func (s *Stats) Add(o Stats) {
 	s.BreakerFastFails += o.BreakerFastFails
 	s.Invalidations += o.Invalidations
 	s.PushStale += o.PushStale
+	s.WrapPanics += o.WrapPanics
 }
 
 // entry is one cached page.
@@ -474,7 +492,7 @@ func (c *Cache) fetch(ctx context.Context, schemeName, url string) (access, erro
 		}
 		return access{net: n}, err
 	}
-	t, err := hypertext.WrapPage(ps, url, page.HTML)
+	t, err := c.safeWrap(ps, url, page.HTML)
 	if err != nil {
 		// A malformed page (e.g. a chaos-truncated body) is an error for
 		// the asking queries, never a cache entry.
@@ -490,11 +508,31 @@ func (c *Cache) fetch(ctx context.Context, schemeName, url string) (access, erro
 	e.elem = c.lru.PushFront(e)
 	c.entries[url] = e
 	c.bytes += int64(e.size)
+	if c.cfg.Meter != nil {
+		c.cfg.Meter.Add(int64(e.size))
+	}
 	c.stats.Fetches++
 	c.stats.BytesFetched += int64(e.size)
 	c.evictLocked()
 	c.mu.Unlock()
 	return access{tuple: t, fetched: true, size: e.size, net: n}, nil
+}
+
+// safeWrap wraps a fetched page, converting a wrapper panic on hostile or
+// pathological HTML into an ordinary fetch error: the asking query fails
+// that one access (or degrades past it) instead of the panic unwinding
+// through whatever goroutine — a pipelined evaluator worker, a singleflight
+// leader serving other queries — happened to fetch the page.
+func (c *Cache) safeWrap(ps *adm.PageScheme, url, html string) (t nested.Tuple, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			c.mu.Lock()
+			c.stats.WrapPanics++
+			c.mu.Unlock()
+			err = fmt.Errorf("pagecache: wrapper panic on %s: %v", url, p)
+		}
+	}()
+	return hypertext.WrapPage(ps, url, html)
 }
 
 // drop removes any entry for url.
@@ -511,6 +549,9 @@ func (c *Cache) removeLocked(e *entry) {
 	c.lru.Remove(e.elem)
 	delete(c.entries, e.url)
 	c.bytes -= int64(e.size)
+	if c.cfg.Meter != nil {
+		c.cfg.Meter.Add(-int64(e.size))
+	}
 }
 
 // evictLocked enforces the byte bound, evicting least-recently-used

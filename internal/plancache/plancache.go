@@ -98,6 +98,29 @@ func (c *Cache) Counters() Counters {
 	return Counters{Hits: c.hits, Misses: c.misses, Invalidations: c.invals, Entries: len(c.entries)}
 }
 
+// Peek returns the estimated page cost of the cached plan for q's shape,
+// without optimizing on a miss, counting a hit, or refreshing LRU order.
+// Admission control uses it as a free advisory estimate before deciding
+// whether the query fits the remaining capacity: a shape the cache has
+// never planned returns ok=false and the caller treats the cost as
+// unknown. Drift is deliberately not re-checked here — a slightly stale
+// estimate is still the right order of magnitude for a capacity gate, and
+// Prepare re-validates before the plan actually runs.
+func (c *Cache) Peek(q *cq.Query, scope string) (cost float64, ok bool) {
+	canon, _, okc := Canonicalize(q)
+	if !okc {
+		return 0, false
+	}
+	key := scope + "\n" + canon.String()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	if e == nil {
+		return 0, false
+	}
+	return e.res.Best.Cost, true
+}
+
 // Prepare returns an optimizer result for q: from the cache when a plan
 // for q's shape is present and its statistics snapshot has not drifted,
 // otherwise by running optimize on the parameterized shape and caching the

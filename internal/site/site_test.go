@@ -2,9 +2,13 @@ package site
 
 import (
 	"errors"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"ulixes/internal/adm"
 	"ulixes/internal/nested"
@@ -328,5 +332,63 @@ func TestHTTPAdapterEndToEnd(t *testing.T) {
 	want, _ := u.Instance.Page(sitegen.ProfListPage, sitegen.UnivProfListURL)
 	if !tup.Equal(want) {
 		t.Error("fetch over HTTP should wrap to the instance tuple")
+	}
+}
+
+// TestHTTPAdapterRetryAfterBackoff: 429/503 responses with a Retry-After
+// hint are waited out and retried instead of failing the fetch, up to the
+// configured attempt bound; without retries the old fail-fast behavior
+// stands.
+func TestHTTPAdapterRetryAfterBackoff(t *testing.T) {
+	_, ms := testSite(t)
+	inner := Handler(ms)
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 2: // no hint: the default wait applies
+			w.WriteHeader(http.StatusServiceUnavailable)
+		default:
+			inner.ServeHTTP(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	sl := &InstantSleeper{}
+	hs := &HTTPServer{Base: srv.URL, Retries: 3, Sleeper: sl}
+	p, err := hs.Get(sitegen.UnivProfListURL)
+	if err != nil {
+		t.Fatalf("Get after backoff: %v", err)
+	}
+	if p.HTML == "" {
+		t.Fatal("expected the page after retries")
+	}
+	want := []time.Duration{2 * time.Second, DefaultRetryAfter}
+	if got := sl.Slept(); len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("backoff schedule = %v, want %v", got, want)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("calls = %d, want 3", n)
+	}
+
+	// Retries exhausted: the last overloaded status becomes the error.
+	calls.Store(0)
+	exhausted := &HTTPServer{Base: srv.URL, Retries: 1, Sleeper: sl}
+	if _, err := exhausted.Get(sitegen.UnivProfListURL); err == nil ||
+		!strings.Contains(err.Error(), "503") {
+		t.Errorf("exhausted retries err = %v, want a 503 status error", err)
+	}
+
+	// Retries 0 keeps fail-fast, and HEAD shares the retry path.
+	calls.Store(0)
+	failFast := &HTTPServer{Base: srv.URL, Sleeper: sl}
+	if _, err := failFast.Head(sitegen.UnivProfListURL); err == nil ||
+		!strings.Contains(err.Error(), "429") {
+		t.Errorf("fail-fast err = %v, want a 429 status error", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("fail-fast calls = %d, want 1", n)
 	}
 }

@@ -50,8 +50,25 @@ type Config struct {
 	MaxSubs int
 	// Ring caps retained deltas per subscription (0 = DefaultRing).
 	Ring int
+	// MaxRingBytes caps the retained delta bytes per subscription (0 =
+	// unbounded). When a slow consumer lets deltas pile up past the cap,
+	// the oldest are dropped (Counters.RingDropped) — bounded memory
+	// instead of one stalled watcher pinning the process. The newest delta
+	// always survives, so a late consumer still learns the current state.
+	MaxRingBytes int
+	// Meter, when non-nil, is charged every subscription's retained ring
+	// bytes — the registry's row in a process-wide memory ledger (see
+	// internal/overload.Ledger).
+	Meter ByteMeter
 	// Clock stamps deltas; nil defaults to the deterministic logical clock.
 	Clock site.Clock
+}
+
+// ByteMeter is the minimal ledger-account surface the registry charges;
+// satisfied by overload.Account without importing it.
+type ByteMeter interface {
+	// Add charges (positive) or refunds (negative) retained bytes.
+	Add(delta int64)
 }
 
 // Counters tallies the registry's activity. The statsexhaustive analyzer
@@ -77,6 +94,10 @@ type Counters struct {
 	// AddedTuples and RemovedTuples total the tuple-level churn pushed.
 	AddedTuples   int
 	RemovedTuples int
+	// RingDropped counts deltas dropped from rings before any client
+	// consumed them — the count bound or MaxRingBytes trimming the oldest
+	// entries under a slow consumer.
+	RingDropped int
 }
 
 // Add folds another registry's counters into c.
@@ -90,6 +111,7 @@ func (c *Counters) Add(o Counters) {
 	c.Deltas += o.Deltas
 	c.AddedTuples += o.AddedTuples
 	c.RemovedTuples += o.RemovedTuples
+	c.RingDropped += o.RingDropped
 }
 
 // Delta is one pushed difference. Added and Removed hold canonical tuple
@@ -127,9 +149,10 @@ type sub struct {
 	cur map[string]bool // guarded by amu
 
 	// The registry's mu guards the remaining fields.
-	seq    int           // guarded by Registry.mu
-	deltas []Delta       // guarded by Registry.mu
-	notify chan struct{} // closed and replaced when a delta arrives; guarded by Registry.mu
+	seq       int           // guarded by Registry.mu
+	deltas    []Delta       // guarded by Registry.mu
+	ringBytes int           // retained delta bytes of this ring; guarded by Registry.mu
+	notify    chan struct{} // closed and replaced when a delta arrives; guarded by Registry.mu
 }
 
 // Registry holds the live subscriptions. It implements changefeed.Sink, so
@@ -288,8 +311,23 @@ func (r *Registry) Unsubscribe(id int) bool {
 	}
 	delete(r.subs, id)
 	r.counters.Unsubscribes++
+	if r.cfg.Meter != nil {
+		r.cfg.Meter.Add(-int64(s.ringBytes))
+	}
+	s.ringBytes = 0
 	close(s.notify)
 	return true
+}
+
+// RingBytes returns the retained delta bytes across all live rings.
+func (r *Registry) RingBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, s := range r.subs {
+		total += int64(s.ringBytes)
+	}
+	return total
 }
 
 // OnChange implements changefeed.Sink: events landing on a subscription's
@@ -357,14 +395,57 @@ func (r *Registry) reanswer(s *sub, force bool) {
 	s.seq++
 	d := Delta{Seq: s.seq, At: r.cfg.Clock(), Added: added, Removed: removed}
 	s.deltas = append(s.deltas, d)
-	if len(s.deltas) > r.cfg.Ring {
-		s.deltas = append([]Delta(nil), s.deltas[len(s.deltas)-r.cfg.Ring:]...)
+	s.ringBytes += deltaBytes(d)
+	if r.cfg.Meter != nil {
+		r.cfg.Meter.Add(int64(deltaBytes(d)))
 	}
+	r.trimLocked(s)
 	r.counters.Deltas++
 	r.counters.AddedTuples += len(added)
 	r.counters.RemovedTuples += len(removed)
 	close(s.notify)
 	s.notify = make(chan struct{})
+}
+
+// deltaBytes approximates one delta's retained footprint: its tuple strings
+// plus a fixed per-delta overhead for Seq, At and the slice headers.
+func deltaBytes(d Delta) int {
+	n := 48
+	for _, s := range d.Added {
+		n += len(s)
+	}
+	for _, s := range d.Removed {
+		n += len(s)
+	}
+	return n
+}
+
+// trimLocked drops a ring's oldest deltas past the count bound and, when
+// MaxRingBytes is set, past the byte bound — but never the newest delta, so
+// even a hopelessly slow consumer still sees the latest state when it
+// returns. Dropped deltas count into Counters.RingDropped and are refunded
+// from the meter. Callers hold Registry.mu.
+func (r *Registry) trimLocked(s *sub) {
+	drop := 0
+	bytes := s.ringBytes
+	for len(s.deltas)-drop > r.cfg.Ring {
+		bytes -= deltaBytes(s.deltas[drop])
+		drop++
+	}
+	for r.cfg.MaxRingBytes > 0 && len(s.deltas)-drop > 1 && bytes > r.cfg.MaxRingBytes {
+		bytes -= deltaBytes(s.deltas[drop])
+		drop++
+	}
+	if drop == 0 {
+		return
+	}
+	freed := s.ringBytes - bytes
+	s.deltas = append([]Delta(nil), s.deltas[drop:]...)
+	s.ringBytes = bytes
+	if r.cfg.Meter != nil {
+		r.cfg.Meter.Add(-int64(freed))
+	}
+	r.counters.RingDropped += drop
 }
 
 // Next returns the subscription's deltas with Seq > after, blocking until at

@@ -290,3 +290,108 @@ func TestCountersAdd(t *testing.T) {
 		t.Fatalf("Add result mismatch:\n got %+v\nwant %+v", total, want)
 	}
 }
+
+// ringMeter accumulates ByteMeter charges from the registry.
+type ringMeter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (m *ringMeter) Add(d int64) {
+	m.mu.Lock()
+	m.n += d
+	m.mu.Unlock()
+}
+
+func (m *ringMeter) Load() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n
+}
+
+// TestRingByteBoundDropsOldest: once a subscription's retained deltas
+// exceed MaxRingBytes, the oldest are dropped (never the newest), the drop
+// is counted, and the meter balance tracks the retained bytes exactly —
+// through trimming and through unsubscribe.
+func TestRingByteBoundDropsOldest(t *testing.T) {
+	m := &ringMeter{}
+	u, ms, reg, _ := fixture(t, Config{MaxRingBytes: 160, Meter: m})
+	id, err := reg.Subscribe("SELECT p.PName FROM Professor p WHERE p.Rank = 'Emeritus'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Each promotion/demotion round pushes two deltas of ~70-80 bytes, so
+	// a handful of rounds far exceeds the 160-byte bound.
+	_, tup := profTuple(t, u, 3)
+	for i := 0; i < 4; i++ {
+		if err := ms.UpdatePage(sitegen.ProfPage, tup.With("Rank", nested.TextValue("Emeritus"))); err != nil {
+			t.Fatal(err)
+		}
+		if err := ms.UpdatePage(sitegen.ProfPage, tup.With("Rank", nested.TextValue("Assistant"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ds, err := reg.Next(ctx, id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) == 0 || len(ds) >= 9 {
+		t.Fatalf("retained %d deltas, want a trimmed non-empty suffix of 9", len(ds))
+	}
+	if ds[0].Seq == 1 {
+		t.Fatal("oldest delta survived past the byte bound")
+	}
+	if last := ds[len(ds)-1].Seq; last != 9 {
+		t.Fatalf("newest retained seq = %d, want 9", last)
+	}
+	var retained int
+	for _, d := range ds {
+		retained += deltaBytes(d)
+	}
+	if int64(retained) != reg.RingBytes() {
+		t.Fatalf("RingBytes() = %d, deltas sum to %d", reg.RingBytes(), retained)
+	}
+	if got := m.Load(); got != reg.RingBytes() {
+		t.Fatalf("meter %d != RingBytes %d", got, reg.RingBytes())
+	}
+	dropped := reg.Counters().RingDropped
+	if dropped != 9-len(ds) {
+		t.Fatalf("RingDropped = %d, want %d", dropped, 9-len(ds))
+	}
+
+	// Unsubscribe refunds everything.
+	if !reg.Unsubscribe(id) {
+		t.Fatal("Unsubscribe failed")
+	}
+	if got := m.Load(); got != 0 {
+		t.Fatalf("meter %d after unsubscribe, want 0", got)
+	}
+	if got := reg.RingBytes(); got != 0 {
+		t.Fatalf("RingBytes %d after unsubscribe, want 0", got)
+	}
+}
+
+// TestRingByteBoundKeepsNewest: a single delta larger than the bound is
+// still retained — the bound trims history, it cannot make a subscription
+// lose its latest update.
+func TestRingByteBoundKeepsNewest(t *testing.T) {
+	u, ms, reg, _ := fixture(t, Config{MaxRingBytes: 1})
+	id, err := reg.Subscribe("SELECT p.PName FROM Professor p WHERE p.Rank = 'Emeritus'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tup := profTuple(t, u, 5)
+	if err := ms.UpdatePage(sitegen.ProfPage, tup.With("Rank", nested.TextValue("Emeritus"))); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := reg.Next(context.Background(), id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Seq != 2 || len(ds[0].Added) != 1 {
+		t.Fatalf("retained deltas = %+v, want exactly the newest", ds)
+	}
+}

@@ -30,6 +30,10 @@ echo "== view answering (byte-identity and GET-cut check)"
 go run ./cmd/bench -only P6 >/dev/null
 echo "== push consistency (staleness-vs-traffic under a mutating site)"
 go run ./cmd/bench -only P7 >/dev/null
+echo "== overload (race-enabled admission/deadline/ledger suite)"
+go test -race ./internal/overload/
+echo "== overload survival (goodput, bounded sojourn, leak-free drain)"
+go run ./cmd/bench -only P8 >/dev/null
 echo "== ulixesd smoke (concurrent query server self-test)"
 go run ./cmd/ulixesd -smoke
 echo "== ulixesd push smoke (standing-query SSE self-test, hook and poll feeds)"

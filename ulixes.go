@@ -192,6 +192,25 @@ func (s *System) QueryCQCtx(ctx context.Context, q *Query) (*Answer, error) {
 	return s.eng.QueryCQCtx(ctx, q)
 }
 
+// QueryCQOptsCtx is QueryCQCtx with per-query execution options: callers
+// that need to vary execution for one request (a server forcing degraded
+// mode on deadline-bounded queries) pass their own options without
+// disturbing the system-wide configuration.
+func (s *System) QueryCQOptsCtx(ctx context.Context, q *Query, opts ExecOptions) (*Answer, error) {
+	return s.eng.QueryCQOptsCtx(ctx, q, opts)
+}
+
+// ExecOpts returns the system-wide execution options (the baseline a
+// per-query override starts from).
+func (s *System) ExecOpts() ExecOptions { return s.eng.Exec }
+
+// EstimatedPages returns the prepared-plan cache's page-cost estimate for
+// q's shape, ok=false when there is no plan cache or the shape has never
+// been planned. Cost-aware admission consults it before spending anything.
+func (s *System) EstimatedPages(q *Query) (float64, bool) {
+	return s.eng.EstimatedPages(q)
+}
+
 // Plan optimizes a query without executing it, returning the chosen plan
 // and all candidates (cheapest first).
 func (s *System) Plan(src string) (*optimizer.Result, error) {
